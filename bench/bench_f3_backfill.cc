@@ -1,0 +1,61 @@
+/**
+ * @file
+ * F3 — Backfill benefit vs workload mix.
+ *
+ * Sweeps the fraction of small (1-2 GPU) jobs in the mix and compares
+ * strict FIFO, EASY backfill, and conservative backfill. Expected shape:
+ * with few small jobs there is little to backfill and the policies tie;
+ * as small jobs become plentiful, backfill cuts mean wait sharply while
+ * strict FIFO leaves them stuck behind wide jobs; EASY >= conservative
+ * on utilization, conservative gives tighter starvation bounds.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+namespace {
+
+workload::TraceConfig
+mix_trace(double small_fraction)
+{
+    workload::TraceConfig trace = bench::default_trace(500, 11);
+    // Redistribute the PMF: small_fraction goes to {1,2}, the rest to
+    // {8,16,32} (wide jobs that create scheduling holes).
+    trace.gpu_demand_pmf = {
+        {1, small_fraction * 0.7}, {2, small_fraction * 0.3},
+        {8, (1.0 - small_fraction) * 0.5},
+        {16, (1.0 - small_fraction) * 0.3},
+        {32, (1.0 - small_fraction) * 0.2},
+    };
+    return trace;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table("F3: backfill benefit vs fraction of small jobs");
+    table.set_header({"small%", "policy", "meanWait(m)", "p99Wait(m)",
+                      "util", "makespan(h)"});
+
+    for (double frac : {0.2, 0.5, 0.8}) {
+        for (const char *policy :
+             {"fifo", "backfill-easy", "backfill-cons"}) {
+            core::ScenarioConfig config;
+            config.stack = bench::default_stack();
+            config.stack.scheduler = policy;
+            config.trace = mix_trace(frac);
+            const auto r = core::run_scenario(config);
+            table.add_row({TextTable::pct(frac, 0), policy,
+                           TextTable::fixed(r.mean_wait_s / 60.0, 1),
+                           TextTable::fixed(r.p99_wait_s / 60.0, 1),
+                           TextTable::pct(r.arrival_window_utilization),
+                           TextTable::fixed(r.makespan_s / 3600.0, 1)});
+        }
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+}

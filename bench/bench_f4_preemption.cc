@@ -1,0 +1,64 @@
+/**
+ * @file
+ * F4 — Preemption: interactive latency vs batch cost.
+ *
+ * Part A compares QoS scheduling with and without preemption: preemption
+ * should collapse interactive wait times (the paper's motivation for
+ * supporting task preemption) at the price of batch restarts.
+ * Part B sweeps the checkpoint-restore overhead: as restarts get more
+ * expensive, the batch JCT penalty of preemption grows while interactive
+ * latency stays flat.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+namespace {
+
+core::ScenarioResult
+run(const std::string &policy, double restart_overhead_s)
+{
+    core::ScenarioConfig config;
+    config.stack = bench::default_stack();
+    config.stack.scheduler = policy;
+    config.stack.exec.restart_overhead_s = restart_overhead_s;
+    config.trace = bench::default_trace(500, 21);
+    config.trace.frac_interactive = 0.35;
+    return core::run_scenario(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable a("F4a: QoS preemption on vs off");
+    a.set_header({"policy", "interWait(m)", "interP99(m)", "meanJCT(h)",
+                  "preempt", "util"});
+    for (const char *policy : {"qos-nopreempt", "qos-preempt"}) {
+        const auto r = run(policy, 30.0);
+        a.add_row({policy,
+                   TextTable::fixed(r.interactive_mean_wait_s / 60.0, 2),
+                   TextTable::fixed(r.interactive_p99_wait_s / 60.0, 2),
+                   TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+                   TextTable::num(double(r.preemptions), 6),
+                   TextTable::pct(r.arrival_window_utilization)});
+    }
+    std::fputs(a.str().c_str(), stdout);
+
+    TextTable b("F4b: checkpoint-restore overhead sweep (qos-preempt)");
+    b.set_header({"restart(s)", "interWait(m)", "meanJCT(h)",
+                  "meanSlowdown", "preempt"});
+    for (double overhead : {0.0, 30.0, 120.0, 600.0, 1800.0}) {
+        const auto r = run("qos-preempt", overhead);
+        b.add_row({TextTable::num(overhead, 4),
+                   TextTable::fixed(r.interactive_mean_wait_s / 60.0, 2),
+                   TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+                   TextTable::fixed(r.mean_slowdown, 2),
+                   TextTable::num(double(r.preemptions), 6)});
+    }
+    std::fputs(b.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * F6 — Gang time-slicing quantum sweep.
+ *
+ * Runs the gang scheduler with quanta from 1 minute to 2 hours on the
+ * reference workload. Expected shape: short quanta give near-zero wait
+ * (every gang gets a slice quickly) but burn throughput on checkpoint-
+ * restore thrash (preemptions explode, utilization and JCT suffer); long
+ * quanta converge to run-to-completion behaviour. The sweet spot sits in
+ * the tens of minutes, which is why deployed gang scheduling uses coarse
+ * slices.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    TextTable table("F6: gang time-slice quantum sweep");
+    table.set_header({"quantum(min)", "meanWait(m)", "meanJCT(h)",
+                      "slowdown", "preempt", "util", "makespan(h)"});
+
+    for (int quantum_min : {1, 5, 15, 30, 60, 120}) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.scheduler = "gang";
+        config.stack.sched_opts.gang_quantum =
+            Duration::minutes(quantum_min);
+        config.trace = bench::default_trace(400, 17);
+        const auto r = core::run_scenario(config);
+        table.add_row({TextTable::num(quantum_min, 3),
+                       TextTable::fixed(r.mean_wait_s / 60.0, 1),
+                       TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+                       TextTable::fixed(r.mean_slowdown, 2),
+                       TextTable::num(double(r.preemptions), 7),
+                       TextTable::pct(r.arrival_window_utilization),
+                       TextTable::fixed(r.makespan_s / 3600.0, 1)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+}

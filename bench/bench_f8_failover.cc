@@ -1,0 +1,58 @@
+/**
+ * @file
+ * F8 — Failure injection and fail-safe runtime switching.
+ *
+ * Injects (a) persistent runtime incompatibilities for a slice of jobs
+ * and (b) transient node faults, then compares the execution layer with
+ * fail-safe switching on vs off. Expected shape: without switching,
+ * every runtime-incompatible job burns its retry budget and fails
+ * permanently (completion rate drops by about the incompatibility rate);
+ * with switching, the second attempt lands on the working runtime and
+ * completion returns to ~100%, at the cost of one wasted segment per
+ * affected job.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    TextTable table("F8: fail-safe runtime switching under failures");
+    table.set_header({"failsafe", "badRuntime%", "mtbf(h)", "completed",
+                      "failed", "segFailures", "meanJCT(h)"});
+
+    struct Case {
+        bool failsafe;
+        double persistent;
+        double mtbf;
+    };
+    const std::vector<Case> cases = {
+        {false, 0.0, 0.0},  {false, 0.15, 0.0}, {true, 0.15, 0.0},
+        {false, 0.15, 800}, {true, 0.15, 800},
+    };
+    for (const auto &c : cases) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.exec.failure.failsafe_switching = c.failsafe;
+        config.stack.exec.failure.persistent_prob = c.persistent;
+        config.stack.exec.failure.node_mtbf_hours = c.mtbf;
+        config.stack.exec.failure.max_attempts = 4;
+        // Force the container runtime so the compiled choice can be the
+        // broken one for any job.
+        config.stack.compiler.container_threshold_bytes = 0;
+        config.trace = bench::default_trace(400, 41);
+        const auto r = core::run_scenario(config);
+        table.add_row({c.failsafe ? "on" : "off",
+                       TextTable::pct(c.persistent, 0),
+                       c.mtbf > 0 ? TextTable::num(c.mtbf, 4) : "-",
+                       TextTable::num(double(r.completed), 5),
+                       TextTable::num(double(r.failed), 5),
+                       TextTable::num(double(r.segment_failures), 6),
+                       TextTable::fixed(r.mean_jct_s / 3600.0, 2)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+}

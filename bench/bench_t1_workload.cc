@@ -1,0 +1,120 @@
+/**
+ * @file
+ * T1 — Workload characterization.
+ *
+ * Regenerates the campus-workload characterization table: GPU-demand
+ * distribution, duration percentiles per QoS class, tenant mix and
+ * arrival-process statistics. The shape to verify against published
+ * campus/production traces: single-GPU jobs dominate (>50%), demands are
+ * powers of two, durations are heavy-tailed (p99/p50 >> 10 for batch),
+ * and interactive jobs are short.
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "workload/model.h"
+#include "workload/trace.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    workload::TraceConfig config = bench::default_trace(5000, 42);
+    config.diurnal = true;
+    workload::TraceGenerator generator(config);
+    const auto trace = generator.generate();
+
+    // GPU-demand distribution.
+    std::map<int, int> demand;
+    std::map<std::string, int> qos_count;
+    std::map<std::string, int> model_count;
+    std::map<std::string, int> user_count;
+    for (const auto &t : trace) {
+        ++demand[t.spec.gpus];
+        ++qos_count[workload::qos_class_name(t.spec.qos)];
+        ++model_count[t.spec.model];
+        ++user_count[t.spec.user];
+    }
+
+    TextTable demand_table("T1a: GPU-demand distribution");
+    demand_table.set_header({"gpus", "jobs", "fraction"});
+    for (const auto &[gpus, count] : demand) {
+        demand_table.add_row({TextTable::num(gpus),
+                              TextTable::num(count, 6),
+                              TextTable::pct(double(count) /
+                                             double(trace.size()))});
+    }
+    std::fputs(demand_table.str().c_str(), stdout);
+
+    // Ideal-duration percentiles per class (at the reference GPU).
+    TextTable dur_table("T1b: ideal duration by QoS class (minutes)");
+    dur_table.set_header({"class", "jobs", "p10", "p50", "p90", "p99"});
+    const auto &catalog = workload::ModelCatalog::instance();
+    for (const auto qos :
+         {workload::QosClass::kInteractive, workload::QosClass::kBatch,
+          workload::QosClass::kBestEffort}) {
+        Samples s;
+        for (const auto &t : trace) {
+            if (t.spec.qos != qos)
+                continue;
+            const auto profile = catalog.find(t.spec.model);
+            const double iter_s = profile.value().compute_time_s(312.0);
+            s.add(double(t.spec.iterations) * iter_s / 60.0);
+        }
+        if (s.count() == 0)
+            continue;
+        dur_table.add_row({workload::qos_class_name(qos),
+                           TextTable::num(double(s.count()), 6),
+                           TextTable::fixed(s.percentile(10), 1),
+                           TextTable::fixed(s.percentile(50), 1),
+                           TextTable::fixed(s.percentile(90), 1),
+                           TextTable::fixed(s.percentile(99), 1)});
+    }
+    std::fputs(dur_table.str().c_str(), stdout);
+
+    // Model mix.
+    TextTable model_table("T1c: model-family mix");
+    model_table.set_header({"model", "jobs", "fraction"});
+    for (const auto &[model, count] : model_count) {
+        model_table.add_row({model, TextTable::num(count, 6),
+                             TextTable::pct(double(count) /
+                                            double(trace.size()))});
+    }
+    std::fputs(model_table.str().c_str(), stdout);
+
+    // Tenant skew + arrival process.
+    Samples user_activity;
+    int top_user = 0;
+    for (const auto &[user, count] : user_count) {
+        user_activity.add(double(count));
+        top_user = std::max(top_user, count);
+    }
+    Samples gaps;
+    for (size_t i = 1; i < trace.size(); ++i) {
+        gaps.add((trace[i].arrival - trace[i - 1].arrival).to_seconds());
+    }
+    TextTable misc("T1d: tenancy and arrivals");
+    misc.set_header({"metric", "value"});
+    misc.add_row({"jobs", TextTable::num(double(trace.size()), 6)});
+    misc.add_row({"distinct users",
+                  TextTable::num(double(user_count.size()), 6)});
+    misc.add_row({"top-user share of submissions",
+                  TextTable::pct(double(top_user) / double(trace.size()))});
+    misc.add_row({"QoS interactive",
+                  TextTable::pct(double(qos_count["interactive"]) /
+                                 double(trace.size()))});
+    misc.add_row({"QoS batch", TextTable::pct(double(qos_count["batch"]) /
+                                              double(trace.size()))});
+    misc.add_row({"QoS besteffort",
+                  TextTable::pct(double(qos_count["besteffort"]) /
+                                 double(trace.size()))});
+    misc.add_row({"mean interarrival (s)",
+                  TextTable::fixed(gaps.mean(), 1)});
+    misc.add_row({"trace span (h)",
+                  TextTable::fixed(trace.back().arrival.to_hours(), 1)});
+    std::fputs(misc.str().c_str(), stdout);
+    return 0;
+}

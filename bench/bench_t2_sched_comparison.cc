@@ -1,0 +1,42 @@
+/**
+ * @file
+ * T2 — Scheduler comparison on the reference campus workload.
+ *
+ * One row per scheduling policy, same trace, same cluster. Shapes to
+ * expect (and that EXPERIMENTS.md records):
+ *  - strict FIFO has the worst mean wait (head-of-line blocking by large
+ *    jobs) and the worst utilization;
+ *  - backfill recovers most of the lost utilization at equal fairness;
+ *  - SJF minimizes mean JCT but starves large jobs (high p99);
+ *  - QoS preemption buys interactive latency with batch preemptions;
+ *  - fair-share lands between FIFO and SJF on JCT with the best group
+ *    fairness.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    const std::vector<std::string> policies = {
+        "fifo",          "fifo-skip", "sjf",  "fairshare",
+        "backfill-easy", "backfill-cons", "qos-preempt", "las",
+        "drf",           "gang"};
+
+    TextTable table("T2: scheduler comparison (600 jobs, 256 GPUs)");
+    table.set_header(bench::scenario_header());
+
+    for (const auto &policy : policies) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.scheduler = policy;
+        config.trace = bench::default_trace();
+        const auto result = core::run_scenario(config);
+        bench::add_scenario_row(table, policy, result);
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+}

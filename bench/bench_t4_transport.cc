@@ -1,0 +1,124 @@
+/**
+ * @file
+ * T4 — Execution-layer transports and in-network aggregation.
+ *
+ * Prices one gradient synchronization for each model family on an
+ * 8-node rack-local gang under TCP, RDMA, and in-network aggregation
+ * (smart-switch), for both ring all-reduce and a parameter server.
+ * Expected shape: RDMA beats TCP by the bandwidth-efficiency and latency
+ * gap (~1.6x on large messages, more on small ones); in-network
+ * aggregation approaches another ~1.75x over the ring at n=8 (the
+ * 2(n-1)/n factor); the single-server PS collapses as nodes scale.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "exec/comm_model.h"
+#include "workload/model.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    cluster::TopologyConfig topo_config;
+    cluster::Topology topo(topo_config);
+    exec::CommModel comm;
+
+    cluster::Placement rack_gang;
+    for (cluster::NodeId n = 0; n < 8; ++n) {
+        cluster::PlacementSlice slice;
+        slice.node = n;
+        slice.gpu_indices.resize(8, 0);
+        rack_gang.slices.push_back(slice);
+    }
+
+    TextTable a("T4a: gradient sync time (ms), 8-node rack gang");
+    a.set_header({"model", "grad size", "tcp-ring", "rdma-ring",
+                  "innetwork", "rdma-ps", "rdma/tcp", "innet gain"});
+    for (const auto &profile :
+         workload::ModelCatalog::instance().profiles()) {
+        const double tcp = comm.sync_time_s(
+            profile, rack_gang, topo, exec::Transport::kTcp,
+            exec::SyncAlgorithm::kRingAllReduce);
+        const double rdma = comm.sync_time_s(
+            profile, rack_gang, topo, exec::Transport::kRdma,
+            exec::SyncAlgorithm::kRingAllReduce);
+        const double innet = comm.sync_time_s(
+            profile, rack_gang, topo, exec::Transport::kInNetwork,
+            exec::SyncAlgorithm::kRingAllReduce);
+        const double ps = comm.sync_time_s(
+            profile, rack_gang, topo, exec::Transport::kRdma,
+            exec::SyncAlgorithm::kParameterServer);
+        a.add_row({profile.name,
+                   format_bytes(uint64_t(profile.param_bytes)),
+                   TextTable::fixed(tcp * 1000, 2),
+                   TextTable::fixed(rdma * 1000, 2),
+                   TextTable::fixed(innet * 1000, 2),
+                   TextTable::fixed(ps * 1000, 2),
+                   TextTable::fixed(tcp / rdma, 2),
+                   TextTable::fixed(rdma / innet, 2)});
+    }
+    std::fputs(a.str().c_str(), stdout);
+
+    // Node-count sweep for one comm-heavy model: where PS collapses.
+    TextTable b("T4b: bert-large sync (ms) vs gang width");
+    b.set_header({"nodes", "rdma-ring", "rdma-ps", "innetwork"});
+    const auto bert =
+        workload::ModelCatalog::instance().find("bert-large").value();
+    for (int nodes : {2, 4, 8}) {
+        cluster::Placement gang;
+        for (cluster::NodeId n = 0; n < cluster::NodeId(nodes); ++n) {
+            cluster::PlacementSlice slice;
+            slice.node = n;
+            slice.gpu_indices.resize(8, 0);
+            gang.slices.push_back(slice);
+        }
+        b.add_row({TextTable::num(nodes, 2),
+                   TextTable::fixed(
+                       comm.sync_time_s(bert, gang, topo,
+                                        exec::Transport::kRdma,
+                                        exec::SyncAlgorithm::kRingAllReduce) *
+                           1000,
+                       2),
+                   TextTable::fixed(
+                       comm.sync_time_s(
+                           bert, gang, topo, exec::Transport::kRdma,
+                           exec::SyncAlgorithm::kParameterServer) *
+                           1000,
+                       2),
+                   TextTable::fixed(
+                       comm.sync_time_s(bert, gang, topo,
+                                        exec::Transport::kInNetwork,
+                                        exec::SyncAlgorithm::kRingAllReduce) *
+                           1000,
+                       2)});
+    }
+    std::fputs(b.str().c_str(), stdout);
+
+    // End-to-end: the same workload with hardware tiers enabled.
+    TextTable c("T4c: end-to-end hardware tiers (fairshare sched)");
+    c.set_header({"deployment", "meanJCT(h)", "slowdown", "util"});
+    struct Tier {
+        const char *label;
+        bool rdma;
+        bool innetwork;
+    };
+    for (const Tier &tier : {Tier{"tcp only", false, false},
+                             Tier{"+rdma", true, false},
+                             Tier{"+in-network agg", true, true}}) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.exec.rdma_available = tier.rdma;
+        config.stack.exec.innetwork_available = tier.innetwork;
+        config.trace = bench::default_trace(500, 13);
+        const auto r = core::run_scenario(config);
+        c.add_row({tier.label,
+                   TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+                   TextTable::fixed(r.mean_slowdown, 2),
+                   TextTable::pct(r.arrival_window_utilization)});
+    }
+    std::fputs(c.str().c_str(), stdout);
+    return 0;
+}

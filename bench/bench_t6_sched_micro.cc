@@ -1,0 +1,150 @@
+/**
+ * @file
+ * T6 — Scheduler decision latency (google-benchmark).
+ *
+ * Measures one schedule() invocation as a function of cluster size and
+ * queue depth, for the main policies. This is the "online task
+ * processing" requirement: decisions must stay far below the arrival
+ * inter-time even at 10x the reference cluster scale. Expected shape:
+ * near-linear growth in pending-queue depth for the greedy policies;
+ * backfill adds the capacity-timeline overhead; decisions stay in the
+ * micro- to millisecond range throughout.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sched/placement.h"
+#include "sched/schedulers.h"
+#include "sched/usage.h"
+#include "workload/model.h"
+#include "workload/trace.h"
+
+using namespace tacc;
+
+namespace {
+
+/** Self-contained scheduling scene: cluster half full, deep queue. */
+struct Scene {
+    std::unique_ptr<cluster::Cluster> cluster;
+    std::unique_ptr<sched::PlacementPolicy> placement;
+    sched::UsageTracker usage{Duration::hours(24)};
+    std::vector<std::unique_ptr<workload::Job>> jobs;
+    std::vector<workload::Job *> pending;
+    std::vector<sched::RunningInfo> running;
+
+    Scene(int nodes, int queue_depth)
+    {
+        cluster::ClusterConfig config;
+        config.topology.racks = std::max(1, nodes / 8);
+        config.topology.nodes_per_rack = std::min(nodes, 8);
+        cluster = std::make_unique<cluster::Cluster>(config);
+        placement = std::make_unique<sched::TopologyAwarePlacement>();
+
+        workload::TraceConfig trace;
+        trace.num_jobs = queue_depth + nodes / 2;
+        trace.seed = 99;
+        const auto entries =
+            workload::TraceGenerator(trace).generate();
+        cluster::JobId id = 1;
+        const TimePoint now = TimePoint::origin() + Duration::hours(1);
+
+        // Fill half the nodes with running jobs.
+        for (int n = 0; n + 1 < cluster->node_count(); n += 2) {
+            const auto &spec = entries[size_t(id - 1)].spec;
+            auto profile =
+                workload::ModelCatalog::instance().find(spec.model);
+            auto job = std::make_unique<workload::Job>(
+                id, spec, profile.value(), TimePoint::origin());
+            (void)job->begin_provisioning(TimePoint::origin());
+            (void)job->finish_provisioning(TimePoint::origin());
+            cluster::Placement p;
+            cluster::PlacementSlice slice;
+            slice.node = cluster::NodeId(n);
+            slice.gpu_indices.resize(
+                size_t(cluster->config().node.gpu_count), 0);
+            p.slices.push_back(slice);
+            (void)cluster->allocate(id, p);
+            (void)job->begin_segment(TimePoint::origin(),
+                                     cluster->config().node.gpu_count,
+                                     1.0);
+            sched::RunningInfo info;
+            info.job = job.get();
+            info.placement = cluster->placement_of(id);
+            info.expected_end = now + Duration::hours(int64_t(id % 7) + 1);
+            running.push_back(info);
+            jobs.push_back(std::move(job));
+            ++id;
+        }
+        // Queue.
+        for (int q = 0; q < queue_depth; ++q) {
+            const auto &spec = entries[size_t(id - 1)].spec;
+            auto profile =
+                workload::ModelCatalog::instance().find(spec.model);
+            auto job = std::make_unique<workload::Job>(
+                id, spec, profile.value(),
+                TimePoint::origin() + Duration::seconds(q));
+            (void)job->begin_provisioning(job->submit_time());
+            (void)job->finish_provisioning(job->submit_time());
+            pending.push_back(job.get());
+            jobs.push_back(std::move(job));
+            ++id;
+        }
+    }
+
+    sched::SchedulerContext
+    ctx()
+    {
+        sched::SchedulerContext c;
+        c.now = TimePoint::origin() + Duration::hours(1);
+        c.pending = pending;
+        c.running = running;
+        c.cluster = cluster.get();
+        c.placement = placement.get();
+        c.usage = &usage;
+        c.iter_time = [](const workload::Job &,
+                         const cluster::Placement &) { return 0.01; };
+        return c;
+    }
+};
+
+void
+run_policy(benchmark::State &state, const std::string &policy)
+{
+    const int nodes = int(state.range(0));
+    const int queue = int(state.range(1));
+    Scene scene(nodes, queue);
+    auto scheduler = sched::make_scheduler(policy);
+    for (auto _ : state) {
+        auto decision = scheduler->schedule(scene.ctx());
+        benchmark::DoNotOptimize(decision);
+    }
+    state.SetLabel(policy);
+}
+
+void
+args(benchmark::internal::Benchmark *bench)
+{
+    bench->Args({32, 64})->Args({32, 512})->Args({256, 64})
+        ->Args({256, 512})->Unit(benchmark::kMicrosecond);
+}
+
+void BM_Fifo(benchmark::State &s) { run_policy(s, "fifo-skip"); }
+void BM_FairShare(benchmark::State &s) { run_policy(s, "fairshare"); }
+void BM_BackfillEasy(benchmark::State &s) { run_policy(s, "backfill-easy"); }
+void BM_BackfillCons(benchmark::State &s) { run_policy(s, "backfill-cons"); }
+void BM_Drf(benchmark::State &s) { run_policy(s, "drf"); }
+void BM_Las(benchmark::State &s) { run_policy(s, "las"); }
+
+BENCHMARK(BM_Fifo)->Apply(args);
+BENCHMARK(BM_FairShare)->Apply(args);
+BENCHMARK(BM_BackfillEasy)->Apply(args);
+BENCHMARK(BM_BackfillCons)->Apply(args);
+BENCHMARK(BM_Drf)->Apply(args);
+BENCHMARK(BM_Las)->Apply(args);
+
+} // namespace
+
+BENCHMARK_MAIN();

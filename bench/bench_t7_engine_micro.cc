@@ -1,0 +1,111 @@
+/**
+ * @file
+ * T7 — Substrate microbenchmarks (google-benchmark).
+ *
+ * Event-queue throughput, cluster allocation/release, chunking, and the
+ * end-to-end simulation rate (simulated-jobs per wall second). These
+ * bound how large a campus a laptop-scale run can sweep.
+ */
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "compiler/chunk_store.h"
+#include "core/scenario.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+using namespace tacc;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    const int depth = int(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < depth; ++i) {
+            sim.schedule_after(Duration::micros((i * 7919) % 100000),
+                               "e", [] {});
+        }
+        sim.run();
+        benchmark::DoNotOptimize(sim.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ClusterAllocateRelease(benchmark::State &state)
+{
+    cluster::ClusterConfig config;
+    config.topology.racks = int(state.range(0)) / 8;
+    config.topology.nodes_per_rack = 8;
+    cluster::Cluster cluster(config);
+    cluster::Placement p;
+    for (cluster::NodeId n = 0; n < 4; ++n) {
+        cluster::PlacementSlice slice;
+        slice.node = n;
+        slice.gpu_indices.resize(8, 0);
+        p.slices.push_back(slice);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cluster.allocate(1, p));
+        benchmark::DoNotOptimize(cluster.release(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterAllocateRelease)->Arg(32)->Arg(256);
+
+void
+BM_ChunkArtifact(benchmark::State &state)
+{
+    workload::Artifact artifact{"deps/torch", 2'200'000'000ULL,
+                                uint64_t(state.range(0))};
+    for (auto _ : state) {
+        auto chunks =
+            compiler::chunk_artifact(artifact, 4 * 1024 * 1024, 0.05);
+        benchmark::DoNotOptimize(chunks);
+    }
+}
+BENCHMARK(BM_ChunkArtifact)->Arg(1)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TraceConfig config;
+    config.num_jobs = int(state.range(0));
+    for (auto _ : state) {
+        workload::TraceGenerator generator(config);
+        auto trace = generator.generate();
+        benchmark::DoNotOptimize(trace);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndScenario(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::ScenarioConfig config;
+        config.stack.cluster.topology.racks = 2;
+        config.stack.cluster.topology.nodes_per_rack = 4;
+        config.stack.scheduler = "fairshare";
+        config.stack.emit_monitor_logs = false;
+        config.trace.num_jobs = int(state.range(0));
+        config.trace.mean_interarrival_s = 300.0;
+        config.trace.gpu_demand_pmf = {
+            {1, 0.6}, {2, 0.2}, {4, 0.1}, {8, 0.1}};
+        auto result = core::run_scenario(config);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndScenario)->Arg(200)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

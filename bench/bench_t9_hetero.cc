@@ -1,0 +1,96 @@
+/**
+ * @file
+ * T9 — Operating a heterogeneous (multi-generation) cluster.
+ *
+ * The campus cluster grows in purchase waves: here 2 racks of A100 nodes
+ * plus 2 racks of older V100 nodes (2.5x slower, 4 GPUs/node). Compares:
+ *  - "oblivious": gangs may span generations (and then run at the
+ *    slowest worker);
+ *  - "no-mix": the scheduler plans each gang within one generation;
+ *  - "partitioned": jobs are statically pinned to a generation
+ *    (75% A100 / 25% V100 by capacity share).
+ * Expected shape: oblivious wastes A100 cycles inside mixed gangs (worst
+ * JCT); no-mix recovers them while keeping one queue; static partitions
+ * lose the ability to spill load between pools (higher waits than no-mix
+ * under imbalance).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tacc;
+
+namespace {
+
+cluster::ClusterConfig
+hetero_cluster()
+{
+    cluster::ClusterConfig config = bench::default_stack().cluster;
+    config.topology.racks = 4;
+    config.topology.nodes_per_rack = 8;
+    cluster::NodeSpec v100 = config.node;
+    v100.gpu = {"V100", 125.0, 32.0};
+    v100.gpu_count = 4;
+    config.rack_node_overrides[2] = v100;
+    config.rack_node_overrides[3] = v100;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table("T9: heterogeneous cluster (128 A100 + 64 V100)");
+    table.set_header({"policy", "meanJCT(h)", "meanWait(m)", "slowdown",
+                      "util"});
+
+    for (const char *mode : {"oblivious", "no-mix", "partitioned"}) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.cluster = hetero_cluster();
+        config.stack.avoid_gpu_mixing = std::string(mode) == "no-mix";
+        config.trace = bench::default_trace(500, 71);
+        // 192 GPUs (and the V100s are slow): scale the load down.
+        config.trace.mean_interarrival_s = 140.0;
+
+        if (std::string(mode) != "partitioned") {
+            const auto r = core::run_scenario(config);
+            table.add_row({mode, TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+                           TextTable::fixed(r.mean_wait_s / 60.0, 1),
+                           TextTable::fixed(r.mean_slowdown, 2),
+                           TextTable::pct(r.arrival_window_utilization)});
+            continue;
+        }
+
+        // Static partition: pin jobs to a generation up front.
+        core::TaccStack stack(config.stack);
+        auto trace = workload::TraceGenerator(config.trace).generate();
+        Rng rng(7);
+        const TimePoint last_arrival = trace.back().arrival;
+        for (auto &entry : trace) {
+            entry.spec.gpu_model =
+                rng.bernoulli(2.0 / 3.0) ? "A100" : "V100";
+            // The V100 pool has 4-GPU nodes; cap huge asks to fit.
+            if (entry.spec.gpu_model == "V100" && entry.spec.gpus > 32) {
+                entry.spec.gpus = 32;
+                entry.spec.min_gpus = 0;
+                entry.spec.max_gpus = 0;
+            }
+        }
+        stack.submit_trace(trace);
+        stack.run_to_completion();
+        const auto &metrics = stack.metrics();
+        const auto jct = metrics.jct_samples();
+        const auto wait = metrics.wait_samples();
+        const auto slowdown = metrics.slowdown_samples();
+        table.add_row({mode, TextTable::fixed(jct.mean() / 3600.0, 2),
+                       TextTable::fixed(wait.mean() / 60.0, 1),
+                       TextTable::fixed(slowdown.mean(), 2),
+                       TextTable::pct(metrics.mean_utilization(
+                           TimePoint::origin(), last_arrival,
+                           stack.cluster().total_gpus()))});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared configuration for the experiment binaries: the reference campus
+ * deployment (4 racks x 8 nodes x 8 A100s = 256 GPUs) and the reference
+ * workload, so every table is generated against the same baseline unless
+ * an experiment sweeps a knob on purpose.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/scenario.h"
+
+namespace tacc::bench {
+
+/** Reference deployment: 256 GPUs over 4 racks, 4:1 oversubscription. */
+core::StackConfig default_stack();
+
+/** Reference campus workload. */
+workload::TraceConfig default_trace(int jobs = 600, uint64_t seed = 42);
+
+/** Header matching print_scenario_row. */
+std::vector<std::string> scenario_header();
+
+/** Renders one ScenarioResult as a row of the comparison tables. */
+void add_scenario_row(TextTable &table, const std::string &label,
+                      const core::ScenarioResult &result);
+
+} // namespace tacc::bench

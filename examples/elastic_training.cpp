@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Elastic training: watching the goodput scheduler resize a job.
+ *
+ * Submits one elastic job (min 2, max 32 GPUs) onto a cluster, then
+ * floods the cluster with fixed-size batch work and lets it drain. The
+ * allocation timeline shows the elastic job growing into idle capacity,
+ * shrinking under contention, and growing back — the Pollux behaviour,
+ * driven here by TACC's ElasticScheduler.
+ */
+#include <cstdio>
+
+#include "core/stack.h"
+
+using namespace tacc;
+
+namespace {
+
+workload::TaskSpec
+batch_spec(int index)
+{
+    workload::TaskSpec spec;
+    spec.name = "batch-" + std::to_string(index);
+    spec.user = "bob";
+    spec.group = "rivals";
+    spec.gpus = 8;
+    spec.model = "resnet50";
+    spec.iterations = 400000;
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::StackConfig config;
+    // Two 16-GPU NVSwitch islands (DGX-style "superpod" nodes), so that
+    // growth inside an island pays off in the communication model.
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 2;
+    config.cluster.node.gpu_count = 16;
+    config.cluster.topology.nvlink_gbps = 38400.0;
+    config.cluster.node.nvlink_gbps = 38400.0;
+    config.scheduler = "elastic";
+    config.sched_opts.elastic_period = Duration::minutes(2);
+    config.emit_monitor_logs = false;
+    core::TaccStack stack(config);
+
+    workload::TaskSpec elastic;
+    elastic.name = "stretchy";
+    elastic.user = "alice";
+    elastic.group = "nlp";
+    elastic.gpus = 8;
+    elastic.gpus_per_node_limit = 16;
+    elastic.min_gpus = 2;
+    elastic.max_gpus = 16;
+    elastic.model = "bert-large";
+    elastic.iterations = 600000;
+    auto id = stack.submit(elastic);
+    if (!id.is_ok()) {
+        std::fprintf(stderr, "submit: %s\n", id.status().str().c_str());
+        return 1;
+    }
+    const workload::Job *job = stack.find_job(id.value());
+
+    std::printf("t(min)  elastic GPUs  cluster used  progress\n");
+    int last_gpus = -1;
+    int batch_index = 0;
+    for (int minute = 0; minute <= 240 && !job->terminal(); minute += 2) {
+        stack.run_until(TimePoint::origin() + Duration::minutes(minute));
+        // Phase 2 (40-90 min): fixed-size rivals flood the cluster.
+        if (minute >= 40 && minute < 90 && minute % 10 == 0)
+            (void)stack.submit(batch_spec(batch_index++));
+        const int gpus = job->running_gpus();
+        if (gpus != last_gpus) {
+            std::printf("%6d  %12d  %12d  %7.1f%%\n", minute, gpus,
+                        stack.cluster().used_gpus(),
+                        job->progress() * 100.0);
+            last_gpus = gpus;
+        }
+    }
+    stack.run_to_completion();
+
+    std::printf("\nelastic job finished: state=%s, segments=%d, "
+                "resizes(preemptions)=%d, JCT=%s\n",
+                workload::job_state_name(job->state()),
+                job->segment_count(), job->preemption_count(),
+                job->terminal() ? job->jct().str().c_str() : "-");
+    return 0;
+}

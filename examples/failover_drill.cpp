@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Failure-injection drill: watching fail-safe runtime switching work.
+ *
+ * Deploys a cluster where every job is incompatible with one of the two
+ * runtime systems, submits a training task that the compiler (by
+ * construction) starts on its broken runtime, and follows the recovery
+ * through tcloud's aggregated logs: segment failure -> requeue -> retry
+ * on the other runtime -> completion.
+ */
+#include <cstdio>
+
+#include "core/stack.h"
+#include "tcloud/client.h"
+
+using namespace tacc;
+
+int
+main()
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 4;
+    config.scheduler = "fifo";
+    // Every job has a broken runtime; fail-safe switching is on.
+    config.exec.failure.persistent_prob = 1.0;
+    config.exec.failure.failsafe_switching = true;
+    config.exec.failure.max_attempts = 4;
+    // Compile everything to the container runtime so half the jobs start
+    // on their broken side.
+    config.compiler.container_threshold_bytes = 0;
+    core::TaccStack stack(config);
+
+    tcloud::Client client;
+    client.add_cluster("drill", &stack);
+
+    // Submit tasks until we find one whose broken runtime is the
+    // container runtime (i.e. the first attempt will crash).
+    tcloud::TaskHandle victim{};
+    for (int i = 0; i < 8; ++i) {
+        workload::TaskSpec spec;
+        spec.name = "drill-" + std::to_string(i);
+        spec.user = "ops";
+        spec.group = "sre";
+        spec.gpus = 4;
+        spec.model = "bert-large";
+        spec.iterations = 20000;
+        auto handle = client.submit(spec);
+        if (!handle.is_ok()) {
+            std::fprintf(stderr, "submit: %s\n",
+                         handle.status().str().c_str());
+            return 1;
+        }
+        const workload::Job *job = stack.find_job(handle.value().job);
+        if (stack.engine().failures().is_incompatible(
+                *job, compiler::RuntimeKind::kContainer)) {
+            victim = handle.value();
+            std::printf("job %llu ('%s') is container-incompatible: "
+                        "its first attempt will crash\n",
+                        (unsigned long long)victim.job,
+                        job->spec().name.c_str());
+            break;
+        }
+        // Not a demo candidate; let it run in the background.
+    }
+    if (victim.job == cluster::kInvalidJob) {
+        std::fprintf(stderr, "no container-incompatible job in 8 draws\n");
+        return 1;
+    }
+
+    auto final_status = client.wait(victim);
+    if (!final_status.is_ok()) {
+        std::fprintf(stderr, "wait: %s\n",
+                     final_status.status().str().c_str());
+        return 1;
+    }
+
+    std::printf("\nfinal: %s\n", final_status.value().summary.c_str());
+    std::printf("segments used: %d (first crashed, second switched "
+                "runtime)\n",
+                final_status.value().segments);
+    std::printf("cluster-wide segment failures: %llu\n",
+                (unsigned long long)stack.metrics().segment_failures());
+
+    std::printf("\ntcloud logs %llu:\n", (unsigned long long)victim.job);
+    const auto logs = client.logs(victim);
+    for (const auto &line : logs.value())
+        std::printf("  %s\n", line.c_str());
+
+    const workload::Job *job = stack.find_job(victim.job);
+    return job->state() == workload::JobState::kCompleted ? 0 : 1;
+}

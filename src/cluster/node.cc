@@ -1,0 +1,92 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace tacc::cluster {
+
+Node::Node(NodeId id, std::string name, int rack, NodeSpec spec)
+    : id_(id),
+      name_(std::move(name)),
+      rack_(rack),
+      spec_(std::move(spec)),
+      free_gpus_(spec_.gpu_count),
+      gpu_owner_(size_t(spec_.gpu_count), kInvalidJob)
+{
+    assert(spec_.gpu_count >= 0);
+}
+
+std::vector<JobId>
+Node::resident_jobs() const
+{
+    std::vector<JobId> out;
+    for (JobId owner : gpu_owner_) {
+        if (owner != kInvalidJob &&
+            std::find(out.begin(), out.end(), owner) == out.end()) {
+            out.push_back(owner);
+        }
+    }
+    return out;
+}
+
+std::vector<int>
+Node::gpus_of(JobId job) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < gpu_owner_.size(); ++i) {
+        if (gpu_owner_[i] == job)
+            out.push_back(int(i));
+    }
+    return out;
+}
+
+StatusOr<std::vector<int>>
+Node::allocate(JobId job, int count)
+{
+    if (count <= 0) {
+        return Status::invalid_argument(
+            strfmt("allocate %d GPUs on %s", count, name_.c_str()));
+    }
+    if (count > free_gpus_) {
+        return Status::resource_exhausted(
+            strfmt("%s: requested %d GPUs, %d free", name_.c_str(), count,
+                   free_gpus_));
+    }
+    std::vector<int> granted;
+    granted.reserve(size_t(count));
+    for (size_t i = 0; i < gpu_owner_.size() && int(granted.size()) < count;
+         ++i) {
+        if (gpu_owner_[i] == kInvalidJob) {
+            gpu_owner_[i] = job;
+            granted.push_back(int(i));
+        }
+    }
+    assert(int(granted.size()) == count);
+    free_gpus_ -= count;
+    return granted;
+}
+
+int
+Node::release(JobId job)
+{
+    int freed = 0;
+    for (auto &owner : gpu_owner_) {
+        if (owner == job) {
+            owner = kInvalidJob;
+            ++freed;
+        }
+    }
+    free_gpus_ += freed;
+    return freed;
+}
+
+bool
+Node::gpu_free(int index) const
+{
+    assert(index >= 0 && index < spec_.gpu_count);
+    return gpu_owner_[size_t(index)] == kInvalidJob;
+}
+
+} // namespace tacc::cluster

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compute node model: GPU inventory plus CPU/memory tracking.
+ *
+ * A node owns a fixed set of identical GPUs. Allocation is per-GPU so the
+ * execution layer knows exactly which devices a job holds (NVLink locality
+ * depends on it) and so fragmentation is observable.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/status.h"
+
+namespace tacc::cluster {
+
+/** Static description of a GPU model. */
+struct GpuSpec {
+    std::string model = "A100";
+    double tflops = 312.0;   ///< dense fp16 peak, used by the compute model
+    double memory_gb = 80.0;
+};
+
+/** Static per-node hardware description. */
+struct NodeSpec {
+    GpuSpec gpu;
+    int gpu_count = 8;
+    int cpu_cores = 128;
+    double memory_gb = 1024.0;
+    double nic_gbps = 100.0;      ///< node uplink to the ToR switch
+    double nvlink_gbps = 19200.0; ///< aggregate intra-node GPU fabric
+};
+
+/** A compute node with per-GPU allocation state. */
+class Node
+{
+  public:
+    Node(NodeId id, std::string name, int rack, NodeSpec spec);
+
+    NodeId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    int rack() const { return rack_; }
+    const NodeSpec &spec() const { return spec_; }
+
+    int gpu_count() const { return spec_.gpu_count; }
+    int free_gpu_count() const { return free_gpus_; }
+    int used_gpu_count() const { return spec_.gpu_count - free_gpus_; }
+    bool is_idle() const { return free_gpus_ == spec_.gpu_count; }
+    bool is_full() const { return free_gpus_ == 0; }
+
+    /** Jobs currently holding GPUs on this node. */
+    std::vector<JobId> resident_jobs() const;
+
+    /** GPUs held by a given job on this node (empty if none). */
+    std::vector<int> gpus_of(JobId job) const;
+
+    /**
+     * Allocates count GPUs to job; picks the lowest-indexed free devices
+     * (deterministic).
+     * @return the granted GPU indices, or resource_exhausted.
+     */
+    StatusOr<std::vector<int>> allocate(JobId job, int count);
+
+    /** Releases everything job holds here. @return number of GPUs freed. */
+    int release(JobId job);
+
+    /** True if the given GPU index is currently free. */
+    bool gpu_free(int index) const;
+
+  private:
+    NodeId id_;
+    std::string name_;
+    int rack_;
+    NodeSpec spec_;
+    int free_gpus_;
+    std::vector<JobId> gpu_owner_; ///< kInvalidJob when free
+};
+
+} // namespace tacc::cluster

@@ -1,0 +1,95 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tacc::cluster {
+
+namespace {
+
+constexpr double kGbpsToBps = 1e9 / 8.0;
+
+} // namespace
+
+const char *
+comm_scope_name(CommScope scope)
+{
+    switch (scope) {
+      case CommScope::kSingleGpu: return "single-gpu";
+      case CommScope::kIntraNode: return "intra-node";
+      case CommScope::kIntraRack: return "intra-rack";
+      case CommScope::kCrossRack: return "cross-rack";
+    }
+    return "unknown";
+}
+
+Topology::Topology(TopologyConfig config) : config_(config)
+{
+    assert(config_.racks > 0 && config_.nodes_per_rack > 0);
+    assert(config_.oversubscription >= 1.0);
+}
+
+int
+Topology::rack_of(NodeId node) const
+{
+    assert(int(node) < total_nodes());
+    return int(node) / config_.nodes_per_rack;
+}
+
+CommScope
+Topology::scope_of(const Placement &placement) const
+{
+    if (placement.total_gpus() <= 1)
+        return CommScope::kSingleGpu;
+    if (placement.slices.size() == 1)
+        return CommScope::kIntraNode;
+    std::unordered_set<int> racks;
+    for (const auto &slice : placement.slices)
+        racks.insert(rack_of(slice.node));
+    return racks.size() == 1 ? CommScope::kIntraRack : CommScope::kCrossRack;
+}
+
+double
+Topology::collective_bw_Bps(const Placement &placement) const
+{
+    const CommScope scope = scope_of(placement);
+    switch (scope) {
+      case CommScope::kSingleGpu:
+        return config_.nvlink_gbps * kGbpsToBps; // unused by callers
+      case CommScope::kIntraNode: {
+        // NVLink aggregate shared by the job's GPUs on that node.
+        const int gpus = placement.total_gpus();
+        return config_.nvlink_gbps * kGbpsToBps / std::max(1, gpus);
+      }
+      case CommScope::kIntraRack:
+        return config_.nic_gbps * kGbpsToBps;
+      case CommScope::kCrossRack:
+        return config_.nic_gbps * kGbpsToBps / config_.oversubscription;
+    }
+    return config_.nic_gbps * kGbpsToBps;
+}
+
+double
+Topology::p2p_bw_Bps(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return config_.nvlink_gbps * kGbpsToBps;
+    if (rack_of(a) == rack_of(b))
+        return config_.nic_gbps * kGbpsToBps;
+    return config_.nic_gbps * kGbpsToBps / config_.oversubscription;
+}
+
+double
+Topology::latency_s(CommScope scope) const
+{
+    switch (scope) {
+      case CommScope::kSingleGpu: return 0.0;
+      case CommScope::kIntraNode: return 2e-6;
+      case CommScope::kIntraRack: return 10e-6;
+      case CommScope::kCrossRack: return 25e-6;
+    }
+    return 25e-6;
+}
+
+} // namespace tacc::cluster

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network topology and bandwidth model.
+ *
+ * TACC's execution layer runs distributed training over a two-tier
+ * (leaf/spine) fabric: GPUs inside one node talk over NVLink, nodes in one
+ * rack share a ToR switch, racks connect through a spine whose uplink
+ * capacity can be oversubscribed. The topology answers "what bandwidth does
+ * a collective spanning these nodes see?", which drives the communication
+ * model and topology-aware placement.
+ */
+#pragma once
+
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace tacc::cluster {
+
+/** Parameters of the two-tier fabric. */
+struct TopologyConfig {
+    int racks = 4;
+    int nodes_per_rack = 8;
+    /** Aggregate intra-node GPU fabric: 8 GPUs x ~300 GB/s NVSwitch. */
+    double nvlink_gbps = 19200.0;
+    double nic_gbps = 100.0;       ///< per-node uplink to the ToR
+    /**
+     * Ratio of aggregate downlink to uplink capacity at the ToR. 1.0 is a
+     * non-blocking fabric; 4.0 means cross-rack flows see 1/4 of the NIC
+     * bandwidth when all nodes transmit.
+     */
+    double oversubscription = 1.0;
+
+    int total_nodes() const { return racks * nodes_per_rack; }
+};
+
+/** Span classification of a set of communicating endpoints. */
+enum class CommScope {
+    kSingleGpu,  ///< no communication
+    kIntraNode,  ///< NVLink only
+    kIntraRack,  ///< through one ToR
+    kCrossRack,  ///< through the spine
+};
+
+const char *comm_scope_name(CommScope scope);
+
+/** Static two-tier topology with bandwidth queries. */
+class Topology
+{
+  public:
+    explicit Topology(TopologyConfig config);
+
+    const TopologyConfig &config() const { return config_; }
+    int rack_of(NodeId node) const;
+    int racks() const { return config_.racks; }
+    int total_nodes() const { return config_.total_nodes(); }
+
+    /** Scope of a placement: single GPU, one node, one rack, or wider. */
+    CommScope scope_of(const Placement &placement) const;
+
+    /**
+     * Per-endpoint bottleneck bandwidth (bytes/second) seen by a collective
+     * over the given placement.
+     *
+     * - intra-node: NVLink aggregate split across the job's local GPUs;
+     * - intra-rack: the node NIC;
+     * - cross-rack: the NIC scaled down by the oversubscription factor.
+     */
+    double collective_bw_Bps(const Placement &placement) const;
+
+    /**
+     * Point-to-point bandwidth (bytes/second) between two nodes, assuming
+     * an otherwise idle fabric.
+     */
+    double p2p_bw_Bps(NodeId a, NodeId b) const;
+
+    /** One-way latency between two endpoints (seconds). */
+    double latency_s(CommScope scope) const;
+
+  private:
+    TopologyConfig config_;
+};
+
+} // namespace tacc::cluster

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Identifier and small value types shared by the cluster-facing modules.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tacc::cluster {
+
+/** Dense index of a node within a cluster. */
+using NodeId = uint32_t;
+
+/** Unique id of a submitted job/task instance. */
+using JobId = uint64_t;
+
+constexpr NodeId kInvalidNode = ~NodeId(0);
+constexpr JobId kInvalidJob = 0;
+
+/** GPUs granted to one job on one node. */
+struct PlacementSlice {
+    NodeId node = kInvalidNode;
+    std::vector<int> gpu_indices;
+};
+
+/** A complete mapping of a job's GPUs onto the cluster. */
+struct Placement {
+    std::vector<PlacementSlice> slices;
+
+    int
+    total_gpus() const
+    {
+        int n = 0;
+        for (const auto &s : slices)
+            n += int(s.gpu_indices.size());
+        return n;
+    }
+
+    bool empty() const { return slices.empty(); }
+
+    /** Node ids covered by this placement (in slice order). */
+    std::vector<NodeId>
+    nodes() const
+    {
+        std::vector<NodeId> out;
+        out.reserve(slices.size());
+        for (const auto &s : slices)
+            out.push_back(s.node);
+        return out;
+    }
+};
+
+} // namespace tacc::cluster

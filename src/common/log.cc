@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace tacc {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DBG";
+      case LogLevel::kInfo: return "INF";
+      case LogLevel::kWarn: return "WRN";
+      case LogLevel::kError: return "ERR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "???";
+}
+
+} // namespace
+
+void
+Log::set_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+Log::level()
+{
+    return g_level;
+}
+
+void
+Log::vlog(LogLevel level, const char *fmt, va_list ap)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[tacc %s] ", level_tag(level));
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+#define TACC_LOG_IMPL(name, level)                                           \
+    void Log::name(const char *fmt, ...)                                     \
+    {                                                                        \
+        if ((level) < g_level)                                               \
+            return;                                                          \
+        va_list ap;                                                          \
+        va_start(ap, fmt);                                                   \
+        vlog((level), fmt, ap);                                              \
+        va_end(ap);                                                          \
+    }
+
+TACC_LOG_IMPL(debugf, LogLevel::kDebug)
+TACC_LOG_IMPL(infof, LogLevel::kInfo)
+TACC_LOG_IMPL(warnf, LogLevel::kWarn)
+TACC_LOG_IMPL(errorf, LogLevel::kError)
+
+#undef TACC_LOG_IMPL
+
+} // namespace tacc

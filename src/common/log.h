@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal leveled logger for the library and its tools.
+ *
+ * Logging is off by default at Debug level so simulations stay fast and
+ * deterministic in output; benches and examples raise the level as needed.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace tacc {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/** Global log configuration (process-wide; tests may lower/raise it). */
+class Log
+{
+  public:
+    static void set_level(LogLevel level);
+    static LogLevel level();
+
+    /** printf-style logging; no-op below the configured level. */
+    static void debugf(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static void infof(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static void warnf(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static void errorf(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+
+  private:
+    static void vlog(LogLevel level, const char *fmt, va_list ap);
+};
+
+} // namespace tacc

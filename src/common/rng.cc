@@ -1,0 +1,181 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tacc {
+
+uint64_t
+split_mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = split_mix64(sm);
+}
+
+uint64_t
+Rng::next_u64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return double(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniform_int(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    const uint64_t span = uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return int64_t(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return lo + int64_t(v % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    assert(mean > 0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    const double u1 = 1.0 - uniform(); // (0, 1]
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+Rng::pareto(double x_m, double alpha)
+{
+    assert(x_m > 0 && alpha > 0);
+    return x_m / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+int64_t
+Rng::zipf(int64_t n, double s)
+{
+    assert(n >= 1);
+    double norm = 0;
+    for (int64_t k = 1; k <= n; ++k)
+        norm += 1.0 / std::pow(double(k), s);
+    double u = uniform() * norm;
+    double acc = 0;
+    for (int64_t k = 1; k <= n; ++k) {
+        acc += 1.0 / std::pow(double(k), s);
+        if (u <= acc)
+            return k;
+    }
+    return n;
+}
+
+size_t
+Rng::weighted_index(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    assert(total > 0);
+    double u = uniform() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u <= acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork(uint64_t stream_id)
+{
+    // Derive a child seed from our state plus the stream id; advancing our
+    // own state keeps successive forks independent.
+    uint64_t mix = next_u64() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(split_mix64(mix));
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double s)
+{
+    assert(n >= 1);
+    cdf_.resize(size_t(n));
+    double acc = 0;
+    for (int64_t k = 1; k <= n; ++k) {
+        acc += 1.0 / std::pow(double(k), s);
+        cdf_[size_t(k - 1)] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+int64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return int64_t(it - cdf_.begin()) + 1;
+}
+
+} // namespace tacc

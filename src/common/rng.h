@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic random number generation for simulation.
+ *
+ * TACC simulations must be reproducible given a seed, so we avoid
+ * std::default_random_engine (implementation-defined) and implement
+ * xoshiro256** seeded via SplitMix64, plus the distributions the workload
+ * generator needs (exponential, lognormal, Pareto, Zipf, ...). All methods
+ * are deterministic across platforms.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cassert>
+#include <vector>
+
+namespace tacc {
+
+/** SplitMix64 step; used for seeding and as a cheap hash. */
+uint64_t split_mix64(uint64_t &state);
+
+/** Deterministic PRNG (xoshiro256**) with simulation-oriented helpers. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed'cafe'f00d'd00dULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
+    int64_t uniform_int(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Exponential with the given mean (= 1/rate). */
+    double exponential(double mean);
+
+    /** Lognormal: exp(N(mu, sigma^2)). */
+    double lognormal(double mu, double sigma);
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double normal(double mean, double stddev);
+
+    /**
+     * Pareto (heavy-tailed) with minimum x_m and shape alpha.
+     * Mean exists only for alpha > 1.
+     */
+    double pareto(double x_m, double alpha);
+
+    /**
+     * Zipf-distributed rank in [1, n] with exponent s, by inversion over
+     * the precomputable normalizer. O(n) per call for small n; callers with
+     * large n should use ZipfSampler.
+     */
+    int64_t zipf(int64_t n, double s);
+
+    /**
+     * Samples an index in [0, weights.size()) proportionally to weights.
+     * Requires a non-empty vector with a positive total weight.
+     */
+    size_t weighted_index(const std::vector<double> &weights);
+
+    /** Picks a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[size_t(uniform_int(0, int64_t(v.size()) - 1))];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = size_t(uniform_int(0, int64_t(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Forks an independent, deterministically derived stream. */
+    Rng fork(uint64_t stream_id);
+
+  private:
+    uint64_t s_[4];
+};
+
+/** Precomputed-CDF Zipf sampler for repeated draws over large domains. */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(int64_t n, double s);
+
+    /** Rank in [1, n]. */
+    int64_t operator()(Rng &rng) const;
+
+    int64_t domain() const { return int64_t(cdf_.size()); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace tacc

@@ -1,0 +1,242 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tacc {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / double(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Samples::add(double x)
+{
+    xs_.push_back(x);
+    dirty_ = true;
+}
+
+double
+Samples::mean() const
+{
+    if (xs_.empty())
+        return 0.0;
+    return sum() / double(xs_.size());
+}
+
+double
+Samples::sum() const
+{
+    double s = 0;
+    for (double x : xs_)
+        s += x;
+    return s;
+}
+
+double
+Samples::min() const
+{
+    ensure_sorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+Samples::max() const
+{
+    ensure_sorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+Samples::percentile(double p) const
+{
+    ensure_sorted();
+    if (sorted_.empty())
+        return 0.0;
+    assert(p >= 0.0 && p <= 100.0);
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    const double rank = p / 100.0 * double(sorted_.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+Samples::cdf(size_t points) const
+{
+    ensure_sorted();
+    std::vector<std::pair<double, double>> out;
+    if (sorted_.empty() || points == 0)
+        return out;
+    out.reserve(points);
+    for (size_t i = 1; i <= points; ++i) {
+        const double frac = double(i) / double(points);
+        const size_t idx =
+            std::min(sorted_.size() - 1,
+                     size_t(std::ceil(frac * double(sorted_.size())) - 1));
+        out.emplace_back(sorted_[idx], frac);
+    }
+    return out;
+}
+
+void
+Samples::ensure_sorted() const
+{
+    if (dirty_ || sorted_.size() != xs_.size()) {
+        sorted_ = xs_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / double(counts_.size());
+    int64_t idx = int64_t(std::floor((x - lo_) / width));
+    idx = std::clamp<int64_t>(idx, 0, int64_t(counts_.size()) - 1);
+    ++counts_[size_t(idx)];
+    ++total_;
+}
+
+double
+Histogram::bin_lo(size_t i) const
+{
+    const double width = (hi_ - lo_) / double(counts_.size());
+    return lo_ + width * double(i);
+}
+
+double
+Histogram::bin_hi(size_t i) const
+{
+    return bin_lo(i + 1);
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return double(counts_[i]) / double(total_);
+}
+
+TimeWeightedStat::TimeWeightedStat(double initial) : value_(initial)
+{
+    points_.emplace_back(TimePoint::origin(), initial);
+}
+
+void
+TimeWeightedStat::set(TimePoint t, double v)
+{
+    assert(points_.empty() || t >= points_.back().first);
+    if (!points_.empty() && points_.back().first == t) {
+        points_.back().second = v;
+    } else {
+        points_.emplace_back(t, v);
+    }
+    value_ = v;
+}
+
+void
+TimeWeightedStat::add(TimePoint t, double delta)
+{
+    set(t, value_ + delta);
+}
+
+double
+TimeWeightedStat::average(TimePoint t0, TimePoint t1) const
+{
+    if (t1 <= t0)
+        return value_;
+    double integral = 0;
+    for (size_t i = 0; i < points_.size(); ++i) {
+        const TimePoint seg_start = std::max(points_[i].first, t0);
+        const TimePoint seg_end =
+            i + 1 < points_.size() ? std::min(points_[i + 1].first, t1) : t1;
+        if (seg_end > seg_start)
+            integral += points_[i].second * (seg_end - seg_start).to_seconds();
+    }
+    return integral / (t1 - t0).to_seconds();
+}
+
+std::vector<double>
+TimeWeightedStat::bucket_averages(TimePoint t0, TimePoint t1,
+                                  Duration bucket) const
+{
+    std::vector<double> out;
+    assert(!bucket.is_zero() && !bucket.is_negative());
+    for (TimePoint t = t0; t < t1; t += bucket) {
+        const TimePoint end = std::min(t + bucket, t1);
+        out.push_back(average(t, end));
+    }
+    return out;
+}
+
+double
+jain_fairness(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double sum = 0, sum_sq = 0;
+    for (double x : xs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0)
+        return 1.0;
+    return (sum * sum) / (double(xs.size()) * sum_sq);
+}
+
+double
+gini(std::vector<double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double cum = 0, weighted = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        cum += xs[i];
+        weighted += xs[i] * double(i + 1);
+    }
+    if (cum == 0)
+        return 0.0;
+    const double n = double(xs.size());
+    return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+} // namespace tacc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistics accumulators used throughout the evaluation harness.
+ *
+ * - RunningStats: O(1)-memory mean/variance/min/max (Welford).
+ * - Samples: exact percentiles / CDF over retained samples.
+ * - Histogram: fixed linear bins for distribution tables.
+ * - TimeWeightedStat: time-integrated averages (e.g. GPU utilization).
+ * - jain_fairness / gini: cross-entity fairness indices.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tacc {
+
+/** Streaming mean/variance/min/max without retaining samples. */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance; 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    double sum_ = 0;
+};
+
+/** Retains all samples; supports exact percentiles and CDF extraction. */
+class Samples
+{
+  public:
+    void add(double x);
+    void add_duration(Duration d) { add(d.to_seconds()); }
+
+    size_t count() const { return xs_.size(); }
+    bool empty() const { return xs_.empty(); }
+    double mean() const;
+    double sum() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50); }
+
+    /**
+     * Evaluation points of the empirical CDF: `points` pairs
+     * (value, cumulative fraction), evenly spaced in rank.
+     */
+    std::vector<std::pair<double, double>> cdf(size_t points = 20) const;
+
+    const std::vector<double> &values() const { return xs_; }
+
+  private:
+    void ensure_sorted() const;
+
+    std::vector<double> xs_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+/** Fixed-width linear histogram over [lo, hi); outliers go to edge bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    size_t bin_count() const { return counts_.size(); }
+    uint64_t bin(size_t i) const { return counts_[i]; }
+    /** Inclusive lower edge of bin i. */
+    double bin_lo(size_t i) const;
+    double bin_hi(size_t i) const;
+    uint64_t total() const { return total_; }
+    /** Fraction of mass in bin i (0 if empty histogram). */
+    double fraction(size_t i) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Integrates a piecewise-constant signal over simulated time.
+ *
+ * Call set(t, v) whenever the signal changes; average(t0, t1) returns the
+ * time-weighted mean over the window. Used for utilization and queue-depth
+ * accounting.
+ */
+class TimeWeightedStat
+{
+  public:
+    explicit TimeWeightedStat(double initial = 0.0);
+
+    /** Records that the signal takes value v from time t onward. */
+    void set(TimePoint t, double v);
+
+    /** Adds delta to the current value at time t. */
+    void add(TimePoint t, double delta);
+
+    double current() const { return value_; }
+
+    /** Time-weighted average over [t0, t1]; t1 must be >= last set time. */
+    double average(TimePoint t0, TimePoint t1) const;
+
+    /** Raw change points (time, new value), for timeline plots. */
+    const std::vector<std::pair<TimePoint, double>> &
+    change_points() const
+    {
+        return points_;
+    }
+
+    /**
+     * Average per fixed-width bucket across [t0, t1] — the series behind
+     * "utilization over the day" figures.
+     */
+    std::vector<double> bucket_averages(TimePoint t0, TimePoint t1,
+                                        Duration bucket) const;
+
+  private:
+    double value_;
+    std::vector<std::pair<TimePoint, double>> points_;
+};
+
+/** Jain's fairness index over non-negative allocations; 1.0 == fair. */
+double jain_fairness(const std::vector<double> &xs);
+
+/** Gini coefficient over non-negative values; 0 == perfectly equal. */
+double gini(std::vector<double> xs);
+
+} // namespace tacc

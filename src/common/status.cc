@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace tacc {
+
+const char *
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid_argument";
+      case StatusCode::kNotFound: return "not_found";
+      case StatusCode::kAlreadyExists: return "already_exists";
+      case StatusCode::kResourceExhausted: return "resource_exhausted";
+      case StatusCode::kFailedPrecondition: return "failed_precondition";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::str() const
+{
+    if (is_ok())
+        return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+}
+
+} // namespace tacc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight error-reporting types (Status / StatusOr).
+ *
+ * TACC is a library first: user mistakes (malformed task schema, quota
+ * exceeded, unknown cluster) are reported as Status values, never by
+ * aborting. Internal invariant violations still use assert.
+ */
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tacc {
+
+/** Error category for a failed operation. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,  ///< malformed input (bad schema, negative demand, ...)
+    kNotFound,         ///< unknown id / name
+    kAlreadyExists,    ///< duplicate id / name
+    kResourceExhausted,///< quota or capacity exceeded
+    kFailedPrecondition,///< operation not valid in the current state
+    kUnavailable,      ///< transient failure (injected fault, node down)
+    kInternal,         ///< bug-shaped condition surfaced as an error
+};
+
+/** Human-readable name of a StatusCode ("ok", "invalid_argument", ...). */
+const char *status_code_name(StatusCode code);
+
+/** Result of an operation that can fail: a code plus a message. */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() : code_(StatusCode::kOk) {}
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+    static Status invalid_argument(std::string m)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(m));
+    }
+    static Status not_found(std::string m)
+    {
+        return Status(StatusCode::kNotFound, std::move(m));
+    }
+    static Status already_exists(std::string m)
+    {
+        return Status(StatusCode::kAlreadyExists, std::move(m));
+    }
+    static Status resource_exhausted(std::string m)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(m));
+    }
+    static Status failed_precondition(std::string m)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(m));
+    }
+    static Status unavailable(std::string m)
+    {
+        return Status(StatusCode::kUnavailable, std::move(m));
+    }
+    static Status internal(std::string m)
+    {
+        return Status(StatusCode::kInternal, std::move(m));
+    }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string str() const;
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/**
+ * Either a value of type T or an error Status.
+ *
+ * Accessing value() on an error is a programming bug and asserts.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(T value) : v_(std::move(value)) {}
+    StatusOr(Status status) : v_(std::move(status))
+    {
+        assert(!std::get<Status>(v_).is_ok() &&
+               "StatusOr must not hold an OK status without a value");
+    }
+
+    bool is_ok() const { return std::holds_alternative<T>(v_); }
+
+    Status
+    status() const
+    {
+        return is_ok() ? Status::ok() : std::get<Status>(v_);
+    }
+
+    const T &
+    value() const
+    {
+        assert(is_ok());
+        return std::get<T>(v_);
+    }
+
+    T &
+    value()
+    {
+        assert(is_ok());
+        return std::get<T>(v_);
+    }
+
+    T
+    value_or(T fallback) const
+    {
+        return is_ok() ? std::get<T>(v_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Status> v_;
+};
+
+} // namespace tacc

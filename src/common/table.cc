@@ -1,0 +1,143 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace tacc {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    assert(rows_.empty() && "header must precede rows");
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    assert(header_.empty() || row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int significant)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", significant, v);
+    return buf;
+}
+
+std::string
+TextTable::fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+namespace {
+
+bool
+looks_numeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit((unsigned char)c) && c != '.' && c != '-' &&
+            c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &row, bool align) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            const bool right = align && looks_numeric(cell);
+            os << (i ? "  " : "");
+            if (right)
+                os << std::string(widths[i] - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(widths[i] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit_row(header_, false);
+        size_t rule = 0;
+        for (size_t w : widths)
+            rule += w + 2;
+        os << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit_row(row, true);
+    return os.str();
+}
+
+std::string
+TextTable::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            const bool quote =
+                row[i].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char c : row[i]) {
+                    if (c == '"')
+                        os << '"';
+                    os << c;
+                }
+                os << '"';
+            } else {
+                os << row[i];
+            }
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace tacc

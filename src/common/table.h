@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering for benches and reports.
+ *
+ * Every experiment binary prints its table/figure series through TextTable
+ * so output is uniform and machine-greppable.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tacc {
+
+/** Column-aligned ASCII table with a title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Sets the header row; must be called before add_row. */
+    void set_header(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /** Convenience: formats each cell with %.<digits>g for doubles. */
+    static std::string num(double v, int significant = 4);
+    static std::string fixed(double v, int decimals = 2);
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Renders the full table, ruled, with right-aligned numeric cells. */
+    std::string str() const;
+
+    /** Renders as CSV (header then rows), RFC-4180-style quoting. */
+    std::string csv() const;
+
+    size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tacc

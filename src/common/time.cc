@@ -1,0 +1,54 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tacc {
+
+Duration
+Duration::from_seconds(double s)
+{
+    return Duration(int64_t(std::llround(s * 1e6)));
+}
+
+Duration
+Duration::operator*(double k) const
+{
+    return Duration(int64_t(std::llround(double(us_) * k)));
+}
+
+std::string
+Duration::str() const
+{
+    char buf[64];
+    const int64_t us = us_ < 0 ? -us_ : us_;
+    const char *sign = us_ < 0 ? "-" : "";
+    if (us < 1000) {
+        std::snprintf(buf, sizeof(buf), "%s%lldus", sign, (long long)us);
+    } else if (us < 1'000'000) {
+        std::snprintf(buf, sizeof(buf), "%s%.3gms", sign, double(us) / 1e3);
+    } else if (us < 60ll * 1'000'000) {
+        std::snprintf(buf, sizeof(buf), "%s%.4gs", sign, double(us) / 1e6);
+    } else if (us < 3600ll * 1'000'000) {
+        const int64_t m = us / 60'000'000;
+        const double s = double(us % 60'000'000) / 1e6;
+        std::snprintf(buf, sizeof(buf), "%s%lldm%04.1fs", sign, (long long)m,
+                      s);
+    } else {
+        const int64_t h = us / 3'600'000'000ll;
+        const int64_t m = (us / 60'000'000) % 60;
+        std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm", sign, (long long)h,
+                      (long long)m);
+    }
+    return buf;
+}
+
+std::string
+TimePoint::str() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%12.6fs]", to_seconds());
+    return buf;
+}
+
+} // namespace tacc

@@ -1,0 +1,127 @@
+#include "compiler/chunk_store.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace tacc::compiler {
+
+namespace {
+
+uint64_t
+hash_u64(uint64_t x)
+{
+    uint64_t state = x;
+    return split_mix64(state);
+}
+
+uint64_t
+hash_combine(uint64_t a, uint64_t b)
+{
+    return hash_u64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+uint64_t
+hash_string(const std::string &s)
+{
+    // FNV-1a 64-bit.
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::vector<ChunkRef>
+chunk_artifact(const workload::Artifact &artifact, uint64_t chunk_bytes,
+               double delta_fraction)
+{
+    assert(chunk_bytes > 0);
+    assert(delta_fraction >= 0.0 && delta_fraction <= 1.0);
+
+    const uint64_t name_hash = hash_string(artifact.name);
+    const uint64_t full_chunks = artifact.bytes / chunk_bytes;
+    const uint64_t tail = artifact.bytes % chunk_bytes;
+    const uint64_t count = full_chunks + (tail ? 1 : 0);
+    // The rewrite threshold on a 32-bit hash slice.
+    const uint64_t threshold = uint64_t(delta_fraction * 4294967296.0);
+
+    std::vector<ChunkRef> out;
+    out.reserve(size_t(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        // Find the most recent version <= artifact.version that rewrote
+        // chunk i. Version 1 always rewrites (initial content).
+        uint64_t last_change = 1;
+        for (uint64_t v = artifact.version; v > 1; --v) {
+            const uint64_t h =
+                hash_combine(hash_combine(name_hash, i), v) & 0xffffffffULL;
+            if (h < threshold) {
+                last_change = v;
+                break;
+            }
+        }
+        const ChunkId id = hash_combine(
+            hash_combine(name_hash, i),
+            hash_combine(0x5eedULL, last_change));
+        const uint64_t bytes =
+            (i + 1 == count && tail) ? tail : chunk_bytes;
+        out.push_back(ChunkRef{id, bytes});
+    }
+    return out;
+}
+
+ChunkStore::ChunkStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool
+ChunkStore::lookup(ChunkId id)
+{
+    auto it = map_.find(id);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+ChunkStore::insert(ChunkId id, uint64_t bytes)
+{
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    evict_to_fit(bytes);
+    lru_.emplace_front(id, bytes);
+    map_.emplace(id, lru_.begin());
+    resident_bytes_ += bytes;
+}
+
+void
+ChunkStore::evict_to_fit(uint64_t incoming_bytes)
+{
+    if (capacity_ == 0)
+        return;
+    while (!lru_.empty() && resident_bytes_ + incoming_bytes > capacity_) {
+        const auto &[victim, bytes] = lru_.back();
+        resident_bytes_ -= bytes;
+        map_.erase(victim);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void
+ChunkStore::clear()
+{
+    lru_.clear();
+    map_.clear();
+    resident_bytes_ = 0;
+}
+
+} // namespace tacc::compiler

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Content-addressed chunk store backing the compiler layer's delta cache.
+ *
+ * The paper's compiler layer "only updates the delta of the instruction and
+ * retains the unchanged parts" across submissions. We model artifact
+ * content as fixed-size chunks with deterministic content ids: bumping an
+ * artifact's version rewrites a configurable fraction of its chunks, so a
+ * warm store only transfers the changed chunks. The store itself is an
+ * LRU-bounded set of chunk ids with byte accounting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/task_spec.h"
+
+namespace tacc::compiler {
+
+/** Content hash of one chunk. */
+using ChunkId = uint64_t;
+
+/** A chunk reference inside an artifact's chunk plan. */
+struct ChunkRef {
+    ChunkId id;
+    uint64_t bytes;
+};
+
+/**
+ * Deterministically derives the chunk list of an artifact version.
+ *
+ * Chunk i of version v has content id hash(name, i, last_change(i, v)),
+ * where last_change is the most recent version <= v that rewrote chunk i.
+ * Version 1 rewrites everything; each later version rewrites roughly
+ * delta_fraction of the chunks (chosen by hash, so the choice is stable).
+ */
+std::vector<ChunkRef> chunk_artifact(const workload::Artifact &artifact,
+                                     uint64_t chunk_bytes,
+                                     double delta_fraction);
+
+/** Byte-bounded LRU set of chunks. */
+class ChunkStore
+{
+  public:
+    /** @param capacity_bytes 0 means unbounded. */
+    explicit ChunkStore(uint64_t capacity_bytes = 0);
+
+    /** True if the chunk is resident (refreshes LRU recency). */
+    bool lookup(ChunkId id);
+
+    /** Inserts a chunk (no-op if resident); may evict LRU chunks. */
+    void insert(ChunkId id, uint64_t bytes);
+
+    uint64_t resident_bytes() const { return resident_bytes_; }
+    size_t resident_chunks() const { return map_.size(); }
+    uint64_t capacity_bytes() const { return capacity_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+
+    /** Drops everything (for cold-cache experiments). */
+    void clear();
+
+  private:
+    void evict_to_fit(uint64_t incoming_bytes);
+
+    uint64_t capacity_;
+    uint64_t resident_bytes_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    std::list<std::pair<ChunkId, uint64_t>> lru_; ///< front = most recent
+    std::unordered_map<ChunkId, decltype(lru_)::iterator> map_;
+};
+
+} // namespace tacc::compiler

@@ -1,0 +1,280 @@
+#include "core/config_io.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "sched/placement.h"
+#include "sched/schedulers.h"
+
+namespace tacc::core {
+
+namespace {
+
+Status
+bad(const std::string &key, const std::string &value)
+{
+    return Status::invalid_argument("bad value for " + key + ": " + value);
+}
+
+StatusOr<bool>
+parse_bool(const std::string &key, const std::string &value)
+{
+    if (value == "true")
+        return true;
+    if (value == "false")
+        return false;
+    return bad(key, value);
+}
+
+} // namespace
+
+StatusOr<StackConfig>
+parse_stack_config(const std::string &text)
+{
+    StackConfig config;
+
+    for (const auto &raw_line : split(text, '\n')) {
+        const std::string line{trim(raw_line)};
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return Status::invalid_argument("malformed line: " + line);
+        const std::string key{trim(line.substr(0, colon))};
+        const std::string value{trim(line.substr(colon + 1))};
+
+        auto to_double = [&](double &out) -> Status {
+            try {
+                size_t pos = 0;
+                out = std::stod(value, &pos);
+                if (pos != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+            return Status::ok();
+        };
+        auto to_int = [&](int &out) -> Status {
+            try {
+                size_t pos = 0;
+                out = std::stoi(value, &pos);
+                if (pos != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+            return Status::ok();
+        };
+
+        double dv = 0;
+        int iv = 0;
+        if (key == "cluster") {
+            if (value.empty())
+                return bad(key, value);
+            config.cluster.name = value;
+        } else if (key == "racks") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            if (iv <= 0)
+                return bad(key, value);
+            config.cluster.topology.racks = iv;
+        } else if (key == "nodes_per_rack") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            if (iv <= 0)
+                return bad(key, value);
+            config.cluster.topology.nodes_per_rack = iv;
+        } else if (key == "gpus_per_node") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            if (iv <= 0)
+                return bad(key, value);
+            config.cluster.node.gpu_count = iv;
+        } else if (key == "gpu") {
+            const auto parts = split(value, ',');
+            if (parts.size() != 3)
+                return bad(key, value);
+            try {
+                config.cluster.node.gpu.model =
+                    std::string(trim(parts[0]));
+                config.cluster.node.gpu.tflops = std::stod(parts[1]);
+                config.cluster.node.gpu.memory_gb = std::stod(parts[2]);
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+        } else if (key == "rack_override") {
+            const auto parts = split(value, ',');
+            if (parts.size() != 5)
+                return bad(key, value);
+            try {
+                const int rack = std::stoi(parts[0]);
+                cluster::NodeSpec spec = config.cluster.node;
+                spec.gpu.model = std::string(trim(parts[1]));
+                spec.gpu.tflops = std::stod(parts[2]);
+                spec.gpu.memory_gb = std::stod(parts[3]);
+                spec.gpu_count = std::stoi(parts[4]);
+                if (rack < 0 || spec.gpu_count <= 0)
+                    return bad(key, value);
+                config.cluster.rack_node_overrides[rack] = spec;
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+        } else if (key == "oversubscription") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv < 1.0)
+                return bad(key, value);
+            config.cluster.topology.oversubscription = dv;
+        } else if (key == "nic_gbps") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.cluster.topology.nic_gbps = dv;
+            config.cluster.node.nic_gbps = dv;
+        } else if (key == "nvlink_gbps") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.cluster.topology.nvlink_gbps = dv;
+            config.cluster.node.nvlink_gbps = dv;
+        } else if (key == "scheduler") {
+            if (!sched::make_scheduler(value))
+                return Status::invalid_argument("unknown scheduler: " +
+                                                value);
+            config.scheduler = value;
+        } else if (key == "placement") {
+            if (!sched::make_placement_policy(value))
+                return Status::invalid_argument("unknown placement: " +
+                                                value);
+            config.placement = value;
+        } else if (key == "usage_half_life_h") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv <= 0)
+                return bad(key, value);
+            config.usage_half_life = Duration::from_seconds(dv * 3600.0);
+        } else if (key == "quota") {
+            const auto parts = split(value, ',');
+            if (parts.size() != 2)
+                return bad(key, value);
+            try {
+                config.group_quotas[std::string(trim(parts[0]))] =
+                    std::stoi(parts[1]);
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+        } else if (key == "default_quota") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            config.default_group_quota = iv;
+        } else if (key == "avoid_gpu_mixing") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.avoid_gpu_mixing = b.value();
+        } else if (key == "rdma") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.exec.rdma_available = b.value();
+        } else if (key == "innetwork") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.exec.innetwork_available = b.value();
+        } else if (key == "failsafe") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.exec.failure.failsafe_switching = b.value();
+        } else if (key == "spine_contention") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.exec.model_spine_contention = b.value();
+        } else if (key == "mtbf_hours") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.exec.failure.node_mtbf_hours = dv;
+        } else if (key == "persistent_failure_prob") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv < 0 || dv > 1)
+                return bad(key, value);
+            config.exec.failure.persistent_prob = dv;
+        } else if (key == "checkpoint_interval_s") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.exec.checkpoint_interval_s = dv;
+        } else if (key == "checkpoint_cost_s") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.exec.checkpoint_cost_s = dv;
+        } else if (key == "restart_overhead_s") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.exec.restart_overhead_s = dv;
+        } else if (key == "seed") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            config.seed = uint64_t(iv);
+        } else {
+            return Status::invalid_argument("unknown key: " + key);
+        }
+    }
+    return config;
+}
+
+std::string
+stack_config_to_text(const StackConfig &config)
+{
+    std::ostringstream os;
+    os << "cluster: " << config.cluster.name << '\n';
+    os << "racks: " << config.cluster.topology.racks << '\n';
+    os << "nodes_per_rack: " << config.cluster.topology.nodes_per_rack
+       << '\n';
+    os << "gpus_per_node: " << config.cluster.node.gpu_count << '\n';
+    os << strfmt("gpu: %s,%g,%g\n", config.cluster.node.gpu.model.c_str(),
+                 config.cluster.node.gpu.tflops,
+                 config.cluster.node.gpu.memory_gb);
+    for (const auto &[rack, spec] : config.cluster.rack_node_overrides) {
+        os << strfmt("rack_override: %d,%s,%g,%g,%d\n", rack,
+                     spec.gpu.model.c_str(), spec.gpu.tflops,
+                     spec.gpu.memory_gb, spec.gpu_count);
+    }
+    os << strfmt("oversubscription: %g\n",
+                 config.cluster.topology.oversubscription);
+    os << strfmt("nic_gbps: %g\n", config.cluster.topology.nic_gbps);
+    os << strfmt("nvlink_gbps: %g\n",
+                 config.cluster.topology.nvlink_gbps);
+    os << "scheduler: " << config.scheduler << '\n';
+    os << "placement: " << config.placement << '\n';
+    os << strfmt("usage_half_life_h: %g\n",
+                 config.usage_half_life.to_seconds() / 3600.0);
+    for (const auto &[group, cap] : config.group_quotas)
+        os << "quota: " << group << ',' << cap << '\n';
+    os << "default_quota: " << config.default_group_quota << '\n';
+    os << "avoid_gpu_mixing: "
+       << (config.avoid_gpu_mixing ? "true" : "false") << '\n';
+    os << "rdma: " << (config.exec.rdma_available ? "true" : "false")
+       << '\n';
+    os << "innetwork: "
+       << (config.exec.innetwork_available ? "true" : "false") << '\n';
+    os << "failsafe: "
+       << (config.exec.failure.failsafe_switching ? "true" : "false")
+       << '\n';
+    os << "spine_contention: "
+       << (config.exec.model_spine_contention ? "true" : "false") << '\n';
+    os << strfmt("mtbf_hours: %g\n",
+                 config.exec.failure.node_mtbf_hours);
+    os << strfmt("persistent_failure_prob: %g\n",
+                 config.exec.failure.persistent_prob);
+    os << strfmt("checkpoint_interval_s: %g\n",
+                 config.exec.checkpoint_interval_s);
+    os << strfmt("checkpoint_cost_s: %g\n",
+                 config.exec.checkpoint_cost_s);
+    os << strfmt("restart_overhead_s: %g\n",
+                 config.exec.restart_overhead_s);
+    os << "seed: " << config.seed << '\n';
+    return os.str();
+}
+
+} // namespace tacc::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text form for deployment configurations.
+ *
+ * Operators describe a TACC deployment (cluster shape, hardware
+ * generations, scheduler, quotas, failure/checkpoint policy) in the same
+ * `key: value` dialect as the task schema; parse_stack_config() turns it
+ * into a StackConfig and stack_config_to_text() renders one back
+ * (parse(render(c)) reproduces every field the format carries). Used by
+ * the tcloud CLI (`open <file>`) and the capacity-planner tool.
+ *
+ * Recognized keys (all optional; omissions keep defaults):
+ *
+ *   cluster: campus                 name
+ *   racks / nodes_per_rack / gpus_per_node: ints
+ *   gpu: A100,312,80                model,tflops,memory_gb
+ *   rack_override: 2,V100,125,32,4  rack,model,tflops,mem_gb,gpus
+ *   oversubscription / nic_gbps / nvlink_gbps: numbers
+ *   scheduler / placement: factory names
+ *   usage_half_life_h: hours
+ *   quota: group,max_gpus           (repeatable)
+ *   default_quota: int              (<0 unlimited)
+ *   avoid_gpu_mixing / rdma / innetwork / failsafe / spine_contention:
+ *       true|false
+ *   mtbf_hours / persistent_failure_prob / checkpoint_interval_s /
+ *       checkpoint_cost_s / restart_overhead_s: numbers
+ *   seed: int
+ */
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/stack.h"
+
+namespace tacc::core {
+
+/** Parses the deployment dialect; unknown keys are errors. */
+StatusOr<StackConfig> parse_stack_config(const std::string &text);
+
+/** Renders a config back to the dialect (stable key order). */
+std::string stack_config_to_text(const StackConfig &config);
+
+} // namespace tacc::core

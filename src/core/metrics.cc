@@ -1,0 +1,219 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "workload/trace.h"
+
+namespace tacc::core {
+
+MetricsCollector::MetricsCollector() : used_gpus_(0.0), queue_depth_(0.0) {}
+
+void
+MetricsCollector::on_gpus_in_use(TimePoint t, int used)
+{
+    used_gpus_.set(t, double(used));
+}
+
+void
+MetricsCollector::on_queue_depth(TimePoint t, int pending)
+{
+    queue_depth_.set(t, double(pending));
+}
+
+void
+MetricsCollector::record_job(const workload::Job &job)
+{
+    JobRecord r;
+    r.id = job.id();
+    r.user = job.spec().user;
+    r.group = job.spec().group;
+    r.qos = job.spec().qos;
+    r.final_state = job.state();
+    r.gpus = job.spec().gpus;
+    r.started = job.has_started();
+    r.wait_s = job.has_started() ? job.queueing_delay().to_seconds() : 0.0;
+    r.jct_s = job.terminal() ? job.jct().to_seconds() : 0.0;
+    r.provision_s = job.provision_latency().to_seconds();
+    r.ideal_s = double(job.spec().iterations) *
+                workload::estimated_iteration_s(job.model(),
+                                                job.spec().gpus);
+    r.gpu_seconds = job.gpu_seconds();
+    r.preemptions = job.preemption_count();
+    r.segments = job.segment_count();
+    r.has_deadline = job.spec().has_deadline();
+    r.missed_deadline = job.missed_deadline();
+    records_.push_back(std::move(r));
+    if (job.terminal())
+        makespan_ = std::max(makespan_, job.finish_time());
+}
+
+std::vector<JobRecord>
+MetricsCollector::records_of(workload::QosClass qos) const
+{
+    std::vector<JobRecord> out;
+    for (const auto &r : records_) {
+        if (r.qos == qos)
+            out.push_back(r);
+    }
+    return out;
+}
+
+Samples
+MetricsCollector::jct_samples() const
+{
+    Samples s;
+    for (const auto &r : records_) {
+        if (r.final_state == workload::JobState::kCompleted)
+            s.add(r.jct_s);
+    }
+    return s;
+}
+
+Samples
+MetricsCollector::jct_samples_of(workload::QosClass qos) const
+{
+    Samples s;
+    for (const auto &r : records_) {
+        if (r.qos == qos && r.final_state == workload::JobState::kCompleted)
+            s.add(r.jct_s);
+    }
+    return s;
+}
+
+Samples
+MetricsCollector::wait_samples() const
+{
+    Samples s;
+    for (const auto &r : records_) {
+        if (r.started)
+            s.add(r.wait_s);
+    }
+    return s;
+}
+
+Samples
+MetricsCollector::wait_samples_of(workload::QosClass qos) const
+{
+    Samples s;
+    for (const auto &r : records_) {
+        if (r.qos == qos && r.started)
+            s.add(r.wait_s);
+    }
+    return s;
+}
+
+double
+MetricsCollector::mean_utilization(TimePoint t0, TimePoint t1,
+                                   int total_gpus) const
+{
+    if (total_gpus <= 0)
+        return 0.0;
+    return used_gpus_.average(t0, t1) / double(total_gpus);
+}
+
+std::vector<double>
+MetricsCollector::utilization_series(TimePoint t0, TimePoint t1,
+                                     Duration bucket, int total_gpus) const
+{
+    auto series = used_gpus_.bucket_averages(t0, t1, bucket);
+    for (auto &v : series)
+        v /= double(std::max(1, total_gpus));
+    return series;
+}
+
+double
+MetricsCollector::mean_queue_depth(TimePoint t0, TimePoint t1) const
+{
+    return queue_depth_.average(t0, t1);
+}
+
+std::vector<double>
+MetricsCollector::queue_depth_series(TimePoint t0, TimePoint t1,
+                                     Duration bucket) const
+{
+    return queue_depth_.bucket_averages(t0, t1, bucket);
+}
+
+Samples
+MetricsCollector::slowdown_samples() const
+{
+    Samples s;
+    for (const auto &r : records_) {
+        if (r.final_state == workload::JobState::kCompleted &&
+            r.ideal_s > 0) {
+            s.add(r.jct_s / r.ideal_s);
+        }
+    }
+    return s;
+}
+
+std::map<std::string, double>
+MetricsCollector::gpu_seconds_by_group() const
+{
+    std::map<std::string, double> out;
+    for (const auto &r : records_)
+        out[r.group] += r.gpu_seconds;
+    return out;
+}
+
+std::map<std::string, double>
+MetricsCollector::mean_slowdown_by_group() const
+{
+    std::map<std::string, double> sums;
+    std::map<std::string, int> counts;
+    for (const auto &r : records_) {
+        if (r.final_state == workload::JobState::kCompleted &&
+            r.ideal_s > 0) {
+            sums[r.group] += r.jct_s / r.ideal_s;
+            ++counts[r.group];
+        }
+    }
+    std::map<std::string, double> out;
+    for (const auto &[group, sum] : sums)
+        out[group] = sum / double(counts[group]);
+    return out;
+}
+
+double
+MetricsCollector::group_fairness() const
+{
+    std::vector<double> xs;
+    for (const auto &[group, slowdown] : mean_slowdown_by_group())
+        xs.push_back(slowdown);
+    return jain_fairness(xs);
+}
+
+double
+MetricsCollector::deadline_miss_rate() const
+{
+    int with_deadline = 0, missed = 0;
+    for (const auto &r : records_) {
+        if (r.has_deadline) {
+            ++with_deadline;
+            missed += r.missed_deadline;
+        }
+    }
+    return with_deadline ? double(missed) / double(with_deadline) : 0.0;
+}
+
+size_t
+MetricsCollector::completed_count() const
+{
+    return size_t(std::count_if(records_.begin(), records_.end(),
+                                [](const JobRecord &r) {
+                                    return r.final_state ==
+                                           workload::JobState::kCompleted;
+                                }));
+}
+
+size_t
+MetricsCollector::failed_count() const
+{
+    return size_t(std::count_if(records_.begin(), records_.end(),
+                                [](const JobRecord &r) {
+                                    return r.final_state ==
+                                           workload::JobState::kFailed;
+                                }));
+}
+
+} // namespace tacc::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Operational metrics of a TACC stack run.
+ *
+ * Collects exactly what a cluster-operation paper reports: per-job records
+ * (JCT, queueing delay, preemptions, service), time-weighted cluster
+ * utilization and queue depth, and per-group service for fairness indices.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace tacc::core {
+
+/** Immutable record of one finished (or abandoned) job. */
+struct JobRecord {
+    cluster::JobId id = cluster::kInvalidJob;
+    std::string user;
+    std::string group;
+    workload::QosClass qos = workload::QosClass::kBatch;
+    workload::JobState final_state = workload::JobState::kCompleted;
+    int gpus = 0;
+    double wait_s = 0;      ///< submit -> first start (0 if never started)
+    double jct_s = 0;       ///< submit -> terminal
+    /** Estimated minimal service time at the requested scale. */
+    double ideal_s = 0;
+    double provision_s = 0; ///< compiler-layer latency
+    double gpu_seconds = 0;
+    int preemptions = 0;
+    int segments = 0;
+    bool started = false;
+    bool has_deadline = false;
+    bool missed_deadline = false;
+};
+
+/** Run-wide metric accumulation. */
+class MetricsCollector
+{
+  public:
+    MetricsCollector();
+
+    /** @name Signals driven by the core */
+    ///@{
+    void on_gpus_in_use(TimePoint t, int used);
+    void on_queue_depth(TimePoint t, int pending);
+    void on_preemption() { ++preemptions_; }
+    void on_segment_failure() { ++segment_failures_; }
+    void record_job(const workload::Job &job);
+    ///@}
+
+    /** @name Extraction */
+    ///@{
+    const std::vector<JobRecord> &records() const { return records_; }
+
+    /** Records filtered to one QoS class. */
+    std::vector<JobRecord> records_of(workload::QosClass qos) const;
+
+    /** JCT samples (seconds) of completed jobs, optionally one class. */
+    Samples jct_samples() const;
+    Samples jct_samples_of(workload::QosClass qos) const;
+    Samples wait_samples() const;
+    Samples wait_samples_of(workload::QosClass qos) const;
+
+    /** Time-weighted mean GPU utilization over [t0, t1], given capacity. */
+    double mean_utilization(TimePoint t0, TimePoint t1,
+                            int total_gpus) const;
+
+    /** Utilization timeline (bucketed), as a fraction of capacity. */
+    std::vector<double> utilization_series(TimePoint t0, TimePoint t1,
+                                           Duration bucket,
+                                           int total_gpus) const;
+
+    double mean_queue_depth(TimePoint t0, TimePoint t1) const;
+
+    /** Mean pending-queue depth per bucket (diurnal queueing figures). */
+    std::vector<double> queue_depth_series(TimePoint t0, TimePoint t1,
+                                           Duration bucket) const;
+
+    /** Slowdown (JCT / minimal service time) of completed jobs. */
+    Samples slowdown_samples() const;
+
+    /** GPU-seconds delivered per group (completed + partial service). */
+    std::map<std::string, double> gpu_seconds_by_group() const;
+
+    /** Mean slowdown per group (completed jobs only). */
+    std::map<std::string, double> mean_slowdown_by_group() const;
+
+    /**
+     * Jain index across groups' mean slowdowns: 1.0 when every group's
+     * jobs are delayed equally, lower when some groups wait much longer
+     * than others.
+     */
+    double group_fairness() const;
+
+    /** Fraction of deadline-carrying jobs that missed (0 if none). */
+    double deadline_miss_rate() const;
+
+    uint64_t preemptions() const { return preemptions_; }
+    uint64_t segment_failures() const { return segment_failures_; }
+    size_t completed_count() const;
+    size_t failed_count() const;
+    /** Time of the last recorded job's terminal event. */
+    TimePoint makespan() const { return makespan_; }
+    ///@}
+
+  private:
+    std::vector<JobRecord> records_;
+    TimeWeightedStat used_gpus_;
+    TimeWeightedStat queue_depth_;
+    uint64_t preemptions_ = 0;
+    uint64_t segment_failures_ = 0;
+    TimePoint makespan_;
+};
+
+} // namespace tacc::core

@@ -1,0 +1,88 @@
+#include "core/scenario.h"
+
+#include <cassert>
+
+namespace tacc::core {
+
+ScenarioResult
+run_scenario(const ScenarioConfig &config)
+{
+    TaccStack stack(config.stack);
+    workload::TraceGenerator generator(config.trace);
+    const auto trace = generator.generate();
+    const TimePoint last_arrival =
+        trace.empty() ? TimePoint::origin() : trace.back().arrival;
+    stack.submit_trace(trace);
+    stack.run_to_completion(config.max_events);
+
+    ScenarioResult out;
+    out.scheduler = config.stack.scheduler;
+    out.placement = config.stack.placement;
+
+    const auto &metrics = stack.metrics();
+    out.submitted = stack.jobs().size();
+    out.completed = metrics.completed_count();
+    out.failed = metrics.failed_count();
+    for (const auto *job : stack.jobs()) {
+        if (!job->terminal())
+            ++out.never_finished;
+    }
+
+    out.jct_samples = metrics.jct_samples();
+    out.wait_samples = metrics.wait_samples();
+    if (out.jct_samples.count() > 0) {
+        out.mean_jct_s = out.jct_samples.mean();
+        out.p50_jct_s = out.jct_samples.percentile(50);
+        out.p99_jct_s = out.jct_samples.percentile(99);
+    }
+    if (out.wait_samples.count() > 0) {
+        out.mean_wait_s = out.wait_samples.mean();
+        out.p50_wait_s = out.wait_samples.percentile(50);
+        out.p99_wait_s = out.wait_samples.percentile(99);
+    }
+    const Samples slowdown = metrics.slowdown_samples();
+    if (slowdown.count() > 0) {
+        out.mean_slowdown = slowdown.mean();
+        out.p99_slowdown = slowdown.percentile(99);
+    }
+    const Samples interactive_wait =
+        metrics.wait_samples_of(workload::QosClass::kInteractive);
+    if (interactive_wait.count() > 0) {
+        out.interactive_mean_wait_s = interactive_wait.mean();
+        out.interactive_p99_wait_s = interactive_wait.percentile(99);
+    }
+
+    const TimePoint end = metrics.makespan();
+    out.makespan_s = end.to_seconds();
+    const int total_gpus = stack.cluster().total_gpus();
+    if (end > TimePoint::origin()) {
+        out.mean_utilization =
+            metrics.mean_utilization(TimePoint::origin(), end, total_gpus);
+        out.utilization_series = metrics.utilization_series(
+            TimePoint::origin(), end, config.utilization_bucket,
+            total_gpus);
+        out.queue_depth_series = metrics.queue_depth_series(
+            TimePoint::origin(), end, config.utilization_bucket);
+    }
+    out.arrival_span_s = last_arrival.to_seconds();
+    if (last_arrival > TimePoint::origin()) {
+        out.arrival_window_utilization = metrics.mean_utilization(
+            TimePoint::origin(), last_arrival, total_gpus);
+    }
+    for (const auto &record : metrics.records()) {
+        out.total_gpu_seconds += record.gpu_seconds;
+        out.total_ideal_gpu_seconds +=
+            record.ideal_s * double(record.gpus);
+    }
+    out.group_fairness = metrics.group_fairness();
+    out.preemptions = metrics.preemptions();
+    out.deadline_miss_rate = metrics.deadline_miss_rate();
+    out.segment_failures = metrics.segment_failures();
+
+    const auto &cstats = stack.task_compiler().stats();
+    out.mean_provision_s = cstats.mean_provision_s();
+    out.cache_transfer_savings = cstats.transfer_savings();
+    return out;
+}
+
+} // namespace tacc::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario harness: one call from (deployment config, workload config) to
+ * the summary metrics the paper-style tables report. All bench binaries
+ * and the integration tests are thin wrappers over run_scenario().
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/stack.h"
+#include "workload/trace.h"
+
+namespace tacc::core {
+
+/** A full experiment: a deployment plus a workload. */
+struct ScenarioConfig {
+    StackConfig stack;
+    workload::TraceConfig trace;
+    /** Bucket width for the utilization timeline. */
+    Duration utilization_bucket = Duration::hours(1);
+    /** Safety valve passed to run_to_completion. */
+    uint64_t max_events = 100'000'000;
+};
+
+/** Summary of one scenario run. */
+struct ScenarioResult {
+    std::string scheduler;
+    std::string placement;
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t failed = 0;
+    size_t never_finished = 0; ///< non-terminal when the run stopped
+
+    double mean_jct_s = 0;
+    double p50_jct_s = 0;
+    double p99_jct_s = 0;
+    double mean_wait_s = 0;
+    double p50_wait_s = 0;
+    double p99_wait_s = 0;
+    double interactive_mean_wait_s = 0;
+    double interactive_p99_wait_s = 0;
+    double mean_slowdown = 0;
+    double p99_slowdown = 0;
+
+    double mean_utilization = 0;
+    /** Utilization measured only over the arrival window [0, last
+     *  arrival] — comparable across policies whose drain tails differ. */
+    double arrival_window_utilization = 0;
+    double arrival_span_s = 0;
+    double makespan_s = 0;
+    double group_fairness = 1.0;
+    uint64_t preemptions = 0;
+    uint64_t segment_failures = 0;
+    double deadline_miss_rate = 0;
+
+    double mean_provision_s = 0;
+    double cache_transfer_savings = 0;
+
+    /** Aggregate GPU-seconds actually charged across all jobs. */
+    double total_gpu_seconds = 0;
+    /** Aggregate minimal GPU-seconds (ideal service at requested scale). */
+    double total_ideal_gpu_seconds = 0;
+
+    /** Raw samples for CDF figures. */
+    Samples jct_samples;
+    Samples wait_samples;
+    /** Utilization fraction per bucket over [0, makespan]. */
+    std::vector<double> utilization_series;
+    /** Mean pending-queue depth per bucket over [0, makespan]. */
+    std::vector<double> queue_depth_series;
+};
+
+/** Runs a scenario to completion and extracts the summary. */
+ScenarioResult run_scenario(const ScenarioConfig &config);
+
+} // namespace tacc::core

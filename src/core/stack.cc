@@ -1,0 +1,536 @@
+#include "core/stack.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "sched/capacity_profile.h"
+#include "common/strings.h"
+#include "workload/model.h"
+
+namespace tacc::core {
+
+using cluster::JobId;
+using workload::Job;
+using workload::JobState;
+
+TaccStack::TaccStack(StackConfig config)
+    : config_(std::move(config)),
+      cluster_(config_.cluster),
+      compiler_(config_.compiler),
+      engine_(cluster_, config_.exec, config_.seed),
+      monitor_(cluster_.node_count()),
+      placement_(sched::make_placement_policy(config_.placement,
+                                              config_.seed)),
+      scheduler_(sched::make_scheduler(config_.scheduler,
+                                       config_.sched_opts)),
+      usage_(config_.usage_half_life)
+{
+    assert(placement_ && "unknown placement policy name");
+    assert(scheduler_ && "unknown scheduler name");
+    quota_.set_default_quota(config_.default_group_quota);
+    for (const auto &[group, cap] : config_.group_quotas)
+        quota_.set_group_quota(group, cap);
+
+    const Duration period = scheduler_->tick_period();
+    if (!period.is_zero()) {
+        tick_ = std::make_unique<sim::PeriodicTask>(
+            sim_, period, "sched-tick", [this] { schedule_now(); });
+        tick_->start();
+    }
+}
+
+TaccStack::~TaccStack() = default;
+
+StatusOr<JobId>
+TaccStack::submit(const workload::TaskSpec &spec,
+                  const std::vector<JobId> &dependencies)
+{
+    if (auto s = spec.validate(); !s.is_ok())
+        return s;
+    for (JobId dep : dependencies) {
+        const Job *parent = find_job(dep);
+        if (!parent) {
+            return Status::not_found(
+                strfmt("dependency job %llu", (unsigned long long)dep));
+        }
+        if (parent->terminal() &&
+            parent->state() != JobState::kCompleted) {
+            return Status::failed_precondition(
+                strfmt("dependency job %llu already %s",
+                       (unsigned long long)dep,
+                       workload::job_state_name(parent->state())));
+        }
+    }
+    if (spec.gpus > cluster_.total_gpus()) {
+        return Status::invalid_argument(
+            strfmt("task wants %d GPUs, cluster has %d", spec.gpus,
+                   cluster_.total_gpus()));
+    }
+    auto profile = workload::ModelCatalog::instance().find(spec.model);
+    if (!profile.is_ok())
+        return profile.status();
+
+    // Compiler layer: build the instruction (and price provisioning) now.
+    auto instruction = compiler_.compile(spec);
+    if (!instruction.is_ok())
+        return instruction.status();
+
+    const JobId id = next_job_id_++;
+    auto job = std::make_unique<Job>(id, spec, profile.value(), sim_.now());
+    Job *ptr = job.get();
+    jobs_.emplace(id, std::move(job));
+    instructions_.emplace(id, std::move(instruction.value()));
+
+    // Register unfinished dependencies; completed ones are satisfied.
+    for (JobId dep : dependencies) {
+        if (find_job(dep)->state() != JobState::kCompleted) {
+            waiting_on_[id].insert(dep);
+            dependents_[dep].push_back(id);
+        }
+    }
+
+    Status s = ptr->begin_provisioning(sim_.now());
+    assert(s.is_ok());
+    const Duration provision = instructions_.at(id).provision_time;
+    provisioning_[id] = sim_.schedule_after(
+        provision, strfmt("provision-done job=%llu", (unsigned long long)id),
+        [this, id] {
+            provisioning_.erase(id);
+            Job *job = find_job(id);
+            assert(job);
+            Status st = job->finish_provisioning(sim_.now());
+            assert(st.is_ok());
+            auto waiting = waiting_on_.find(id);
+            if (waiting != waiting_on_.end() && !waiting->second.empty()) {
+                held_.insert(id); // provisioned, blocked on dependencies
+                return;
+            }
+            waiting_on_.erase(id);
+            enqueue_pending(id);
+            schedule_now();
+        });
+    return id;
+}
+
+void
+TaccStack::resolve_dependents(JobId id, bool completed)
+{
+    auto it = dependents_.find(id);
+    if (it == dependents_.end())
+        return;
+    const std::vector<JobId> dependents = std::move(it->second);
+    dependents_.erase(it);
+    for (JobId child : dependents) {
+        Job *job = find_job(child);
+        assert(job);
+        if (job->terminal())
+            continue;
+        if (!completed) {
+            // Fail-fast cascade: the parent failed or was killed.
+            log_job(*job, cluster_.placement_of(child),
+                    "dependency failed; cancelling");
+            Status s = kill(child);
+            assert(s.is_ok());
+            continue;
+        }
+        auto waiting = waiting_on_.find(child);
+        if (waiting == waiting_on_.end())
+            continue;
+        waiting->second.erase(id);
+        if (waiting->second.empty()) {
+            waiting_on_.erase(waiting);
+            if (held_.erase(child) > 0) {
+                enqueue_pending(child);
+                schedule_now();
+            }
+        }
+    }
+}
+
+void
+TaccStack::submit_trace(const std::vector<workload::SubmittedTask> &trace)
+{
+    for (const auto &entry : trace) {
+        assert(entry.arrival >= sim_.now());
+        ++arrivals_outstanding_;
+        sim_.schedule_at(entry.arrival, "arrival", [this, entry] {
+            --arrivals_outstanding_;
+            auto result = submit(entry.spec);
+            if (!result.is_ok()) {
+                Log::warnf("trace submission rejected: %s",
+                           result.status().str().c_str());
+            }
+        });
+    }
+}
+
+void
+TaccStack::enqueue_pending(JobId id)
+{
+    pending_.push_back(id);
+    metrics_.on_queue_depth(sim_.now(), int(pending_.size()));
+}
+
+void
+TaccStack::remove_pending(JobId id)
+{
+    auto it = std::find(pending_.begin(), pending_.end(), id);
+    if (it != pending_.end()) {
+        pending_.erase(it);
+        metrics_.on_queue_depth(sim_.now(), int(pending_.size()));
+    }
+}
+
+Job *
+TaccStack::find_job(JobId id)
+{
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const Job *
+TaccStack::find_job(JobId id) const
+{
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Job *>
+TaccStack::jobs() const
+{
+    std::vector<const Job *> out;
+    out.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        out.push_back(job.get());
+    return out;
+}
+
+bool
+TaccStack::quiescent() const
+{
+    if (arrivals_outstanding_ > 0 || !provisioning_.empty() ||
+        !pending_.empty() || !running_.empty() || !held_.empty()) {
+        return false;
+    }
+    return true;
+}
+
+void
+TaccStack::run_until(TimePoint t)
+{
+    sim_.run_until(t);
+}
+
+bool
+TaccStack::run_to_completion(uint64_t max_events)
+{
+    uint64_t fired = 0;
+    while (!quiescent() && fired < max_events) {
+        if (!sim_.step())
+            break;
+        ++fired;
+    }
+    if (tick_)
+        tick_->stop();
+    return quiescent();
+}
+
+void
+TaccStack::log_job(const Job &job, const cluster::Placement &placement,
+                   const std::string &text)
+{
+    if (!config_.emit_monitor_logs || placement.empty())
+        return;
+    monitor_.emit_all(sim_.now(), job.id(), placement,
+                      strfmt("[%s] %s", job.spec().name.c_str(),
+                             text.c_str()));
+}
+
+void
+TaccStack::charge_usage(Job &job)
+{
+    double &charged = charged_gpu_s_[job.id()];
+    const double delta = job.gpu_seconds() - charged;
+    if (delta > 0) {
+        usage_.charge(job.spec().group, delta, sim_.now());
+        charged = job.gpu_seconds();
+    }
+}
+
+void
+TaccStack::finalize(Job &job)
+{
+    estimator_.observe(job); // no-op unless the job completed
+    metrics_.record_job(job);
+    charged_gpu_s_.erase(job.id());
+    resolve_dependents(job.id(),
+                       job.state() == JobState::kCompleted);
+}
+
+void
+TaccStack::stop_segment(Job &job, bool count_as_preemption)
+{
+    auto it = running_.find(job.id());
+    assert(it != running_.end());
+    sim_.cancel(it->second.event);
+    running_.erase(it);
+
+    const cluster::Placement placement = cluster_.placement_of(job.id());
+    Status s = count_as_preemption ? job.preempt(sim_.now())
+                                   : job.end_segment(sim_.now());
+    assert(s.is_ok());
+    cluster_.release(job.id());
+    engine_.fs().unregister_reader(job.id());
+    engine_.unregister_cross_rack_job(job.id());
+    charge_usage(job);
+    if (count_as_preemption) {
+        metrics_.on_preemption();
+        log_job(job, placement, "preempted");
+    }
+    metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+}
+
+void
+TaccStack::on_segment_complete(JobId id)
+{
+    Job *job = find_job(id);
+    assert(job && job->state() == JobState::kRunning);
+    running_.erase(id);
+
+    const cluster::Placement placement = cluster_.placement_of(id);
+    Status s = job->complete(sim_.now());
+    assert(s.is_ok());
+    cluster_.release(id);
+    engine_.fs().unregister_reader(id);
+    engine_.unregister_cross_rack_job(id);
+    charge_usage(*job);
+    log_job(*job, placement, "completed");
+    metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+    finalize(*job);
+    schedule_now();
+}
+
+void
+TaccStack::on_segment_failure(JobId id)
+{
+    Job *job = find_job(id);
+    assert(job && job->state() == JobState::kRunning);
+    running_.erase(id);
+
+    const cluster::Placement placement = cluster_.placement_of(id);
+    // A crash rolls progress back to the last periodic checkpoint (or
+    // loses the segment when checkpointing is off).
+    Status s = job->end_segment(
+        sim_.now(), engine_.config().checkpoint_interval_s);
+    assert(s.is_ok());
+    cluster_.release(id);
+    engine_.fs().unregister_reader(id);
+    engine_.unregister_cross_rack_job(id);
+    charge_usage(*job);
+    metrics_.on_segment_failure();
+    metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+
+    const bool out_of_attempts = engine_.failures().on_failure(*job);
+    if (out_of_attempts) {
+        log_job(*job, placement, "failed permanently");
+        Status st = job->fail(sim_.now(), "exceeded max attempts");
+        assert(st.is_ok());
+        finalize(*job);
+    } else {
+        log_job(*job, placement, "segment failed; requeueing");
+        enqueue_pending(id);
+    }
+    schedule_now();
+}
+
+void
+TaccStack::apply_decision(const sched::ScheduleDecision &decision)
+{
+    for (JobId victim : decision.preemptions) {
+        Job *job = find_job(victim);
+        if (!job || job->state() != JobState::kRunning)
+            continue; // stale decision entry; ignore
+        stop_segment(*job, true);
+        enqueue_pending(victim);
+    }
+
+    for (const auto &start : decision.starts) {
+        Job *job = find_job(start.job);
+        if (!job || job->state() != JobState::kPending)
+            continue;
+        Status alloc = cluster_.allocate(start.job, start.placement);
+        if (!alloc.is_ok()) {
+            Log::warnf("placement failed for job %llu: %s",
+                       (unsigned long long)start.job,
+                       alloc.str().c_str());
+            continue;
+        }
+        const cluster::Placement granted =
+            cluster_.placement_of(start.job);
+        const auto &instruction = instructions_.at(start.job);
+        exec::SegmentPlan plan =
+            engine_.plan_segment(*job, granted, instruction.runtime);
+
+        Status s = job->begin_segment(sim_.now(), granted.total_gpus(),
+                                      plan.iteration_s, plan.startup);
+        assert(s.is_ok());
+        remove_pending(start.job);
+        engine_.fs().register_reader(start.job);
+        if (cluster_.topology().scope_of(granted) ==
+            cluster::CommScope::kCrossRack) {
+            engine_.register_cross_rack_job(start.job);
+        }
+
+        const Duration total =
+            plan.startup + job->remaining_runtime(plan.iteration_s);
+        RunningMeta meta;
+        meta.iteration_s = plan.iteration_s;
+        meta.expected_end = sim_.now() + total;
+        const JobId id = start.job;
+        if (plan.failure_after) {
+            meta.event = sim_.schedule_after(
+                *plan.failure_after,
+                strfmt("segment-fail job=%llu", (unsigned long long)id),
+                [this, id] { on_segment_failure(id); });
+        } else {
+            meta.event = sim_.schedule_after(
+                total,
+                strfmt("segment-done job=%llu", (unsigned long long)id),
+                [this, id] { on_segment_complete(id); });
+        }
+        running_[id] = meta;
+        log_job(*job, granted,
+                strfmt("started on %zu node(s), %d GPU(s), %s/%s",
+                       granted.slices.size(), granted.total_gpus(),
+                       compiler::runtime_kind_name(plan.runtime),
+                       exec::transport_name(plan.transport)));
+    }
+    metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+}
+
+void
+TaccStack::schedule_now()
+{
+    sched::SchedulerContext ctx;
+    ctx.now = sim_.now();
+    ctx.cluster = &cluster_;
+    ctx.placement = placement_.get();
+    ctx.usage = &usage_;
+    ctx.quota = &quota_;
+    ctx.estimator = &estimator_;
+    ctx.avoid_gpu_mixing = config_.avoid_gpu_mixing;
+    ctx.iter_time = [this](const Job &job,
+                           const cluster::Placement &placement) {
+        return engine_.iteration_time_s(job, placement);
+    };
+    ctx.pending.reserve(pending_.size());
+    for (JobId id : pending_) {
+        Job *job = find_job(id);
+        assert(job && job->state() == JobState::kPending);
+        ctx.pending.push_back(job);
+    }
+    ctx.running.reserve(running_.size());
+    for (const auto &[id, meta] : running_) {
+        sched::RunningInfo info;
+        info.job = find_job(id);
+        assert(info.job);
+        info.placement = cluster_.placement_of(id);
+        info.expected_end = meta.expected_end;
+        ctx.running.push_back(std::move(info));
+    }
+
+    const sched::ScheduleDecision decision = scheduler_->schedule(ctx);
+    if (!decision.empty())
+        apply_decision(decision);
+}
+
+StatusOr<TimePoint>
+TaccStack::estimated_start(cluster::JobId id) const
+{
+    const Job *job = find_job(id);
+    if (!job)
+        return Status::not_found(strfmt("job %llu", (unsigned long long)id));
+    if (job->state() == JobState::kRunning)
+        return job->segment_start();
+    if (job->terminal())
+        return Status::failed_precondition("job already finished");
+    if (held_.contains(id)) {
+        return Status::failed_precondition(
+            "blocked on pipeline dependencies");
+    }
+
+    sched::CapacityProfile profile(sim_.now(), cluster_.free_gpus());
+    for (const auto &[running_id, meta] : running_) {
+        profile.add_release(meta.expected_end,
+                            find_job(running_id)->running_gpus());
+    }
+    // Queue ahead of (and including) the target, in arrival order.
+    std::vector<const Job *> queue;
+    for (cluster::JobId pending_id : pending_)
+        queue.push_back(find_job(pending_id));
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const Job *a, const Job *b) {
+                         if (a->submit_time() != b->submit_time())
+                             return a->submit_time() < b->submit_time();
+                         return a->id() < b->id();
+                     });
+    for (const Job *ahead : queue) {
+        const Duration bound = estimator_.predict(*ahead);
+        const TimePoint fit =
+            profile.earliest_fit(ahead->spec().gpus, bound);
+        if (ahead->id() == id)
+            return fit;
+        profile.reserve(fit, bound, ahead->spec().gpus);
+    }
+    // Provisioning jobs enter the queue after everything pending now.
+    if (provisioning_.contains(id)) {
+        const Duration bound = estimator_.predict(*job);
+        return profile.earliest_fit(job->spec().gpus, bound);
+    }
+    return Status::internal("job in no queue");
+}
+
+void
+TaccStack::set_group_quota(const std::string &group, int max_gpus)
+{
+    quota_.set_group_quota(group, max_gpus);
+    schedule_now();
+}
+
+Status
+TaccStack::kill(JobId id)
+{
+    Job *job = find_job(id);
+    if (!job)
+        return Status::not_found(strfmt("job %llu", (unsigned long long)id));
+    if (job->terminal())
+        return Status::failed_precondition("job already terminal");
+
+    switch (job->state()) {
+      case JobState::kProvisioning: {
+        auto it = provisioning_.find(id);
+        assert(it != provisioning_.end());
+        sim_.cancel(it->second);
+        provisioning_.erase(it);
+        break;
+      }
+      case JobState::kPending:
+        remove_pending(id);
+        held_.erase(id);
+        waiting_on_.erase(id);
+        break;
+      case JobState::kRunning:
+        stop_segment(*job, false);
+        break;
+      default:
+        break;
+    }
+    Status s = job->kill(sim_.now());
+    assert(s.is_ok());
+    finalize(*job);
+    schedule_now();
+    return Status::ok();
+}
+
+} // namespace tacc::core

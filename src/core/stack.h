@@ -1,0 +1,204 @@
+/**
+ * @file
+ * TaccStack: the full-stack facade wiring the four workflow layers.
+ *
+ * A TaccStack owns one simulated deployment: the cluster substrate, the
+ * compiler layer (with its delta cache), a pluggable scheduling policy and
+ * placement policy, the execution engine (runtimes, transports, shared FS,
+ * failure injection), monitoring, fair-share usage accounting, and quota
+ * enforcement. Tasks flow through exactly the paper's pipeline:
+ *
+ *   submit(spec)  -> schema validation                     [Task Schema]
+ *                 -> compile + provision (delta cache)      [Compiler]
+ *                 -> pending queue -> policy decision       [Scheduling]
+ *                 -> placement, runtime, transport, run     [Execution]
+ *
+ * Everything is event-driven on the owned Simulator; runs are
+ * deterministic for a fixed config.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "compiler/compiler.h"
+#include "core/metrics.h"
+#include "exec/engine.h"
+#include "exec/monitor.h"
+#include "sched/estimator.h"
+#include "sched/placement.h"
+#include "sched/schedulers.h"
+#include "sched/usage.h"
+#include "sim/simulator.h"
+#include "workload/job.h"
+#include "workload/trace.h"
+
+namespace tacc::core {
+
+/** Configuration of a full deployment. */
+struct StackConfig {
+    cluster::ClusterConfig cluster;
+    compiler::CompilerConfig compiler;
+    exec::ExecConfig exec;
+    /** Scheduler factory name (see sched::make_scheduler). */
+    std::string scheduler = "fairshare";
+    sched::SchedulerOptions sched_opts;
+    /** Placement factory name (see sched::make_placement_policy). */
+    std::string placement = "topology";
+    Duration usage_half_life = Duration::hours(24);
+    /** Per-group concurrent GPU caps (ordered map: deterministic). */
+    std::map<std::string, int> group_quotas;
+    int default_group_quota = -1; ///< <0 = unlimited
+    /** Heterogeneous clusters: forbid mixed-generation gangs. */
+    bool avoid_gpu_mixing = false;
+    uint64_t seed = 1;
+    /** Emit per-node monitor log lines on job events. */
+    bool emit_monitor_logs = true;
+};
+
+/** The running deployment. */
+class TaccStack
+{
+  public:
+    explicit TaccStack(StackConfig config);
+    ~TaccStack();
+    TaccStack(const TaccStack &) = delete;
+    TaccStack &operator=(const TaccStack &) = delete;
+
+    /** @name Component access */
+    ///@{
+    sim::Simulator &simulator() { return sim_; }
+    const cluster::Cluster &cluster() const { return cluster_; }
+    compiler::Compiler &task_compiler() { return compiler_; }
+    exec::ExecutionEngine &engine() { return engine_; }
+    exec::MonitorHub &monitor() { return monitor_; }
+    const MetricsCollector &metrics() const { return metrics_; }
+    const sched::UsageTracker &usage() const { return usage_; }
+    const sched::RuntimeEstimator &estimator() const { return estimator_; }
+    sched::Scheduler &scheduler() { return *scheduler_; }
+    const StackConfig &config() const { return config_; }
+    ///@}
+
+    /**
+     * Submits a task at the current simulation time. The spec is schema-
+     * validated and compiled; the job becomes schedulable once its
+     * provisioning completes *and* every dependency has completed
+     * (pipelines: data-prep -> train -> evaluate). If a dependency
+     * fails or is killed, the dependent is killed (fail-fast cascade,
+     * Slurm `afterok` semantics).
+     * @param dependencies ids of previously submitted jobs; already-
+     *        completed dependencies are satisfied immediately.
+     * @return the assigned job id.
+     */
+    StatusOr<cluster::JobId> submit(
+        const workload::TaskSpec &spec,
+        const std::vector<cluster::JobId> &dependencies = {});
+
+    /** Schedules every trace entry for submission at its arrival time. */
+    void submit_trace(const std::vector<workload::SubmittedTask> &trace);
+
+    /** Kills a job in any non-terminal state. */
+    Status kill(cluster::JobId id);
+
+    /**
+     * Estimates when a job will start, from the capacity timeline of
+     * running jobs plus the queue ahead of it (each priced by the
+     * runtime estimator). Running jobs return their actual segment
+     * start. Held (dependency-blocked) jobs cannot be estimated.
+     * The estimate assumes arrival-order scheduling, so it is exact for
+     * FIFO-like policies and a good hint for the others — precisely
+     * what `squeue --start` gives Slurm users.
+     */
+    StatusOr<TimePoint> estimated_start(cluster::JobId id) const;
+
+    /**
+     * Updates a group's concurrent-GPU cap at runtime (an operator
+     * action: e.g. handing the serving partition's GPUs to batch
+     * training overnight). Negative means unlimited. Takes effect at
+     * the next scheduling decision; running jobs are not preempted.
+     */
+    void set_group_quota(const std::string &group, int max_gpus);
+
+    workload::Job *find_job(cluster::JobId id);
+    const workload::Job *find_job(cluster::JobId id) const;
+
+    /** All jobs ever submitted, in id order. */
+    std::vector<const workload::Job *> jobs() const;
+
+    size_t pending_count() const { return pending_.size(); }
+    size_t running_count() const { return running_.size(); }
+
+    /** True once every submitted job reached a terminal state and no
+     *  arrivals remain. */
+    bool quiescent() const;
+
+    /** Runs simulated time forward to t. */
+    void run_until(TimePoint t);
+
+    /**
+     * Runs until every submitted (and scheduled-to-arrive) job is
+     * terminal, or max_events fire (safety valve against unschedulable
+     * configurations).
+     * @return true if the run quiesced.
+     */
+    bool run_to_completion(uint64_t max_events = 100'000'000);
+
+  private:
+    struct RunningMeta {
+        sim::EventId event = 0;
+        TimePoint expected_end;
+        double iteration_s = 0;
+    };
+
+    void enqueue_pending(cluster::JobId id);
+    void remove_pending(cluster::JobId id);
+    /** Releases/cascades dependents when `id` reaches a terminal state. */
+    void resolve_dependents(cluster::JobId id, bool completed);
+    void schedule_now();
+    void apply_decision(const sched::ScheduleDecision &decision);
+    /** Stops a running segment (cancel event, release, charge, account). */
+    void stop_segment(workload::Job &job, bool count_as_preemption);
+    void on_segment_complete(cluster::JobId id);
+    void on_segment_failure(cluster::JobId id);
+    void charge_usage(workload::Job &job);
+    void finalize(workload::Job &job);
+    void log_job(const workload::Job &job,
+                 const cluster::Placement &placement,
+                 const std::string &text);
+
+    StackConfig config_;
+    sim::Simulator sim_;
+    cluster::Cluster cluster_;
+    compiler::Compiler compiler_;
+    exec::ExecutionEngine engine_;
+    exec::MonitorHub monitor_;
+    std::unique_ptr<sched::PlacementPolicy> placement_;
+    std::unique_ptr<sched::Scheduler> scheduler_;
+    sched::UsageTracker usage_;
+    sched::QuotaManager quota_;
+    sched::RuntimeEstimator estimator_;
+    MetricsCollector metrics_;
+
+    std::map<cluster::JobId, std::unique_ptr<workload::Job>> jobs_;
+    std::map<cluster::JobId, compiler::TaskInstruction> instructions_;
+    std::vector<cluster::JobId> pending_; ///< enqueue order
+    std::map<cluster::JobId, RunningMeta> running_;
+    std::map<cluster::JobId, sim::EventId> provisioning_;
+    /** Provisioned jobs held back by unfinished dependencies. */
+    std::set<cluster::JobId> held_;
+    /** job -> dependencies not yet completed. */
+    std::map<cluster::JobId, std::set<cluster::JobId>> waiting_on_;
+    /** completed-dependency fan-out: job -> dependents. */
+    std::map<cluster::JobId, std::vector<cluster::JobId>> dependents_;
+    std::map<cluster::JobId, double> charged_gpu_s_;
+    std::unique_ptr<sim::PeriodicTask> tick_;
+    cluster::JobId next_job_id_ = 1;
+    uint64_t arrivals_outstanding_ = 0;
+};
+
+} // namespace tacc::core

@@ -1,0 +1,98 @@
+#include "exec/comm_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::exec {
+
+const char *
+transport_name(Transport transport)
+{
+    switch (transport) {
+      case Transport::kTcp: return "tcp";
+      case Transport::kRdma: return "rdma";
+      case Transport::kInNetwork: return "innetwork";
+    }
+    return "unknown";
+}
+
+const char *
+sync_algorithm_name(SyncAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case SyncAlgorithm::kRingAllReduce: return "ring-allreduce";
+      case SyncAlgorithm::kParameterServer: return "parameter-server";
+    }
+    return "unknown";
+}
+
+CommModel::CommModel(CommModelConfig config) : config_(config) {}
+
+double
+CommModel::sync_time_s(const workload::ModelProfile &model,
+                       const cluster::Placement &placement,
+                       const cluster::Topology &topo, Transport transport,
+                       SyncAlgorithm algorithm,
+                       double cross_rack_bw_scale) const
+{
+    assert(cross_rack_bw_scale >= 1.0);
+    const auto scope = topo.scope_of(placement);
+    if (scope == cluster::CommScope::kSingleGpu)
+        return 0.0;
+
+    // In-network aggregation needs every worker under one ToR; otherwise
+    // degrade to an RDMA ring.
+    if (transport == Transport::kInNetwork &&
+        scope == cluster::CommScope::kCrossRack) {
+        transport = Transport::kRdma;
+    }
+
+    double raw_bw = topo.collective_bw_Bps(placement);
+    if (scope == cluster::CommScope::kCrossRack)
+        raw_bw *= cross_rack_bw_scale;
+    const double bw_eff = transport == Transport::kTcp
+                              ? config_.tcp_bw_efficiency
+                              : config_.rdma_bw_efficiency;
+    const double bw = raw_bw * bw_eff;
+    const double step_lat =
+        (transport == Transport::kTcp ? config_.tcp_step_latency_s
+                                      : config_.rdma_step_latency_s) +
+        topo.latency_s(scope);
+    const double M = model.param_bytes;
+
+    // Ring endpoints: GPUs when inside one node (NVLink ring), nodes when
+    // distributed (the node-local reduction rides NVLink and is folded
+    // into the hierarchical ring's cost via the endpoint count).
+    const int endpoints = scope == cluster::CommScope::kIntraNode
+                              ? placement.total_gpus()
+                              : int(placement.slices.size());
+    assert(endpoints >= 2);
+    const double n = double(endpoints);
+
+    if (transport == Transport::kInNetwork) {
+        // Each worker pushes M once; the switch aggregates and multicasts
+        // M back; both directions stream full duplex.
+        return M / bw + config_.innetwork_sync_overhead_s + step_lat;
+    }
+
+    switch (algorithm) {
+      case SyncAlgorithm::kRingAllReduce:
+        return 2.0 * (n - 1.0) / n * M / bw + 2.0 * (n - 1.0) * step_lat;
+      case SyncAlgorithm::kParameterServer:
+        // Single-server incast: the server NIC carries n*M in and n*M out.
+        return 2.0 * n * M / bw + 2.0 * step_lat;
+    }
+    return 0.0;
+}
+
+double
+CommModel::effective_comm_s(double sync_s, double compute_s,
+                            double overlap_fraction) const
+{
+    assert(overlap_fraction >= 0.0 && overlap_fraction <= 1.0);
+    const double hidden =
+        std::min(sync_s * overlap_fraction, compute_s);
+    return std::max(0.0, sync_s - hidden);
+}
+
+} // namespace tacc::exec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analytic communication model for distributed training.
+ *
+ * The execution layer accelerates communication with RDMA interconnects
+ * and in-network aggregation (smart NICs / switches). This model prices
+ * one gradient synchronization for a given placement:
+ *
+ *  - ring all-reduce moves 2(n-1)/n * M bytes per endpoint plus 2(n-1)
+ *    latency steps;
+ *  - a (single-server) parameter server suffers n-fold incast at the
+ *    server NIC: 2 * n * M / B;
+ *  - in-network aggregation folds the reduction into the ToR switch: each
+ *    worker sends and receives M once (~2x better than ring at scale), but
+ *    only applies within a rack.
+ *
+ * Transports scale the achievable fraction of link bandwidth and the
+ * per-step latency (TCP software stack vs kernel-bypass RDMA).
+ */
+#pragma once
+
+#include "cluster/topology.h"
+#include "cluster/types.h"
+#include "workload/model.h"
+
+namespace tacc::exec {
+
+/** Wire transport used by the collective. */
+enum class Transport { kTcp, kRdma, kInNetwork };
+
+const char *transport_name(Transport transport);
+
+/** Synchronization algorithm. */
+enum class SyncAlgorithm { kRingAllReduce, kParameterServer };
+
+const char *sync_algorithm_name(SyncAlgorithm algorithm);
+
+/** Efficiency/latency parameters per transport. */
+struct CommModelConfig {
+    double tcp_bw_efficiency = 0.60;  ///< achievable fraction of link bw
+    double rdma_bw_efficiency = 0.95;
+    double tcp_step_latency_s = 60e-6;  ///< per ring-step software latency
+    double rdma_step_latency_s = 6e-6;
+    /** Extra per-sync fixed cost of the in-network path (switch setup). */
+    double innetwork_sync_overhead_s = 10e-6;
+};
+
+/** Prices gradient synchronizations for placements. */
+class CommModel
+{
+  public:
+    explicit CommModel(CommModelConfig config = {});
+
+    const CommModelConfig &config() const { return config_; }
+
+    /**
+     * Seconds for one gradient synchronization of `model` over
+     * `placement`. Single-GPU placements cost zero.
+     *
+     * In-network aggregation falls back to RDMA ring when the placement
+     * spans racks (the ToR switch can only aggregate its own rack).
+     *
+     * @param cross_rack_bw_scale multiplier (>= 1) on the cross-rack
+     *        bandwidth, supplied by the spine-contention model: a quiet
+     *        spine delivers more than the fully-oversubscribed floor.
+     */
+    double sync_time_s(const workload::ModelProfile &model,
+                       const cluster::Placement &placement,
+                       const cluster::Topology &topo, Transport transport,
+                       SyncAlgorithm algorithm,
+                       double cross_rack_bw_scale = 1.0) const;
+
+    /**
+     * Effective seconds added to an iteration by communication, after
+     * overlapping with backward compute: the overlappable share hides
+     * under compute, the rest serializes.
+     */
+    double effective_comm_s(double sync_s, double compute_s,
+                            double overlap_fraction) const;
+
+  private:
+    CommModelConfig config_;
+};
+
+} // namespace tacc::exec

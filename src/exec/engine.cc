@@ -1,0 +1,140 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::exec {
+
+ExecutionEngine::ExecutionEngine(const cluster::Cluster &cluster,
+                                 ExecConfig config, uint64_t seed)
+    : cluster_(cluster),
+      config_(config),
+      comm_(config.comm),
+      fs_(config.fs),
+      failures_(config.failure, seed)
+{
+}
+
+void
+ExecutionEngine::register_cross_rack_job(cluster::JobId job)
+{
+    cross_rack_jobs_.insert(job);
+}
+
+void
+ExecutionEngine::unregister_cross_rack_job(cluster::JobId job)
+{
+    cross_rack_jobs_.erase(job);
+}
+
+double
+ExecutionEngine::cross_rack_bw_scale(cluster::JobId job) const
+{
+    if (!config_.model_spine_contention)
+        return 1.0;
+    // Sharers: registered cross-rack jobs, counting `job` itself once.
+    int sharers = cross_rack_jobs();
+    if (!cross_rack_jobs_.contains(job))
+        ++sharers;
+    const auto &topo_config = cluster_.topology().config();
+    const double quiet = topo_config.oversubscription;
+    const double share =
+        double(topo_config.nodes_per_rack) / double(std::max(1, sharers));
+    return std::max(1.0, std::min(quiet, share));
+}
+
+Transport
+ExecutionEngine::resolve_transport(const workload::TaskSpec &spec,
+                                   const cluster::Placement &placement) const
+{
+    const auto scope = cluster_.topology().scope_of(placement);
+    const bool rack_local = scope == cluster::CommScope::kIntraRack ||
+                            scope == cluster::CommScope::kIntraNode;
+
+    switch (spec.transport) {
+      case workload::TransportPref::kTcp:
+        return Transport::kTcp;
+      case workload::TransportPref::kRdma:
+        return config_.rdma_available ? Transport::kRdma : Transport::kTcp;
+      case workload::TransportPref::kInNetwork:
+        if (config_.innetwork_available)
+            return Transport::kInNetwork;
+        return config_.rdma_available ? Transport::kRdma : Transport::kTcp;
+      case workload::TransportPref::kAuto:
+        break;
+    }
+    // Auto: prefer switch aggregation for rack-local multi-node gangs,
+    // then RDMA, then TCP.
+    if (config_.innetwork_available && rack_local &&
+        placement.slices.size() > 1) {
+        return Transport::kInNetwork;
+    }
+    if (config_.rdma_available)
+        return Transport::kRdma;
+    return Transport::kTcp;
+}
+
+double
+ExecutionEngine::iteration_time_s(const workload::Job &job,
+                                  const cluster::Placement &placement) const
+{
+    const auto &model = job.model();
+    // A synchronous gang advances at its slowest worker: mixed-generation
+    // placements run at the weakest GPU's speed.
+    double gpu_tflops = cluster_.config().node.gpu.tflops;
+    for (const auto &slice : placement.slices) {
+        gpu_tflops = std::min(
+            gpu_tflops, cluster_.node(slice.node).spec().gpu.tflops);
+    }
+    const double compute_s = model.compute_time_s(gpu_tflops);
+
+    const Transport transport =
+        resolve_transport(job.spec(), placement);
+    const double sync_s = comm_.sync_time_s(
+        model, placement, cluster_.topology(), transport,
+        config_.sync_algorithm, cross_rack_bw_scale(job.id()));
+    const double exposed_comm_s =
+        comm_.effective_comm_s(sync_s, compute_s, model.overlap_fraction);
+
+    // Input pipeline streams from the shared FS in parallel with the
+    // compute+sync critical path; it binds only when slower.
+    const double input_bytes =
+        model.input_mib_per_iter * 1024.0 * 1024.0 *
+        double(placement.total_gpus());
+    const double io_s = fs_.read_time_s(input_bytes);
+
+    double iter = std::max(compute_s + exposed_comm_s, io_s);
+    // Periodic checkpoints steal a slice of every interval.
+    if (config_.checkpoint_interval_s > 0) {
+        iter *= 1.0 + config_.checkpoint_cost_s /
+                          config_.checkpoint_interval_s;
+    }
+    return iter;
+}
+
+SegmentPlan
+ExecutionEngine::plan_segment(const workload::Job &job,
+                              const cluster::Placement &placement,
+                              compiler::RuntimeKind compiled_runtime)
+{
+    SegmentPlan plan;
+    plan.runtime = failures_.choose_runtime(job, compiled_runtime);
+    plan.transport = resolve_transport(job.spec(), placement);
+    plan.iteration_s = iteration_time_s(job, placement);
+    assert(plan.iteration_s > 0);
+
+    double startup_s = plan.runtime == compiler::RuntimeKind::kContainer
+                           ? config_.container_startup_s
+                           : config_.baremetal_startup_s;
+    if (job.segment_count() > 0)
+        startup_s += config_.restart_overhead_s; // checkpoint restore
+    plan.startup = Duration::from_seconds(startup_s);
+
+    const Duration horizon =
+        plan.startup + job.remaining_runtime(plan.iteration_s);
+    plan.failure_after = failures_.sample_segment_failure(
+        job, placement, plan.runtime, horizon);
+    return plan;
+}
+
+} // namespace tacc::exec

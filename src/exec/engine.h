@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Execution Layer (layer 4 of the TACC workflow abstraction).
+ *
+ * The engine connects a task to the underlying runtime system and prices
+ * its execution: it resolves the transport (RDMA / TCP / in-network
+ * aggregation) for a placement, combines compute, communication, and
+ * input-pipeline time into a per-iteration wall time, charges runtime
+ * startup and checkpoint-restore overheads, and injects failures via the
+ * FailureModel (with fail-safe runtime switching).
+ */
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "compiler/compiler.h"
+#include "exec/comm_model.h"
+#include "exec/failure.h"
+#include "exec/fs.h"
+#include "workload/job.h"
+
+namespace tacc::exec {
+
+/** Execution-layer configuration. */
+struct ExecConfig {
+    CommModelConfig comm;
+    FsConfig fs;
+    FailureConfig failure;
+    /**
+     * Model spine contention: cross-rack bandwidth degrades from the
+     * full NIC rate (quiet fabric) down to the oversubscription floor as
+     * concurrent cross-rack jobs accumulate.
+     */
+    bool model_spine_contention = true;
+    SyncAlgorithm sync_algorithm = SyncAlgorithm::kRingAllReduce;
+    /** Hardware capabilities of this deployment. */
+    bool rdma_available = true;
+    bool innetwork_available = true;
+    /** Segment startup overheads by runtime. */
+    double container_startup_s = 12.0;
+    double baremetal_startup_s = 2.0;
+    /** Checkpoint-restore cost when a job restarts after preemption or
+     *  failure (applies from the second segment on). */
+    double restart_overhead_s = 30.0;
+    /**
+     * Periodic checkpoint interval (segment compute time). A crash rolls
+     * the job back to its last checkpoint; zero disables periodic
+     * checkpoints entirely, so a crash loses the whole segment.
+     * Graceful preemption always checkpoints on demand and loses
+     * nothing either way.
+     */
+    double checkpoint_interval_s = 0.0;
+    /** Wall cost of writing one checkpoint, amortized into iterations. */
+    double checkpoint_cost_s = 5.0;
+};
+
+/** Everything the core needs to run one segment of a job. */
+struct SegmentPlan {
+    compiler::RuntimeKind runtime = compiler::RuntimeKind::kContainer;
+    Transport transport = Transport::kRdma;
+    /** Wall seconds per training iteration at this placement. */
+    double iteration_s = 0;
+    /** Startup + (if a restart) checkpoint-restore time. */
+    Duration startup;
+    /** If set, the segment dies this long after its start. */
+    std::optional<Duration> failure_after;
+};
+
+/** The execution engine: pricing, transport resolution, failures. */
+class ExecutionEngine
+{
+  public:
+    ExecutionEngine(const cluster::Cluster &cluster, ExecConfig config,
+                    uint64_t seed = 1);
+
+    const ExecConfig &config() const { return config_; }
+    const CommModel &comm_model() const { return comm_; }
+    SharedFilesystem &fs() { return fs_; }
+    FailureModel &failures() { return failures_; }
+
+    /** @name Spine-contention bookkeeping (cross-rack jobs). */
+    ///@{
+    void register_cross_rack_job(cluster::JobId job);
+    void unregister_cross_rack_job(cluster::JobId job);
+    int cross_rack_jobs() const { return int(cross_rack_jobs_.size()); }
+    /**
+     * Bandwidth multiplier (>= 1) a cross-rack collective of `job` sees:
+     * min(oversubscription, nodes_per_rack / sharers). With one sharer a
+     * quiet spine delivers the full NIC rate; at full contention the
+     * static oversubscription floor holds.
+     */
+    double cross_rack_bw_scale(cluster::JobId job) const;
+    ///@}
+
+    /**
+     * Transport the engine selects for a job at a placement: the user's
+     * explicit preference if the hardware offers it, otherwise in-network
+     * aggregation for rack-local gangs, then RDMA, then TCP.
+     */
+    Transport resolve_transport(const workload::TaskSpec &spec,
+                                const cluster::Placement &placement) const;
+
+    /**
+     * Wall seconds per iteration for a job at a placement, at the current
+     * shared-filesystem load: max(compute + exposed-comm, input-pipeline).
+     */
+    double iteration_time_s(const workload::Job &job,
+                            const cluster::Placement &placement) const;
+
+    /**
+     * Plans a segment: resolves runtime (with fail-safe switching) and
+     * transport, prices the iteration, charges startup/restart overheads,
+     * and samples failure for the expected segment length.
+     */
+    SegmentPlan plan_segment(const workload::Job &job,
+                             const cluster::Placement &placement,
+                             compiler::RuntimeKind compiled_runtime);
+
+  private:
+    const cluster::Cluster &cluster_;
+    ExecConfig config_;
+    CommModel comm_;
+    SharedFilesystem fs_;
+    FailureModel failures_;
+    std::set<cluster::JobId> cross_rack_jobs_;
+};
+
+} // namespace tacc::exec

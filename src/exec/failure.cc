@@ -1,0 +1,99 @@
+#include "exec/failure.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::exec {
+
+FailureModel::FailureModel(FailureConfig config, uint64_t seed)
+    : config_(config), seed_(seed), rng_(seed ^ 0xfa11'5afe'0000'0001ULL)
+{
+    assert(config_.max_attempts >= 1);
+    assert(config_.persistent_prob >= 0 && config_.persistent_prob <= 1);
+}
+
+std::optional<compiler::RuntimeKind>
+FailureModel::bad_runtime_of(const workload::Job &job) const
+{
+    if (config_.persistent_prob <= 0)
+        return std::nullopt;
+    // Deterministic per (seed, job): hash into [0, 1).
+    uint64_t state = seed_ ^ (job.id() * 0x9e3779b97f4a7c15ULL);
+    const uint64_t h = split_mix64(state);
+    const double u = double(h >> 11) * 0x1.0p-53;
+    if (u >= config_.persistent_prob)
+        return std::nullopt;
+    // Which runtime is broken is also deterministic.
+    return (split_mix64(state) & 1) ? compiler::RuntimeKind::kContainer
+                                    : compiler::RuntimeKind::kBareMetal;
+}
+
+bool
+FailureModel::is_incompatible(const workload::Job &job,
+                              compiler::RuntimeKind runtime) const
+{
+    const auto bad = bad_runtime_of(job);
+    return bad.has_value() && *bad == runtime;
+}
+
+compiler::RuntimeKind
+FailureModel::choose_runtime(const workload::Job &job,
+                             compiler::RuntimeKind compiled) const
+{
+    if (!config_.failsafe_switching)
+        return compiled;
+    auto it = failures_.find(job.id());
+    if (it == failures_.end() || it->second == 0)
+        return compiled;
+    // After any failure, alternate runtimes on each retry: the cheapest
+    // robust policy when the fault may be runtime-specific.
+    const bool flip = (it->second % 2) == 1;
+    if (!flip)
+        return compiled;
+    return compiled == compiler::RuntimeKind::kContainer
+               ? compiler::RuntimeKind::kBareMetal
+               : compiler::RuntimeKind::kContainer;
+}
+
+std::optional<Duration>
+FailureModel::sample_segment_failure(const workload::Job &job,
+                                     const cluster::Placement &placement,
+                                     compiler::RuntimeKind runtime,
+                                     Duration horizon)
+{
+    std::optional<Duration> first;
+
+    if (is_incompatible(job, runtime)) {
+        first = Duration::from_seconds(config_.persistent_fail_after_s);
+    }
+
+    if (config_.node_mtbf_hours > 0 && !placement.slices.empty()) {
+        // Minimum of exponentials across the gang's nodes.
+        const double per_node_mean_s = config_.node_mtbf_hours * 3600.0;
+        const double mean_s =
+            per_node_mean_s / double(placement.slices.size());
+        const Duration t = Duration::from_seconds(rng_.exponential(mean_s));
+        if (t < horizon && (!first || t < *first))
+            first = t;
+    }
+
+    if (first && *first >= horizon)
+        return std::nullopt;
+    return first;
+}
+
+bool
+FailureModel::on_failure(const workload::Job &job)
+{
+    const int attempts = ++failures_[job.id()];
+    return attempts >= config_.max_attempts;
+}
+
+int
+FailureModel::attempts_of(cluster::JobId job) const
+{
+    auto it = failures_.find(job);
+    return it == failures_.end() ? 0 : it->second;
+}
+
+} // namespace tacc::exec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Failure injection and fail-safe runtime switching.
+ *
+ * Two failure modes are modelled:
+ *
+ *  - *Transient* node faults: each node fails independently with an
+ *    exponential MTBF; a fault on any node of a segment kills the segment
+ *    (the gang restarts from the last checkpoint).
+ *  - *Persistent* runtime incompatibility: a small fraction of jobs cannot
+ *    run on one of the two runtime systems (driver/library mismatch). Such
+ *    a segment always dies shortly after starting. This is the failure the
+ *    Execution Layer's "fail-safe switching" (Table 1) exists for: after a
+ *    persistent-looking failure, the job is retried on the other runtime.
+ */
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "compiler/compiler.h"
+#include "workload/job.h"
+
+namespace tacc::exec {
+
+/** Failure-injection parameters. */
+struct FailureConfig {
+    /** Mean time between transient faults per node; <=0 disables. */
+    double node_mtbf_hours = 0.0;
+    /** Probability a job is incompatible with one runtime; 0 disables. */
+    double persistent_prob = 0.0;
+    /** Whether fail-safe runtime switching is enabled. */
+    bool failsafe_switching = true;
+    /** Attempts before the system gives up on a job. */
+    int max_attempts = 4;
+    /** A persistent-incompatibility segment dies this long after start. */
+    double persistent_fail_after_s = 120.0;
+};
+
+/** Per-job failure state plus sampling. */
+class FailureModel
+{
+  public:
+    FailureModel(FailureConfig config, uint64_t seed);
+
+    const FailureConfig &config() const { return config_; }
+
+    /**
+     * Runtime the next segment of this job should use, applying fail-safe
+     * switching on top of the compiler's choice.
+     */
+    compiler::RuntimeKind choose_runtime(const workload::Job &job,
+                                         compiler::RuntimeKind compiled)
+        const;
+
+    /**
+     * Samples the time (from segment start) at which this segment fails,
+     * or nullopt if it survives `horizon`.
+     */
+    std::optional<Duration> sample_segment_failure(
+        const workload::Job &job, const cluster::Placement &placement,
+        compiler::RuntimeKind runtime, Duration horizon);
+
+    /** Records a segment failure; returns true if the job is out of
+     *  attempts and must be failed permanently. */
+    bool on_failure(const workload::Job &job);
+
+    int attempts_of(cluster::JobId job) const;
+
+    /** True if the job is runtime-incompatible with `runtime` (test
+     *  introspection). */
+    bool is_incompatible(const workload::Job &job,
+                         compiler::RuntimeKind runtime) const;
+
+  private:
+    /** Deterministic per-job "bad runtime", if the job has one. */
+    std::optional<compiler::RuntimeKind>
+    bad_runtime_of(const workload::Job &job) const;
+
+    FailureConfig config_;
+    uint64_t seed_;
+    Rng rng_;
+    std::unordered_map<cluster::JobId, int> failures_;
+};
+
+} // namespace tacc::exec

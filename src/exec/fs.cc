@@ -1,0 +1,44 @@
+#include "exec/fs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::exec {
+
+SharedFilesystem::SharedFilesystem(FsConfig config) : config_(config)
+{
+    assert(config_.aggregate_read_gbps > 0);
+    assert(config_.per_client_gbps > 0);
+}
+
+void
+SharedFilesystem::register_reader(cluster::JobId job)
+{
+    readers_.insert(job);
+}
+
+void
+SharedFilesystem::unregister_reader(cluster::JobId job)
+{
+    readers_.erase(job);
+}
+
+double
+SharedFilesystem::read_bw_Bps() const
+{
+    const double to_Bps = 1e9 / 8.0;
+    const int n = std::max(1, int(readers_.size()));
+    const double share = config_.aggregate_read_gbps * to_Bps / double(n);
+    return std::min(share, config_.per_client_gbps * to_Bps);
+}
+
+double
+SharedFilesystem::read_time_s(double bytes) const
+{
+    assert(bytes >= 0);
+    if (bytes == 0)
+        return 0.0;
+    return bytes / read_bw_Bps();
+}
+
+} // namespace tacc::exec

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared networked-filesystem model ("reliable networked file system for
+ * shared big data storage").
+ *
+ * Concurrent training jobs stream input data from the shared store; the
+ * aggregate read bandwidth is divided equally among active readers. The
+ * input pipeline runs concurrently with compute, so it only lengthens an
+ * iteration when it is the slower of the two (see
+ * ExecutionEngine::iteration_time_s).
+ */
+#pragma once
+
+#include <unordered_set>
+
+#include "cluster/types.h"
+
+namespace tacc::exec {
+
+/** Parameters of the shared storage tier. */
+struct FsConfig {
+    /** Aggregate read bandwidth of the storage cluster. */
+    double aggregate_read_gbps = 1600.0;
+    /** Per-client NIC ceiling on read throughput. */
+    double per_client_gbps = 50.0;
+};
+
+/** Equal-share bandwidth model over the set of active readers. */
+class SharedFilesystem
+{
+  public:
+    explicit SharedFilesystem(FsConfig config = {});
+
+    const FsConfig &config() const { return config_; }
+
+    void register_reader(cluster::JobId job);
+    void unregister_reader(cluster::JobId job);
+    int active_readers() const { return int(readers_.size()); }
+
+    /**
+     * Read bandwidth (bytes/second) one job currently sees: the equal
+     * share of the aggregate, capped by the client NIC.
+     */
+    double read_bw_Bps() const;
+
+    /**
+     * Seconds to stream `bytes` at the current share. Returns 0 for zero
+     * bytes.
+     */
+    double read_time_s(double bytes) const;
+
+  private:
+    FsConfig config_;
+    std::unordered_set<cluster::JobId> readers_;
+};
+
+} // namespace tacc::exec

@@ -1,0 +1,61 @@
+#include "exec/monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::exec {
+
+MonitorHub::MonitorHub(int node_count, size_t per_node_capacity)
+    : capacity_(per_node_capacity), buffers_(size_t(node_count))
+{
+    assert(node_count > 0 && per_node_capacity > 0);
+}
+
+void
+MonitorHub::emit(TimePoint t, cluster::JobId job, cluster::NodeId node,
+                 std::string text)
+{
+    assert(size_t(node) < buffers_.size());
+    auto &buf = buffers_[node];
+    if (buf.size() >= capacity_) {
+        buf.pop_front();
+        ++dropped_;
+    }
+    buf.push_back(LogLine{t, job, node, std::move(text)});
+    ++emitted_;
+}
+
+void
+MonitorHub::emit_all(TimePoint t, cluster::JobId job,
+                     const cluster::Placement &placement,
+                     const std::string &text)
+{
+    for (const auto &slice : placement.slices)
+        emit(t, job, slice.node, text);
+}
+
+std::vector<LogLine>
+MonitorHub::aggregate(cluster::JobId job) const
+{
+    std::vector<LogLine> out;
+    for (const auto &buf : buffers_) {
+        for (const auto &line : buf) {
+            if (line.job == job)
+                out.push_back(line);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const LogLine &a, const LogLine &b) {
+                         return a.time < b.time;
+                     });
+    return out;
+}
+
+size_t
+MonitorHub::node_line_count(cluster::NodeId node) const
+{
+    assert(size_t(node) < buffers_.size());
+    return buffers_[node].size();
+}
+
+} // namespace tacc::exec

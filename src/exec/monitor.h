@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Distributed monitoring: per-node log capture and cross-node aggregation.
+ *
+ * When a task runs distributed, each worker node writes status lines to a
+ * bounded local buffer; MonitorHub merges the per-node streams of a job
+ * into one time-ordered view, which is what `tcloud logs` shows the user
+ * at their terminal.
+ */
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/time.h"
+
+namespace tacc::exec {
+
+/** One captured log line. */
+struct LogLine {
+    TimePoint time;
+    cluster::JobId job = cluster::kInvalidJob;
+    cluster::NodeId node = cluster::kInvalidNode;
+    std::string text;
+};
+
+/** Per-node bounded log buffer plus job-scoped aggregation. */
+class MonitorHub
+{
+  public:
+    /**
+     * @param node_count number of nodes monitored
+     * @param per_node_capacity lines retained per node (oldest dropped)
+     */
+    MonitorHub(int node_count, size_t per_node_capacity = 4096);
+
+    /** Appends a line to one node's buffer. */
+    void emit(TimePoint t, cluster::JobId job, cluster::NodeId node,
+              std::string text);
+
+    /** Convenience: emits the same line on every node of a placement. */
+    void emit_all(TimePoint t, cluster::JobId job,
+                  const cluster::Placement &placement,
+                  const std::string &text);
+
+    /**
+     * Aggregated, time-ordered log of a job across all nodes (the
+     * distributed-debugging view).
+     */
+    std::vector<LogLine> aggregate(cluster::JobId job) const;
+
+    /** Lines currently buffered on one node. */
+    size_t node_line_count(cluster::NodeId node) const;
+
+    uint64_t total_emitted() const { return emitted_; }
+    uint64_t total_dropped() const { return dropped_; }
+
+  private:
+    size_t capacity_;
+    std::vector<std::deque<LogLine>> buffers_;
+    uint64_t emitted_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace tacc::exec

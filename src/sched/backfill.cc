@@ -1,0 +1,57 @@
+/**
+ * @file
+ * EASY and conservative backfill.
+ *
+ * Both variants walk the queue in arrival order against a free-capacity
+ * timeline built from the running jobs' projected completions. A job whose
+ * earliest feasible window is "now" (and that actually places) starts; a
+ * blocked job gets a reservation that debits the timeline — for the head
+ * of the queue only (EASY) or for every blocked job (conservative). Later
+ * candidates therefore cannot start in a way that would delay a
+ * reservation.
+ */
+#include "sched/capacity_profile.h"
+#include "sched/greedy.h"
+#include "sched/schedulers.h"
+#include "sched/usage.h"
+
+namespace tacc::sched {
+
+ScheduleDecision
+BackfillScheduler::schedule(const SchedulerContext &ctx)
+{
+    ScheduleDecision out;
+    FreeView view(*ctx.cluster);
+    auto held = detail::held_by_group(ctx);
+
+    CapacityProfile profile(ctx.now, view.total_free());
+    for (const auto &r : ctx.running) {
+        // The system's runtime estimate for running jobs is the actual
+        // projected end (Slurm would use the time limit; our monitoring
+        // layer knows iteration progress, which is strictly better).
+        profile.add_release(r.expected_end, r.job->running_gpus());
+    }
+
+    bool reserved_head = false;
+    for (workload::Job *job : detail::pending_by_arrival(ctx)) {
+        const int gpus = job->spec().gpus;
+        const Duration bound =
+            detail::runtime_bound(ctx, *job, use_estimates_);
+        const TimePoint fit = profile.earliest_fit(gpus, bound);
+        if (fit == ctx.now &&
+            detail::try_start(ctx, view, held, job, gpus, &out)) {
+            profile.reserve(ctx.now, bound, gpus);
+            continue;
+        }
+        // Blocked (by capacity, placement fragmentation, or quota).
+        if (conservative_) {
+            profile.reserve(fit, bound, gpus);
+        } else if (!reserved_head) {
+            profile.reserve(fit, bound, gpus);
+            reserved_head = true;
+        }
+    }
+    return out;
+}
+
+} // namespace tacc::sched

@@ -1,0 +1,104 @@
+#include "sched/capacity_profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::sched {
+
+CapacityProfile::CapacityProfile(TimePoint now, int free_now)
+    : now_(now), horizon_(now + Duration::days(365))
+{
+    time_.push_back(now);
+    capacity_.push_back(free_now);
+}
+
+TimePoint
+CapacityProfile::clamp_end(TimePoint start, Duration duration) const
+{
+    // Avoid overflow on absurd durations; the horizon is beyond any
+    // simulated workload.
+    if (duration > horizon_ - start)
+        return horizon_;
+    return start + duration;
+}
+
+void
+CapacityProfile::add_release(TimePoint t, int gpus)
+{
+    assert(gpus >= 0);
+    if (gpus == 0)
+        return;
+    t = std::max(t, now_);
+    t = std::min(t, horizon_);
+    // Insert a breakpoint at t (if missing), then raise capacity from t on.
+    auto it = std::lower_bound(time_.begin(), time_.end(), t);
+    size_t idx = size_t(it - time_.begin());
+    if (it == time_.end() || *it != t) {
+        time_.insert(it, t);
+        capacity_.insert(capacity_.begin() + long(idx),
+                         capacity_[idx - 1]);
+    }
+    for (size_t i = idx; i < capacity_.size(); ++i)
+        capacity_[i] += gpus;
+}
+
+int
+CapacityProfile::capacity_at(TimePoint t) const
+{
+    auto it = std::upper_bound(time_.begin(), time_.end(), t);
+    assert(it != time_.begin());
+    return capacity_[size_t(it - time_.begin()) - 1];
+}
+
+TimePoint
+CapacityProfile::earliest_fit(int gpus, Duration duration) const
+{
+    assert(gpus >= 0);
+    for (size_t start_idx = 0; start_idx < time_.size(); ++start_idx) {
+        const TimePoint start = time_[start_idx];
+        const TimePoint end = clamp_end(start, duration);
+        bool fits = true;
+        for (size_t i = start_idx; i < time_.size() && time_[i] < end; ++i) {
+            if (capacity_[i] < gpus) {
+                fits = false;
+                break;
+            }
+        }
+        if (fits)
+            return start;
+    }
+    return TimePoint::max();
+}
+
+void
+CapacityProfile::reserve(TimePoint start, Duration duration, int gpus)
+{
+    assert(gpus >= 0);
+    if (gpus == 0)
+        return;
+    start = std::max(start, now_);
+    const TimePoint end = clamp_end(start, duration);
+    if (end <= start)
+        return;
+
+    auto ensure_breakpoint = [&](TimePoint t) {
+        auto it = std::lower_bound(time_.begin(), time_.end(), t);
+        const size_t idx = size_t(it - time_.begin());
+        if (it == time_.end() || *it != t) {
+            assert(idx > 0);
+            time_.insert(it, t);
+            capacity_.insert(capacity_.begin() + long(idx),
+                             capacity_[idx - 1]);
+        }
+    };
+    ensure_breakpoint(start);
+    if (end < horizon_)
+        ensure_breakpoint(end);
+
+    for (size_t i = 0; i < time_.size(); ++i) {
+        if (time_[i] >= start && time_[i] < end)
+            capacity_[i] -= gpus;
+    }
+}
+
+} // namespace tacc::sched

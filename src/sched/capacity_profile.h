@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Piecewise-constant free-capacity timeline used by backfill.
+ *
+ * The profile starts from the GPUs free right now, gains capacity at the
+ * projected end of each running job, and loses capacity where reservations
+ * are placed. Backfill asks it two questions: "when is the earliest window
+ * with room for this job?" and "does starting this candidate now delay an
+ * existing reservation?" (answered implicitly, because reservations have
+ * already debited the profile).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace tacc::sched {
+
+/** Free-GPU capacity as a step function of time. */
+class CapacityProfile
+{
+  public:
+    /**
+     * @param now start of the timeline
+     * @param free_now GPUs free at `now`
+     */
+    CapacityProfile(TimePoint now, int free_now);
+
+    /** Adds `gpus` of capacity from time t onward (a projected release). */
+    void add_release(TimePoint t, int gpus);
+
+    /**
+     * Earliest start >= now with capacity >= gpus throughout
+     * [start, start + duration). Always exists if gpus never exceeds the
+     * eventual total; otherwise returns TimePoint::max().
+     */
+    TimePoint earliest_fit(int gpus, Duration duration) const;
+
+    /** Debits `gpus` of capacity over [start, start + duration). */
+    void reserve(TimePoint start, Duration duration, int gpus);
+
+    /** Capacity at an instant. */
+    int capacity_at(TimePoint t) const;
+
+    TimePoint start() const { return now_; }
+
+  private:
+    /** Clamps additions so reservations cannot overflow the horizon. */
+    TimePoint clamp_end(TimePoint start, Duration duration) const;
+
+    TimePoint now_;
+    TimePoint horizon_;
+    /** Sorted breakpoints; capacity_[i] holds on [time_[i], time_[i+1]). */
+    std::vector<TimePoint> time_;
+    std::vector<int> capacity_;
+};
+
+} // namespace tacc::sched

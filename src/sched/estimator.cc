@@ -1,0 +1,61 @@
+#include "sched/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::sched {
+
+RuntimeEstimator::RuntimeEstimator(double safety_factor, double ema_alpha)
+    : safety_(safety_factor), alpha_(ema_alpha)
+{
+    assert(safety_ >= 1.0);
+    assert(alpha_ > 0.0 && alpha_ <= 1.0);
+}
+
+std::string
+RuntimeEstimator::key_of(const workload::Job &job)
+{
+    return job.spec().user + "|" + job.spec().model;
+}
+
+void
+RuntimeEstimator::observe(const workload::Job &job)
+{
+    if (job.state() != workload::JobState::kCompleted)
+        return;
+    if (job.iterations_done() <= 0 || job.spec().gpus <= 0)
+        return;
+    // Realized wall service per iteration at the job's requested scale:
+    // GPU-seconds normalizes away elastic resizes and retries.
+    const double sample = job.gpu_seconds() /
+                          double(job.spec().gpus) /
+                          double(job.iterations_done());
+    auto &entry = entries_[key_of(job)];
+    if (entry.count == 0)
+        entry.per_iter_s = sample;
+    else
+        entry.per_iter_s = alpha_ * sample + (1.0 - alpha_) * entry.per_iter_s;
+    ++entry.count;
+    ++observations_;
+}
+
+bool
+RuntimeEstimator::has_history(const workload::Job &job) const
+{
+    auto it = entries_.find(key_of(job));
+    return it != entries_.end() && it->second.count > 0;
+}
+
+Duration
+RuntimeEstimator::predict(const workload::Job &job) const
+{
+    auto it = entries_.find(key_of(job));
+    if (it == entries_.end() || it->second.count == 0)
+        return job.spec().time_limit;
+    const double predicted_s = it->second.per_iter_s *
+                               double(job.spec().iterations) * safety_;
+    return std::min(Duration::from_seconds(predicted_s),
+                    job.spec().time_limit);
+}
+
+} // namespace tacc::sched

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Online job-runtime estimation for the scheduling layer.
+ *
+ * The paper's scheduling layer conditions on "runtime characteristic:
+ * expected duration" (Table 1). User-provided time limits overestimate
+ * runtimes by 1.5-4x in practice, which makes backfill reservations
+ * loose and SJF orderings wrong. The estimator learns per-(user, model)
+ * service rates from completed jobs — the classic "predict from the
+ * user's history" scheme (JVuPredict/3Sigma-style, simplified to an
+ * exponential moving average of per-iteration service time).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace tacc::sched {
+
+/** Learns per-(user, model) runtimes; falls back to the user limit. */
+class RuntimeEstimator
+{
+  public:
+    /**
+     * @param safety_factor multiplier on the raw prediction (backfill
+     *        reservations must rarely under-run)
+     * @param ema_alpha weight of the newest observation
+     */
+    explicit RuntimeEstimator(double safety_factor = 1.25,
+                              double ema_alpha = 0.3);
+
+    /**
+     * Records a completed job: its realized service seconds per
+     * iteration become the newest sample for (user, model).
+     */
+    void observe(const workload::Job &job);
+
+    /**
+     * Predicted total runtime of a job, never exceeding the user's time
+     * limit (the system kills at the limit, so it is a hard bound).
+     * Without history for (user, model), returns the time limit.
+     */
+    Duration predict(const workload::Job &job) const;
+
+    /** True if a prediction (not just the fallback) exists for the job. */
+    bool has_history(const workload::Job &job) const;
+
+    size_t tracked_keys() const { return entries_.size(); }
+    uint64_t observations() const { return observations_; }
+
+  private:
+    struct Entry {
+        double per_iter_s = 0;
+        uint64_t count = 0;
+    };
+
+    static std::string key_of(const workload::Job &job);
+
+    double safety_;
+    double alpha_;
+    uint64_t observations_ = 0;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+} // namespace tacc::sched

@@ -1,0 +1,60 @@
+#include "sched/schedulers.h"
+
+namespace tacc::sched {
+
+std::unique_ptr<Scheduler>
+make_scheduler(const std::string &name, const SchedulerOptions &opts)
+{
+    if (name == "fifo")
+        return std::make_unique<FifoScheduler>(true);
+    if (name == "fifo-skip")
+        return std::make_unique<FifoScheduler>(false);
+    if (name == "sjf")
+        return std::make_unique<SjfScheduler>(false);
+    if (name == "sjf-pred")
+        return std::make_unique<SjfScheduler>(true);
+    if (name == "fairshare")
+        return std::make_unique<FairShareScheduler>(opts);
+    if (name == "backfill-easy")
+        return std::make_unique<BackfillScheduler>(false);
+    if (name == "backfill-cons")
+        return std::make_unique<BackfillScheduler>(true);
+    if (name == "backfill-pred")
+        return std::make_unique<BackfillScheduler>(false, true);
+    if (name == "backfill-cons-pred")
+        return std::make_unique<BackfillScheduler>(true, true);
+    if (name == "qos-preempt")
+        return std::make_unique<QosPreemptScheduler>(true);
+    if (name == "qos-nopreempt")
+        return std::make_unique<QosPreemptScheduler>(false);
+    if (name == "las")
+        return std::make_unique<LasScheduler>(
+            opts.las_queue_threshold_gpu_s);
+    if (name == "gang")
+        return std::make_unique<GangScheduler>(opts.gang_quantum);
+    if (name == "drf")
+        return std::make_unique<DrfScheduler>();
+    if (name == "edf")
+        return std::make_unique<EdfScheduler>(false);
+    if (name == "edf-preempt")
+        return std::make_unique<EdfScheduler>(true);
+    if (name == "elastic")
+        return std::make_unique<ElasticScheduler>(opts.elastic_period);
+    return nullptr;
+}
+
+std::vector<std::string>
+scheduler_names()
+{
+    return {"fifo",          "fifo-skip",
+            "sjf",           "sjf-pred",
+            "fairshare",     "backfill-easy",
+            "backfill-cons", "backfill-pred",
+            "backfill-cons-pred",
+            "qos-preempt",   "qos-nopreempt",
+            "las",           "gang",
+            "drf",           "edf",
+            "edf-preempt",   "elastic"};
+}
+
+} // namespace tacc::sched

@@ -1,0 +1,64 @@
+#include "sched/free_view.h"
+
+#include <cassert>
+
+namespace tacc::sched {
+
+FreeView::FreeView(const cluster::Cluster &cluster)
+{
+    free_.reserve(size_t(cluster.node_count()));
+    capacity_.reserve(size_t(cluster.node_count()));
+    for (const auto &node : cluster.nodes()) {
+        free_.push_back(node.free_gpu_count());
+        capacity_.push_back(node.gpu_count());
+    }
+    total_free_ = cluster.free_gpus();
+    max_capacity_ = cluster.max_gpus_per_node();
+}
+
+void
+FreeView::take(const cluster::Placement &placement)
+{
+    for (const auto &slice : placement.slices) {
+        assert(size_t(slice.node) < free_.size());
+        const int n = int(slice.gpu_indices.size());
+        assert(free_[slice.node] >= n);
+        free_[slice.node] -= n;
+        total_free_ -= n;
+    }
+}
+
+void
+FreeView::give(const cluster::Placement &placement)
+{
+    for (const auto &slice : placement.slices) {
+        assert(size_t(slice.node) < free_.size());
+        const int n = int(slice.gpu_indices.size());
+        free_[slice.node] += n;
+        assert(free_[slice.node] <= capacity_[slice.node]);
+        total_free_ += n;
+    }
+}
+
+bool
+FreeView::fits(const cluster::Placement &placement) const
+{
+    for (const auto &slice : placement.slices) {
+        assert(size_t(slice.node) < free_.size());
+        if (free_[slice.node] < int(slice.gpu_indices.size()))
+            return false;
+    }
+    return true;
+}
+
+bool
+FreeView::fits_single_node(int n) const
+{
+    for (int f : free_) {
+        if (f >= n)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tacc::sched

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trial-allocation view of cluster free capacity.
+ *
+ * Schedulers plan several starts (and preemptions) per decision without
+ * touching the real cluster; FreeView is the cheap scratch copy of per-node
+ * free GPU counts they plan against.
+ */
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/types.h"
+
+namespace tacc::sched {
+
+/** Mutable snapshot of free GPUs per node. */
+class FreeView
+{
+  public:
+    explicit FreeView(const cluster::Cluster &cluster);
+
+    int free(cluster::NodeId node) const { return free_[node]; }
+    int total_free() const { return total_free_; }
+    int node_count() const { return int(free_.size()); }
+    /** GPU capacity of one node (racks may differ in hardware). */
+    int node_capacity(cluster::NodeId node) const
+    {
+        return capacity_[node];
+    }
+    /** Largest per-node capacity in the cluster. */
+    int max_node_capacity() const { return max_capacity_; }
+
+    /** Removes a placement's GPUs from the view. */
+    void take(const cluster::Placement &placement);
+
+    /** Returns a placement's GPUs to the view (e.g. a planned victim). */
+    void give(const cluster::Placement &placement);
+
+    /** True if some single node has at least n free GPUs. */
+    bool fits_single_node(int n) const;
+
+    /** True if every slice of the placement still fits in the view. */
+    bool fits(const cluster::Placement &placement) const;
+
+  private:
+    std::vector<int> free_;
+    std::vector<int> capacity_;
+    int total_free_ = 0;
+    int max_capacity_ = 0;
+};
+
+} // namespace tacc::sched

@@ -1,0 +1,105 @@
+#include "sched/greedy.h"
+
+#include <algorithm>
+
+#include "sched/estimator.h"
+#include "sched/placement.h"
+#include "sched/usage.h"
+
+namespace tacc::sched::detail {
+
+std::unordered_map<std::string, int>
+held_by_group(const SchedulerContext &ctx)
+{
+    std::unordered_map<std::string, int> held;
+    for (const auto &r : ctx.running)
+        held[r.job->spec().group] += r.job->running_gpus();
+    return held;
+}
+
+int
+per_node_limit(const SchedulerContext &ctx, const workload::Job &job)
+{
+    return std::min(job.spec().gpus_per_node_limit,
+                    ctx.cluster->max_gpus_per_node());
+}
+
+bool
+try_start(const SchedulerContext &ctx, FreeView &view,
+          std::unordered_map<std::string, int> &held, workload::Job *job,
+          int gpus, ScheduleDecision *out)
+{
+    const auto &group = job->spec().group;
+    if (ctx.quota && ctx.quota->would_exceed(group, held[group], gpus))
+        return false;
+    const int limit = per_node_limit(ctx, *job);
+
+    StatusOr<cluster::Placement> plan =
+        Status::resource_exhausted("unplanned");
+    if (!job->spec().gpu_model.empty()) {
+        // Hard requirement: only nodes with the requested GPU model.
+        const auto mask =
+            ctx.cluster->eligible_mask(job->spec().gpu_model);
+        plan = ctx.placement->plan(view, ctx.cluster->topology(), gpus,
+                                   limit, &mask);
+    } else if (ctx.avoid_gpu_mixing) {
+        // Soft policy: try one hardware generation at a time so a gang
+        // never mixes GPU speeds (it would run at the slowest worker).
+        for (const auto &model : ctx.cluster->gpu_models()) {
+            const auto mask = ctx.cluster->eligible_mask(model);
+            plan = ctx.placement->plan(view, ctx.cluster->topology(),
+                                       gpus, limit, &mask);
+            if (plan.is_ok())
+                break;
+        }
+    } else {
+        plan = ctx.placement->plan(view, ctx.cluster->topology(), gpus,
+                                   limit);
+    }
+    if (!plan.is_ok())
+        return false;
+    view.take(plan.value());
+    held[group] += gpus;
+    out->starts.push_back(StartAction{job->id(), std::move(plan.value())});
+    return true;
+}
+
+ScheduleDecision
+greedy(const SchedulerContext &ctx, const std::vector<workload::Job *> &order,
+       bool stop_on_block)
+{
+    ScheduleDecision out;
+    FreeView view(*ctx.cluster);
+    auto held = held_by_group(ctx);
+    for (workload::Job *job : order) {
+        if (!try_start(ctx, view, held, job, job->spec().gpus, &out) &&
+            stop_on_block) {
+            break;
+        }
+    }
+    return out;
+}
+
+Duration
+runtime_bound(const SchedulerContext &ctx, const workload::Job &job,
+              bool use_estimates)
+{
+    if (use_estimates && ctx.estimator)
+        return ctx.estimator->predict(job);
+    return job.spec().time_limit;
+}
+
+std::vector<workload::Job *>
+pending_by_arrival(const SchedulerContext &ctx)
+{
+    auto order = ctx.pending;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const workload::Job *a, const workload::Job *b) {
+                         if (a->submit_time() != b->submit_time())
+                             return a->submit_time() < b->submit_time();
+                         return a->id() < b->id();
+                     });
+    return order;
+}
+
+} // namespace tacc::sched::detail

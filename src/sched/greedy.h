@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared building blocks for scheduler implementations (internal).
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/free_view.h"
+#include "sched/types.h"
+
+namespace tacc::sched::detail {
+
+/** GPUs currently held per accounting group (from the running set). */
+std::unordered_map<std::string, int>
+held_by_group(const SchedulerContext &ctx);
+
+/**
+ * Attempts to start one job with `gpus` devices: checks the group quota,
+ * plans a placement against the trial view, and on success records the
+ * start in `out` and debits `view` and `held`.
+ * @return true if the start was planned.
+ */
+bool try_start(const SchedulerContext &ctx, FreeView &view,
+               std::unordered_map<std::string, int> &held,
+               workload::Job *job, int gpus, ScheduleDecision *out);
+
+/**
+ * Plans starts for jobs in the given order.
+ * @param stop_on_block true = stop at the first job that cannot start
+ *        (head-of-line semantics); false = skip it and keep trying.
+ */
+ScheduleDecision greedy(const SchedulerContext &ctx,
+                        const std::vector<workload::Job *> &order,
+                        bool stop_on_block);
+
+/** Pending jobs sorted by (submit time, id). */
+std::vector<workload::Job *> pending_by_arrival(const SchedulerContext &ctx);
+
+/** Effective per-node GPU cap for a job in this cluster. */
+int per_node_limit(const SchedulerContext &ctx, const workload::Job &job);
+
+/**
+ * Runtime bound for reservations/ordering: the learned prediction when
+ * requested and available, otherwise the user's time limit.
+ */
+Duration runtime_bound(const SchedulerContext &ctx,
+                       const workload::Job &job, bool use_estimates);
+
+} // namespace tacc::sched::detail

@@ -1,0 +1,273 @@
+#include "sched/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace tacc::sched {
+
+namespace {
+
+using cluster::NodeId;
+using cluster::Placement;
+using cluster::PlacementSlice;
+
+/** Builds a slice whose index list only conveys the GPU count. */
+PlacementSlice
+make_slice(NodeId node, int count)
+{
+    PlacementSlice slice;
+    slice.node = node;
+    slice.gpu_indices.resize(size_t(count));
+    std::iota(slice.gpu_indices.begin(), slice.gpu_indices.end(), 0);
+    return slice;
+}
+
+Status
+no_fit(int gpus)
+{
+    return Status::resource_exhausted(
+        strfmt("cannot place %d GPUs now", gpus));
+}
+
+bool
+node_ok(const std::vector<uint8_t> *eligible, NodeId node)
+{
+    return !eligible || (*eligible)[node];
+}
+
+/**
+ * Greedy fill over a given node order: take up to per_node_limit from each
+ * eligible node until the demand is met.
+ */
+StatusOr<Placement>
+fill_in_order(const FreeView &view, const std::vector<NodeId> &order,
+              int gpus, int per_node_limit,
+              const std::vector<uint8_t> *eligible)
+{
+    Placement out;
+    int remaining = gpus;
+    for (NodeId node : order) {
+        if (remaining == 0)
+            break;
+        if (!node_ok(eligible, node))
+            continue;
+        const int take =
+            std::min({view.free(node), per_node_limit, remaining});
+        if (take > 0) {
+            out.slices.push_back(make_slice(node, take));
+            remaining -= take;
+        }
+    }
+    if (remaining > 0)
+        return no_fit(gpus);
+    return out;
+}
+
+/**
+ * Tightest single node that can host the whole gang, if any.
+ * @return kInvalidNode if none.
+ */
+NodeId
+tightest_single_node(const FreeView &view, int gpus, int per_node_limit,
+                     const std::vector<uint8_t> *eligible)
+{
+    if (gpus > per_node_limit)
+        return cluster::kInvalidNode;
+    NodeId best = cluster::kInvalidNode;
+    int best_free = INT32_MAX;
+    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+        if (!node_ok(eligible, n))
+            continue;
+        const int f = view.free(n);
+        if (f >= gpus && f < best_free) {
+            best = n;
+            best_free = f;
+        }
+    }
+    return best;
+}
+
+std::vector<NodeId>
+all_nodes(const FreeView &view)
+{
+    std::vector<NodeId> order(size_t(view.node_count()));
+    std::iota(order.begin(), order.end(), NodeId(0));
+    return order;
+}
+
+} // namespace
+
+StatusOr<Placement>
+FirstFitPlacement::plan(const FreeView &view, const cluster::Topology &,
+                        int gpus, int per_node_limit,
+                        const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    return fill_in_order(view, all_nodes(view), gpus, per_node_limit,
+                         eligible);
+}
+
+StatusOr<Placement>
+PackPlacement::plan(const FreeView &view, const cluster::Topology &,
+                    int gpus, int per_node_limit,
+                    const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    const NodeId single =
+        tightest_single_node(view, gpus, per_node_limit, eligible);
+    if (single != cluster::kInvalidNode) {
+        Placement out;
+        out.slices.push_back(make_slice(single, gpus));
+        return out;
+    }
+    // Fewest nodes: fullest-free-first, stable by id.
+    auto order = all_nodes(view);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) {
+                         return view.free(a) > view.free(b);
+                     });
+    return fill_in_order(view, order, gpus, per_node_limit, eligible);
+}
+
+StatusOr<Placement>
+SpreadPlacement::plan(const FreeView &view, const cluster::Topology &,
+                      int gpus, int per_node_limit,
+                      const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    std::vector<int> taken(size_t(view.node_count()), 0);
+    int remaining = gpus;
+    while (remaining > 0) {
+        // Emptiest node (most free after what we already took here).
+        NodeId best = cluster::kInvalidNode;
+        int best_room = 0;
+        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+            if (!node_ok(eligible, n))
+                continue;
+            const int room =
+                std::min(view.free(n) - taken[n], per_node_limit - taken[n]);
+            if (room > best_room) {
+                best_room = room;
+                best = n;
+            }
+        }
+        if (best == cluster::kInvalidNode)
+            return no_fit(gpus);
+        ++taken[best];
+        --remaining;
+    }
+    Placement out;
+    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+        if (taken[n] > 0)
+            out.slices.push_back(make_slice(n, taken[n]));
+    }
+    return out;
+}
+
+StatusOr<Placement>
+TopologyAwarePlacement::plan(const FreeView &view,
+                             const cluster::Topology &topo, int gpus,
+                             int per_node_limit,
+                             const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    const NodeId single =
+        tightest_single_node(view, gpus, per_node_limit, eligible);
+    if (single != cluster::kInvalidNode) {
+        Placement out;
+        out.slices.push_back(make_slice(single, gpus));
+        return out;
+    }
+
+    // Capacity usable per rack under the per-node cap.
+    const int racks = topo.racks();
+    std::vector<int> rack_capacity(size_t(racks), 0);
+    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+        if (!node_ok(eligible, n))
+            continue;
+        rack_capacity[size_t(topo.rack_of(n))] +=
+            std::min(view.free(n), per_node_limit);
+    }
+
+    // Tightest single rack that fits.
+    int best_rack = -1;
+    for (int r = 0; r < racks; ++r) {
+        if (rack_capacity[size_t(r)] >= gpus &&
+            (best_rack < 0 ||
+             rack_capacity[size_t(r)] < rack_capacity[size_t(best_rack)])) {
+            best_rack = r;
+        }
+    }
+    if (best_rack >= 0) {
+        std::vector<NodeId> order;
+        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+            if (topo.rack_of(n) == best_rack)
+                order.push_back(n);
+        }
+        // Fewest nodes within the rack.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](NodeId a, NodeId b) {
+                             return view.free(a) > view.free(b);
+                         });
+        return fill_in_order(view, order, gpus, per_node_limit, eligible);
+    }
+
+    // Fewest racks: roomiest racks first, fullest nodes inside each.
+    std::vector<int> rack_order(static_cast<size_t>(racks));
+    std::iota(rack_order.begin(), rack_order.end(), 0);
+    std::stable_sort(rack_order.begin(), rack_order.end(),
+                     [&](int a, int b) {
+                         return rack_capacity[size_t(a)] >
+                                rack_capacity[size_t(b)];
+                     });
+    std::vector<NodeId> order;
+    for (int r : rack_order) {
+        std::vector<NodeId> in_rack;
+        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+            if (topo.rack_of(n) == r)
+                in_rack.push_back(n);
+        }
+        std::stable_sort(in_rack.begin(), in_rack.end(),
+                         [&](NodeId a, NodeId b) {
+                             return view.free(a) > view.free(b);
+                         });
+        order.insert(order.end(), in_rack.begin(), in_rack.end());
+    }
+    return fill_in_order(view, order, gpus, per_node_limit, eligible);
+}
+
+StatusOr<Placement>
+RandomPlacement::plan(const FreeView &view, const cluster::Topology &,
+                      int gpus, int per_node_limit,
+                      const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    auto order = [&] {
+        std::vector<NodeId> nodes(size_t(view.node_count()));
+        std::iota(nodes.begin(), nodes.end(), NodeId(0));
+        rng_.shuffle(nodes);
+        return nodes;
+    }();
+    return fill_in_order(view, order, gpus, per_node_limit, eligible);
+}
+
+std::unique_ptr<PlacementPolicy>
+make_placement_policy(const std::string &name, uint64_t seed)
+{
+    if (name == "firstfit")
+        return std::make_unique<FirstFitPlacement>();
+    if (name == "pack")
+        return std::make_unique<PackPlacement>();
+    if (name == "spread")
+        return std::make_unique<SpreadPlacement>();
+    if (name == "topology")
+        return std::make_unique<TopologyAwarePlacement>();
+    if (name == "random")
+        return std::make_unique<RandomPlacement>(seed);
+    return nullptr;
+}
+
+} // namespace tacc::sched

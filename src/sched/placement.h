@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Placement policies: mapping a GPU grant onto concrete nodes.
+ *
+ * Placement is the mechanism half of the scheduling layer's decision: once
+ * a policy decides *that* a job runs, the placement policy decides *where*.
+ * The choice matters because the execution layer's communication model
+ * charges NVLink / intra-rack / cross-rack collectives very differently
+ * (experiment F5).
+ *
+ * Planners return placements whose slice sizes express GPU counts; the
+ * concrete device indices are assigned by Cluster::allocate when the core
+ * commits the decision.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sched/free_view.h"
+
+namespace tacc::sched {
+
+/** Strategy interface for placing a gang of GPUs. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Plans a placement of `gpus` devices with at most `per_node_limit`
+     * on any node, against the given free view.
+     * @param eligible optional per-node mask (heterogeneous clusters:
+     *        only nodes with the requested GPU model are eligible);
+     *        null means every node qualifies.
+     * @return resource_exhausted if the request cannot fit right now.
+     */
+    virtual StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible = nullptr) = 0;
+};
+
+/** Scans nodes in id order, taking what each offers. */
+class FirstFitPlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "firstfit"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+};
+
+/**
+ * Consolidating best-fit: single-node tight fit when possible, otherwise
+ * the fewest nodes (fullest-first), ignoring rack boundaries.
+ */
+class PackPlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "pack"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+};
+
+/**
+ * Worst-fit spreading: one GPU at a time to the emptiest node. The
+ * fragmentation-maximizing baseline.
+ */
+class SpreadPlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "spread"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+};
+
+/**
+ * Network-topology-aware consolidation: single node, else a single rack
+ * (tightest rack that fits), else the fewest racks.
+ */
+class TopologyAwarePlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "topology"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+};
+
+/** First-fit over a randomly shuffled node order (baseline). */
+class RandomPlacement : public PlacementPolicy
+{
+  public:
+    explicit RandomPlacement(uint64_t seed = 1) : rng_(seed) {}
+    std::string name() const override { return "random"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Builds a placement policy by name; nullptr for unknown names. */
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string &name, uint64_t seed = 1);
+
+} // namespace tacc::sched

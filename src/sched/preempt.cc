@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Preemptive schedulers: strict QoS tiers and least-attained-service.
+ */
+#include <algorithm>
+#include <unordered_set>
+
+#include "sched/greedy.h"
+#include "sched/schedulers.h"
+#include "sched/usage.h"
+
+namespace tacc::sched {
+
+namespace {
+
+int
+qos_tier(const workload::Job &job)
+{
+    switch (job.spec().qos) {
+      case workload::QosClass::kInteractive: return 2;
+      case workload::QosClass::kBatch: return 1;
+      case workload::QosClass::kBestEffort: return 0;
+    }
+    return 0;
+}
+
+/**
+ * Tries to start `job` by preempting candidates (in the given order) until
+ * a placement plan succeeds. On success the chosen victims and the start
+ * are appended to `out` and the view/held bookkeeping reflects them; on
+ * failure all trial state is rolled back.
+ */
+bool
+try_start_with_preemption(const SchedulerContext &ctx, FreeView &view,
+                          std::unordered_map<std::string, int> &held,
+                          workload::Job *job,
+                          const std::vector<const RunningInfo *> &candidates,
+                          std::unordered_set<cluster::JobId> &already_victim,
+                          ScheduleDecision *out)
+{
+    std::vector<const RunningInfo *> chosen;
+    for (const RunningInfo *victim : candidates) {
+        if (already_victim.contains(victim->job->id()))
+            continue;
+        view.give(victim->placement);
+        held[victim->job->spec().group] -= victim->job->running_gpus();
+        chosen.push_back(victim);
+        if (view.total_free() < job->spec().gpus)
+            continue; // cheap lower bound before planning
+        if (detail::try_start(ctx, view, held, job, job->spec().gpus, out)) {
+            for (const RunningInfo *v : chosen) {
+                out->preemptions.push_back(v->job->id());
+                already_victim.insert(v->job->id());
+            }
+            return true;
+        }
+    }
+    // Roll back.
+    for (const RunningInfo *v : chosen) {
+        view.take(v->placement);
+        held[v->job->spec().group] += v->job->running_gpus();
+    }
+    return false;
+}
+
+} // namespace
+
+ScheduleDecision
+QosPreemptScheduler::schedule(const SchedulerContext &ctx)
+{
+    ScheduleDecision out;
+    FreeView view(*ctx.cluster);
+    auto held = detail::held_by_group(ctx);
+    std::unordered_set<cluster::JobId> already_victim;
+
+    auto order = detail::pending_by_arrival(ctx);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const workload::Job *a, const workload::Job *b) {
+                         return qos_tier(*a) > qos_tier(*b);
+                     });
+
+    for (workload::Job *job : order) {
+        if (detail::try_start(ctx, view, held, job, job->spec().gpus, &out))
+            continue;
+        if (!preemption_enabled_)
+            continue;
+        // Victims: strictly lower tier, preemptible, youngest segment
+        // first (least sunk work since the last checkpoint).
+        std::vector<const RunningInfo *> candidates;
+        for (const auto &r : ctx.running) {
+            if (qos_tier(*r.job) < qos_tier(*job) &&
+                r.job->spec().preemptible) {
+                candidates.push_back(&r);
+            }
+        }
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const RunningInfo *a, const RunningInfo *b) {
+                             if (qos_tier(*a->job) != qos_tier(*b->job))
+                                 return qos_tier(*a->job) <
+                                        qos_tier(*b->job);
+                             return a->job->segment_start() >
+                                    b->job->segment_start();
+                         });
+        try_start_with_preemption(ctx, view, held, job, candidates,
+                                  already_victim, &out);
+    }
+    return out;
+}
+
+ScheduleDecision
+LasScheduler::schedule(const SchedulerContext &ctx)
+{
+    ScheduleDecision out;
+    FreeView view(*ctx.cluster);
+    auto held = detail::held_by_group(ctx);
+    std::unordered_set<cluster::JobId> already_victim;
+
+    auto queue_of = [&](const workload::Job &job) {
+        return job.attained_gpu_seconds(ctx.now) < threshold_ ? 0 : 1;
+    };
+
+    auto order = detail::pending_by_arrival(ctx);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const workload::Job *a, const workload::Job *b) {
+                         if (queue_of(*a) != queue_of(*b))
+                             return queue_of(*a) < queue_of(*b);
+                         return a->attained_gpu_seconds(ctx.now) <
+                                b->attained_gpu_seconds(ctx.now);
+                     });
+
+    for (workload::Job *job : order) {
+        if (detail::try_start(ctx, view, held, job, job->spec().gpus, &out))
+            continue;
+        if (queue_of(*job) != 0)
+            continue;
+        // A short-service job is starved: preempt long-service running
+        // jobs, most-attained first (classic LAS).
+        std::vector<const RunningInfo *> candidates;
+        for (const auto &r : ctx.running) {
+            if (queue_of(*r.job) == 1 && r.job->spec().preemptible)
+                candidates.push_back(&r);
+        }
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](const RunningInfo *a, const RunningInfo *b) {
+                             return a->job->attained_gpu_seconds(ctx.now) >
+                                    b->job->attained_gpu_seconds(ctx.now);
+                         });
+        try_start_with_preemption(ctx, view, held, job, candidates,
+                                  already_victim, &out);
+    }
+    return out;
+}
+
+} // namespace tacc::sched

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scheduling Layer interfaces (layer 3 of the TACC workflow abstraction).
+ *
+ * The scheduler is pure policy: given a snapshot of the pending queue, the
+ * running set, and cluster free-state, it returns a ScheduleDecision
+ * (preemptions to apply, then jobs to start, each with a concrete
+ * placement). The core applies decisions; the scheduler never mutates
+ * simulation state directly, which keeps every policy trivially swappable
+ * and unit-testable.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/types.h"
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace tacc::sched {
+
+class PlacementPolicy;
+class QuotaManager;
+class RuntimeEstimator;
+class UsageTracker;
+
+/** A running job as the scheduler sees it. */
+struct RunningInfo {
+    workload::Job *job = nullptr;
+    cluster::Placement placement;
+    /** Projected completion at the current allocation. */
+    TimePoint expected_end;
+};
+
+/** Snapshot handed to Scheduler::schedule(). */
+struct SchedulerContext {
+    TimePoint now;
+    /** Pending jobs in arrival order. */
+    std::vector<workload::Job *> pending;
+    std::vector<RunningInfo> running;
+    const cluster::Cluster *cluster = nullptr;
+    PlacementPolicy *placement = nullptr;
+    /** Decayed per-group service usage; null if untracked. */
+    const UsageTracker *usage = nullptr;
+    /** Group GPU caps; null if unenforced. */
+    const QuotaManager *quota = nullptr;
+    /** Learned runtime predictions; null if unavailable. */
+    const RuntimeEstimator *estimator = nullptr;
+    /**
+     * Heterogeneous clusters: plan gangs within one GPU generation
+     * (a mixed gang runs at its slowest worker's speed).
+     */
+    bool avoid_gpu_mixing = false;
+    /**
+     * Per-iteration wall seconds the execution layer predicts for a job on
+     * a hypothetical placement. Used for reservations and elastic search.
+     */
+    std::function<double(const workload::Job &,
+                         const cluster::Placement &)>
+        iter_time;
+};
+
+/** One job start within a decision. */
+struct StartAction {
+    cluster::JobId job = cluster::kInvalidJob;
+    cluster::Placement placement;
+};
+
+/** What the scheduler wants done, applied atomically by the core. */
+struct ScheduleDecision {
+    /** Victims preempted (and their GPUs freed) before any start. */
+    std::vector<cluster::JobId> preemptions;
+    std::vector<StartAction> starts;
+
+    bool
+    empty() const
+    {
+        return preemptions.empty() && starts.empty();
+    }
+};
+
+/** Scheduling policy interface. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Computes a decision; must not mutate anything it is handed. */
+    virtual ScheduleDecision schedule(const SchedulerContext &ctx) = 0;
+
+    /**
+     * Period at which the core should invoke the scheduler even without
+     * queue events (time slicing, elastic re-allocation, priority decay).
+     * zero() means event-driven only.
+     */
+    virtual Duration tick_period() const { return Duration::zero(); }
+};
+
+} // namespace tacc::sched

@@ -1,0 +1,80 @@
+#include "sched/usage.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tacc::sched {
+
+UsageTracker::UsageTracker(Duration half_life) : half_life_(half_life)
+{
+    assert(!half_life_.is_zero() && !half_life_.is_negative());
+}
+
+double
+UsageTracker::decayed(const Entry &e, TimePoint now) const
+{
+    const double dt = (now - e.updated).to_seconds();
+    if (dt <= 0)
+        return e.value;
+    return e.value * std::exp2(-dt / half_life_.to_seconds());
+}
+
+void
+UsageTracker::charge(const std::string &key, double gpu_seconds,
+                     TimePoint now)
+{
+    assert(gpu_seconds >= 0);
+    auto &entry = entries_[key];
+    entry.value = decayed(entry, now) + gpu_seconds;
+    entry.updated = now;
+}
+
+double
+UsageTracker::usage(const std::string &key, TimePoint now) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double
+UsageTracker::total_usage(TimePoint now) const
+{
+    double total = 0;
+    for (const auto &[key, entry] : entries_)
+        total += decayed(entry, now);
+    return total;
+}
+
+double
+UsageTracker::usage_share(const std::string &key, TimePoint now) const
+{
+    const double total = total_usage(now);
+    if (total <= 0)
+        return 0.0;
+    return usage(key, now) / total;
+}
+
+void
+QuotaManager::set_group_quota(const std::string &group, int max_gpus)
+{
+    quotas_[group] = max_gpus;
+}
+
+int
+QuotaManager::quota_of(const std::string &group) const
+{
+    auto it = quotas_.find(group);
+    return it == quotas_.end() ? default_quota_ : it->second;
+}
+
+bool
+QuotaManager::would_exceed(const std::string &group, int gpus_held,
+                           int request) const
+{
+    const int quota = quota_of(group);
+    if (quota < 0)
+        return false;
+    return gpus_held + request > quota;
+}
+
+} // namespace tacc::sched

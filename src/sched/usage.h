@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fair-share usage accounting and group quota enforcement.
+ *
+ * UsageTracker keeps exponentially-decayed GPU-seconds per accounting key
+ * (user or group) — the Slurm fair-share "effective usage" with a
+ * configurable half-life. QuotaManager caps the GPUs a group may hold at
+ * once (the paper's "user quota management").
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/time.h"
+
+namespace tacc::sched {
+
+/** Exponentially-decayed service accumulator per accounting key. */
+class UsageTracker
+{
+  public:
+    explicit UsageTracker(Duration half_life = Duration::hours(24));
+
+    /** Adds gpu_seconds of service for key, observed at time now. */
+    void charge(const std::string &key, double gpu_seconds, TimePoint now);
+
+    /** Decayed usage of key as of time now (0 for unknown keys). */
+    double usage(const std::string &key, TimePoint now) const;
+
+    /** Sum of decayed usage over all keys as of now. */
+    double total_usage(TimePoint now) const;
+
+    /**
+     * Key's share of total decayed usage, in [0, 1]; returns 0 when no
+     * usage has been recorded anywhere.
+     */
+    double usage_share(const std::string &key, TimePoint now) const;
+
+    Duration half_life() const { return half_life_; }
+
+  private:
+    struct Entry {
+        double value = 0;
+        TimePoint updated;
+    };
+
+    double decayed(const Entry &e, TimePoint now) const;
+
+    Duration half_life_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+/** Per-group concurrent GPU caps. */
+class QuotaManager
+{
+  public:
+    QuotaManager() = default;
+
+    /** Sets the cap for one group (replaces any previous value). */
+    void set_group_quota(const std::string &group, int max_gpus);
+
+    /** Cap applied to groups without an explicit entry (<0 = unlimited). */
+    void set_default_quota(int max_gpus) { default_quota_ = max_gpus; }
+
+    int quota_of(const std::string &group) const;
+
+    /** True if granting `request` more GPUs would push the group over. */
+    bool would_exceed(const std::string &group, int gpus_held,
+                      int request) const;
+
+  private:
+    std::unordered_map<std::string, int> quotas_;
+    int default_quota_ = -1;
+};
+
+} // namespace tacc::sched

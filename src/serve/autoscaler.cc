@@ -1,0 +1,31 @@
+#include "serve/autoscaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tacc::serve {
+
+int
+TargetUtilizationAutoscaler::decide(const ScaleContext &ctx)
+{
+    assert(target_ > 0 && target_ <= 1.0);
+    // Replicas so that lambda / (c * mu) ~= target.
+    const double wanted = ctx.arrival_rate_hz /
+                          (ctx.service_rate_hz * target_);
+    const int replicas = int(std::ceil(wanted));
+    return std::clamp(replicas, ctx.arrival_rate_hz > 0 ? 1 : 0,
+                      ctx.max_replicas);
+}
+
+int
+SloAwareAutoscaler::decide(const ScaleContext &ctx)
+{
+    if (ctx.arrival_rate_hz <= 0)
+        return 0;
+    const double planned_rate = ctx.arrival_rate_hz * headroom_;
+    return min_replicas_for_slo(planned_rate, ctx.service_rate_hz,
+                                ctx.slo_s, ctx.slo_target,
+                                ctx.max_replicas);
+}
+
+} // namespace tacc::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Replica autoscaling policies for inference services.
+ *
+ * Every epoch the serving simulator asks the autoscaler how many
+ * replicas a service should hold given the demand it just observed.
+ * Policies:
+ *
+ *  - StaticAutoscaler: a fixed replica count (provision-for-peak or
+ *    provision-for-mean baselines);
+ *  - TargetUtilizationAutoscaler: classic reactive scaling toward a
+ *    utilization setpoint (Kubernetes-HPA-like);
+ *  - SloAwareAutoscaler: solves the M/M/c model for the fewest replicas
+ *    meeting the SLO-attainment target at the predicted rate (Nexus-like
+ *    "squishy" planning), plus a headroom factor for prediction error.
+ */
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "serve/latency_model.h"
+
+namespace tacc::serve {
+
+/** What the autoscaler sees each epoch. */
+struct ScaleContext {
+    double arrival_rate_hz = 0;  ///< observed over the last epoch
+    double service_rate_hz = 1;  ///< per-replica capacity
+    double slo_s = 0.1;
+    double slo_target = 0.99;    ///< desired attainment
+    int current_replicas = 0;
+    int max_replicas = 1;        ///< pool bound
+};
+
+/** Policy interface. */
+class Autoscaler
+{
+  public:
+    virtual ~Autoscaler() = default;
+    virtual std::string name() const = 0;
+    /** Replica count for the next epoch, in [0, ctx.max_replicas]. */
+    virtual int decide(const ScaleContext &ctx) = 0;
+};
+
+/** Fixed allocation. */
+class StaticAutoscaler : public Autoscaler
+{
+  public:
+    explicit StaticAutoscaler(int replicas, std::string label = "static")
+        : replicas_(replicas), label_(std::move(label))
+    {
+    }
+    std::string name() const override { return label_; }
+    int
+    decide(const ScaleContext &ctx) override
+    {
+        return std::min(replicas_, ctx.max_replicas);
+    }
+
+  private:
+    int replicas_;
+    std::string label_;
+};
+
+/** Reactive scaling toward a utilization setpoint. */
+class TargetUtilizationAutoscaler : public Autoscaler
+{
+  public:
+    explicit TargetUtilizationAutoscaler(double target_utilization = 0.6)
+        : target_(target_utilization)
+    {
+    }
+    std::string name() const override { return "target-util"; }
+    int decide(const ScaleContext &ctx) override;
+
+  private:
+    double target_;
+};
+
+/** Queueing-model-driven minimal provisioning for the SLO. */
+class SloAwareAutoscaler : public Autoscaler
+{
+  public:
+    explicit SloAwareAutoscaler(double rate_headroom = 1.15)
+        : headroom_(rate_headroom)
+    {
+    }
+    std::string name() const override { return "slo-aware"; }
+    int decide(const ScaleContext &ctx) override;
+
+  private:
+    double headroom_;
+};
+
+} // namespace tacc::serve

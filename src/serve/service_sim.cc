@@ -1,0 +1,103 @@
+#include "serve/service_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tacc::serve {
+
+ServiceSimulator::ServiceSimulator(ServiceConfig config)
+    : config_(std::move(config))
+{
+    assert(config_.peak_rate_hz > 0);
+    assert(config_.trough_fraction > 0 && config_.trough_fraction <= 1);
+    assert(config_.pool_gpus >= 1);
+    auto profile =
+        workload::ModelCatalog::instance().find(config_.model);
+    assert(profile.is_ok());
+    // Inference = forward pass only (~1/3 of a training step's FLOPs),
+    // but without the training batch's amortization.
+    const double service_s =
+        profile.value().compute_time_s(config_.gpu_tflops) / 3.0 *
+        config_.batch1_penalty;
+    service_rate_hz_ = 1.0 / service_s;
+}
+
+double
+ServiceSimulator::arrival_rate_hz(TimePoint t) const
+{
+    // Sinusoidal day: trough at midnight, peak at noon.
+    const double day_frac = std::fmod(t.to_seconds(), 86400.0) / 86400.0;
+    const double phase = 0.5 * (1.0 - std::cos(2.0 * M_PI * day_frac));
+    const double trough = config_.peak_rate_hz * config_.trough_fraction;
+    return trough + (config_.peak_rate_hz - trough) * phase;
+}
+
+ServingResult
+ServiceSimulator::run(Autoscaler &autoscaler) const
+{
+    ServingResult out;
+    out.autoscaler = autoscaler.name();
+
+    int replicas = 0;
+    double attainment_weighted = 0;
+    double total_requests = 0;
+    int good = 0;
+    const double epoch_s = config_.epoch.to_seconds();
+    const double delay_frac = std::min(
+        1.0, config_.scale_up_delay.to_seconds() / epoch_s);
+
+    for (TimePoint t = TimePoint::origin();
+         t < TimePoint::origin() + config_.horizon;
+         t += config_.epoch) {
+        const double rate = arrival_rate_hz(t);
+
+        ScaleContext ctx;
+        ctx.arrival_rate_hz = rate;
+        ctx.service_rate_hz = service_rate_hz_;
+        ctx.slo_s = config_.slo_s;
+        ctx.slo_target = config_.slo_target;
+        ctx.current_replicas = replicas;
+        ctx.max_replicas = config_.pool_gpus;
+        const int target = std::clamp(autoscaler.decide(ctx), 0,
+                                      config_.pool_gpus);
+
+        // Scale-ups take effect after the provisioning delay: for that
+        // slice of the epoch the old replica count carries the load.
+        double attainment;
+        if (target > replicas) {
+            const double before = slo_attainment(
+                std::max(1, replicas), rate, service_rate_hz_,
+                config_.slo_s);
+            const double after = slo_attainment(
+                std::max(1, target), rate, service_rate_hz_,
+                config_.slo_s);
+            attainment =
+                delay_frac * before + (1.0 - delay_frac) * after;
+        } else {
+            attainment = slo_attainment(std::max(1, target), rate,
+                                        service_rate_hz_, config_.slo_s);
+        }
+        if (target == 0)
+            attainment = 0.0;
+        replicas = target;
+
+        const double requests = rate * epoch_s;
+        attainment_weighted += attainment * requests;
+        total_requests += requests;
+        good += attainment >= config_.slo_target;
+        out.replica_hours += double(replicas) * epoch_s / 3600.0;
+        out.epochs.push_back(EpochStats{t, rate, replicas, attainment});
+    }
+
+    if (total_requests > 0) {
+        out.mean_attainment = attainment_weighted / total_requests;
+        out.replica_hours_per_mreq =
+            out.replica_hours / (total_requests / 1e6);
+    }
+    if (!out.epochs.empty())
+        out.good_epochs = double(good) / double(out.epochs.size());
+    return out;
+}
+
+} // namespace tacc::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Epoch-driven simulator for an inference service on a GPU pool.
+ *
+ * A service holds replicas (1 GPU each) out of a bounded pool carved
+ * from the cluster. Demand follows a diurnal request-rate curve; each
+ * epoch the autoscaler re-targets the replica count (scale-ups pay a
+ * provisioning delay during which the old capacity serves), and the
+ * M/M/c model prices that epoch's SLO attainment. The simulator reports
+ * the operator's trade-off: attainment vs. GPU-hours spent.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "serve/autoscaler.h"
+#include "workload/model.h"
+
+namespace tacc::serve {
+
+/** Service description and demand shape. */
+struct ServiceConfig {
+    std::string name = "classifier";
+    /** Catalog model served (forward pass ~ 1/3 of a training step). */
+    std::string model = "resnet50";
+    double gpu_tflops = 312.0;
+    /**
+     * Single-request serving runs far below the training batch's
+     * efficiency (no batching amortization): multiplier on the per-
+     * sample forward time.
+     */
+    double batch1_penalty = 8.0;
+    /** Requests per second at the daily peak. */
+    double peak_rate_hz = 400.0;
+    /** Trough rate as a fraction of peak. */
+    double trough_fraction = 0.15;
+    double slo_s = 0.25;
+    double slo_target = 0.99;
+    /** GPUs the service may use at most. */
+    int pool_gpus = 64;
+    /** Re-evaluation epoch. */
+    Duration epoch = Duration::minutes(10);
+    /** Scale-up provisioning delay (container start + weights load). */
+    Duration scale_up_delay = Duration::minutes(2);
+    /** Simulated horizon. */
+    Duration horizon = Duration::hours(24);
+};
+
+/** One epoch's outcome. */
+struct EpochStats {
+    TimePoint start;
+    double arrival_rate_hz = 0;
+    int replicas = 0;
+    double attainment = 0;
+};
+
+/** Aggregate outcome of a run. */
+struct ServingResult {
+    std::string autoscaler;
+    /** Request-weighted mean SLO attainment. */
+    double mean_attainment = 0;
+    /** Fraction of epochs meeting the target. */
+    double good_epochs = 0;
+    double replica_hours = 0;
+    /** Replica-hours per million requests served. */
+    double replica_hours_per_mreq = 0;
+    std::vector<EpochStats> epochs;
+};
+
+/** Runs one service under one autoscaler. */
+class ServiceSimulator
+{
+  public:
+    explicit ServiceSimulator(ServiceConfig config);
+
+    /** Per-replica service rate implied by the model profile (req/s). */
+    double service_rate_hz() const { return service_rate_hz_; }
+
+    /** Diurnal request rate at time t (deterministic). */
+    double arrival_rate_hz(TimePoint t) const;
+
+    ServingResult run(Autoscaler &autoscaler) const;
+
+  private:
+    ServiceConfig config_;
+    double service_rate_hz_;
+};
+
+} // namespace tacc::serve

@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace tacc::sim {
+
+EventId
+Simulator::schedule_at(TimePoint t, std::string label, EventFn fn)
+{
+    assert(t >= now_ && "cannot schedule in the past");
+    const EventId id = next_id_++;
+    queue_.push(QueueEntry{t, next_seq_++, id});
+    live_.emplace(id, LiveEvent{std::move(label), std::move(fn)});
+    return id;
+}
+
+EventId
+Simulator::schedule_after(Duration d, std::string label, EventFn fn)
+{
+    assert(!d.is_negative());
+    return schedule_at(now_ + d, std::move(label), std::move(fn));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    return live_.erase(id) > 0;
+}
+
+void
+Simulator::drain_cancelled()
+{
+    while (!queue_.empty() && !live_.contains(queue_.top().id))
+        queue_.pop();
+}
+
+TimePoint
+Simulator::next_event_time() const
+{
+    // Lazily-cancelled entries may sit at the top; scan a copy-free way by
+    // const_cast-free peeking is not possible with priority_queue, so we
+    // conservatively scan from the top via a mutable copy only when needed.
+    auto *self = const_cast<Simulator *>(this);
+    self->drain_cancelled();
+    return queue_.empty() ? TimePoint::max() : queue_.top().t;
+}
+
+bool
+Simulator::step()
+{
+    drain_cancelled();
+    if (queue_.empty())
+        return false;
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = live_.find(entry.id);
+    assert(it != live_.end());
+    // Move the callback out before erasing so the event can reschedule or
+    // cancel others (including itself, harmlessly) while running.
+    EventFn fn = std::move(it->second.fn);
+    live_.erase(it);
+    assert(entry.t >= now_);
+    now_ = entry.t;
+    ++processed_;
+    fn();
+    return true;
+}
+
+void
+Simulator::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulator::run_until(TimePoint t)
+{
+    assert(t >= now_);
+    while (true) {
+        drain_cancelled();
+        if (queue_.empty() || queue_.top().t > t)
+            break;
+        step();
+    }
+    now_ = t;
+}
+
+PeriodicTask::PeriodicTask(Simulator &sim, Duration period, std::string label,
+                           EventFn fn)
+    : sim_(sim), period_(period), label_(std::move(label)), fn_(std::move(fn))
+{
+    assert(!period_.is_zero() && !period_.is_negative());
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    arm();
+}
+
+void
+PeriodicTask::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (pending_) {
+        sim_.cancel(pending_);
+        pending_ = 0;
+    }
+}
+
+void
+PeriodicTask::arm()
+{
+    pending_ = sim_.schedule_after(period_, label_, [this] {
+        pending_ = 0;
+        if (!running_)
+            return;
+        fn_();
+        // fn_ may have called stop().
+        if (running_)
+            arm();
+    });
+}
+
+} // namespace tacc::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The Simulator owns virtual time and an event queue. Events scheduled for
+ * the same instant fire in schedule order (a monotonically increasing
+ * sequence number breaks ties), which makes every run deterministic.
+ *
+ * All higher layers (cluster, scheduler, execution) are written against
+ * this engine: they react to events and schedule future ones; nothing in
+ * the library uses wall-clock time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tacc::sim {
+
+/** Handle for a scheduled event; usable to cancel it before it fires. */
+using EventId = uint64_t;
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Deterministic discrete-event simulator. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time. */
+    TimePoint now() const { return now_; }
+
+    /**
+     * Schedules fn to run at absolute time t (must be >= now()).
+     * The label is kept for diagnostics and tracing.
+     * @return an id usable with cancel().
+     */
+    EventId schedule_at(TimePoint t, std::string label, EventFn fn);
+
+    /** Schedules fn to run after delay d (>= 0) from now. */
+    EventId schedule_after(Duration d, std::string label, EventFn fn);
+
+    /**
+     * Cancels a pending event.
+     * @return true if the event existed and had not yet fired.
+     */
+    bool cancel(EventId id);
+
+    /** Runs until the event queue is empty. */
+    void run();
+
+    /**
+     * Runs all events with time <= t, then advances the clock to t.
+     * Events scheduled during processing are honoured if they fall
+     * within the horizon.
+     */
+    void run_until(TimePoint t);
+
+    /**
+     * Fires the single earliest pending event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Number of events still pending. */
+    size_t pending() const { return live_.size(); }
+
+    /** Total events fired so far. */
+    uint64_t processed() const { return processed_; }
+
+    /** Time of the earliest pending event, or TimePoint::max() if none. */
+    TimePoint next_event_time() const;
+
+  private:
+    struct QueueEntry {
+        TimePoint t;
+        uint64_t seq;
+        EventId id;
+        bool
+        operator>(const QueueEntry &o) const
+        {
+            if (t != o.t)
+                return t > o.t;
+            return seq > o.seq;
+        }
+    };
+
+    struct LiveEvent {
+        std::string label;
+        EventFn fn;
+    };
+
+    void drain_cancelled();
+
+    TimePoint now_ = TimePoint::origin();
+    uint64_t next_seq_ = 0;
+    uint64_t next_id_ = 1;
+    uint64_t processed_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue_;
+    std::unordered_map<EventId, LiveEvent> live_;
+};
+
+/**
+ * Re-arming periodic event helper (e.g. scheduler ticks, monitors).
+ *
+ * The task does not fire at start(); the first invocation is one period
+ * after start. stop() is idempotent and safe from inside the callback.
+ */
+class PeriodicTask
+{
+  public:
+    /**
+     * @param sim engine the task runs on (must outlive this object)
+     * @param period fixed interval between invocations (> 0)
+     * @param label diagnostic label
+     * @param fn callback; invoked once per period until stop()
+     */
+    PeriodicTask(Simulator &sim, Duration period, std::string label,
+                 EventFn fn);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    void start();
+    void stop();
+    bool running() const { return running_; }
+
+  private:
+    void arm();
+
+    Simulator &sim_;
+    Duration period_;
+    std::string label_;
+    EventFn fn_;
+    bool running_ = false;
+    EventId pending_ = 0;
+};
+
+} // namespace tacc::sim

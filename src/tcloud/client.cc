@@ -1,0 +1,175 @@
+#include "tcloud/client.h"
+
+#include "common/strings.h"
+
+namespace tacc::tcloud {
+
+Status
+Client::add_cluster(const std::string &name, core::TaccStack *stack)
+{
+    if (name.empty() || !stack)
+        return Status::invalid_argument("cluster name/stack required");
+    if (clusters_.contains(name))
+        return Status::already_exists("cluster profile: " + name);
+    clusters_.emplace(name, stack);
+    if (default_cluster_.empty())
+        default_cluster_ = name;
+    return Status::ok();
+}
+
+Status
+Client::set_default_cluster(const std::string &name)
+{
+    if (!clusters_.contains(name))
+        return Status::not_found("cluster profile: " + name);
+    default_cluster_ = name;
+    return Status::ok();
+}
+
+std::vector<std::string>
+Client::cluster_names() const
+{
+    std::vector<std::string> out;
+    out.reserve(clusters_.size());
+    for (const auto &[name, stack] : clusters_)
+        out.push_back(name);
+    return out;
+}
+
+core::TaccStack *
+Client::resolve(const std::string &cluster) const
+{
+    const std::string &name =
+        cluster.empty() ? default_cluster_ : cluster;
+    auto it = clusters_.find(name);
+    return it == clusters_.end() ? nullptr : it->second;
+}
+
+StatusOr<TaskHandle>
+Client::submit_text(const std::string &spec_text, const std::string &cluster)
+{
+    auto spec = workload::TaskSpec::parse(spec_text);
+    if (!spec.is_ok())
+        return spec.status();
+    return submit(spec.value(), cluster);
+}
+
+StatusOr<TaskHandle>
+Client::submit(const workload::TaskSpec &spec, const std::string &cluster)
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    auto id = stack->submit(spec);
+    if (!id.is_ok())
+        return id.status();
+    TaskHandle handle;
+    handle.cluster = cluster.empty() ? default_cluster_ : cluster;
+    handle.job = id.value();
+    return handle;
+}
+
+StatusOr<TaskHandle>
+Client::submit_after(const workload::TaskSpec &spec,
+                     const std::vector<TaskHandle> &dependencies,
+                     const std::string &cluster)
+{
+    const std::string target =
+        cluster.empty() ? default_cluster_ : cluster;
+    core::TaccStack *stack = resolve(target);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    std::vector<cluster::JobId> deps;
+    for (const auto &handle : dependencies) {
+        if (handle.cluster != target) {
+            return Status::invalid_argument(
+                "dependency lives on cluster '" + handle.cluster +
+                "', task targets '" + target + "'");
+        }
+        deps.push_back(handle.job);
+    }
+    auto id = stack->submit(spec, deps);
+    if (!id.is_ok())
+        return id.status();
+    return TaskHandle{target, id.value()};
+}
+
+StatusOr<TaskStatus>
+Client::status(const TaskHandle &handle) const
+{
+    core::TaccStack *stack = resolve(handle.cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    const workload::Job *job = stack->find_job(handle.job);
+    if (!job)
+        return Status::not_found(
+            strfmt("job %llu", (unsigned long long)handle.job));
+
+    TaskStatus out;
+    out.state = job->state();
+    out.progress = job->estimated_progress(stack->simulator().now());
+    out.gpus = job->running_gpus();
+    out.preemptions = job->preemption_count();
+    out.segments = job->segment_count();
+    out.gpu_seconds = job->gpu_seconds();
+    out.summary = strfmt(
+        "%s  state=%s  progress=%.1f%%  gpus=%d  segments=%d  preempt=%d",
+        job->spec().name.c_str(), workload::job_state_name(job->state()),
+        out.progress * 100.0, out.gpus, out.segments, out.preemptions);
+    if (job->state() == workload::JobState::kPending ||
+        job->state() == workload::JobState::kProvisioning) {
+        auto eta = stack->estimated_start(handle.job);
+        if (eta.is_ok()) {
+            out.summary += strfmt(
+                "  eta=%s",
+                (eta.value() - stack->simulator().now()).str().c_str());
+        }
+    }
+    return out;
+}
+
+StatusOr<std::vector<std::string>>
+Client::logs(const TaskHandle &handle) const
+{
+    core::TaccStack *stack = resolve(handle.cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    if (!stack->find_job(handle.job))
+        return Status::not_found(
+            strfmt("job %llu", (unsigned long long)handle.job));
+    std::vector<std::string> out;
+    for (const auto &line : stack->monitor().aggregate(handle.job)) {
+        out.push_back(strfmt("%s node%03u %s", line.time.str().c_str(),
+                             line.node, line.text.c_str()));
+    }
+    return out;
+}
+
+Status
+Client::kill(const TaskHandle &handle)
+{
+    core::TaccStack *stack = resolve(handle.cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->kill(handle.job);
+}
+
+StatusOr<TaskStatus>
+Client::wait(const TaskHandle &handle)
+{
+    core::TaccStack *stack = resolve(handle.cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    const workload::Job *job = stack->find_job(handle.job);
+    if (!job)
+        return Status::not_found(
+            strfmt("job %llu", (unsigned long long)handle.job));
+    while (!job->terminal()) {
+        if (!stack->simulator().step())
+            return Status::failed_precondition(
+                "simulation drained before the task finished");
+    }
+    return status(handle);
+}
+
+} // namespace tacc::tcloud

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * tcloud: the client library for task management on TACC.
+ *
+ * tcloud gives users a serverless experience: submit a self-contained task
+ * description to a cluster, then monitor, fetch aggregated distributed
+ * logs, and kill — all without maintaining an experiment environment. A
+ * client can register several TACC cluster instances and switch between
+ * them with one line of configuration.
+ *
+ * In the deployed system tcloud talks SSH to cluster frontends; here the
+ * transport is a direct in-process binding to TaccStack instances, which
+ * exercises the identical task-management surface.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stack.h"
+
+namespace tacc::tcloud {
+
+/** Opaque reference to a submitted task. */
+struct TaskHandle {
+    std::string cluster;
+    cluster::JobId job = cluster::kInvalidJob;
+};
+
+/** Point-in-time view of a task, as `tcloud status` renders it. */
+struct TaskStatus {
+    workload::JobState state = workload::JobState::kSubmitted;
+    double progress = 0;   ///< fraction of iterations done
+    int gpus = 0;          ///< currently allocated GPUs
+    int preemptions = 0;
+    int segments = 0;
+    double gpu_seconds = 0;
+    std::string summary;   ///< one-line human rendering
+};
+
+/** The tcloud client. */
+class Client
+{
+  public:
+    Client() = default;
+
+    /**
+     * Registers a cluster instance under a profile name. The stack must
+     * outlive the client.
+     */
+    Status add_cluster(const std::string &name, core::TaccStack *stack);
+
+    /** Selects the cluster used when submit() is not given one. */
+    Status set_default_cluster(const std::string &name);
+
+    const std::string &default_cluster() const { return default_cluster_; }
+    std::vector<std::string> cluster_names() const;
+
+    /**
+     * Submits a task from its canonical schema text (the CLI path).
+     * @param cluster profile name; empty = default cluster.
+     */
+    StatusOr<TaskHandle> submit_text(const std::string &spec_text,
+                                     const std::string &cluster = "");
+
+    /** Submits an already-built spec. */
+    StatusOr<TaskHandle> submit(const workload::TaskSpec &spec,
+                                const std::string &cluster = "");
+
+    /**
+     * Submits a task that runs only after the given tasks complete
+     * (pipelines). All handles must live on the same cluster.
+     */
+    StatusOr<TaskHandle> submit_after(
+        const workload::TaskSpec &spec,
+        const std::vector<TaskHandle> &dependencies,
+        const std::string &cluster = "");
+
+    /** Current status of a task. */
+    StatusOr<TaskStatus> status(const TaskHandle &handle) const;
+
+    /**
+     * The task's log lines aggregated across all nodes it ran on,
+     * time-ordered — the distributed-debugging view.
+     */
+    StatusOr<std::vector<std::string>> logs(const TaskHandle &handle) const;
+
+    /** Kills the task wherever it is in its lifecycle. */
+    Status kill(const TaskHandle &handle);
+
+    /**
+     * Blocks (drives the simulation) until the task is terminal.
+     * @return the final status.
+     */
+    StatusOr<TaskStatus> wait(const TaskHandle &handle);
+
+  private:
+    core::TaccStack *resolve(const std::string &cluster) const;
+
+    std::map<std::string, core::TaccStack *> clusters_;
+    std::string default_cluster_;
+};
+
+} // namespace tacc::tcloud

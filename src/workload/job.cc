@@ -1,0 +1,267 @@
+#include "workload/job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace tacc::workload {
+
+const char *
+job_state_name(JobState state)
+{
+    switch (state) {
+      case JobState::kSubmitted: return "submitted";
+      case JobState::kProvisioning: return "provisioning";
+      case JobState::kPending: return "pending";
+      case JobState::kRunning: return "running";
+      case JobState::kCompleted: return "completed";
+      case JobState::kFailed: return "failed";
+      case JobState::kKilled: return "killed";
+    }
+    return "unknown";
+}
+
+bool
+job_state_terminal(JobState state)
+{
+    return state == JobState::kCompleted || state == JobState::kFailed ||
+           state == JobState::kKilled;
+}
+
+Job::Job(cluster::JobId id, TaskSpec spec, ModelProfile model,
+         TimePoint submit_time)
+    : id_(id),
+      spec_(std::move(spec)),
+      model_(std::move(model)),
+      submit_time_(submit_time)
+{
+}
+
+double
+Job::attained_gpu_seconds(TimePoint now) const
+{
+    double total = gpu_seconds_;
+    if (state_ == JobState::kRunning && now > segment_start_) {
+        total +=
+            (now - segment_start_).to_seconds() * double(segment_gpus_);
+    }
+    return total;
+}
+
+double
+Job::progress() const
+{
+    return double(iterations_done_) / double(spec_.iterations);
+}
+
+double
+Job::estimated_progress(TimePoint now) const
+{
+    int64_t done = iterations_done_;
+    if (state_ == JobState::kRunning && now > compute_start_ &&
+        segment_iter_s_ > 0) {
+        const double compute_s = (now - compute_start_).to_seconds();
+        done += int64_t(compute_s / segment_iter_s_);
+    }
+    done = std::min(done, spec_.iterations);
+    return double(done) / double(spec_.iterations);
+}
+
+Duration
+Job::queueing_delay() const
+{
+    assert(started_);
+    return first_start_ - submit_time_;
+}
+
+Duration
+Job::jct() const
+{
+    assert(terminal());
+    return finish_time_ - submit_time_;
+}
+
+TimePoint
+Job::absolute_deadline() const
+{
+    if (!spec_.has_deadline())
+        return TimePoint::max();
+    return submit_time_ + spec_.deadline;
+}
+
+bool
+Job::missed_deadline() const
+{
+    if (!spec_.has_deadline() || !terminal())
+        return false;
+    if (state_ != JobState::kCompleted)
+        return true;
+    return finish_time_ > absolute_deadline();
+}
+
+Duration
+Job::provision_latency() const
+{
+    return provision_end_ - provision_start_;
+}
+
+Status
+Job::check_state(JobState expected, const char *op) const
+{
+    if (state_ != expected) {
+        return Status::failed_precondition(
+            strfmt("job %llu: %s requires state %s, is %s",
+                   (unsigned long long)id_, op, job_state_name(expected),
+                   job_state_name(state_)));
+    }
+    return Status::ok();
+}
+
+Status
+Job::begin_provisioning(TimePoint t)
+{
+    if (auto s = check_state(JobState::kSubmitted, "begin_provisioning");
+        !s.is_ok()) {
+        return s;
+    }
+    provision_start_ = t;
+    state_ = JobState::kProvisioning;
+    return Status::ok();
+}
+
+Status
+Job::finish_provisioning(TimePoint t)
+{
+    if (auto s = check_state(JobState::kProvisioning, "finish_provisioning");
+        !s.is_ok()) {
+        return s;
+    }
+    provision_end_ = t;
+    state_ = JobState::kPending;
+    return Status::ok();
+}
+
+Status
+Job::begin_segment(TimePoint t, int gpus, double iteration_s,
+                   Duration startup)
+{
+    if (auto s = check_state(JobState::kPending, "begin_segment");
+        !s.is_ok()) {
+        return s;
+    }
+    if (gpus <= 0 || iteration_s <= 0 || startup.is_negative()) {
+        return Status::invalid_argument(
+            strfmt("bad segment: gpus=%d iter=%g", gpus, iteration_s));
+    }
+    if (!started_) {
+        started_ = true;
+        first_start_ = t;
+    }
+    ++segments_;
+    segment_start_ = t;
+    compute_start_ = t + startup;
+    segment_gpus_ = gpus;
+    segment_iter_s_ = iteration_s;
+    state_ = JobState::kRunning;
+    return Status::ok();
+}
+
+Status
+Job::end_segment(TimePoint t, double checkpoint_interval_s)
+{
+    if (auto s = check_state(JobState::kRunning, "end_segment"); !s.is_ok())
+        return s;
+    const double held_s = (t - segment_start_).to_seconds();
+    assert(held_s >= 0);
+    // Iterations only accrue after the startup phase.
+    double compute_s = std::max(0.0, (t - compute_start_).to_seconds());
+    if (checkpoint_interval_s == 0.0) {
+        // Crash without periodic checkpoints: the segment is lost.
+        compute_s = 0.0;
+    } else if (checkpoint_interval_s > 0.0) {
+        // Crash: roll back to the last periodic checkpoint.
+        compute_s = std::floor(compute_s / checkpoint_interval_s) *
+                    checkpoint_interval_s;
+    }
+    int64_t done = int64_t(std::floor(compute_s / segment_iter_s_ + 1e-9));
+    done = std::min(done, iterations_remaining());
+    iterations_done_ += done;
+    gpu_seconds_ += held_s * double(segment_gpus_);
+    segment_gpus_ = 0;
+    segment_iter_s_ = 0;
+    state_ = JobState::kPending;
+    return Status::ok();
+}
+
+Status
+Job::preempt(TimePoint t)
+{
+    if (auto s = end_segment(t); !s.is_ok())
+        return s;
+    ++preemptions_;
+    return Status::ok();
+}
+
+Status
+Job::complete(TimePoint t)
+{
+    if (state_ == JobState::kRunning) {
+        if (auto s = end_segment(t); !s.is_ok())
+            return s;
+    }
+    if (auto s = check_state(JobState::kPending, "complete"); !s.is_ok())
+        return s;
+    if (iterations_remaining() > 0) {
+        return Status::failed_precondition(
+            strfmt("job %llu: complete() with %lld iterations remaining",
+                   (unsigned long long)id_,
+                   (long long)iterations_remaining()));
+    }
+    finish_time_ = t;
+    state_ = JobState::kCompleted;
+    return Status::ok();
+}
+
+Status
+Job::fail(TimePoint t, const std::string &reason)
+{
+    if (terminal())
+        return Status::failed_precondition("fail() on terminal job");
+    if (state_ == JobState::kRunning) {
+        if (auto s = end_segment(t); !s.is_ok())
+            return s;
+    }
+    finish_time_ = t;
+    failure_reason_ = reason;
+    state_ = JobState::kFailed;
+    return Status::ok();
+}
+
+Status
+Job::kill(TimePoint t)
+{
+    if (terminal())
+        return Status::failed_precondition("kill() on terminal job");
+    if (state_ == JobState::kRunning) {
+        if (auto s = end_segment(t); !s.is_ok())
+            return s;
+    }
+    finish_time_ = t;
+    state_ = JobState::kKilled;
+    return Status::ok();
+}
+
+Duration
+Job::remaining_runtime(double iteration_s) const
+{
+    assert(iteration_s > 0);
+    // Round up to the next microsecond (plus one) so that a segment run
+    // for exactly this long always credits the final iteration despite
+    // the double -> integer-microsecond conversion.
+    const double us = double(iterations_remaining()) * iteration_s * 1e6;
+    return Duration::micros(int64_t(std::ceil(us)) + 1);
+}
+
+} // namespace tacc::workload

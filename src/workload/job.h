@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Runtime job object: a submitted TaskSpec moving through its lifecycle.
+ *
+ * State machine (the paper's task lifecycle):
+ *
+ *   Submitted -> Provisioning -> Pending -> Running -> Completed
+ *                                   ^          |
+ *                                   +- preempt-+--> Failed / Killed
+ *
+ * Running happens in *segments*: a segment starts when the scheduler
+ * places the job and ends on completion, preemption, failure, or elastic
+ * resize. Progress (iterations) accrues per segment, so preempted and
+ * resized jobs resume exactly where they stopped.
+ */
+#pragma once
+
+#include <string>
+
+#include "cluster/types.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "workload/model.h"
+#include "workload/task_spec.h"
+
+namespace tacc::workload {
+
+/** Lifecycle states of a job. */
+enum class JobState {
+    kSubmitted,
+    kProvisioning,
+    kPending,
+    kRunning,
+    kCompleted,
+    kFailed,
+    kKilled,
+};
+
+const char *job_state_name(JobState state);
+
+/** True for Completed/Failed/Killed. */
+bool job_state_terminal(JobState state);
+
+/** A job instance with progress and accounting. */
+class Job
+{
+  public:
+    Job(cluster::JobId id, TaskSpec spec, ModelProfile model,
+        TimePoint submit_time);
+
+    cluster::JobId id() const { return id_; }
+    const TaskSpec &spec() const { return spec_; }
+    const ModelProfile &model() const { return model_; }
+    JobState state() const { return state_; }
+    bool terminal() const { return job_state_terminal(state_); }
+
+    TimePoint submit_time() const { return submit_time_; }
+    TimePoint finish_time() const { return finish_time_; }
+
+    int64_t iterations_done() const { return iterations_done_; }
+    int64_t
+    iterations_remaining() const
+    {
+        return spec_.iterations - iterations_done_;
+    }
+    /** Completed fraction in [0, 1] over *finished* segments. */
+    double progress() const;
+    /** Progress including the in-flight segment (live monitoring). */
+    double estimated_progress(TimePoint now) const;
+
+    int preemption_count() const { return preemptions_; }
+    int segment_count() const { return segments_; }
+    /** GPU-seconds of service over *finished* segments. */
+    double gpu_seconds() const { return gpu_seconds_; }
+    /** Attained service including the in-flight segment (LAS priority). */
+    double attained_gpu_seconds(TimePoint now) const;
+
+    /** GPUs of the current running segment (0 when not running). */
+    int running_gpus() const { return segment_gpus_; }
+    /** Iteration wall time of the current segment (s). */
+    double segment_iteration_s() const { return segment_iter_s_; }
+    /** When the current segment was allocated (GPUs held from here). */
+    TimePoint segment_start() const { return segment_start_; }
+    /** When the current segment begins real iterations (post-startup). */
+    TimePoint segment_compute_start() const { return compute_start_; }
+
+    /**
+     * Wall time from submission until the first running segment began.
+     * Requires the job to have started at least once.
+     */
+    Duration queueing_delay() const;
+    bool has_started() const { return started_; }
+
+    /** Job completion time (finish - submit); requires terminal state. */
+    Duration jct() const;
+
+    /** Absolute deadline; TimePoint::max() when the job has none. */
+    TimePoint absolute_deadline() const;
+    /** True if the job is terminal and finished past its deadline (or
+     *  never completed at all while having one). */
+    bool missed_deadline() const;
+
+    /** Provisioning (compiler-layer) latency for this job. */
+    Duration provision_latency() const;
+
+    /** @name Lifecycle transitions (validated). */
+    ///@{
+    Status begin_provisioning(TimePoint t);
+    Status finish_provisioning(TimePoint t);
+    /**
+     * Starts a running segment with the given per-iteration wall time.
+     * @param gpus GPUs granted (may differ from spec for elastic jobs)
+     * @param iteration_s wall seconds per training iteration
+     * @param startup runtime startup / checkpoint-restore time at the head
+     *        of the segment: GPUs are held but no iterations complete
+     */
+    Status begin_segment(TimePoint t, int gpus, double iteration_s,
+                         Duration startup = Duration::zero());
+    /**
+     * Ends the current segment at time t, crediting completed iterations
+     * (floor of elapsed / iteration time, capped at the remaining work).
+     * The job returns to Pending; callers then complete/kill/fail or let
+     * the scheduler restart it.
+     *
+     * @param checkpoint_interval_s crash-recovery crediting:
+     *   < 0  graceful stop — the runtime checkpoints on demand, nothing
+     *        is lost (the default, used by preemption/completion/kill);
+     *   == 0 crash with no periodic checkpoints — the whole segment's
+     *        progress is lost;
+     *   > 0  crash with periodic checkpoints — progress rolls back to
+     *        the last multiple of the interval.
+     */
+    Status end_segment(TimePoint t, double checkpoint_interval_s = -1.0);
+    /** end_segment + preemption accounting. */
+    Status preempt(TimePoint t);
+    /** Terminal transitions. complete() requires all iterations done. */
+    Status complete(TimePoint t);
+    Status fail(TimePoint t, const std::string &reason);
+    Status kill(TimePoint t);
+    ///@}
+
+    const std::string &failure_reason() const { return failure_reason_; }
+
+    /**
+     * Time needed to finish the remaining iterations at the given
+     * per-iteration time.
+     */
+    Duration remaining_runtime(double iteration_s) const;
+
+  private:
+    Status check_state(JobState expected, const char *op) const;
+
+    cluster::JobId id_;
+    TaskSpec spec_;
+    ModelProfile model_;
+    TimePoint submit_time_;
+    TimePoint provision_start_;
+    TimePoint provision_end_;
+    TimePoint first_start_;
+    TimePoint finish_time_;
+    JobState state_ = JobState::kSubmitted;
+
+    int64_t iterations_done_ = 0;
+    int preemptions_ = 0;
+    int segments_ = 0;
+    bool started_ = false;
+    double gpu_seconds_ = 0;
+    std::string failure_reason_;
+
+    TimePoint segment_start_;
+    TimePoint compute_start_;
+    double segment_iter_s_ = 0;
+    int segment_gpus_ = 0;
+};
+
+} // namespace tacc::workload

@@ -1,0 +1,74 @@
+#include "workload/model.h"
+
+namespace tacc::workload {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * kMiB;
+
+} // namespace
+
+ModelCatalog::ModelCatalog()
+{
+    // param_bytes: fp32 gradient volume; flops_per_iter: fwd+bwd at a
+    // typical per-GPU batch. overlap_fraction reflects how much of the
+    // exchange hides under backward compute for the family.
+    profiles_ = {
+        // Vision classification: moderate compute, small gradients.
+        {"resnet50", 102.0 * kMiB, 0.78e12, 0.45, 0.70, 5.0},
+        // Heavy-classifier outlier: huge dense layers, comm-bound.
+        {"vgg19", 548.0 * kMiB, 1.20e12, 0.50, 0.50, 5.0},
+        // Transformer encoder fine-tuning; bucketed DDP overlaps well.
+        {"bert-large", 1.36 * kGiB, 3.80e12, 0.42, 0.75, 0.6},
+        // Mid-size autoregressive LM.
+        {"gpt2-xl", 6.2 * kGiB, 9.50e12, 0.40, 0.80, 0.8},
+        // Vision transformer pretraining.
+        {"vit-huge", 2.5 * kGiB, 6.00e12, 0.45, 0.75, 4.0},
+        // Recommendation: small dense part, embedding-dominated.
+        {"dlrm", 420.0 * kMiB, 0.55e12, 0.25, 0.40, 10.0},
+        // RL policy: tiny network, env-step bound (low efficiency).
+        {"rl-ppo", 12.0 * kMiB, 0.08e12, 0.10, 0.30, 0.1},
+        // Speech.
+        {"conformer", 480.0 * kMiB, 2.10e12, 0.38, 0.60, 2.0},
+    };
+}
+
+const ModelCatalog &
+ModelCatalog::instance()
+{
+    static const ModelCatalog catalog;
+    return catalog;
+}
+
+StatusOr<ModelProfile>
+ModelCatalog::find(const std::string &name) const
+{
+    for (const auto &p : profiles_) {
+        if (p.name == name)
+            return p;
+    }
+    return Status::not_found("unknown model: " + name);
+}
+
+bool
+ModelCatalog::contains(const std::string &name) const
+{
+    for (const auto &p : profiles_) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+ModelCatalog::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(profiles_.size());
+    for (const auto &p : profiles_)
+        out.push_back(p.name);
+    return out;
+}
+
+} // namespace tacc::workload

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Catalog of ML model profiles used by the analytic execution model.
+ *
+ * A profile captures just what the execution layer needs to derive an
+ * iteration time: per-GPU compute work, gradient volume per synchronization,
+ * and an achieved-efficiency factor. Values are representative of the
+ * published characteristics of each family, not measurements of any
+ * particular implementation.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tacc::workload {
+
+/** Compute/communication profile of one model family. */
+struct ModelProfile {
+    std::string name;
+    /** Bytes exchanged per data-parallel synchronization (fp32 grads). */
+    double param_bytes = 0;
+    /** FLOPs per iteration per GPU at the profile's per-GPU batch size. */
+    double flops_per_iter = 0;
+    /** Fraction of peak TFLOPs this model family achieves in practice. */
+    double compute_efficiency = 0.4;
+    /**
+     * Fraction of the gradient exchange that overlaps with backward
+     * compute (communication scheduling a la ByteScheduler/P3 raises it).
+     */
+    double overlap_fraction = 0.5;
+    /** Input-pipeline bytes read from the shared FS per iteration per GPU. */
+    double input_mib_per_iter = 8.0;
+
+    /** Pure compute time for one iteration on a GPU with given peak. */
+    double
+    compute_time_s(double gpu_tflops) const
+    {
+        return flops_per_iter / (gpu_tflops * 1e12 * compute_efficiency);
+    }
+};
+
+/** Immutable catalog of known model profiles. */
+class ModelCatalog
+{
+  public:
+    /** The built-in catalog (thread-safe static). */
+    static const ModelCatalog &instance();
+
+    /** Looks up a profile by name. */
+    StatusOr<ModelProfile> find(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    std::vector<std::string> names() const;
+
+    const std::vector<ModelProfile> &profiles() const { return profiles_; }
+
+  private:
+    ModelCatalog();
+    std::vector<ModelProfile> profiles_;
+};
+
+} // namespace tacc::workload

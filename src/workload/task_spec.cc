@@ -1,0 +1,287 @@
+#include "workload/task_spec.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace tacc::workload {
+
+const char *
+qos_class_name(QosClass qos)
+{
+    switch (qos) {
+      case QosClass::kInteractive: return "interactive";
+      case QosClass::kBatch: return "batch";
+      case QosClass::kBestEffort: return "besteffort";
+    }
+    return "unknown";
+}
+
+StatusOr<QosClass>
+parse_qos_class(const std::string &name)
+{
+    if (name == "interactive")
+        return QosClass::kInteractive;
+    if (name == "batch")
+        return QosClass::kBatch;
+    if (name == "besteffort")
+        return QosClass::kBestEffort;
+    return Status::invalid_argument("unknown qos class: " + name);
+}
+
+const char *
+runtime_pref_name(RuntimePref pref)
+{
+    switch (pref) {
+      case RuntimePref::kAuto: return "auto";
+      case RuntimePref::kBareMetal: return "baremetal";
+      case RuntimePref::kContainer: return "container";
+    }
+    return "unknown";
+}
+
+StatusOr<RuntimePref>
+parse_runtime_pref(const std::string &name)
+{
+    if (name == "auto")
+        return RuntimePref::kAuto;
+    if (name == "baremetal")
+        return RuntimePref::kBareMetal;
+    if (name == "container")
+        return RuntimePref::kContainer;
+    return Status::invalid_argument("unknown runtime: " + name);
+}
+
+const char *
+transport_pref_name(TransportPref pref)
+{
+    switch (pref) {
+      case TransportPref::kAuto: return "auto";
+      case TransportPref::kTcp: return "tcp";
+      case TransportPref::kRdma: return "rdma";
+      case TransportPref::kInNetwork: return "innetwork";
+    }
+    return "unknown";
+}
+
+StatusOr<TransportPref>
+parse_transport_pref(const std::string &name)
+{
+    if (name == "auto")
+        return TransportPref::kAuto;
+    if (name == "tcp")
+        return TransportPref::kTcp;
+    if (name == "rdma")
+        return TransportPref::kRdma;
+    if (name == "innetwork")
+        return TransportPref::kInNetwork;
+    return Status::invalid_argument("unknown transport: " + name);
+}
+
+Status
+TaskSpec::validate() const
+{
+    if (name.empty())
+        return Status::invalid_argument("task name is empty");
+    if (user.empty())
+        return Status::invalid_argument("user is empty");
+    if (group.empty())
+        return Status::invalid_argument("group is empty");
+    if (gpus <= 0)
+        return Status::invalid_argument(strfmt("gpus must be > 0, got %d",
+                                               gpus));
+    if (gpus_per_node_limit <= 0)
+        return Status::invalid_argument("gpus_per_node_limit must be > 0");
+    if (cpu_cores_per_gpu < 0 || memory_gb_per_gpu < 0)
+        return Status::invalid_argument("negative cpu/memory demand");
+    if (time_limit.is_zero() || time_limit.is_negative())
+        return Status::invalid_argument("time_limit must be positive");
+    if (deadline.is_negative())
+        return Status::invalid_argument("deadline must be >= 0");
+    if (model.empty())
+        return Status::invalid_argument("model is empty");
+    if (iterations <= 0)
+        return Status::invalid_argument("iterations must be > 0");
+    for (const auto &a : artifacts) {
+        if (a.name.empty())
+            return Status::invalid_argument("artifact with empty name");
+        if (a.bytes == 0)
+            return Status::invalid_argument("artifact '" + a.name +
+                                            "' has zero size");
+    }
+    if (min_gpus < 0 || max_gpus < 0)
+        return Status::invalid_argument("negative elastic bounds");
+    if ((min_gpus == 0) != (max_gpus == 0))
+        return Status::invalid_argument(
+            "elastic bounds must both be set or both be zero");
+    if (min_gpus > 0 && (min_gpus > max_gpus || gpus < min_gpus ||
+                         gpus > max_gpus)) {
+        return Status::invalid_argument(
+            strfmt("elastic bounds [%d, %d] must bracket gpus=%d", min_gpus,
+                   max_gpus, gpus));
+    }
+    return Status::ok();
+}
+
+std::string
+TaskSpec::to_text() const
+{
+    std::ostringstream os;
+    os << "task: " << name << '\n';
+    os << "user: " << user << '\n';
+    os << "group: " << group << '\n';
+    os << "gpus: " << gpus << '\n';
+    os << "gpu_model: " << gpu_model << '\n';
+    os << "gpus_per_node_limit: " << gpus_per_node_limit << '\n';
+    os << "cpu_cores_per_gpu: " << cpu_cores_per_gpu << '\n';
+    os << "memory_gb_per_gpu: " << memory_gb_per_gpu << '\n';
+    os << "qos: " << qos_class_name(qos) << '\n';
+    os << "preemptible: " << (preemptible ? "true" : "false") << '\n';
+    os << "time_limit_s: " << time_limit.to_micros() / 1'000'000 << '\n';
+    os << "deadline_s: " << deadline.to_micros() / 1'000'000 << '\n';
+    os << "model: " << model << '\n';
+    os << "iterations: " << iterations << '\n';
+    for (const auto &a : artifacts) {
+        os << "artifact: " << a.name << ',' << a.bytes << ',' << a.version
+           << '\n';
+    }
+    os << "runtime: " << runtime_pref_name(runtime) << '\n';
+    os << "transport: " << transport_pref_name(transport) << '\n';
+    os << "image: " << image << '\n';
+    os << "min_gpus: " << min_gpus << '\n';
+    os << "max_gpus: " << max_gpus << '\n';
+    return os.str();
+}
+
+StatusOr<TaskSpec>
+TaskSpec::parse(const std::string &text)
+{
+    TaskSpec spec;
+    spec.artifacts.clear();
+
+    for (const auto &raw_line : split(text, '\n')) {
+        const std::string line{trim(raw_line)};
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return Status::invalid_argument("malformed line: " + line);
+        const std::string key{trim(line.substr(0, colon))};
+        const std::string value{trim(line.substr(colon + 1))};
+
+        auto to_int = [&](int64_t &out) -> Status {
+            try {
+                size_t pos = 0;
+                out = std::stoll(value, &pos);
+                if (pos != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                return Status::invalid_argument("bad integer for " + key +
+                                                ": " + value);
+            }
+            return Status::ok();
+        };
+        auto to_double = [&](double &out) -> Status {
+            try {
+                size_t pos = 0;
+                out = std::stod(value, &pos);
+                if (pos != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                return Status::invalid_argument("bad number for " + key +
+                                                ": " + value);
+            }
+            return Status::ok();
+        };
+
+        int64_t iv = 0;
+        if (key == "task") {
+            spec.name = value;
+        } else if (key == "user") {
+            spec.user = value;
+        } else if (key == "group") {
+            spec.group = value;
+        } else if (key == "gpus") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.gpus = int(iv);
+        } else if (key == "gpu_model") {
+            spec.gpu_model = value;
+        } else if (key == "gpus_per_node_limit") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.gpus_per_node_limit = int(iv);
+        } else if (key == "cpu_cores_per_gpu") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.cpu_cores_per_gpu = int(iv);
+        } else if (key == "memory_gb_per_gpu") {
+            if (auto s = to_double(spec.memory_gb_per_gpu); !s.is_ok())
+                return s;
+        } else if (key == "qos") {
+            auto q = parse_qos_class(value);
+            if (!q.is_ok())
+                return q.status();
+            spec.qos = q.value();
+        } else if (key == "preemptible") {
+            if (value != "true" && value != "false")
+                return Status::invalid_argument("bad bool: " + value);
+            spec.preemptible = value == "true";
+        } else if (key == "time_limit_s") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.time_limit = Duration::seconds(iv);
+        } else if (key == "deadline_s") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.deadline = Duration::seconds(iv);
+        } else if (key == "model") {
+            spec.model = value;
+        } else if (key == "iterations") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.iterations = iv;
+        } else if (key == "artifact") {
+            const auto parts = split(value, ',');
+            if (parts.size() != 3)
+                return Status::invalid_argument("bad artifact: " + value);
+            Artifact a;
+            a.name = std::string(trim(parts[0]));
+            try {
+                a.bytes = std::stoull(std::string(trim(parts[1])));
+                a.version = std::stoull(std::string(trim(parts[2])));
+            } catch (const std::exception &) {
+                return Status::invalid_argument("bad artifact: " + value);
+            }
+            spec.artifacts.push_back(std::move(a));
+        } else if (key == "runtime") {
+            auto r = parse_runtime_pref(value);
+            if (!r.is_ok())
+                return r.status();
+            spec.runtime = r.value();
+        } else if (key == "transport") {
+            auto t = parse_transport_pref(value);
+            if (!t.is_ok())
+                return t.status();
+            spec.transport = t.value();
+        } else if (key == "image") {
+            spec.image = value;
+        } else if (key == "min_gpus") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.min_gpus = int(iv);
+        } else if (key == "max_gpus") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            spec.max_gpus = int(iv);
+        } else {
+            return Status::invalid_argument("unknown key: " + key);
+        }
+    }
+
+    if (auto s = spec.validate(); !s.is_ok())
+        return s;
+    return spec;
+}
+
+} // namespace tacc::workload

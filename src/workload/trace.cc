@@ -1,0 +1,217 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+#include "workload/model.h"
+
+namespace tacc::workload {
+
+namespace {
+
+// Reference GPU peak used to convert a target duration into an iteration
+// count; must match the default cluster's GPU for durations to be ideal.
+constexpr double kReferenceTflops = 312.0;
+
+// Reference fabric parameters mirroring the default TopologyConfig /
+// CommModelConfig, used to estimate the *end-to-end* iteration time of a
+// job at its requested scale. Trace durations describe what a user
+// observes, which includes communication — deriving iterations from pure
+// compute would systematically inflate the offered load.
+constexpr double kRefNvlinkBps = 19200.0 * 1e9 / 8.0; // aggregate
+constexpr double kRefNicBps = 100.0 * 1e9 / 8.0;
+constexpr double kRefBwEfficiency = 0.95; // RDMA
+constexpr int kRefGpusPerNode = 8;
+constexpr double kRefFsBps = 50.0 * 1e9 / 8.0; // per-client FS ceiling
+
+} // namespace
+
+double
+estimated_iteration_s(const ModelProfile &profile, int gpus)
+{
+    const double compute = profile.compute_time_s(kReferenceTflops);
+    const double io =
+        profile.input_mib_per_iter * 1024.0 * 1024.0 * gpus / kRefFsBps;
+    if (gpus <= 1)
+        return std::max(compute, io);
+    double bw, endpoints;
+    if (gpus <= kRefGpusPerNode) {
+        bw = kRefNvlinkBps / gpus * kRefBwEfficiency;
+        endpoints = gpus;
+    } else {
+        bw = kRefNicBps * kRefBwEfficiency;
+        endpoints = std::ceil(double(gpus) / kRefGpusPerNode);
+    }
+    const double sync =
+        2.0 * (endpoints - 1.0) / endpoints * profile.param_bytes / bw;
+    const double hidden =
+        std::min(sync * profile.overlap_fraction, compute);
+    return std::max(compute + sync - hidden, io);
+}
+
+namespace {
+
+// Model mix for batch jobs (indices into ModelCatalog order by name).
+const std::vector<std::pair<const char *, double>> kBatchModelMix = {
+    {"resnet50", 0.30}, {"bert-large", 0.20}, {"gpt2-xl", 0.10},
+    {"vit-huge", 0.08}, {"vgg19", 0.07},      {"dlrm", 0.10},
+    {"rl-ppo", 0.05},   {"conformer", 0.10},
+};
+
+} // namespace
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(std::move(config))
+{
+    assert(config_.num_jobs >= 0);
+    assert(config_.mean_interarrival_s > 0);
+    assert(config_.diurnal_peak_ratio >= 1.0);
+    double pmf_total = 0;
+    for (const auto &[gpus, p] : config_.gpu_demand_pmf) {
+        assert(gpus > 0 && p >= 0);
+        pmf_total += p;
+    }
+    assert(pmf_total > 0);
+}
+
+double
+TraceGenerator::diurnal_factor(TimePoint t) const
+{
+    if (!config_.diurnal)
+        return 1.0;
+    // Rate swings sinusoidally over 24h: trough at t=0 (midnight), peak
+    // 12h later. Mean factor over a day is (1 + ratio) / 2.
+    const double day_frac =
+        std::fmod(t.to_seconds(), 86400.0) / 86400.0;
+    const double phase = 0.5 * (1.0 - std::cos(2.0 * M_PI * day_frac));
+    return 1.0 + (config_.diurnal_peak_ratio - 1.0) * phase;
+}
+
+std::vector<SubmittedTask>
+TraceGenerator::generate()
+{
+    Rng rng(config_.seed);
+    std::vector<SubmittedTask> out;
+    out.reserve(size_t(config_.num_jobs));
+
+    TimePoint t = TimePoint::origin();
+    for (int i = 0; i < config_.num_jobs; ++i) {
+        // Thinned nonhomogeneous Poisson: scale the local mean gap by the
+        // current diurnal factor.
+        const double factor = diurnal_factor(t);
+        const double gap =
+            rng.exponential(config_.mean_interarrival_s / factor);
+        t += Duration::from_seconds(gap);
+        out.push_back(SubmittedTask{t, make_spec(rng, i)});
+    }
+    return out;
+}
+
+TaskSpec
+TraceGenerator::make_spec(Rng &rng, int job_index)
+{
+    TaskSpec spec;
+
+    // Tenant: group uniform, user Zipf-skewed within the group.
+    const int group = int(rng.uniform_int(0, config_.num_groups - 1));
+    const int user_rank =
+        int(rng.zipf(std::max(1, config_.users_per_group),
+                     config_.user_zipf_s));
+    spec.group = strfmt("group%02d", group);
+    spec.user = strfmt("u%02d-%02d", group, user_rank - 1);
+    spec.name = strfmt("job-%06d", job_index);
+
+    // QoS class.
+    const double r = rng.uniform();
+    if (r < config_.frac_interactive) {
+        spec.qos = QosClass::kInteractive;
+        spec.preemptible = false;
+    } else if (r < config_.frac_interactive + config_.frac_best_effort) {
+        spec.qos = QosClass::kBestEffort;
+        spec.preemptible = true;
+    } else {
+        spec.qos = QosClass::kBatch;
+        spec.preemptible = true;
+    }
+
+    // GPU demand: interactive jobs are small; others follow the PMF.
+    if (spec.qos == QosClass::kInteractive) {
+        spec.gpus = rng.bernoulli(0.8) ? 1 : 2;
+    } else {
+        std::vector<double> weights;
+        weights.reserve(config_.gpu_demand_pmf.size());
+        for (const auto &[gpus, p] : config_.gpu_demand_pmf)
+            weights.push_back(p);
+        spec.gpus = config_.gpu_demand_pmf[rng.weighted_index(weights)].first;
+    }
+
+    // Model choice: interactive jobs skew small.
+    if (spec.qos == QosClass::kInteractive) {
+        spec.model = rng.bernoulli(0.6) ? "resnet50" : "rl-ppo";
+    } else {
+        std::vector<double> weights;
+        weights.reserve(kBatchModelMix.size());
+        for (const auto &[name, p] : kBatchModelMix)
+            weights.push_back(p);
+        spec.model = kBatchModelMix[rng.weighted_index(weights)].first;
+    }
+    const auto profile = ModelCatalog::instance().find(spec.model);
+    assert(profile.is_ok());
+
+    // Target ideal duration -> iteration count at the reference GPU.
+    const bool interactive = spec.qos == QosClass::kInteractive;
+    const double mu = interactive ? config_.interactive_duration_mu
+                                  : config_.batch_duration_mu;
+    const double sigma = interactive ? config_.interactive_duration_sigma
+                                     : config_.batch_duration_sigma;
+    double duration_s = rng.lognormal(mu, sigma);
+    duration_s = std::clamp(duration_s, config_.min_duration_s,
+                            config_.max_duration_s);
+    const double iter_s =
+        estimated_iteration_s(profile.value(), spec.gpus);
+    spec.iterations = std::max<int64_t>(1, int64_t(duration_s / iter_s));
+
+    // User-provided time limit: an overestimate of the ideal runtime.
+    spec.time_limit =
+        Duration::from_seconds(duration_s * rng.uniform(1.5, 4.0) + 600.0);
+
+    // Optional completion deadline (QoS): a multiple of the ideal
+    // runtime plus fixed slack for queueing.
+    if (rng.bernoulli(config_.frac_deadline)) {
+        spec.deadline = Duration::from_seconds(
+            duration_s * rng.uniform(config_.deadline_factor_lo,
+                                     config_.deadline_factor_hi) +
+            config_.deadline_slack_s);
+    }
+
+    // Elasticity for a slice of batch jobs.
+    if (spec.qos == QosClass::kBatch && spec.gpus >= 2 &&
+        rng.bernoulli(config_.frac_elastic)) {
+        spec.min_gpus = std::max(1, spec.gpus / 4);
+        spec.max_gpus = spec.gpus * 2;
+    }
+
+    // Artifacts: per-user code tree (frequently edited), a framework
+    // dependency set shared by everyone on the same image, and a dataset
+    // shared group-wide. Sizes are trace-shaped; versions model edits.
+    Artifact code;
+    code.name = spec.user + "/code";
+    code.bytes = uint64_t(rng.lognormal(16.0, 1.0)); // median ~9 MB
+    code.version = uint64_t(job_index) + 1;          // edited every run
+    Artifact deps;
+    deps.name = "deps/" + spec.image;
+    deps.bytes = 2'200'000'000ULL;
+    deps.version = 1 + uint64_t(job_index / 400); // rare framework bumps
+    Artifact dataset;
+    dataset.name = spec.group + "/dataset";
+    dataset.bytes = 18'000'000'000ULL;
+    dataset.version = 1;
+    spec.artifacts = {code, deps, dataset};
+
+    assert(spec.validate().is_ok());
+    return spec;
+}
+
+} // namespace tacc::workload

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic campus-workload generator.
+ *
+ * Stands in for the production trace of a shared campus ML cluster. The
+ * generated population follows the robust, published properties of such
+ * traces (Philly/Helios/PAI): arrivals are Poisson with an optional diurnal
+ * day/night modulation; GPU demands are powers of two and dominated by
+ * small jobs; durations are heavy-tailed lognormal; a minority of
+ * interactive jobs is short and latency-sensitive; user activity is
+ * Zipf-skewed within research groups.
+ */
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "workload/model.h"
+#include "workload/task_spec.h"
+
+namespace tacc::workload {
+
+/** One entry of a generated trace. */
+struct SubmittedTask {
+    TimePoint arrival;
+    TaskSpec spec;
+};
+
+/** Knobs of the generator; defaults model a mid-size campus cluster. */
+struct TraceConfig {
+    int num_jobs = 1000;
+    uint64_t seed = 42;
+
+    // Arrival process.
+    double mean_interarrival_s = 90.0;
+    bool diurnal = false;
+    /** Peak-hour rate divided by trough rate (>= 1). */
+    double diurnal_peak_ratio = 4.0;
+
+    // Tenant population.
+    int num_groups = 6;
+    int users_per_group = 8;
+    /** Zipf exponent of user activity (bigger = more skew). */
+    double user_zipf_s = 1.1;
+
+    // QoS mix (remainder is batch).
+    double frac_interactive = 0.25;
+    double frac_best_effort = 0.15;
+
+    /** Fraction of batch jobs submitted with elastic GPU bounds. */
+    double frac_elastic = 0.0;
+
+    /** Fraction of jobs submitted with completion deadlines. */
+    double frac_deadline = 0.0;
+    /** Deadline = ideal duration x uniform(lo, hi) + this fixed slack. */
+    double deadline_factor_lo = 2.0;
+    double deadline_factor_hi = 5.0;
+    double deadline_slack_s = 1800.0;
+
+    /**
+     * GPU-demand PMF over power-of-two sizes {1,2,4,8,16,32,64}.
+     * Defaults are campus-trace-shaped: mostly single-GPU.
+     */
+    std::vector<std::pair<int, double>> gpu_demand_pmf = {
+        {1, 0.52}, {2, 0.14}, {4, 0.12}, {8, 0.12},
+        {16, 0.06}, {32, 0.03}, {64, 0.01},
+    };
+
+    // Duration model: lognormal of the *ideal* runtime in seconds.
+    double batch_duration_mu = 8.0;     ///< median ~ e^8 ≈ 50 min
+    double batch_duration_sigma = 1.6;  ///< heavy tail
+    double interactive_duration_mu = 6.0;  ///< median ~ 7 min
+    double interactive_duration_sigma = 0.8;
+    double min_duration_s = 30.0;
+    double max_duration_s = 6.0 * 86400.0;
+};
+
+/**
+ * Estimated end-to-end iteration seconds of a model at a GPU count on the
+ * reference fabric (A100 peak, NVSwitch intra-node, 100G RDMA across
+ * nodes). The generator divides target durations by this to set iteration
+ * counts, so trace durations describe observed runtimes, communication
+ * included.
+ */
+double estimated_iteration_s(const ModelProfile &profile, int gpus);
+
+/** Deterministic trace generator (same config + seed => same trace). */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(TraceConfig config);
+
+    /** Generates the full trace, sorted by arrival time. */
+    std::vector<SubmittedTask> generate();
+
+  private:
+    TaskSpec make_spec(Rng &rng, int job_index);
+    double diurnal_factor(TimePoint t) const;
+
+    TraceConfig config_;
+};
+
+} // namespace tacc::workload

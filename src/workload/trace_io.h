@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace import/export in a flat CSV schema.
+ *
+ * Lets operators replay *real* cluster traces (Helios/Philly-style
+ * exports can be mapped onto these columns) and lets generated workloads
+ * be archived and shared. Columns:
+ *
+ *   arrival_s,name,user,group,gpus,gpu_model,qos,preemptible,model,
+ *   iterations,time_limit_s,deadline_s,min_gpus,max_gpus
+ *
+ * trace_from_csv(trace_to_csv(t)) reproduces t exactly (arrival times
+ * are kept at microsecond precision via fractional seconds).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace tacc::workload {
+
+/** Serializes a trace (header + one row per task). */
+std::string trace_to_csv(const std::vector<SubmittedTask> &trace);
+
+/**
+ * Parses a CSV trace. Rows must be sorted by arrival time; every spec is
+ * schema-validated. Artifacts are not part of the wire format; parsed
+ * specs get a standard artifact set derived from (user, group) so the
+ * compiler layer behaves as it would for generated traces.
+ */
+StatusOr<std::vector<SubmittedTask>> trace_from_csv(
+    const std::string &csv);
+
+/** Writes a trace to a file. */
+Status write_trace_file(const std::string &path,
+                        const std::vector<SubmittedTask> &trace);
+
+/** Reads a trace from a file. */
+StatusOr<std::vector<SubmittedTask>> read_trace_file(
+    const std::string &path);
+
+} // namespace tacc::workload

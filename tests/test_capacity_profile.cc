@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the backfill capacity timeline.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/capacity_profile.h"
+
+namespace tacc::sched {
+namespace {
+
+using namespace time_literals;
+
+const TimePoint t0 = TimePoint::origin() + 100_s;
+
+TEST(CapacityProfile, ConstantWhenEmpty)
+{
+    CapacityProfile p(t0, 10);
+    EXPECT_EQ(p.capacity_at(t0), 10);
+    EXPECT_EQ(p.capacity_at(t0 + 1000_h), 10);
+    EXPECT_EQ(p.earliest_fit(10, 5_h), t0);
+    EXPECT_EQ(p.earliest_fit(11, 1_s), TimePoint::max());
+}
+
+TEST(CapacityProfile, ReleasesAddCapacity)
+{
+    CapacityProfile p(t0, 4);
+    p.add_release(t0 + 60_s, 4);
+    EXPECT_EQ(p.capacity_at(t0), 4);
+    EXPECT_EQ(p.capacity_at(t0 + 59_s), 4);
+    EXPECT_EQ(p.capacity_at(t0 + 60_s), 8);
+    EXPECT_EQ(p.earliest_fit(8, 10_s), t0 + 60_s);
+    EXPECT_EQ(p.earliest_fit(4, 10_s), t0);
+}
+
+TEST(CapacityProfile, ReserveDebitsWindow)
+{
+    CapacityProfile p(t0, 10);
+    p.reserve(t0 + 10_s, 20_s, 6);
+    EXPECT_EQ(p.capacity_at(t0), 10);
+    EXPECT_EQ(p.capacity_at(t0 + 10_s), 4);
+    EXPECT_EQ(p.capacity_at(t0 + 29_s), 4);
+    EXPECT_EQ(p.capacity_at(t0 + 30_s), 10);
+    // A 5-GPU job that needs 15 s cannot fit inside the reservation
+    // window; it fits right after it ends.
+    EXPECT_EQ(p.earliest_fit(5, 15_s), t0 + 30_s);
+    // A 4-GPU job fits immediately.
+    EXPECT_EQ(p.earliest_fit(4, 15_s), t0);
+}
+
+TEST(CapacityProfile, EarliestFitNeedsWholeWindow)
+{
+    CapacityProfile p(t0, 8);
+    p.add_release(t0 + 100_s, 8);
+    p.reserve(t0 + 50_s, 100_s, 8); // occupies [50, 150)
+    // 8 GPUs free on [0, 50) but a 60 s job does not fit there; from
+    // 100 s the release leaves 8 free throughout.
+    EXPECT_EQ(p.earliest_fit(8, 60_s), t0 + 100_s);
+    EXPECT_EQ(p.earliest_fit(8, 50_s), t0);
+}
+
+TEST(CapacityProfile, BackToBackReservations)
+{
+    CapacityProfile p(t0, 4);
+    p.reserve(t0, 10_s, 4);
+    EXPECT_EQ(p.earliest_fit(4, 10_s), t0 + 10_s);
+    p.reserve(t0 + 10_s, 10_s, 4);
+    EXPECT_EQ(p.earliest_fit(4, 10_s), t0 + 20_s);
+    EXPECT_EQ(p.earliest_fit(1, 1_s), t0 + 20_s);
+}
+
+TEST(CapacityProfile, HugeDurationsClampToHorizon)
+{
+    CapacityProfile p(t0, 4);
+    // A "runs forever" reservation must not overflow.
+    p.reserve(t0, Duration::days(100000), 4);
+    EXPECT_EQ(p.capacity_at(t0 + Duration::days(300)), 0);
+    EXPECT_EQ(p.earliest_fit(1, 1_s), TimePoint::max());
+}
+
+TEST(CapacityProfile, ZeroGpuOpsAreNoOps)
+{
+    CapacityProfile p(t0, 4);
+    p.add_release(t0 + 10_s, 0);
+    p.reserve(t0, 10_s, 0);
+    EXPECT_EQ(p.capacity_at(t0), 4);
+    EXPECT_EQ(p.earliest_fit(0, 1_h), t0);
+}
+
+TEST(CapacityProfile, StackedReleases)
+{
+    CapacityProfile p(t0, 0);
+    p.add_release(t0 + 10_s, 2);
+    p.add_release(t0 + 20_s, 3);
+    p.add_release(t0 + 20_s, 1); // same instant accumulates
+    EXPECT_EQ(p.capacity_at(t0 + 15_s), 2);
+    EXPECT_EQ(p.capacity_at(t0 + 20_s), 6);
+    EXPECT_EQ(p.earliest_fit(6, 1_s), t0 + 20_s);
+}
+
+} // namespace
+} // namespace tacc::sched

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for nodes, cluster allocation, and occupancy accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace tacc::cluster {
+namespace {
+
+ClusterConfig
+small_config(int racks = 2, int nodes_per_rack = 2, int gpus = 4)
+{
+    ClusterConfig config;
+    config.topology.racks = racks;
+    config.topology.nodes_per_rack = nodes_per_rack;
+    config.node.gpu_count = gpus;
+    return config;
+}
+
+NodeSpec
+four_gpu_node()
+{
+    NodeSpec spec;
+    spec.gpu_count = 4;
+    return spec;
+}
+
+Placement
+single(NodeId node, int count)
+{
+    Placement p;
+    PlacementSlice slice;
+    slice.node = node;
+    slice.gpu_indices.resize(size_t(count), 0);
+    p.slices.push_back(slice);
+    return p;
+}
+
+TEST(Node, AllocatesLowestFreeIndices)
+{
+    Node node(0, "n0", 0, four_gpu_node());
+    auto got = node.allocate(1, 2);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(node.free_gpu_count(), 2);
+
+    auto more = node.allocate(2, 2);
+    ASSERT_TRUE(more.is_ok());
+    EXPECT_EQ(more.value(), (std::vector<int>{2, 3}));
+    EXPECT_TRUE(node.is_full());
+}
+
+TEST(Node, ReleaseReturnsIndicesForReuse)
+{
+    Node node(0, "n0", 0, four_gpu_node());
+    ASSERT_TRUE(node.allocate(1, 2).is_ok());
+    ASSERT_TRUE(node.allocate(2, 2).is_ok());
+    EXPECT_EQ(node.release(1), 2);
+    EXPECT_TRUE(node.gpu_free(0));
+    EXPECT_TRUE(node.gpu_free(1));
+    auto again = node.allocate(3, 2);
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value(), (std::vector<int>{0, 1}));
+}
+
+TEST(Node, OverAllocationFails)
+{
+    Node node(0, "n0", 0, four_gpu_node());
+    EXPECT_FALSE(node.allocate(1, 5).is_ok());
+    EXPECT_FALSE(node.allocate(1, 0).is_ok());
+    EXPECT_FALSE(node.allocate(1, -1).is_ok());
+    EXPECT_EQ(node.free_gpu_count(), 4);
+}
+
+TEST(Node, ResidentJobsAndGpusOf)
+{
+    Node node(0, "n0", 0, four_gpu_node());
+    ASSERT_TRUE(node.allocate(7, 1).is_ok());
+    ASSERT_TRUE(node.allocate(9, 2).is_ok());
+    EXPECT_EQ(node.resident_jobs(), (std::vector<JobId>{7, 9}));
+    EXPECT_EQ(node.gpus_of(9), (std::vector<int>{1, 2}));
+    EXPECT_TRUE(node.gpus_of(42).empty());
+}
+
+TEST(Cluster, BuildsNamedNodesInRacks)
+{
+    Cluster cluster(small_config());
+    EXPECT_EQ(cluster.node_count(), 4);
+    EXPECT_EQ(cluster.total_gpus(), 16);
+    EXPECT_EQ(cluster.node(0).rack(), 0);
+    EXPECT_EQ(cluster.node(3).rack(), 1);
+    EXPECT_NE(cluster.node(2).name().find("r01"), std::string::npos);
+}
+
+TEST(Cluster, AtomicMultiNodeAllocation)
+{
+    Cluster cluster(small_config());
+    Placement p;
+    p.slices.push_back(single(0, 3).slices[0]);
+    p.slices.push_back(single(1, 2).slices[0]);
+    ASSERT_TRUE(cluster.allocate(1, p).is_ok());
+    EXPECT_EQ(cluster.used_gpus(), 5);
+    EXPECT_TRUE(cluster.has_job(1));
+
+    const Placement held = cluster.placement_of(1);
+    EXPECT_EQ(held.total_gpus(), 5);
+    ASSERT_EQ(held.slices.size(), 2u);
+    // Granted indices are concrete.
+    EXPECT_EQ(held.slices[0].gpu_indices, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Cluster, FailedAllocationLeavesNoResidue)
+{
+    Cluster cluster(small_config());
+    ASSERT_TRUE(cluster.allocate(1, single(0, 3)).is_ok());
+    // Wants 2 on node 0 (only 1 free) and 2 on node 1: must fail whole.
+    Placement p;
+    p.slices.push_back(single(0, 2).slices[0]);
+    p.slices.push_back(single(1, 2).slices[0]);
+    EXPECT_FALSE(cluster.allocate(2, p).is_ok());
+    EXPECT_EQ(cluster.used_gpus(), 3);
+    EXPECT_EQ(cluster.node(1).free_gpu_count(), 4);
+    EXPECT_FALSE(cluster.has_job(2));
+}
+
+TEST(Cluster, RejectsMalformedPlacements)
+{
+    Cluster cluster(small_config());
+    EXPECT_FALSE(cluster.allocate(1, Placement{}).is_ok());
+    EXPECT_FALSE(cluster.allocate(kInvalidJob, single(0, 1)).is_ok());
+    Placement dup;
+    dup.slices.push_back(single(0, 1).slices[0]);
+    dup.slices.push_back(single(0, 1).slices[0]);
+    EXPECT_FALSE(cluster.allocate(1, dup).is_ok());
+    Placement unknown = single(99, 1);
+    EXPECT_FALSE(cluster.allocate(1, unknown).is_ok());
+    // Duplicate job id.
+    ASSERT_TRUE(cluster.allocate(1, single(0, 1)).is_ok());
+    EXPECT_FALSE(cluster.allocate(1, single(1, 1)).is_ok());
+}
+
+TEST(Cluster, ReleaseFreesEverything)
+{
+    Cluster cluster(small_config());
+    Placement p;
+    p.slices.push_back(single(0, 2).slices[0]);
+    p.slices.push_back(single(3, 4).slices[0]);
+    ASSERT_TRUE(cluster.allocate(1, p).is_ok());
+    EXPECT_EQ(cluster.release(1), 6);
+    EXPECT_EQ(cluster.used_gpus(), 0);
+    EXPECT_EQ(cluster.release(1), 0); // idempotent
+}
+
+TEST(Cluster, RunningJobsSorted)
+{
+    Cluster cluster(small_config());
+    ASSERT_TRUE(cluster.allocate(5, single(0, 1)).is_ok());
+    ASSERT_TRUE(cluster.allocate(2, single(1, 1)).is_ok());
+    EXPECT_EQ(cluster.running_jobs(), (std::vector<JobId>{2, 5}));
+}
+
+TEST(Cluster, OccupancyAndFragmentation)
+{
+    Cluster cluster(small_config(1, 4, 4)); // 4 nodes x 4 GPUs
+    ASSERT_TRUE(cluster.allocate(1, single(0, 4)).is_ok()); // full node
+    ASSERT_TRUE(cluster.allocate(2, single(1, 1)).is_ok()); // partial
+    const auto snap = cluster.occupancy();
+    EXPECT_EQ(snap.total_gpus, 16);
+    EXPECT_EQ(snap.used_gpus, 5);
+    EXPECT_EQ(snap.full_nodes, 1);
+    EXPECT_EQ(snap.partial_nodes, 1);
+    EXPECT_EQ(snap.idle_nodes, 2);
+    EXPECT_EQ(snap.largest_free_block, 4);
+    // 3 of 11 free GPUs are stranded on the partial node.
+    EXPECT_NEAR(snap.fragmentation, 3.0 / 11.0, 1e-12);
+    EXPECT_NEAR(snap.utilization(), 5.0 / 16.0, 1e-12);
+}
+
+} // namespace
+} // namespace tacc::cluster

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the communication model: cost formulas, transport
+ * effects, and the overlap rule.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/comm_model.h"
+
+namespace tacc::exec {
+namespace {
+
+using cluster::Placement;
+using cluster::Topology;
+using cluster::TopologyConfig;
+
+Placement
+make_placement(std::vector<std::pair<cluster::NodeId, int>> slices)
+{
+    Placement p;
+    for (const auto &[node, count] : slices) {
+        cluster::PlacementSlice s;
+        s.node = node;
+        s.gpu_indices.resize(size_t(count), 0);
+        p.slices.push_back(s);
+    }
+    return p;
+}
+
+workload::ModelProfile
+model(double param_mib = 1024.0)
+{
+    workload::ModelProfile m;
+    m.name = "m";
+    m.param_bytes = param_mib * 1024 * 1024;
+    m.flops_per_iter = 1e12;
+    return m;
+}
+
+class CommModelTest : public ::testing::Test
+{
+  protected:
+    CommModelTest() : topo_(TopologyConfig{}), comm_(CommModelConfig{}) {}
+    Topology topo_;
+    CommModel comm_;
+};
+
+TEST_F(CommModelTest, SingleGpuIsFree)
+{
+    EXPECT_DOUBLE_EQ(
+        comm_.sync_time_s(model(), make_placement({{0, 1}}), topo_,
+                          Transport::kRdma,
+                          SyncAlgorithm::kRingAllReduce),
+        0.0);
+}
+
+TEST_F(CommModelTest, RingCostMatchesFormula)
+{
+    // 2 nodes intra-rack over RDMA: B = 100 Gbps * 0.95.
+    const auto p = make_placement({{0, 8}, {1, 8}});
+    const double got = comm_.sync_time_s(model(1024.0), p, topo_,
+                                         Transport::kRdma,
+                                         SyncAlgorithm::kRingAllReduce);
+    const double bw = 100e9 / 8.0 * 0.95;
+    const double expected =
+        2.0 * 0.5 * 1024.0 * 1024 * 1024 / bw +
+        2.0 * (6e-6 + 10e-6);
+    EXPECT_NEAR(got, expected, expected * 1e-9);
+}
+
+TEST_F(CommModelTest, TcpSlowerThanRdma)
+{
+    const auto p = make_placement({{0, 8}, {1, 8}});
+    const double tcp = comm_.sync_time_s(model(), p, topo_,
+                                         Transport::kTcp,
+                                         SyncAlgorithm::kRingAllReduce);
+    const double rdma = comm_.sync_time_s(model(), p, topo_,
+                                          Transport::kRdma,
+                                          SyncAlgorithm::kRingAllReduce);
+    EXPECT_GT(tcp, rdma * 1.3);
+}
+
+TEST_F(CommModelTest, ParameterServerIncastScalesWithNodes)
+{
+    const auto two = make_placement({{0, 8}, {1, 8}});
+    const auto four = make_placement({{0, 8}, {1, 8}, {2, 8}, {3, 8}});
+    const double ps2 = comm_.sync_time_s(model(), two, topo_,
+                                         Transport::kRdma,
+                                         SyncAlgorithm::kParameterServer);
+    const double ps4 = comm_.sync_time_s(model(), four, topo_,
+                                         Transport::kRdma,
+                                         SyncAlgorithm::kParameterServer);
+    EXPECT_NEAR(ps4 / ps2, 2.0, 0.01);
+    // At scale PS loses to ring all-reduce.
+    const double ring4 = comm_.sync_time_s(model(), four, topo_,
+                                           Transport::kRdma,
+                                           SyncAlgorithm::kRingAllReduce);
+    EXPECT_GT(ps4, ring4 * 2.0);
+}
+
+TEST_F(CommModelTest, InNetworkBeatsRingInRack)
+{
+    const auto p = make_placement({{0, 8}, {1, 8}, {2, 8}, {3, 8}});
+    const double ring = comm_.sync_time_s(model(), p, topo_,
+                                          Transport::kRdma,
+                                          SyncAlgorithm::kRingAllReduce);
+    const double atp = comm_.sync_time_s(model(), p, topo_,
+                                         Transport::kInNetwork,
+                                         SyncAlgorithm::kRingAllReduce);
+    EXPECT_LT(atp, ring);
+    // Approaches the 2(n-1)/n -> 2x gain for large n; here n=4 -> 1.5x.
+    EXPECT_NEAR(ring / atp, 1.5, 0.1);
+}
+
+TEST_F(CommModelTest, InNetworkFallsBackAcrossRacks)
+{
+    // Nodes 0 and 8 are in different racks (8 nodes/rack default).
+    const auto cross = make_placement({{0, 8}, {8, 8}});
+    const double atp = comm_.sync_time_s(model(), cross, topo_,
+                                         Transport::kInNetwork,
+                                         SyncAlgorithm::kRingAllReduce);
+    const double rdma = comm_.sync_time_s(model(), cross, topo_,
+                                          Transport::kRdma,
+                                          SyncAlgorithm::kRingAllReduce);
+    EXPECT_DOUBLE_EQ(atp, rdma);
+}
+
+TEST_F(CommModelTest, CrossRackSlowerThanIntraRackWhenOversubscribed)
+{
+    TopologyConfig oversub;
+    oversub.oversubscription = 4.0;
+    Topology topo(oversub);
+    const auto intra = make_placement({{0, 8}, {1, 8}});
+    const auto cross = make_placement({{0, 8}, {8, 8}});
+    EXPECT_GT(comm_.sync_time_s(model(), cross, topo, Transport::kRdma,
+                                SyncAlgorithm::kRingAllReduce),
+              comm_.sync_time_s(model(), intra, topo, Transport::kRdma,
+                                SyncAlgorithm::kRingAllReduce) * 2.0);
+    // On a non-blocking fabric only latency differs.
+    const double flat_cross = comm_.sync_time_s(
+        model(), cross, topo_, Transport::kRdma,
+        SyncAlgorithm::kRingAllReduce);
+    const double flat_intra = comm_.sync_time_s(
+        model(), intra, topo_, Transport::kRdma,
+        SyncAlgorithm::kRingAllReduce);
+    EXPECT_NEAR(flat_cross / flat_intra, 1.0, 0.01);
+}
+
+TEST_F(CommModelTest, IntraNodeUsesNvlinkEndpoints)
+{
+    const auto p = make_placement({{0, 8}});
+    const double got = comm_.sync_time_s(model(1024.0), p, topo_,
+                                         Transport::kRdma,
+                                         SyncAlgorithm::kRingAllReduce);
+    // NVLink per-endpoint: 19200/8 Gbps * 0.95; n = 8 GPUs.
+    const double bw = 19200e9 / 8.0 / 8.0 / 8.0 * 0.95 * 8.0;
+    const double expected = 2.0 * 7.0 / 8.0 *
+                                1024.0 * 1024 * 1024 / bw +
+                            2.0 * 7.0 * (6e-6 + 2e-6);
+    EXPECT_NEAR(got, expected, expected * 0.01);
+}
+
+TEST_F(CommModelTest, OverlapHidesCommunicationUnderCompute)
+{
+    // sync 1.0 s, compute 2.0 s, overlap 0.6 -> exposed 0.4 s.
+    EXPECT_NEAR(comm_.effective_comm_s(1.0, 2.0, 0.6), 0.4, 1e-12);
+    // Hidden part capped by compute: sync 10, compute 1, overlap 0.9 ->
+    // hidden min(9, 1) = 1 -> exposed 9.
+    EXPECT_NEAR(comm_.effective_comm_s(10.0, 1.0, 0.9), 9.0, 1e-12);
+    // No overlap.
+    EXPECT_NEAR(comm_.effective_comm_s(1.0, 2.0, 0.0), 1.0, 1e-12);
+    // Full overlap, plenty of compute.
+    EXPECT_NEAR(comm_.effective_comm_s(1.0, 2.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(CommNames, Stable)
+{
+    EXPECT_STREQ(transport_name(Transport::kTcp), "tcp");
+    EXPECT_STREQ(transport_name(Transport::kRdma), "rdma");
+    EXPECT_STREQ(transport_name(Transport::kInNetwork), "innetwork");
+    EXPECT_STREQ(sync_algorithm_name(SyncAlgorithm::kRingAllReduce),
+                 "ring-allreduce");
+    EXPECT_STREQ(sync_algorithm_name(SyncAlgorithm::kParameterServer),
+                 "parameter-server");
+}
+
+} // namespace
+} // namespace tacc::exec

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for Status/StatusOr, string utilities and TextTable.
+ */
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace tacc {
+namespace {
+
+TEST(Status, OkByDefault)
+{
+    Status s;
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(s.str(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage)
+{
+    const Status s = Status::not_found("job 42");
+    EXPECT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kNotFound);
+    EXPECT_EQ(s.message(), "job 42");
+    EXPECT_EQ(s.str(), "not_found: job 42");
+}
+
+TEST(Status, AllCodeNamesDistinct)
+{
+    EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+                 "invalid_argument");
+    EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+                 "resource_exhausted");
+    EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
+                 "failed_precondition");
+    EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "unavailable");
+    EXPECT_STREQ(status_code_name(StatusCode::kInternal), "internal");
+    EXPECT_STREQ(status_code_name(StatusCode::kAlreadyExists),
+                 "already_exists");
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> v(42);
+    ASSERT_TRUE(v.is_ok());
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_TRUE(v.status().is_ok());
+    EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> v(Status::invalid_argument("nope"));
+    EXPECT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOr, MutableValue)
+{
+    StatusOr<std::string> v(std::string("abc"));
+    v.value() += "d";
+    EXPECT_EQ(v.value(), "abcd");
+}
+
+TEST(Strings, Strfmt)
+{
+    EXPECT_EQ(strfmt("j-%03d/%s", 7, "x"), "j-007/x");
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, JoinInvertsSplit)
+{
+    const std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc\t\n"), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(starts_with("tacc-node", "tacc"));
+    EXPECT_FALSE(starts_with("ta", "tacc"));
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+    EXPECT_EQ(format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Strings, FormatGbps)
+{
+    EXPECT_EQ(format_gbps(12.5e9 / 8.0 * 8.0 / 8.0), "12.50 Gbps");
+}
+
+TEST(TextTable, RendersHeaderRuleAndAlignment)
+{
+    TextTable t("demo");
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", "1.5"});
+    t.add_row({"b", "10"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.4567, 1), "45.7%");
+    EXPECT_EQ(TextTable::num(1234.5, 3), "1.23e+03");
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable t;
+    t.set_header({"a", "b"});
+    t.add_row({"x,y", "with \"quote\""});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+} // namespace
+} // namespace tacc

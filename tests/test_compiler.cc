@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the Compiler Layer: chunking determinism, delta caching,
+ * LRU eviction, runtime resolution, and provisioning pricing.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/compiler.h"
+
+namespace tacc::compiler {
+namespace {
+
+constexpr uint64_t kMiB = 1024 * 1024;
+
+workload::Artifact
+artifact(const std::string &name, uint64_t bytes, uint64_t version = 1)
+{
+    return workload::Artifact{name, bytes, version};
+}
+
+workload::TaskSpec
+spec_with(std::vector<workload::Artifact> artifacts)
+{
+    workload::TaskSpec s;
+    s.name = "t";
+    s.user = "u";
+    s.group = "g";
+    s.gpus = 1;
+    s.model = "resnet50";
+    s.iterations = 10;
+    s.artifacts = std::move(artifacts);
+    return s;
+}
+
+TEST(Chunking, CoversExactByteCount)
+{
+    const auto chunks =
+        chunk_artifact(artifact("a", 10 * kMiB + 123), 4 * kMiB, 0.1);
+    ASSERT_EQ(chunks.size(), 3u);
+    uint64_t total = 0;
+    for (const auto &c : chunks)
+        total += c.bytes;
+    EXPECT_EQ(total, 10 * kMiB + 123);
+    EXPECT_EQ(chunks.back().bytes, 2 * kMiB + 123);
+}
+
+TEST(Chunking, DeterministicAndVersionStable)
+{
+    const auto a = chunk_artifact(artifact("x", 40 * kMiB, 3), 4 * kMiB,
+                                  0.1);
+    const auto b = chunk_artifact(artifact("x", 40 * kMiB, 3), 4 * kMiB,
+                                  0.1);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(Chunking, DifferentArtifactsShareNothing)
+{
+    const auto a = chunk_artifact(artifact("x", 40 * kMiB), 4 * kMiB, 0.1);
+    const auto b = chunk_artifact(artifact("y", 40 * kMiB), 4 * kMiB, 0.1);
+    std::set<ChunkId> ids;
+    for (const auto &c : a)
+        ids.insert(c.id);
+    for (const auto &c : b)
+        EXPECT_FALSE(ids.contains(c.id));
+}
+
+TEST(Chunking, VersionBumpRewritesAboutDeltaFraction)
+{
+    const double delta = 0.1;
+    const auto v1 =
+        chunk_artifact(artifact("x", 400 * kMiB, 1), kMiB, delta);
+    const auto v2 =
+        chunk_artifact(artifact("x", 400 * kMiB, 2), kMiB, delta);
+    ASSERT_EQ(v1.size(), v2.size());
+    int changed = 0;
+    for (size_t i = 0; i < v1.size(); ++i)
+        changed += v1[i].id != v2[i].id;
+    EXPECT_NEAR(double(changed) / double(v1.size()), delta, 0.05);
+}
+
+TEST(Chunking, ChangesAccumulateMonotonically)
+{
+    const auto v1 = chunk_artifact(artifact("x", 100 * kMiB, 1), kMiB, 0.1);
+    const auto v5 = chunk_artifact(artifact("x", 100 * kMiB, 5), kMiB, 0.1);
+    const auto v6 = chunk_artifact(artifact("x", 100 * kMiB, 6), kMiB, 0.1);
+    int d15 = 0, d56 = 0;
+    for (size_t i = 0; i < v1.size(); ++i) {
+        d15 += v1[i].id != v5[i].id;
+        d56 += v5[i].id != v6[i].id;
+    }
+    EXPECT_GT(d15, d56); // four bumps change more than one
+}
+
+TEST(ChunkStore, HitMissAccounting)
+{
+    ChunkStore store;
+    EXPECT_FALSE(store.lookup(1));
+    store.insert(1, 100);
+    EXPECT_TRUE(store.lookup(1));
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(store.resident_bytes(), 100u);
+    store.insert(1, 100); // duplicate: no double count
+    EXPECT_EQ(store.resident_bytes(), 100u);
+}
+
+TEST(ChunkStore, LruEviction)
+{
+    ChunkStore store(300);
+    store.insert(1, 100);
+    store.insert(2, 100);
+    store.insert(3, 100);
+    EXPECT_TRUE(store.lookup(1)); // refresh 1: now 2 is the LRU
+    store.insert(4, 100);         // evicts 2
+    EXPECT_FALSE(store.lookup(2));
+    EXPECT_TRUE(store.lookup(1));
+    EXPECT_TRUE(store.lookup(3));
+    EXPECT_TRUE(store.lookup(4));
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_LE(store.resident_bytes(), 300u);
+}
+
+TEST(ChunkStore, ClearDropsEverything)
+{
+    ChunkStore store;
+    store.insert(1, 50);
+    store.clear();
+    EXPECT_EQ(store.resident_bytes(), 0u);
+    EXPECT_EQ(store.resident_chunks(), 0u);
+    EXPECT_FALSE(store.lookup(1));
+}
+
+TEST(Compiler, ColdCompileTransfersEverything)
+{
+    Compiler compiler;
+    const auto out =
+        compiler.compile(spec_with({artifact("a", 100 * kMiB)}));
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value().total_bytes, 100 * kMiB);
+    EXPECT_EQ(out.value().transferred_bytes, 100 * kMiB);
+    EXPECT_EQ(out.value().cached_bytes, 0u);
+    EXPECT_DOUBLE_EQ(out.value().cache_hit_ratio(), 0.0);
+}
+
+TEST(Compiler, WarmResubmissionIsAllHits)
+{
+    Compiler compiler;
+    const auto spec = spec_with({artifact("a", 100 * kMiB)});
+    ASSERT_TRUE(compiler.compile(spec).is_ok());
+    const auto warm = compiler.compile(spec);
+    ASSERT_TRUE(warm.is_ok());
+    EXPECT_EQ(warm.value().transferred_bytes, 0u);
+    EXPECT_DOUBLE_EQ(warm.value().cache_hit_ratio(), 1.0);
+    EXPECT_LT(warm.value().provision_time.to_seconds(),
+              compiler.config().container_build.to_seconds() +
+                  compiler.config().fixed_overhead.to_seconds() + 1.0);
+}
+
+TEST(Compiler, VersionBumpTransfersOnlyDelta)
+{
+    CompilerConfig config;
+    config.delta_fraction = 0.05;
+    Compiler compiler(config);
+    ASSERT_TRUE(
+        compiler.compile(spec_with({artifact("a", 400 * kMiB, 1)}))
+            .is_ok());
+    const auto v2 =
+        compiler.compile(spec_with({artifact("a", 400 * kMiB, 2)}));
+    ASSERT_TRUE(v2.is_ok());
+    const double frac = double(v2.value().transferred_bytes) /
+                        double(v2.value().total_bytes);
+    EXPECT_LT(frac, 0.15);
+    EXPECT_GT(frac, 0.0);
+}
+
+TEST(Compiler, CacheDisabledAlwaysTransfers)
+{
+    CompilerConfig config;
+    config.cache_enabled = false;
+    Compiler compiler(config);
+    const auto spec = spec_with({artifact("a", 100 * kMiB)});
+    ASSERT_TRUE(compiler.compile(spec).is_ok());
+    const auto again = compiler.compile(spec);
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value().transferred_bytes, 100 * kMiB);
+}
+
+TEST(Compiler, RuntimeResolutionBySizeAndPreference)
+{
+    Compiler compiler;
+    // Small task, auto -> bare metal.
+    auto small = compiler.compile(spec_with({artifact("a", 10 * kMiB)}));
+    ASSERT_TRUE(small.is_ok());
+    EXPECT_EQ(small.value().runtime, RuntimeKind::kBareMetal);
+    // Large task, auto -> container.
+    auto large = compiler.compile(spec_with({artifact("b", 2000 * kMiB)}));
+    ASSERT_TRUE(large.is_ok());
+    EXPECT_EQ(large.value().runtime, RuntimeKind::kContainer);
+    // Explicit preference wins.
+    auto spec = spec_with({artifact("c", 10 * kMiB)});
+    spec.runtime = workload::RuntimePref::kContainer;
+    auto forced = compiler.compile(spec);
+    ASSERT_TRUE(forced.is_ok());
+    EXPECT_EQ(forced.value().runtime, RuntimeKind::kContainer);
+}
+
+TEST(Compiler, ProvisionTimeScalesWithTransfer)
+{
+    Compiler compiler;
+    auto small = compiler.compile(spec_with({artifact("s", 10 * kMiB)}));
+    auto large =
+        compiler.compile(spec_with({artifact("l", 10'000 * kMiB)}));
+    ASSERT_TRUE(small.is_ok() && large.is_ok());
+    EXPECT_GT(large.value().provision_time, small.value().provision_time);
+}
+
+TEST(Compiler, RejectsInvalidSpecAndUnknownModel)
+{
+    Compiler compiler;
+    workload::TaskSpec bad = spec_with({artifact("a", kMiB)});
+    bad.gpus = 0;
+    EXPECT_FALSE(compiler.compile(bad).is_ok());
+    workload::TaskSpec unknown = spec_with({artifact("a", kMiB)});
+    unknown.model = "skynet";
+    EXPECT_FALSE(compiler.compile(unknown).is_ok());
+}
+
+TEST(Compiler, StatsAccumulate)
+{
+    Compiler compiler;
+    const auto spec = spec_with({artifact("a", 100 * kMiB)});
+    ASSERT_TRUE(compiler.compile(spec).is_ok());
+    ASSERT_TRUE(compiler.compile(spec).is_ok());
+    const auto &stats = compiler.stats();
+    EXPECT_EQ(stats.tasks_compiled, 2u);
+    EXPECT_EQ(stats.bytes_total, 200 * kMiB);
+    EXPECT_EQ(stats.bytes_transferred, 100 * kMiB);
+    EXPECT_NEAR(stats.transfer_savings(), 0.5, 1e-12);
+    EXPECT_GT(stats.mean_provision_s(), 0.0);
+}
+
+TEST(Compiler, ClearCacheRestoresColdBehaviour)
+{
+    Compiler compiler;
+    const auto spec = spec_with({artifact("a", 100 * kMiB)});
+    ASSERT_TRUE(compiler.compile(spec).is_ok());
+    compiler.clear_cache();
+    const auto again = compiler.compile(spec);
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value().transferred_bytes, 100 * kMiB);
+}
+
+} // namespace
+} // namespace tacc::compiler

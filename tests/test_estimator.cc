@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the runtime estimator and its scheduler integration.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/estimator.h"
+#include "sched_fixture.h"
+#include "workload/model.h"
+
+namespace tacc::sched {
+namespace {
+
+using namespace time_literals;
+
+workload::Job
+completed_job(cluster::JobId id, const std::string &user,
+              const std::string &model, int64_t iterations,
+              double iter_seconds, int gpus = 2)
+{
+    workload::TaskSpec spec;
+    spec.name = "e" + std::to_string(id);
+    spec.user = user;
+    spec.group = "g";
+    spec.gpus = gpus;
+    spec.model = model;
+    spec.iterations = iterations;
+    spec.time_limit = Duration::hours(100);
+    auto profile = workload::ModelCatalog::instance().find(model);
+    workload::Job job(id, spec, profile.value(), TimePoint::origin());
+    EXPECT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_TRUE(
+        job.begin_segment(TimePoint::origin(), gpus, iter_seconds).is_ok());
+    EXPECT_TRUE(job.complete(TimePoint::origin() +
+                             Duration::from_seconds(double(iterations) *
+                                                    iter_seconds))
+                    .is_ok());
+    return job;
+}
+
+TEST(RuntimeEstimator, FallsBackToTimeLimitWithoutHistory)
+{
+    RuntimeEstimator estimator;
+    const auto job = completed_job(1, "alice", "resnet50", 100, 1.0);
+    EXPECT_FALSE(estimator.has_history(job));
+    EXPECT_EQ(estimator.predict(job), job.spec().time_limit);
+}
+
+TEST(RuntimeEstimator, LearnsPerIterationRate)
+{
+    RuntimeEstimator estimator(/*safety_factor=*/1.0);
+    estimator.observe(completed_job(1, "alice", "resnet50", 1000, 2.0));
+    const auto next = completed_job(2, "alice", "resnet50", 500, 2.0);
+    ASSERT_TRUE(estimator.has_history(next));
+    EXPECT_NEAR(estimator.predict(next).to_seconds(), 1000.0, 1.0);
+    EXPECT_EQ(estimator.observations(), 1u);
+}
+
+TEST(RuntimeEstimator, SafetyFactorApplied)
+{
+    RuntimeEstimator estimator(/*safety_factor=*/1.5);
+    estimator.observe(completed_job(1, "alice", "resnet50", 1000, 2.0));
+    const auto next = completed_job(2, "alice", "resnet50", 1000, 2.0);
+    EXPECT_NEAR(estimator.predict(next).to_seconds(), 3000.0, 1.0);
+}
+
+TEST(RuntimeEstimator, PredictionCappedByTimeLimit)
+{
+    RuntimeEstimator estimator(1.0);
+    estimator.observe(completed_job(1, "alice", "resnet50", 1000, 2.0));
+    auto next = completed_job(2, "alice", "resnet50", 1'000'000, 2.0);
+    // Prediction would be ~2e6 s; the limit (100 h) caps it.
+    EXPECT_EQ(estimator.predict(next), Duration::hours(100));
+}
+
+TEST(RuntimeEstimator, KeysAreUserAndModel)
+{
+    RuntimeEstimator estimator(1.0);
+    estimator.observe(completed_job(1, "alice", "resnet50", 1000, 2.0));
+    const auto other_user =
+        completed_job(2, "bob", "resnet50", 1000, 2.0);
+    const auto other_model =
+        completed_job(3, "alice", "vgg19", 1000, 2.0);
+    EXPECT_FALSE(estimator.has_history(other_user));
+    EXPECT_FALSE(estimator.has_history(other_model));
+    EXPECT_EQ(estimator.tracked_keys(), 1u);
+}
+
+TEST(RuntimeEstimator, EmaTracksDrift)
+{
+    RuntimeEstimator estimator(1.0, /*ema_alpha=*/0.5);
+    estimator.observe(completed_job(1, "alice", "resnet50", 100, 1.0));
+    estimator.observe(completed_job(2, "alice", "resnet50", 100, 3.0));
+    const auto next = completed_job(3, "alice", "resnet50", 100, 1.0);
+    // EMA: 0.5*3 + 0.5*1 = 2 s/iter.
+    EXPECT_NEAR(estimator.predict(next).to_seconds(), 200.0, 0.5);
+}
+
+TEST(RuntimeEstimator, IgnoresNonCompletedJobs)
+{
+    RuntimeEstimator estimator;
+    workload::TaskSpec spec;
+    spec.name = "k";
+    spec.user = "alice";
+    spec.group = "g";
+    spec.gpus = 1;
+    spec.model = "resnet50";
+    spec.iterations = 100;
+    auto profile = workload::ModelCatalog::instance().find(spec.model);
+    workload::Job job(9, spec, profile.value(), TimePoint::origin());
+    ASSERT_TRUE(job.kill(TimePoint::origin()).is_ok());
+    estimator.observe(job);
+    EXPECT_EQ(estimator.observations(), 0u);
+}
+
+class PredictiveSchedulers : public testing::SchedFixture
+{
+};
+
+TEST_F(PredictiveSchedulers, SjfPredReordersByHistory)
+{
+    // Two 1-GPU jobs compete for one free GPU. By user limits, A looks
+    // shorter; by learned history (same user+model rate, far fewer
+    // iterations), B is actually shorter.
+    add_running({.gpus = 15}, now_ + 1000_s);
+    auto *a = add_pending({.gpus = 1, .time_limit = 1_h,
+                           .iterations = 100000});
+    auto *b = add_pending({.gpus = 1, .time_limit = 10_h, .group = "g",
+                           .iterations = 10, .submit = now_ + 1_s});
+
+    RuntimeEstimator estimator(1.0);
+    // History: B's user+model pair completes at 0.001 s/iter.
+    {
+        workload::TaskSpec s = b->spec();
+        s.name = "hist";
+        auto profile =
+            workload::ModelCatalog::instance().find(s.model);
+        workload::Job hist(99, s, profile.value(), TimePoint::origin());
+        EXPECT_TRUE(hist.begin_provisioning(TimePoint::origin()).is_ok());
+        EXPECT_TRUE(hist.finish_provisioning(TimePoint::origin()).is_ok());
+        EXPECT_TRUE(
+            hist.begin_segment(TimePoint::origin(), 1, 0.001).is_ok());
+        EXPECT_TRUE(hist.complete(TimePoint::origin() + 1_s).is_ok());
+        estimator.observe(hist);
+    }
+
+    auto context = ctx();
+    context.estimator = &estimator;
+
+    SjfScheduler plain(false);
+    EXPECT_EQ(started(plain.schedule(context)),
+              (std::vector<cluster::JobId>{a->id()}));
+
+    SjfScheduler predictive(true);
+    EXPECT_EQ(started(predictive.schedule(context)),
+              (std::vector<cluster::JobId>{b->id()}));
+}
+
+TEST_F(PredictiveSchedulers, BackfillPredAdmitsMoreWithTightBounds)
+{
+    // 4 GPUs free until a 12-GPU job releases at t+100 s; the head needs
+    // 16. A 4-GPU candidate claims a 5000 s limit but history says its
+    // jobs finish in ~50 s: plain backfill refuses, predictive admits.
+    add_running({.gpus = 12}, now_ + 100_s);
+    add_pending({.gpus = 16, .time_limit = 1000_s});
+    auto *candidate = add_pending({.gpus = 4, .time_limit = 5000_s,
+                                   .iterations = 50});
+
+    RuntimeEstimator estimator(1.0);
+    {
+        workload::TaskSpec s = candidate->spec();
+        s.name = "hist";
+        auto profile =
+            workload::ModelCatalog::instance().find(s.model);
+        workload::Job hist(99, s, profile.value(), TimePoint::origin());
+        EXPECT_TRUE(hist.begin_provisioning(TimePoint::origin()).is_ok());
+        EXPECT_TRUE(hist.finish_provisioning(TimePoint::origin()).is_ok());
+        EXPECT_TRUE(
+            hist.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+        EXPECT_TRUE(hist.complete(TimePoint::origin() + 50_s).is_ok());
+        estimator.observe(hist);
+    }
+
+    auto context = ctx();
+    context.estimator = &estimator;
+
+    BackfillScheduler plain(false, false);
+    EXPECT_TRUE(plain.schedule(context).starts.empty());
+
+    BackfillScheduler predictive(false, true);
+    EXPECT_EQ(started(predictive.schedule(context)),
+              (std::vector<cluster::JobId>{candidate->id()}));
+}
+
+} // namespace
+} // namespace tacc::sched

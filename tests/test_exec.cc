@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Unit tests for the execution layer: shared FS, failure model, monitor
+ * hub, and the engine's segment planning.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "exec/engine.h"
+#include "exec/monitor.h"
+#include "workload/model.h"
+
+namespace tacc::exec {
+namespace {
+
+using namespace time_literals;
+
+workload::TaskSpec
+spec(int gpus = 8, const std::string &model = "resnet50")
+{
+    workload::TaskSpec s;
+    s.name = "t";
+    s.user = "u";
+    s.group = "g";
+    s.gpus = gpus;
+    s.model = model;
+    s.iterations = 1000;
+    return s;
+}
+
+workload::Job
+make_job(const workload::TaskSpec &s)
+{
+    auto profile = workload::ModelCatalog::instance().find(s.model);
+    workload::Job job(1, s, profile.value(), TimePoint::origin());
+    EXPECT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    return job;
+}
+
+cluster::Placement
+place(cluster::Cluster &cluster, cluster::JobId id, int gpus)
+{
+    cluster::Placement want;
+    int remaining = gpus;
+    for (cluster::NodeId n = 0; remaining > 0; ++n) {
+        const int free = cluster.node(n).free_gpu_count();
+        const int take = std::min(remaining, free);
+        if (take == 0)
+            continue;
+        cluster::PlacementSlice slice;
+        slice.node = n;
+        slice.gpu_indices.resize(size_t(take), 0);
+        want.slices.push_back(slice);
+        remaining -= take;
+    }
+    EXPECT_TRUE(cluster.allocate(id, want).is_ok());
+    return cluster.placement_of(id);
+}
+
+TEST(SharedFilesystem, EqualShareWithClientCap)
+{
+    FsConfig config;
+    config.aggregate_read_gbps = 100.0;
+    config.per_client_gbps = 40.0;
+    SharedFilesystem fs(config);
+    // One reader: capped by the client NIC.
+    fs.register_reader(1);
+    EXPECT_DOUBLE_EQ(fs.read_bw_Bps(), 40.0 * 1e9 / 8.0);
+    // Five readers: 20 Gbps shares below the cap.
+    for (cluster::JobId id = 2; id <= 5; ++id)
+        fs.register_reader(id);
+    EXPECT_DOUBLE_EQ(fs.read_bw_Bps(), 20.0 * 1e9 / 8.0);
+    EXPECT_EQ(fs.active_readers(), 5);
+    fs.unregister_reader(3);
+    EXPECT_EQ(fs.active_readers(), 4);
+    EXPECT_DOUBLE_EQ(fs.read_bw_Bps(), 25.0 * 1e9 / 8.0);
+}
+
+TEST(SharedFilesystem, ReadTime)
+{
+    SharedFilesystem fs(FsConfig{.aggregate_read_gbps = 80.0,
+                                 .per_client_gbps = 80.0});
+    fs.register_reader(1);
+    EXPECT_DOUBLE_EQ(fs.read_time_s(0), 0.0);
+    EXPECT_NEAR(fs.read_time_s(10e9), 1.0, 1e-9);
+}
+
+TEST(FailureModel, DisabledInjectsNothing)
+{
+    FailureModel fm(FailureConfig{}, 1);
+    const auto job = make_job(spec());
+    cluster::Cluster cluster(cluster::ClusterConfig{});
+    cluster::Placement p;
+    p.slices.push_back({0, {0, 1}});
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(fm.sample_segment_failure(
+                           job, p, compiler::RuntimeKind::kContainer,
+                           Duration::hours(1000))
+                         .has_value());
+    }
+}
+
+TEST(FailureModel, TransientRateScalesWithNodesAndHorizon)
+{
+    FailureConfig config;
+    config.node_mtbf_hours = 100.0;
+    FailureModel fm(config, 7);
+    const auto job = make_job(spec());
+    cluster::Placement one_node;
+    one_node.slices.push_back({0, {0}});
+    cluster::Placement eight_nodes;
+    for (cluster::NodeId n = 0; n < 8; ++n)
+        eight_nodes.slices.push_back({n, {0}});
+
+    int fail_one = 0, fail_eight = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        fail_one += fm.sample_segment_failure(
+                          job, one_node,
+                          compiler::RuntimeKind::kContainer,
+                          Duration::hours(10))
+                        .has_value();
+        fail_eight += fm.sample_segment_failure(
+                            job, eight_nodes,
+                            compiler::RuntimeKind::kContainer,
+                            Duration::hours(10))
+                          .has_value();
+    }
+    // P(fail in 10h) = 1-exp(-10/100) ~ 9.5% vs 1-exp(-80/100) ~ 55%.
+    EXPECT_NEAR(double(fail_one) / trials, 0.095, 0.03);
+    EXPECT_NEAR(double(fail_eight) / trials, 0.551, 0.05);
+}
+
+TEST(FailureModel, PersistentIncompatibilityIsDeterministic)
+{
+    FailureConfig config;
+    config.persistent_prob = 1.0; // every job has one bad runtime
+    FailureModel fm(config, 11);
+    const auto job = make_job(spec());
+    const bool bad_container =
+        fm.is_incompatible(job, compiler::RuntimeKind::kContainer);
+    const bool bad_baremetal =
+        fm.is_incompatible(job, compiler::RuntimeKind::kBareMetal);
+    EXPECT_NE(bad_container, bad_baremetal); // exactly one is broken
+    // Stable across queries.
+    EXPECT_EQ(fm.is_incompatible(job, compiler::RuntimeKind::kContainer),
+              bad_container);
+
+    const auto bad = bad_container ? compiler::RuntimeKind::kContainer
+                                   : compiler::RuntimeKind::kBareMetal;
+    const auto failure = fm.sample_segment_failure(job, {}, bad,
+                                                   Duration::hours(10));
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_NEAR(failure->to_seconds(), config.persistent_fail_after_s,
+                1e-6);
+}
+
+TEST(FailureModel, FailsafeSwitchingAlternatesRuntime)
+{
+    FailureConfig config;
+    config.failsafe_switching = true;
+    FailureModel fm(config, 11);
+    const auto job = make_job(spec());
+    const auto compiled = compiler::RuntimeKind::kContainer;
+    EXPECT_EQ(fm.choose_runtime(job, compiled), compiled);
+    fm.on_failure(job);
+    EXPECT_EQ(fm.choose_runtime(job, compiled),
+              compiler::RuntimeKind::kBareMetal);
+    fm.on_failure(job);
+    EXPECT_EQ(fm.choose_runtime(job, compiled), compiled);
+    EXPECT_EQ(fm.attempts_of(job.id()), 2);
+}
+
+TEST(FailureModel, SwitchingDisabledKeepsRuntime)
+{
+    FailureConfig config;
+    config.failsafe_switching = false;
+    FailureModel fm(config, 11);
+    const auto job = make_job(spec());
+    fm.on_failure(job);
+    EXPECT_EQ(fm.choose_runtime(job, compiler::RuntimeKind::kContainer),
+              compiler::RuntimeKind::kContainer);
+}
+
+TEST(FailureModel, MaxAttemptsExhausts)
+{
+    FailureConfig config;
+    config.max_attempts = 3;
+    FailureModel fm(config, 1);
+    const auto job = make_job(spec());
+    EXPECT_FALSE(fm.on_failure(job));
+    EXPECT_FALSE(fm.on_failure(job));
+    EXPECT_TRUE(fm.on_failure(job));
+}
+
+TEST(MonitorHub, AggregatesAcrossNodesInTimeOrder)
+{
+    MonitorHub hub(4);
+    cluster::Placement p;
+    p.slices.push_back({0, {0}});
+    p.slices.push_back({2, {0}});
+    hub.emit(TimePoint::origin() + 5_s, 1, 2, "late");
+    hub.emit(TimePoint::origin() + 1_s, 1, 0, "early");
+    hub.emit(TimePoint::origin() + 3_s, 2, 1, "other job");
+    hub.emit_all(TimePoint::origin() + 9_s, 1, p, "both");
+
+    const auto lines = hub.aggregate(1);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].text, "early");
+    EXPECT_EQ(lines[1].text, "late");
+    EXPECT_EQ(lines[2].text, "both");
+    EXPECT_EQ(lines[3].text, "both");
+    EXPECT_EQ(hub.total_emitted(), 5u);
+    EXPECT_TRUE(hub.aggregate(42).empty());
+}
+
+TEST(MonitorHub, BoundedBuffersDropOldest)
+{
+    MonitorHub hub(1, 3);
+    for (int i = 0; i < 5; ++i)
+        hub.emit(TimePoint::origin() + Duration::seconds(i), 1, 0,
+                 "line" + std::to_string(i));
+    EXPECT_EQ(hub.node_line_count(0), 3u);
+    EXPECT_EQ(hub.total_dropped(), 2u);
+    const auto lines = hub.aggregate(1);
+    EXPECT_EQ(lines.front().text, "line2");
+}
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest() : cluster_(cluster::ClusterConfig{}) {}
+
+    ExecutionEngine
+    engine(ExecConfig config = {})
+    {
+        return ExecutionEngine(cluster_, config, 3);
+    }
+
+    cluster::Cluster cluster_;
+};
+
+TEST_F(EngineTest, TransportAutoSelection)
+{
+    auto eng = engine();
+    auto s = spec();
+
+    cluster::Placement intra_rack;
+    intra_rack.slices.push_back({0, {0}});
+    intra_rack.slices.push_back({1, {0}});
+    EXPECT_EQ(eng.resolve_transport(s, intra_rack),
+              Transport::kInNetwork);
+
+    cluster::Placement cross_rack;
+    cross_rack.slices.push_back({0, {0}});
+    cross_rack.slices.push_back({8, {0}});
+    EXPECT_EQ(eng.resolve_transport(s, cross_rack), Transport::kRdma);
+
+    cluster::Placement single;
+    single.slices.push_back({0, {0, 1}});
+    EXPECT_EQ(eng.resolve_transport(s, single), Transport::kRdma);
+
+    s.transport = workload::TransportPref::kTcp;
+    EXPECT_EQ(eng.resolve_transport(s, intra_rack), Transport::kTcp);
+}
+
+TEST_F(EngineTest, TransportDowngradesWhenHardwareMissing)
+{
+    ExecConfig config;
+    config.rdma_available = false;
+    config.innetwork_available = false;
+    auto eng = engine(config);
+    auto s = spec();
+    s.transport = workload::TransportPref::kRdma;
+    cluster::Placement p;
+    p.slices.push_back({0, {0}});
+    p.slices.push_back({1, {0}});
+    EXPECT_EQ(eng.resolve_transport(s, p), Transport::kTcp);
+    s.transport = workload::TransportPref::kInNetwork;
+    EXPECT_EQ(eng.resolve_transport(s, p), Transport::kTcp);
+}
+
+TEST_F(EngineTest, IterationTimeGrowsWithScopeAndContention)
+{
+    auto eng = engine();
+    auto job8 = make_job(spec(8, "bert-large"));
+    const auto p_single = place(cluster_, 1, 8);
+    auto job16 = make_job(spec(16, "bert-large"));
+    const auto p_two = place(cluster_, 2, 16);
+
+    const double t8 = eng.iteration_time_s(job8, p_single);
+    const double t16 = eng.iteration_time_s(job16, p_two);
+    EXPECT_GT(t16, t8); // crossing nodes costs
+
+    // FS contention can only slow things down.
+    const double before = eng.iteration_time_s(job8, p_single);
+    for (cluster::JobId id = 100; id < 200; ++id)
+        eng.fs().register_reader(id);
+    const double after = eng.iteration_time_s(job8, p_single);
+    EXPECT_GE(after, before);
+}
+
+TEST_F(EngineTest, SegmentPlanChargesStartupAndRestart)
+{
+    auto eng = engine();
+    auto job = make_job(spec(8));
+    const auto p = place(cluster_, 1, 8);
+
+    auto first = eng.plan_segment(job, p,
+                                  compiler::RuntimeKind::kContainer);
+    EXPECT_GT(first.iteration_s, 0);
+    EXPECT_NEAR(first.startup.to_seconds(),
+                eng.config().container_startup_s, 1e-9);
+    EXPECT_FALSE(first.failure_after.has_value());
+
+    // After a segment, a restart pays checkpoint-restore too.
+    EXPECT_TRUE(job.begin_segment(TimePoint::origin(), 8,
+                                  first.iteration_s)
+                    .is_ok());
+    EXPECT_TRUE(job.preempt(TimePoint::origin() + 10_s).is_ok());
+    auto second = eng.plan_segment(job, p,
+                                   compiler::RuntimeKind::kBareMetal);
+    EXPECT_NEAR(second.startup.to_seconds(),
+                eng.config().baremetal_startup_s +
+                    eng.config().restart_overhead_s,
+                1e-9);
+}
+
+TEST_F(EngineTest, SpineContentionScalesCrossRackBandwidth)
+{
+    // Default topology: 8 nodes/rack, oversubscription 1.0 -> the quiet
+    // scale is capped at 1 (no headroom on a non-blocking fabric).
+    auto flat = engine();
+    EXPECT_DOUBLE_EQ(flat.cross_rack_bw_scale(1), 1.0);
+
+    // Oversubscribed fabric: a lone cross-rack job gets the full NIC.
+    cluster::ClusterConfig oversub_config;
+    oversub_config.topology.oversubscription = 4.0;
+    cluster::Cluster oversub_cluster(oversub_config);
+    ExecutionEngine eng(oversub_cluster, ExecConfig{}, 3);
+    EXPECT_DOUBLE_EQ(eng.cross_rack_bw_scale(1), 4.0);
+
+    // Contention degrades toward the oversubscription floor.
+    for (cluster::JobId id = 1; id <= 8; ++id)
+        eng.register_cross_rack_job(id);
+    EXPECT_EQ(eng.cross_rack_jobs(), 8);
+    EXPECT_DOUBLE_EQ(eng.cross_rack_bw_scale(1), 1.0);
+    // An unregistered newcomer counts itself as a 9th sharer.
+    EXPECT_DOUBLE_EQ(eng.cross_rack_bw_scale(99), 1.0);
+    for (cluster::JobId id = 3; id <= 8; ++id)
+        eng.unregister_cross_rack_job(id);
+    EXPECT_DOUBLE_EQ(eng.cross_rack_bw_scale(1), 4.0); // 8/2 capped at 4
+
+    // Disabled: always the static floor.
+    ExecConfig off;
+    off.model_spine_contention = false;
+    ExecutionEngine plain(oversub_cluster, off, 3);
+    EXPECT_DOUBLE_EQ(plain.cross_rack_bw_scale(1), 1.0);
+}
+
+TEST_F(EngineTest, CrossRackIterationSpeedsUpOnQuietSpine)
+{
+    cluster::ClusterConfig oversub_config;
+    oversub_config.topology.oversubscription = 4.0;
+    cluster::Cluster oversub_cluster(oversub_config);
+    ExecutionEngine eng(oversub_cluster, ExecConfig{}, 3);
+
+    auto job = make_job(spec(16, "vgg19")); // comm-heavy
+    cluster::Placement cross;
+    cross.slices.push_back({0, {0, 1, 2, 3, 4, 5, 6, 7}});
+    cross.slices.push_back({8, {0, 1, 2, 3, 4, 5, 6, 7}});
+    EXPECT_TRUE(oversub_cluster.allocate(job.id(), cross).is_ok());
+
+    const double quiet = eng.iteration_time_s(job, cross);
+    for (cluster::JobId id = 100; id < 108; ++id)
+        eng.register_cross_rack_job(id);
+    const double contended = eng.iteration_time_s(job, cross);
+    EXPECT_GT(contended, quiet * 1.5);
+}
+
+TEST_F(EngineTest, CheckpointCostAmortizedIntoIterationTime)
+{
+    ExecConfig with_ckpt;
+    with_ckpt.checkpoint_interval_s = 100.0;
+    with_ckpt.checkpoint_cost_s = 10.0;
+    auto plain = engine();
+    auto ckpt = engine(with_ckpt);
+    auto job = make_job(spec(8));
+    const auto p = place(cluster_, 1, 8);
+    const double base = plain.iteration_time_s(job, p);
+    const double taxed = ckpt.iteration_time_s(job, p);
+    EXPECT_NEAR(taxed / base, 1.1, 1e-9);
+}
+
+TEST_F(EngineTest, PlanSamplesFailureWhenInjected)
+{
+    ExecConfig config;
+    config.failure.persistent_prob = 1.0;
+    auto eng = engine(config);
+    auto s = spec(8);
+    s.iterations = 1'000'000; // long enough to reach the crash point
+    auto job = make_job(s);
+    const auto p = place(cluster_, 1, 8);
+    const bool bad_container = eng.failures().is_incompatible(
+        job, compiler::RuntimeKind::kContainer);
+    const auto bad = bad_container ? compiler::RuntimeKind::kContainer
+                                   : compiler::RuntimeKind::kBareMetal;
+    auto plan = eng.plan_segment(job, p, bad);
+    ASSERT_TRUE(plan.failure_after.has_value());
+}
+
+} // namespace
+} // namespace tacc::exec

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Heterogeneous-cluster tests: per-rack hardware generations, GPU-model
+ * placement constraints, the slowest-worker gang rule, and the
+ * no-mixed-gang scheduling policy.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/stack.h"
+#include "exec/engine.h"
+#include "sched/placement.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+
+/** 2 racks of A100 nodes + 1 rack of V100 nodes (4 GPUs, slower). */
+cluster::ClusterConfig
+hetero_config()
+{
+    cluster::ClusterConfig config;
+    config.topology.racks = 3;
+    config.topology.nodes_per_rack = 2;
+    config.node.gpu = {"A100", 312.0, 80.0};
+    config.node.gpu_count = 8;
+    cluster::NodeSpec v100 = config.node;
+    v100.gpu = {"V100", 125.0, 32.0};
+    v100.gpu_count = 4;
+    config.rack_node_overrides[2] = v100;
+    return config;
+}
+
+TEST(HeteroCluster, BuildsMixedRacks)
+{
+    cluster::Cluster cluster(hetero_config());
+    EXPECT_EQ(cluster.total_gpus(), 2 * 2 * 8 + 2 * 4);
+    EXPECT_EQ(cluster.config().total_gpus(), cluster.total_gpus());
+    EXPECT_EQ(cluster.max_gpus_per_node(), 8);
+    EXPECT_EQ(cluster.node(0).spec().gpu.model, "A100");
+    EXPECT_EQ(cluster.node(4).spec().gpu.model, "V100");
+    EXPECT_EQ(cluster.node(4).gpu_count(), 4);
+    EXPECT_EQ(cluster.gpu_models(),
+              (std::vector<std::string>{"A100", "V100"}));
+}
+
+TEST(HeteroCluster, EligibleMask)
+{
+    cluster::Cluster cluster(hetero_config());
+    const auto any = cluster.eligible_mask("");
+    EXPECT_EQ(std::count(any.begin(), any.end(), 1), 6);
+    const auto v100 = cluster.eligible_mask("V100");
+    EXPECT_EQ(std::count(v100.begin(), v100.end(), 1), 2);
+    EXPECT_EQ(v100[0], 0);
+    EXPECT_EQ(v100[4], 1);
+    const auto none = cluster.eligible_mask("H100");
+    EXPECT_EQ(std::count(none.begin(), none.end(), 1), 0);
+}
+
+TEST(HeteroPlacement, MaskConfinesPlan)
+{
+    cluster::Cluster cluster(hetero_config());
+    sched::FreeView view(cluster);
+    const auto mask = cluster.eligible_mask("V100");
+    sched::TopologyAwarePlacement topo;
+    auto plan = topo.plan(view, cluster.topology(), 8, 8, &mask);
+    ASSERT_TRUE(plan.is_ok());
+    for (const auto &slice : plan.value().slices)
+        EXPECT_EQ(cluster.node(slice.node).spec().gpu.model, "V100");
+    // More than the V100 pool cannot be placed under the mask.
+    EXPECT_FALSE(topo.plan(view, cluster.topology(), 9, 8, &mask).is_ok());
+}
+
+TEST(HeteroEngine, GangRunsAtSlowestWorker)
+{
+    cluster::Cluster cluster(hetero_config());
+    exec::ExecutionEngine engine(cluster, exec::ExecConfig{}, 1);
+    workload::TaskSpec spec;
+    spec.name = "t";
+    spec.user = "u";
+    spec.group = "g";
+    spec.gpus = 8;
+    spec.model = "rl-ppo"; // compute-bound: comm barely matters
+    spec.iterations = 100;
+    auto profile = workload::ModelCatalog::instance().find(spec.model);
+    workload::Job job(1, spec, profile.value(), TimePoint::origin());
+
+    cluster::Placement a100;
+    a100.slices.push_back({0, {0, 1, 2, 3}});
+    a100.slices.push_back({1, {0, 1, 2, 3}});
+    cluster::Placement mixed;
+    mixed.slices.push_back({0, {0, 1, 2, 3}});
+    mixed.slices.push_back({4, {0, 1, 2, 3}});
+
+    const double fast = engine.iteration_time_s(job, a100);
+    const double slow = engine.iteration_time_s(job, mixed);
+    // Mixed gang computes at V100 speed: ~312/125 = 2.5x slower compute.
+    EXPECT_GT(slow / fast, 1.8);
+}
+
+TEST(HeteroStack, GpuModelRequirementHonored)
+{
+    core::StackConfig config;
+    config.cluster = hetero_config();
+    config.scheduler = "fifo";
+    core::TaccStack stack(config);
+
+    workload::TaskSpec spec;
+    spec.name = "v100-only";
+    spec.user = "u";
+    spec.group = "g";
+    spec.gpus = 4;
+    spec.gpu_model = "V100";
+    spec.model = "resnet50";
+    spec.iterations = 50;
+    auto id = stack.submit(spec);
+    ASSERT_TRUE(id.is_ok());
+    ASSERT_TRUE(stack.run_to_completion());
+
+    const workload::Job *job = stack.find_job(id.value());
+    EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+    // It ran somewhere; the monitor log names the node, but easier:
+    // re-submit a long copy and catch it running.
+    spec.iterations = 1'000'000;
+    auto id2 = stack.submit(spec);
+    ASSERT_TRUE(id2.is_ok());
+    stack.run_until(stack.simulator().now() + 5_min);
+    const auto placement = stack.cluster().placement_of(id2.value());
+    ASSERT_FALSE(placement.empty());
+    for (const auto &slice : placement.slices) {
+        EXPECT_EQ(stack.cluster().node(slice.node).spec().gpu.model,
+                  "V100");
+    }
+    ASSERT_TRUE(stack.run_to_completion());
+}
+
+TEST(HeteroStack, AvoidMixingKeepsGangsWithinGeneration)
+{
+    core::StackConfig config;
+    config.cluster = hetero_config();
+    config.scheduler = "fifo-skip";
+    config.placement = "firstfit"; // would happily mix if allowed
+    config.avoid_gpu_mixing = true;
+    core::TaccStack stack(config);
+
+    // Occupy most of the A100 pool so a naive 8-GPU plan would have to
+    // span into the V100 rack.
+    workload::TaskSpec filler;
+    filler.name = "filler";
+    filler.user = "u";
+    filler.group = "g";
+    filler.gpus = 12;
+    filler.model = "resnet50";
+    filler.iterations = 100000;
+    ASSERT_TRUE(stack.submit(filler).is_ok());
+    stack.run_until(TimePoint::origin() + 5_min);
+
+    workload::TaskSpec gang = filler;
+    gang.name = "gang";
+    gang.gpus = 6;
+    gang.iterations = 1'000'000;
+    auto id = stack.submit(gang);
+    ASSERT_TRUE(id.is_ok());
+    stack.run_until(stack.simulator().now() + 5_min);
+    const auto placement = stack.cluster().placement_of(id.value());
+    ASSERT_FALSE(placement.empty());
+    std::set<std::string> models;
+    for (const auto &slice : placement.slices)
+        models.insert(stack.cluster().node(slice.node).spec().gpu.model);
+    EXPECT_EQ(models.size(), 1u) << "gang mixed GPU generations";
+}
+
+TEST(HeteroSpec, GpuModelRoundTrips)
+{
+    workload::TaskSpec spec;
+    spec.name = "t";
+    spec.user = "u";
+    spec.group = "g";
+    spec.gpu_model = "V100";
+    spec.model = "resnet50";
+    auto parsed = workload::TaskSpec::parse(spec.to_text());
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().str();
+    EXPECT_EQ(parsed.value().gpu_model, "V100");
+    EXPECT_EQ(parsed.value(), spec);
+}
+
+} // namespace
+} // namespace tacc

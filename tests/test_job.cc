@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the job lifecycle state machine and progress accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "workload/job.h"
+#include "workload/model.h"
+
+namespace tacc::workload {
+namespace {
+
+using namespace time_literals;
+
+TaskSpec
+spec(int64_t iterations = 100, int gpus = 4)
+{
+    TaskSpec s;
+    s.name = "j";
+    s.user = "u";
+    s.group = "g";
+    s.gpus = gpus;
+    s.model = "resnet50";
+    s.iterations = iterations;
+    return s;
+}
+
+Job
+make_job(int64_t iterations = 100, TimePoint submit = TimePoint::origin())
+{
+    const auto profile = ModelCatalog::instance().find("resnet50");
+    return Job(1, spec(iterations), profile.value(), submit);
+}
+
+TEST(Job, HappyPathLifecycle)
+{
+    Job job = make_job(100);
+    EXPECT_EQ(job.state(), JobState::kSubmitted);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin() + 1_s).is_ok());
+    EXPECT_EQ(job.state(), JobState::kProvisioning);
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin() + 5_s).is_ok());
+    EXPECT_EQ(job.state(), JobState::kPending);
+    EXPECT_EQ(job.provision_latency(), 4_s);
+
+    // 100 iterations at 1 s each.
+    ASSERT_TRUE(
+        job.begin_segment(TimePoint::origin() + 10_s, 4, 1.0).is_ok());
+    EXPECT_EQ(job.state(), JobState::kRunning);
+    EXPECT_EQ(job.running_gpus(), 4);
+    EXPECT_TRUE(job.has_started());
+    EXPECT_EQ(job.queueing_delay(), 10_s);
+
+    ASSERT_TRUE(job.complete(TimePoint::origin() + 110_s).is_ok());
+    EXPECT_EQ(job.state(), JobState::kCompleted);
+    EXPECT_EQ(job.iterations_done(), 100);
+    EXPECT_DOUBLE_EQ(job.progress(), 1.0);
+    EXPECT_EQ(job.jct(), 110_s);
+    EXPECT_DOUBLE_EQ(job.gpu_seconds(), 400.0);
+}
+
+TEST(Job, InvalidTransitionsRejected)
+{
+    Job job = make_job();
+    EXPECT_FALSE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_FALSE(job.begin_segment(TimePoint::origin(), 1, 1.0).is_ok());
+    EXPECT_FALSE(job.end_segment(TimePoint::origin()).is_ok());
+    EXPECT_FALSE(job.complete(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_FALSE(job.begin_provisioning(TimePoint::origin()).is_ok());
+}
+
+TEST(Job, BadSegmentParametersRejected)
+{
+    Job job = make_job();
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_FALSE(job.begin_segment(TimePoint::origin(), 0, 1.0).is_ok());
+    EXPECT_FALSE(job.begin_segment(TimePoint::origin(), 4, 0.0).is_ok());
+    EXPECT_FALSE(job.begin_segment(TimePoint::origin(), 4, -1.0).is_ok());
+    EXPECT_EQ(job.state(), JobState::kPending);
+}
+
+TEST(Job, PreemptionCreditsPartialProgress)
+{
+    Job job = make_job(100);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+    ASSERT_TRUE(job.preempt(TimePoint::origin() + 30_s).is_ok());
+
+    EXPECT_EQ(job.state(), JobState::kPending);
+    EXPECT_EQ(job.iterations_done(), 30);
+    EXPECT_EQ(job.iterations_remaining(), 70);
+    EXPECT_EQ(job.preemption_count(), 1);
+    EXPECT_DOUBLE_EQ(job.gpu_seconds(), 120.0);
+
+    // Restart with a different allocation and finish.
+    ASSERT_TRUE(
+        job.begin_segment(TimePoint::origin() + 50_s, 2, 2.0).is_ok());
+    ASSERT_TRUE(job.complete(TimePoint::origin() + 190_s).is_ok());
+    EXPECT_EQ(job.iterations_done(), 100);
+    EXPECT_EQ(job.segment_count(), 2);
+}
+
+TEST(Job, StartupDelaysIterationCredit)
+{
+    Job job = make_job(100);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    // 10 s startup: GPUs held but no progress.
+    ASSERT_TRUE(
+        job.begin_segment(TimePoint::origin(), 4, 1.0, 10_s).is_ok());
+    ASSERT_TRUE(job.preempt(TimePoint::origin() + 15_s).is_ok());
+    EXPECT_EQ(job.iterations_done(), 5); // only 5 s of compute
+    EXPECT_DOUBLE_EQ(job.gpu_seconds(), 60.0); // but 15 s of holding
+
+    // Preempted during startup: no progress at all.
+    ASSERT_TRUE(
+        job.begin_segment(TimePoint::origin() + 20_s, 4, 1.0, 10_s)
+            .is_ok());
+    ASSERT_TRUE(job.preempt(TimePoint::origin() + 25_s).is_ok());
+    EXPECT_EQ(job.iterations_done(), 5);
+}
+
+TEST(Job, CompleteRequiresAllIterations)
+{
+    Job job = make_job(100);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+    EXPECT_FALSE(job.complete(TimePoint::origin() + 50_s).is_ok());
+}
+
+TEST(Job, CreditCappedAtRemaining)
+{
+    Job job = make_job(10);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 1, 1.0).is_ok());
+    // Ran far longer than needed (e.g. completion event delayed).
+    ASSERT_TRUE(job.complete(TimePoint::origin() + 100_s).is_ok());
+    EXPECT_EQ(job.iterations_done(), 10);
+}
+
+TEST(Job, FailTerminatesFromRunning)
+{
+    Job job = make_job();
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+    ASSERT_TRUE(job.fail(TimePoint::origin() + 7_s, "boom").is_ok());
+    EXPECT_EQ(job.state(), JobState::kFailed);
+    EXPECT_EQ(job.failure_reason(), "boom");
+    EXPECT_EQ(job.iterations_done(), 7);
+    EXPECT_FALSE(job.fail(TimePoint::origin() + 8_s, "again").is_ok());
+}
+
+TEST(Job, KillFromAnyNonTerminalState)
+{
+    Job a = make_job();
+    ASSERT_TRUE(a.kill(TimePoint::origin()).is_ok()); // from submitted
+    EXPECT_EQ(a.state(), JobState::kKilled);
+    EXPECT_FALSE(a.kill(TimePoint::origin()).is_ok());
+
+    Job b = make_job();
+    ASSERT_TRUE(b.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(b.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(b.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+    ASSERT_TRUE(b.kill(TimePoint::origin() + 3_s).is_ok());
+    EXPECT_EQ(b.state(), JobState::kKilled);
+    EXPECT_EQ(b.iterations_done(), 3); // work until the kill is kept
+}
+
+TEST(Job, AttainedServiceIncludesInFlightSegment)
+{
+    Job job = make_job(1000);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    EXPECT_DOUBLE_EQ(job.attained_gpu_seconds(TimePoint::origin() + 50_s),
+                     0.0);
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 4, 1.0).is_ok());
+    EXPECT_DOUBLE_EQ(job.attained_gpu_seconds(TimePoint::origin() + 50_s),
+                     200.0);
+    ASSERT_TRUE(job.preempt(TimePoint::origin() + 50_s).is_ok());
+    EXPECT_DOUBLE_EQ(job.attained_gpu_seconds(TimePoint::origin() + 99_s),
+                     200.0);
+}
+
+TEST(Job, RemainingRuntimeRoundsUp)
+{
+    Job job = make_job(3);
+    const Duration d = job.remaining_runtime(0.3333333);
+    EXPECT_GE(d.to_seconds(), 3 * 0.3333333);
+    EXPECT_LT(d.to_seconds(), 3 * 0.3333333 + 1e-3);
+}
+
+TEST(Job, CrashCreditRollsBackToCheckpoint)
+{
+    Job job = make_job(1000);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 1, 1.0).is_ok());
+    // Crash at 95 s with 30 s checkpoints: roll back to 90 iterations.
+    ASSERT_TRUE(
+        job.end_segment(TimePoint::origin() + 95_s, 30.0).is_ok());
+    EXPECT_EQ(job.iterations_done(), 90);
+    // GPU time is still charged for the full 95 s.
+    EXPECT_DOUBLE_EQ(job.gpu_seconds(), 95.0);
+}
+
+TEST(Job, CrashWithoutCheckpointsLosesSegment)
+{
+    Job job = make_job(1000);
+    ASSERT_TRUE(job.begin_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.finish_provisioning(TimePoint::origin()).is_ok());
+    ASSERT_TRUE(job.begin_segment(TimePoint::origin(), 1, 1.0).is_ok());
+    ASSERT_TRUE(
+        job.end_segment(TimePoint::origin() + 95_s, 0.0).is_ok());
+    EXPECT_EQ(job.iterations_done(), 0);
+    // A graceful preemption afterwards still credits fully.
+    ASSERT_TRUE(
+        job.begin_segment(TimePoint::origin() + 100_s, 1, 1.0).is_ok());
+    ASSERT_TRUE(job.preempt(TimePoint::origin() + 150_s).is_ok());
+    EXPECT_EQ(job.iterations_done(), 50);
+}
+
+TEST(JobStateNames, TerminalClassification)
+{
+    EXPECT_TRUE(job_state_terminal(JobState::kCompleted));
+    EXPECT_TRUE(job_state_terminal(JobState::kFailed));
+    EXPECT_TRUE(job_state_terminal(JobState::kKilled));
+    EXPECT_FALSE(job_state_terminal(JobState::kRunning));
+    EXPECT_FALSE(job_state_terminal(JobState::kPending));
+    EXPECT_STREQ(job_state_name(JobState::kProvisioning), "provisioning");
+}
+
+} // namespace
+} // namespace tacc::workload

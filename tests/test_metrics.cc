@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the metrics collector.
+ */
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "workload/model.h"
+
+namespace tacc::core {
+namespace {
+
+using namespace time_literals;
+using workload::JobState;
+using workload::QosClass;
+
+workload::Job
+finished_job(cluster::JobId id, const std::string &group, QosClass qos,
+             TimePoint submit, Duration wait, Duration run, int gpus = 2)
+{
+    workload::TaskSpec spec;
+    spec.name = "j" + std::to_string(id);
+    spec.user = "u";
+    spec.group = group;
+    spec.qos = qos;
+    spec.gpus = gpus;
+    spec.model = "resnet50";
+    spec.iterations = 100;
+    auto profile = workload::ModelCatalog::instance().find(spec.model);
+    workload::Job job(id, spec, profile.value(), submit);
+    EXPECT_TRUE(job.begin_provisioning(submit).is_ok());
+    EXPECT_TRUE(job.finish_provisioning(submit + 5_s).is_ok());
+    const TimePoint start = submit + wait;
+    const double iter_s = run.to_seconds() / 100.0;
+    EXPECT_TRUE(job.begin_segment(start, gpus, iter_s).is_ok());
+    EXPECT_TRUE(job.complete(start + run).is_ok());
+    return job;
+}
+
+TEST(MetricsCollector, JobRecordsCaptureLifecycle)
+{
+    MetricsCollector m;
+    const auto job = finished_job(1, "g", QosClass::kBatch,
+                                  TimePoint::origin(), 60_s, 600_s);
+    m.record_job(job);
+    ASSERT_EQ(m.records().size(), 1u);
+    const auto &r = m.records()[0];
+    EXPECT_EQ(r.final_state, JobState::kCompleted);
+    EXPECT_DOUBLE_EQ(r.wait_s, 60.0);
+    EXPECT_DOUBLE_EQ(r.jct_s, 660.0);
+    EXPECT_DOUBLE_EQ(r.provision_s, 5.0);
+    EXPECT_GT(r.ideal_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.gpu_seconds, 1200.0);
+    EXPECT_EQ(m.completed_count(), 1u);
+    EXPECT_EQ(m.failed_count(), 0u);
+    EXPECT_EQ(m.makespan(), TimePoint::origin() + 660_s);
+}
+
+TEST(MetricsCollector, SamplesFilterByQosAndState)
+{
+    MetricsCollector m;
+    m.record_job(finished_job(1, "g", QosClass::kBatch,
+                              TimePoint::origin(), 10_s, 100_s));
+    m.record_job(finished_job(2, "g", QosClass::kInteractive,
+                              TimePoint::origin(), 20_s, 50_s));
+    EXPECT_EQ(m.jct_samples().count(), 2u);
+    EXPECT_EQ(m.jct_samples_of(QosClass::kInteractive).count(), 1u);
+    EXPECT_DOUBLE_EQ(m.wait_samples_of(QosClass::kInteractive).mean(),
+                     20.0);
+    EXPECT_EQ(m.records_of(QosClass::kBatch).size(), 1u);
+}
+
+TEST(MetricsCollector, UtilizationTimeline)
+{
+    MetricsCollector m;
+    m.on_gpus_in_use(TimePoint::origin(), 0);
+    m.on_gpus_in_use(TimePoint::origin() + 10_s, 8);
+    m.on_gpus_in_use(TimePoint::origin() + 20_s, 0);
+    // Mean over [0, 40): 8 GPUs for 10 of 40 seconds = 2 of 16 = 12.5%.
+    EXPECT_NEAR(m.mean_utilization(TimePoint::origin(),
+                                   TimePoint::origin() + 40_s, 16),
+                0.125, 1e-12);
+    const auto series = m.utilization_series(
+        TimePoint::origin(), TimePoint::origin() + 40_s, 10_s, 16);
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_DOUBLE_EQ(series[0], 0.0);
+    EXPECT_DOUBLE_EQ(series[1], 0.5);
+    EXPECT_DOUBLE_EQ(series[2], 0.0);
+}
+
+TEST(MetricsCollector, QueueDepthAverage)
+{
+    MetricsCollector m;
+    m.on_queue_depth(TimePoint::origin(), 4);
+    m.on_queue_depth(TimePoint::origin() + 10_s, 0);
+    EXPECT_NEAR(m.mean_queue_depth(TimePoint::origin(),
+                                   TimePoint::origin() + 20_s),
+                2.0, 1e-12);
+}
+
+TEST(MetricsCollector, GroupAccounting)
+{
+    MetricsCollector m;
+    m.record_job(finished_job(1, "a", QosClass::kBatch,
+                              TimePoint::origin(), 0_s, 100_s, 4));
+    m.record_job(finished_job(2, "b", QosClass::kBatch,
+                              TimePoint::origin(), 0_s, 100_s, 2));
+    const auto by_group = m.gpu_seconds_by_group();
+    EXPECT_DOUBLE_EQ(by_group.at("a"), 400.0);
+    EXPECT_DOUBLE_EQ(by_group.at("b"), 200.0);
+    EXPECT_GT(m.group_fairness(), 0.0);
+    EXPECT_LE(m.group_fairness(), 1.0);
+}
+
+TEST(MetricsCollector, SlowdownFairnessEqualWhenDelaysEqual)
+{
+    MetricsCollector m;
+    // Same wait/run shape for both groups -> equal slowdowns -> Jain 1.
+    m.record_job(finished_job(1, "a", QosClass::kBatch,
+                              TimePoint::origin(), 50_s, 100_s));
+    m.record_job(finished_job(2, "b", QosClass::kBatch,
+                              TimePoint::origin(), 50_s, 100_s));
+    EXPECT_NEAR(m.group_fairness(), 1.0, 1e-9);
+    EXPECT_EQ(m.slowdown_samples().count(), 2u);
+    EXPECT_GE(m.slowdown_samples().min(), 1.0);
+}
+
+TEST(MetricsCollector, CountersAccumulate)
+{
+    MetricsCollector m;
+    m.on_preemption();
+    m.on_preemption();
+    m.on_segment_failure();
+    EXPECT_EQ(m.preemptions(), 2u);
+    EXPECT_EQ(m.segment_failures(), 1u);
+}
+
+} // namespace
+} // namespace tacc::core

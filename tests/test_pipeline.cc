@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for task pipelines (dependency-ordered submission).
+ */
+#include <gtest/gtest.h>
+
+#include "core/stack.h"
+#include "tcloud/client.h"
+
+namespace tacc::core {
+namespace {
+
+using namespace time_literals;
+using workload::JobState;
+
+StackConfig
+small_config()
+{
+    StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 2;
+    config.scheduler = "fifo-skip";
+    return config;
+}
+
+workload::TaskSpec
+spec(const std::string &name, int gpus = 2, int64_t iterations = 100)
+{
+    workload::TaskSpec s;
+    s.name = name;
+    s.user = "alice";
+    s.group = "lab";
+    s.gpus = gpus;
+    s.model = "resnet50";
+    s.iterations = iterations;
+    return s;
+}
+
+TEST(Pipeline, ChainRunsInOrder)
+{
+    TaccStack stack(small_config());
+    auto prep = stack.submit(spec("prep", 1, 100));
+    ASSERT_TRUE(prep.is_ok());
+    auto train = stack.submit(spec("train", 8, 500), {prep.value()});
+    ASSERT_TRUE(train.is_ok());
+    auto eval = stack.submit(spec("eval", 1, 50), {train.value()});
+    ASSERT_TRUE(eval.is_ok());
+
+    ASSERT_TRUE(stack.run_to_completion());
+    const auto *p = stack.find_job(prep.value());
+    const auto *t = stack.find_job(train.value());
+    const auto *e = stack.find_job(eval.value());
+    EXPECT_EQ(p->state(), JobState::kCompleted);
+    EXPECT_EQ(t->state(), JobState::kCompleted);
+    EXPECT_EQ(e->state(), JobState::kCompleted);
+    // Strict ordering: each stage starts after its parent finishes.
+    EXPECT_GE(t->submit_time() + t->queueing_delay(), p->finish_time());
+    EXPECT_GE(e->submit_time() + e->queueing_delay(), t->finish_time());
+}
+
+TEST(Pipeline, FanOutRunsInParallelAfterParent)
+{
+    TaccStack stack(small_config());
+    auto prep = stack.submit(spec("prep", 1, 200000));
+    ASSERT_TRUE(prep.is_ok());
+    auto a = stack.submit(spec("train-a", 4, 300), {prep.value()});
+    auto b = stack.submit(spec("train-b", 4, 300), {prep.value()});
+    ASSERT_TRUE(a.is_ok() && b.is_ok());
+
+    // While prep runs, both children are held (not pending, not running).
+    stack.run_until(TimePoint::origin() + 1_min);
+    EXPECT_EQ(stack.find_job(prep.value())->state(), JobState::kRunning);
+    EXPECT_EQ(stack.pending_count(), 0u);
+    EXPECT_EQ(stack.running_count(), 1u);
+
+    ASSERT_TRUE(stack.run_to_completion());
+    const auto *pa = stack.find_job(a.value());
+    const auto *pb = stack.find_job(b.value());
+    EXPECT_EQ(pa->state(), JobState::kCompleted);
+    EXPECT_EQ(pb->state(), JobState::kCompleted);
+    // The fan-out pair overlapped (both fit the free cluster).
+    const TimePoint a_start = pa->submit_time() + pa->queueing_delay();
+    const TimePoint b_start = pb->submit_time() + pb->queueing_delay();
+    EXPECT_LT(a_start, pb->finish_time());
+    EXPECT_LT(b_start, pa->finish_time());
+}
+
+TEST(Pipeline, DependencyOnCompletedJobRunsImmediately)
+{
+    TaccStack stack(small_config());
+    auto prep = stack.submit(spec("prep", 1, 10));
+    ASSERT_TRUE(prep.is_ok());
+    ASSERT_TRUE(stack.run_to_completion());
+
+    auto late = stack.submit(spec("late", 1, 10), {prep.value()});
+    ASSERT_TRUE(late.is_ok());
+    ASSERT_TRUE(stack.run_to_completion());
+    EXPECT_EQ(stack.find_job(late.value())->state(),
+              JobState::kCompleted);
+}
+
+TEST(Pipeline, FailureCascadesToDependents)
+{
+    StackConfig config = small_config();
+    // Every job is incompatible with one runtime and never recovers.
+    config.exec.failure.persistent_prob = 1.0;
+    config.exec.failure.failsafe_switching = false;
+    config.exec.failure.max_attempts = 2;
+    config.compiler.container_threshold_bytes = 0;
+    TaccStack stack(config);
+
+    // Find a parent whose container runtime is broken.
+    cluster::JobId doomed = cluster::kInvalidJob;
+    for (int i = 0; i < 6 && doomed == cluster::kInvalidJob; ++i) {
+        auto id = stack.submit(spec("p" + std::to_string(i), 1, 100000));
+        ASSERT_TRUE(id.is_ok());
+        if (stack.engine().failures().is_incompatible(
+                *stack.find_job(id.value()),
+                compiler::RuntimeKind::kContainer)) {
+            doomed = id.value();
+        }
+    }
+    ASSERT_NE(doomed, cluster::kInvalidJob);
+
+    auto child = stack.submit(spec("child", 1, 10), {doomed});
+    auto grandchild = stack.submit(spec("grandchild", 1, 10),
+                                   {child.value()});
+    ASSERT_TRUE(child.is_ok() && grandchild.is_ok());
+
+    ASSERT_TRUE(stack.run_to_completion());
+    EXPECT_EQ(stack.find_job(doomed)->state(), JobState::kFailed);
+    EXPECT_EQ(stack.find_job(child.value())->state(), JobState::kKilled);
+    EXPECT_EQ(stack.find_job(grandchild.value())->state(),
+              JobState::kKilled);
+}
+
+TEST(Pipeline, RejectsBadDependencies)
+{
+    TaccStack stack(small_config());
+    EXPECT_FALSE(stack.submit(spec("x"), {12345}).is_ok());
+    auto victim = stack.submit(spec("victim", 1, 10));
+    ASSERT_TRUE(victim.is_ok());
+    ASSERT_TRUE(stack.kill(victim.value()).is_ok());
+    EXPECT_FALSE(stack.submit(spec("y"), {victim.value()}).is_ok());
+}
+
+TEST(Pipeline, KillingHeldJobIsClean)
+{
+    TaccStack stack(small_config());
+    auto prep = stack.submit(spec("prep", 1, 100000));
+    ASSERT_TRUE(prep.is_ok());
+    auto child = stack.submit(spec("child", 1, 10), {prep.value()});
+    ASSERT_TRUE(child.is_ok());
+    stack.run_until(TimePoint::origin() + 5_min);
+    // Child is provisioned but held.
+    EXPECT_EQ(stack.find_job(child.value())->state(), JobState::kPending);
+    EXPECT_TRUE(stack.kill(child.value()).is_ok());
+    EXPECT_TRUE(stack.kill(prep.value()).is_ok());
+    ASSERT_TRUE(stack.run_to_completion());
+}
+
+TEST(Pipeline, TcloudSubmitAfter)
+{
+    TaccStack stack(small_config());
+    TaccStack other(small_config());
+    tcloud::Client client;
+    ASSERT_TRUE(client.add_cluster("a", &stack).is_ok());
+    ASSERT_TRUE(client.add_cluster("b", &other).is_ok());
+
+    auto prep = client.submit(spec("prep", 1, 50));
+    ASSERT_TRUE(prep.is_ok());
+    auto train = client.submit_after(spec("train", 4, 100),
+                                     {prep.value()});
+    ASSERT_TRUE(train.is_ok());
+    // Cross-cluster dependencies are rejected.
+    EXPECT_FALSE(
+        client.submit_after(spec("bad"), {prep.value()}, "b").is_ok());
+
+    auto done = client.wait(train.value());
+    ASSERT_TRUE(done.is_ok());
+    EXPECT_EQ(done.value().state, JobState::kCompleted);
+}
+
+} // namespace
+} // namespace tacc::core

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for FreeView and the placement policies: shared invariants run as
+ * a parameterized suite over every policy; policy-specific shape tests
+ * follow.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "sched/placement.h"
+
+namespace tacc::sched {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::Placement;
+
+ClusterConfig
+config(int racks = 2, int nodes_per_rack = 4, int gpus = 8)
+{
+    ClusterConfig c;
+    c.topology.racks = racks;
+    c.topology.nodes_per_rack = nodes_per_rack;
+    c.node.gpu_count = gpus;
+    return c;
+}
+
+TEST(FreeView, MirrorsClusterAndTracksTakes)
+{
+    Cluster cluster(config());
+    FreeView view(cluster);
+    EXPECT_EQ(view.total_free(), 64);
+    EXPECT_EQ(view.free(0), 8);
+    EXPECT_EQ(view.node_capacity(0), 8);
+    EXPECT_EQ(view.max_node_capacity(), 8);
+
+    Placement p;
+    p.slices.push_back({0, {0, 1, 2}});
+    view.take(p);
+    EXPECT_EQ(view.free(0), 5);
+    EXPECT_EQ(view.total_free(), 61);
+    view.give(p);
+    EXPECT_EQ(view.free(0), 8);
+    EXPECT_TRUE(view.fits_single_node(8));
+    EXPECT_FALSE(view.fits_single_node(9));
+}
+
+class PlacementInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(PlacementInvariants, ProducesValidPlacementOrRefuses)
+{
+    const auto &[policy_name, gpus] = GetParam();
+    auto policy = make_placement_policy(policy_name, 7);
+    ASSERT_NE(policy, nullptr);
+
+    Cluster cluster(config());
+    // Pre-occupy some capacity so policies face fragmentation.
+    ASSERT_TRUE(cluster.allocate(900, Placement{{{0, {0, 1, 2, 3, 4}}}})
+                    .is_ok());
+    ASSERT_TRUE(cluster.allocate(901, Placement{{{3, {0, 1, 2, 3, 4, 5}}}})
+                    .is_ok());
+    FreeView view(cluster);
+
+    auto plan = policy->plan(view, cluster.topology(), gpus, 8);
+    if (int(view.total_free()) < gpus) {
+        EXPECT_FALSE(plan.is_ok());
+        return;
+    }
+    ASSERT_TRUE(plan.is_ok())
+        << policy_name << " refused " << gpus << " GPUs with "
+        << view.total_free() << " free";
+    const Placement &p = plan.value();
+    EXPECT_EQ(p.total_gpus(), gpus);
+    // Slices must respect per-node free capacity and the per-node limit,
+    // and must name distinct nodes.
+    std::set<cluster::NodeId> seen;
+    for (const auto &slice : p.slices) {
+        EXPECT_TRUE(seen.insert(slice.node).second);
+        EXPECT_LE(int(slice.gpu_indices.size()), 8);
+        EXPECT_LE(int(slice.gpu_indices.size()), view.free(slice.node));
+        EXPECT_GE(int(slice.gpu_indices.size()), 1);
+    }
+    // The plan must be committable against the real cluster.
+    EXPECT_TRUE(cluster.allocate(1, p).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllSizes, PlacementInvariants,
+    ::testing::Combine(::testing::Values("firstfit", "pack", "spread",
+                                         "topology", "random"),
+                       ::testing::Values(1, 2, 3, 8, 13, 16, 32, 53, 64)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_g" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PlacementPolicy, PerNodeLimitRespected)
+{
+    Cluster cluster(config());
+    FreeView view(cluster);
+    for (const char *name : {"firstfit", "pack", "spread", "topology",
+                             "random"}) {
+        auto policy = make_placement_policy(name);
+        auto plan = policy->plan(view, cluster.topology(), 8, 2);
+        ASSERT_TRUE(plan.is_ok()) << name;
+        for (const auto &slice : plan.value().slices)
+            EXPECT_LE(slice.gpu_indices.size(), 2u) << name;
+        // Consolidating policies use the minimum node count; spread may
+        // use up to one node per GPU.
+        EXPECT_GE(plan.value().slices.size(), 4u) << name;
+        EXPECT_LE(plan.value().slices.size(), 8u) << name;
+    }
+}
+
+TEST(PackPlacement, PrefersTightestSingleNode)
+{
+    Cluster cluster(config());
+    // node0 has 3 free, node1 has 5 free, others 8.
+    ASSERT_TRUE(
+        cluster.allocate(900, Placement{{{0, {0, 1, 2, 3, 4}}}}).is_ok());
+    ASSERT_TRUE(
+        cluster.allocate(901, Placement{{{1, {0, 1, 2}}}}).is_ok());
+    FreeView view(cluster);
+    PackPlacement pack;
+    auto plan = pack.plan(view, cluster.topology(), 3, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    ASSERT_EQ(plan.value().slices.size(), 1u);
+    EXPECT_EQ(plan.value().slices[0].node, 0u); // tightest fit, not node 2+
+}
+
+TEST(PackPlacement, MinimizesNodeCountWhenSpanning)
+{
+    Cluster cluster(config(1, 4, 8));
+    FreeView view(cluster);
+    PackPlacement pack;
+    auto plan = pack.plan(view, cluster.topology(), 24, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    EXPECT_EQ(plan.value().slices.size(), 3u);
+}
+
+TEST(SpreadPlacement, MaximizesNodeCount)
+{
+    Cluster cluster(config(1, 4, 8));
+    FreeView view(cluster);
+    SpreadPlacement spread;
+    auto plan = spread.plan(view, cluster.topology(), 4, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    EXPECT_EQ(plan.value().slices.size(), 4u); // one GPU per node
+}
+
+TEST(TopologyAwarePlacement, StaysInOneRackWhenPossible)
+{
+    Cluster cluster(config(2, 4, 8));
+    // Rack 0 has 20 free (node0 holds 12 used), rack 1 fully free (32).
+    ASSERT_TRUE(cluster
+                    .allocate(900, Placement{{{0, {0, 1, 2, 3, 4, 5}},
+                                              {1, {0, 1, 2, 3, 4, 5}}}})
+                    .is_ok());
+    FreeView view(cluster);
+    TopologyAwarePlacement topo;
+    auto plan = topo.plan(view, cluster.topology(), 16, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    std::set<int> racks;
+    for (const auto &slice : plan.value().slices)
+        racks.insert(cluster.topology().rack_of(slice.node));
+    EXPECT_EQ(racks.size(), 1u);
+    // Tightest rack that fits is rack 0 (20 free) for a 16-GPU ask.
+    EXPECT_EQ(*racks.begin(), 0);
+}
+
+TEST(TopologyAwarePlacement, SpansRacksOnlyWhenForced)
+{
+    Cluster cluster(config(2, 4, 8));
+    FreeView view(cluster);
+    TopologyAwarePlacement topo;
+    auto plan = topo.plan(view, cluster.topology(), 48, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    std::set<int> racks;
+    for (const auto &slice : plan.value().slices)
+        racks.insert(cluster.topology().rack_of(slice.node));
+    EXPECT_EQ(racks.size(), 2u);
+}
+
+TEST(FirstFitPlacement, ScansInNodeOrder)
+{
+    Cluster cluster(config());
+    FreeView view(cluster);
+    FirstFitPlacement ff;
+    auto plan = ff.plan(view, cluster.topology(), 12, 8, nullptr);
+    ASSERT_TRUE(plan.is_ok());
+    ASSERT_EQ(plan.value().slices.size(), 2u);
+    EXPECT_EQ(plan.value().slices[0].node, 0u);
+    EXPECT_EQ(plan.value().slices[1].node, 1u);
+}
+
+TEST(RandomPlacement, DeterministicPerSeedStream)
+{
+    Cluster cluster(config());
+    FreeView view(cluster);
+    RandomPlacement a(5), b(5);
+    auto pa = a.plan(view, cluster.topology(), 4, 8, nullptr);
+    auto pb = b.plan(view, cluster.topology(), 4, 8, nullptr);
+    ASSERT_TRUE(pa.is_ok() && pb.is_ok());
+    EXPECT_EQ(pa.value().slices[0].node, pb.value().slices[0].node);
+}
+
+TEST(PlacementFactory, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(make_placement_policy("bogus"), nullptr);
+}
+
+} // namespace
+} // namespace tacc::sched

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit + statistical property tests for the deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace tacc {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanCloseToHalf)
+{
+    Rng rng(7);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniform_int(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all 5 values show up
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(9);
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialPositive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 50001; ++i)
+        xs.push_back(rng.lognormal(3.0, 1.0));
+    std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+    EXPECT_NEAR(std::log(xs[25000]), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimum)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ZipfRankOneMostLikely)
+{
+    Rng rng(29);
+    std::vector<int> counts(11, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[size_t(rng.zipf(10, 1.2))];
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[5]);
+    EXPECT_EQ(counts[0], 0); // ranks start at 1
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(31);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.weighted_index(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.2);
+}
+
+TEST(Rng, PickReturnsElement)
+{
+    Rng rng(37);
+    const std::vector<int> v = {4, 8, 15};
+    for (int i = 0; i < 100; ++i) {
+        const int x = rng.pick(v);
+        EXPECT_TRUE(x == 4 || x == 8 || x == 15);
+    }
+}
+
+TEST(Rng, ShufflePreservesMultiset)
+{
+    Rng rng(41);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(43);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, MatchesDirectZipfShape)
+{
+    Rng rng(47);
+    ZipfSampler sampler(100, 1.1);
+    std::vector<int> counts(101, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[size_t(sampler(rng))];
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable)
+{
+    uint64_t s = 0;
+    const uint64_t first = split_mix64(s);
+    uint64_t s2 = 0;
+    EXPECT_EQ(split_mix64(s2), first);
+    EXPECT_NE(split_mix64(s2), first); // state advanced
+}
+
+} // namespace
+} // namespace tacc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the scenario harness (the API every bench stands on).
+ */
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace tacc::core {
+namespace {
+
+ScenarioConfig
+small_scenario(const std::string &scheduler = "fairshare")
+{
+    ScenarioConfig config;
+    config.stack.cluster.topology.racks = 1;
+    config.stack.cluster.topology.nodes_per_rack = 4;
+    config.stack.scheduler = scheduler;
+    config.stack.emit_monitor_logs = false;
+    config.trace.num_jobs = 60;
+    config.trace.seed = 5;
+    config.trace.mean_interarrival_s = 120.0;
+    config.trace.gpu_demand_pmf = {{1, 0.5}, {2, 0.2}, {4, 0.2}, {8, 0.1}};
+    return config;
+}
+
+TEST(Scenario, PopulatesEverySummaryField)
+{
+    const auto r = run_scenario(small_scenario());
+    EXPECT_EQ(r.scheduler, "fairshare");
+    EXPECT_EQ(r.placement, "topology");
+    EXPECT_EQ(r.submitted, 60u);
+    EXPECT_EQ(r.completed, 60u);
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_EQ(r.never_finished, 0u);
+    EXPECT_GT(r.mean_jct_s, 0);
+    EXPECT_GE(r.p99_jct_s, r.p50_jct_s);
+    EXPECT_GE(r.mean_slowdown, 1.0);
+    EXPECT_GT(r.mean_utilization, 0);
+    EXPECT_LE(r.mean_utilization, 1.0);
+    EXPECT_GT(r.arrival_window_utilization, 0);
+    EXPECT_GT(r.arrival_span_s, 0);
+    EXPECT_GE(r.makespan_s, r.arrival_span_s);
+    EXPECT_GT(r.group_fairness, 0);
+    EXPECT_LE(r.group_fairness, 1.0);
+    EXPECT_GT(r.mean_provision_s, 0);
+    EXPECT_GT(r.cache_transfer_savings, 0.5); // shared deps dominate
+    EXPECT_EQ(r.jct_samples.count(), 60u);
+    EXPECT_EQ(r.wait_samples.count(), 60u);
+    EXPECT_FALSE(r.utilization_series.empty());
+    EXPECT_EQ(r.utilization_series.size(), r.queue_depth_series.size());
+    EXPECT_GT(r.total_gpu_seconds, r.total_ideal_gpu_seconds * 0.5);
+    EXPECT_GE(r.total_gpu_seconds, 0);
+}
+
+TEST(Scenario, DeterministicAcrossRuns)
+{
+    const auto a = run_scenario(small_scenario());
+    const auto b = run_scenario(small_scenario());
+    EXPECT_EQ(a.mean_jct_s, b.mean_jct_s);
+    EXPECT_EQ(a.p99_wait_s, b.p99_wait_s);
+    EXPECT_EQ(a.total_gpu_seconds, b.total_gpu_seconds);
+    EXPECT_EQ(a.utilization_series, b.utilization_series);
+}
+
+TEST(Scenario, SchedulerChangesOutcome)
+{
+    auto strict = small_scenario("fifo");
+    strict.trace.mean_interarrival_s = 40.0; // force queueing
+    auto skipping = strict;
+    skipping.stack.scheduler = "fifo-skip";
+    const auto a = run_scenario(strict);
+    const auto b = run_scenario(skipping);
+    EXPECT_GT(a.mean_wait_s, b.mean_wait_s); // head-of-line blocking
+}
+
+TEST(Scenario, DeadlineFieldFlowsThrough)
+{
+    auto config = small_scenario("edf");
+    config.trace.frac_deadline = 1.0;
+    config.trace.deadline_factor_lo = 100.0; // generous: all make it
+    config.trace.deadline_factor_hi = 200.0;
+    config.trace.deadline_slack_s = 86400.0;
+    const auto r = run_scenario(config);
+    EXPECT_DOUBLE_EQ(r.deadline_miss_rate, 0.0);
+}
+
+} // namespace
+} // namespace tacc::core

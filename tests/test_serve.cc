@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the inference-serving substrate: Erlang-C math, autoscaler
+ * policies, and the epoch simulator.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/service_sim.h"
+
+namespace tacc::serve {
+namespace {
+
+TEST(ErlangC, KnownValues)
+{
+    // Single server: C(1, a) = a (M/M/1 waiting probability = rho).
+    EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+    // Textbook value: c=2, a=1 -> C = 1/3.
+    EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+    // No load, no queueing.
+    EXPECT_DOUBLE_EQ(erlang_c(4, 0.0), 0.0);
+    // Overload: always queue.
+    EXPECT_DOUBLE_EQ(erlang_c(2, 2.5), 1.0);
+}
+
+TEST(ErlangC, MonotoneInServersAndLoad)
+{
+    for (int c = 1; c < 10; ++c)
+        EXPECT_GE(erlang_c(c, 3.0), erlang_c(c + 1, 3.0));
+    for (double a = 0.5; a < 3.5; a += 0.5)
+        EXPECT_LE(erlang_c(4, a), erlang_c(4, a + 0.5));
+}
+
+TEST(ErlangC, StableAtLargeScale)
+{
+    // 200 servers at 80% utilization: must not overflow (a^c/c! naive
+    // evaluation would).
+    const double c_prob = erlang_c(200, 160.0);
+    EXPECT_GT(c_prob, 0.0);
+    EXPECT_LT(c_prob, 0.1);
+}
+
+TEST(MeanWait, MatchesMm1ClosedForm)
+{
+    // M/M/1: W = rho / (mu - lambda) ... = C/(mu - lambda), C = rho.
+    const double w = mean_wait_s(1, 0.5, 1.0);
+    EXPECT_NEAR(w, 0.5 / (1.0 - 0.5), 1e-12);
+    EXPECT_TRUE(std::isinf(mean_wait_s(2, 3.0, 1.0)));
+}
+
+TEST(SloAttainment, BoundsAndShape)
+{
+    // Impossible SLO (below service time).
+    EXPECT_DOUBLE_EQ(slo_attainment(4, 1.0, 10.0, 0.05), 0.0);
+    // Overload.
+    EXPECT_DOUBLE_EQ(slo_attainment(2, 25.0, 10.0, 1.0), 0.0);
+    // Light load, generous SLO: near-perfect.
+    EXPECT_GT(slo_attainment(8, 10.0, 10.0, 1.0), 0.999);
+    // More replicas never hurt.
+    for (int c = 1; c < 12; ++c) {
+        EXPECT_LE(slo_attainment(c, 20.0, 10.0, 0.5),
+                  slo_attainment(c + 1, 20.0, 10.0, 0.5) + 1e-12);
+    }
+}
+
+TEST(MinReplicas, FindsSmallestSufficientCount)
+{
+    const int c = min_replicas_for_slo(50.0, 10.0, 0.5, 0.99, 64);
+    ASSERT_GT(c, 5); // needs more than the bare capacity floor
+    EXPECT_GE(slo_attainment(c, 50.0, 10.0, 0.5), 0.99);
+    EXPECT_LT(slo_attainment(c - 1, 50.0, 10.0, 0.5), 0.99);
+    // Cap respected when the target is unreachable.
+    EXPECT_EQ(min_replicas_for_slo(1000.0, 10.0, 0.5, 0.99, 16), 16);
+}
+
+TEST(Autoscalers, StaticIsFixedAndCapped)
+{
+    StaticAutoscaler fixed(10);
+    ScaleContext ctx;
+    ctx.max_replicas = 6;
+    EXPECT_EQ(fixed.decide(ctx), 6);
+    ctx.max_replicas = 64;
+    EXPECT_EQ(fixed.decide(ctx), 10);
+}
+
+TEST(Autoscalers, TargetUtilizationTracksRate)
+{
+    TargetUtilizationAutoscaler scaler(0.5);
+    ScaleContext ctx;
+    ctx.service_rate_hz = 10.0;
+    ctx.max_replicas = 64;
+    ctx.arrival_rate_hz = 100.0; // needs 100/(10*0.5) = 20
+    EXPECT_EQ(scaler.decide(ctx), 20);
+    ctx.arrival_rate_hz = 0.0;
+    EXPECT_EQ(scaler.decide(ctx), 0);
+    ctx.arrival_rate_hz = 1e6;
+    EXPECT_EQ(scaler.decide(ctx), 64); // capped
+}
+
+TEST(Autoscalers, SloAwareMeetsTargetWithHeadroom)
+{
+    SloAwareAutoscaler scaler(1.2);
+    ScaleContext ctx;
+    ctx.arrival_rate_hz = 50.0;
+    ctx.service_rate_hz = 10.0;
+    ctx.slo_s = 0.5;
+    ctx.slo_target = 0.99;
+    ctx.max_replicas = 64;
+    const int c = scaler.decide(ctx);
+    EXPECT_GE(slo_attainment(c, 50.0, 10.0, 0.5), 0.99);
+    EXPECT_EQ(scaler.decide(ScaleContext{}), 0); // idle service
+}
+
+TEST(ServiceSimulator, RatesFollowTheDiurnalCurve)
+{
+    ServiceConfig config;
+    config.peak_rate_hz = 100.0;
+    config.trough_fraction = 0.2;
+    ServiceSimulator sim(config);
+    const double midnight =
+        sim.arrival_rate_hz(TimePoint::origin());
+    const double noon = sim.arrival_rate_hz(
+        TimePoint::origin() + Duration::hours(12));
+    EXPECT_NEAR(midnight, 20.0, 1e-9);
+    EXPECT_NEAR(noon, 100.0, 1e-9);
+    EXPECT_GT(sim.service_rate_hz(), 0.0);
+}
+
+TEST(ServiceSimulator, SloAwareBeatsStaticMeanAndCostsLessThanPeak)
+{
+    ServiceConfig config;
+    config.peak_rate_hz = 300.0;
+    config.pool_gpus = 64;
+    ServiceSimulator sim(config);
+
+    // Baselines sized from the model.
+    const int for_peak = min_replicas_for_slo(
+        config.peak_rate_hz, sim.service_rate_hz(), config.slo_s, 0.99,
+        config.pool_gpus);
+    const int for_mean = std::max(
+        1, int(std::ceil(config.peak_rate_hz * 0.55 /
+                         sim.service_rate_hz())));
+    StaticAutoscaler peak(for_peak, "static-peak");
+    StaticAutoscaler mean(for_mean, "static-mean");
+    SloAwareAutoscaler slo;
+
+    const auto r_peak = sim.run(peak);
+    const auto r_mean = sim.run(mean);
+    const auto r_slo = sim.run(slo);
+
+    // Peak provisioning is near-perfect but expensive.
+    EXPECT_GT(r_peak.mean_attainment, 0.99);
+    // SLO-aware nearly matches it at a fraction of the replica-hours.
+    EXPECT_GT(r_slo.mean_attainment, 0.97);
+    EXPECT_LT(r_slo.replica_hours, r_peak.replica_hours * 0.8);
+    // Mean provisioning melts at the daily peak.
+    EXPECT_LT(r_mean.mean_attainment, r_slo.mean_attainment);
+    EXPECT_EQ(r_slo.epochs.size(),
+              size_t(config.horizon / config.epoch));
+}
+
+} // namespace
+} // namespace tacc::serve

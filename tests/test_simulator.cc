@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+using sim::Simulator;
+
+TEST(Simulator, StartsAtOrigin)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), TimePoint::origin());
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_after(20_s, "b", [&] { order.push_back(2); });
+    sim.schedule_after(10_s, "a", [&] { order.push_back(1); });
+    sim.schedule_after(30_s, "c", [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 30_s);
+    EXPECT_EQ(sim.processed(), 3u);
+}
+
+TEST(Simulator, SameInstantFiresInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule_after(10_s, "e", [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesDuringCallbacks)
+{
+    Simulator sim;
+    TimePoint seen;
+    sim.schedule_after(42_s, "t", [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, TimePoint::origin() + 42_s);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            sim.schedule_after(1_s, "chain", chain);
+    };
+    sim.schedule_after(1_s, "chain", chain);
+    sim.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 5_s);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    Simulator sim;
+    bool fired = false;
+    const auto id = sim.schedule_after(5_s, "x", [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id)); // second cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelFromInsideEarlierEvent)
+{
+    Simulator sim;
+    bool fired = false;
+    const auto victim = sim.schedule_after(10_s, "victim",
+                                           [&] { fired = true; });
+    sim.schedule_after(5_s, "killer", [&] { sim.cancel(victim); });
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.processed(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents)
+{
+    Simulator sim;
+    sim.run_until(TimePoint::origin() + 100_s);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 100_s);
+}
+
+TEST(Simulator, RunUntilHonorsHorizon)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_after(10_s, "in", [&] { ++fired; });
+    sim.schedule_after(50_s, "out", [&] { ++fired; });
+    sim.run_until(TimePoint::origin() + 20_s);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 20_s);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_after(20_s, "edge", [&] { fired = true; });
+    sim.run_until(TimePoint::origin() + 20_s);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, NextEventTime)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+    const auto id = sim.schedule_after(7_s, "x", [] {});
+    EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + 7_s);
+    sim.cancel(id);
+    EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+}
+
+TEST(PeriodicTask, FiresAtFixedInterval)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim::PeriodicTask task(sim, 10_s, "tick", [&] { ++ticks; });
+    task.start();
+    sim.run_until(TimePoint::origin() + 35_s);
+    EXPECT_EQ(ticks, 3); // at 10, 20, 30
+}
+
+TEST(PeriodicTask, StopIsIdempotentAndEffective)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim::PeriodicTask task(sim, 10_s, "tick", [&] { ++ticks; });
+    task.start();
+    sim.run_until(TimePoint::origin() + 15_s);
+    task.stop();
+    task.stop();
+    sim.run_until(TimePoint::origin() + 100_s);
+    EXPECT_EQ(ticks, 1);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromInsideCallback)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim::PeriodicTask task(sim, 10_s, "tick", [&] {
+        ++ticks;
+        // stop() mid-callback must prevent re-arming.
+    });
+    task.start();
+    sim.schedule_after(11_s, "stopper", [&] { task.stop(); });
+    sim.run_until(TimePoint::origin() + 100_s);
+    EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicTask, RestartAfterStop)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim::PeriodicTask task(sim, 10_s, "tick", [&] { ++ticks; });
+    task.start();
+    sim.run_until(TimePoint::origin() + 10_s);
+    task.stop();
+    task.start();
+    sim.run_until(TimePoint::origin() + 25_s);
+    EXPECT_EQ(ticks, 2); // 10s, then 20s (re-armed at 10s)
+}
+
+} // namespace
+} // namespace tacc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * End-to-end smoke test: one task through all four layers.
+ */
+#include <gtest/gtest.h>
+
+#include "core/stack.h"
+#include "tcloud/client.h"
+
+namespace tacc {
+namespace {
+
+workload::TaskSpec
+small_spec()
+{
+    workload::TaskSpec spec;
+    spec.name = "smoke";
+    spec.user = "alice";
+    spec.group = "lab";
+    spec.gpus = 4;
+    spec.model = "resnet50";
+    spec.iterations = 100;
+    spec.artifacts = {{"alice/code", 8'000'000, 1}};
+    return spec;
+}
+
+TEST(Smoke, SingleJobRunsToCompletion)
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 2;
+    config.scheduler = "fifo";
+
+    core::TaccStack stack(config);
+    auto id = stack.submit(small_spec());
+    ASSERT_TRUE(id.is_ok()) << id.status().str();
+
+    ASSERT_TRUE(stack.run_to_completion(1'000'000));
+    const workload::Job *job = stack.find_job(id.value());
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+    EXPECT_EQ(job->iterations_done(), 100);
+    EXPECT_GT(job->gpu_seconds(), 0.0);
+}
+
+TEST(Smoke, TcloudRoundTrip)
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 2;
+    core::TaccStack stack(config);
+
+    tcloud::Client client;
+    ASSERT_TRUE(client.add_cluster("hkust", &stack).is_ok());
+
+    auto handle = client.submit(small_spec());
+    ASSERT_TRUE(handle.is_ok()) << handle.status().str();
+    auto final_status = client.wait(handle.value());
+    ASSERT_TRUE(final_status.is_ok()) << final_status.status().str();
+    EXPECT_EQ(final_status.value().state, workload::JobState::kCompleted);
+    EXPECT_DOUBLE_EQ(final_status.value().progress, 1.0);
+
+    auto logs = client.logs(handle.value());
+    ASSERT_TRUE(logs.is_ok());
+    EXPECT_FALSE(logs.value().empty());
+}
+
+} // namespace
+} // namespace tacc

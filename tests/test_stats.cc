@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Samples, PercentileInterpolation)
+{
+    Samples s;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(Samples, SingleElement)
+{
+    Samples s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+}
+
+TEST(Samples, PercentileAfterInterleavedAdds)
+{
+    Samples s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    s.add(1.0); // cache must invalidate
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Samples, CdfMonotone)
+{
+    Samples s;
+    for (int i = 100; i >= 1; --i)
+        s.add(double(i));
+    const auto cdf = s.cdf(10);
+    ASSERT_EQ(cdf.size(), 10u);
+    for (size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().first, 100.0);
+}
+
+TEST(Samples, DurationHelper)
+{
+    Samples s;
+    s.add_duration(90_s);
+    EXPECT_DOUBLE_EQ(s.mean(), 90.0);
+}
+
+TEST(Histogram, BinningAndOutliers)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 4
+    h.add(-3.0);  // clamped to bin 0
+    h.add(42.0);  // clamped to bin 4
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(TimeWeightedStat, PiecewiseAverage)
+{
+    TimeWeightedStat s(0.0);
+    s.set(TimePoint::origin() + 10_s, 4.0);
+    s.set(TimePoint::origin() + 20_s, 8.0);
+    // [0,10): 0; [10,20): 4; [20,30): 8 -> mean over [0,30) = 4.0
+    EXPECT_DOUBLE_EQ(
+        s.average(TimePoint::origin(), TimePoint::origin() + 30_s), 4.0);
+    // Window fully inside one segment.
+    EXPECT_DOUBLE_EQ(s.average(TimePoint::origin() + 12_s,
+                               TimePoint::origin() + 18_s),
+                     4.0);
+}
+
+TEST(TimeWeightedStat, AddDelta)
+{
+    TimeWeightedStat s(2.0);
+    s.add(TimePoint::origin() + 5_s, 3.0);
+    EXPECT_DOUBLE_EQ(s.current(), 5.0);
+    s.add(TimePoint::origin() + 5_s, -1.0); // same-instant update
+    EXPECT_DOUBLE_EQ(s.current(), 4.0);
+}
+
+TEST(TimeWeightedStat, BucketAverages)
+{
+    TimeWeightedStat s(0.0);
+    s.set(TimePoint::origin() + 10_s, 10.0);
+    const auto buckets = s.bucket_averages(
+        TimePoint::origin(), TimePoint::origin() + 20_s, 10_s);
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_DOUBLE_EQ(buckets[0], 0.0);
+    EXPECT_DOUBLE_EQ(buckets[1], 10.0);
+}
+
+TEST(Fairness, JainExtremes)
+{
+    EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+    // One user hogging everything among n users -> 1/n.
+    EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+    EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+}
+
+TEST(Fairness, GiniExtremes)
+{
+    EXPECT_DOUBLE_EQ(gini({5, 5, 5, 5}), 0.0);
+    EXPECT_NEAR(gini({0, 0, 0, 10}), 0.75, 1e-12);
+    EXPECT_DOUBLE_EQ(gini({7}), 0.0);
+}
+
+} // namespace
+} // namespace tacc

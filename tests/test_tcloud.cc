@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the tcloud client: multi-cluster profiles, text
+ * submission, status/logs/kill/wait.
+ */
+#include <gtest/gtest.h>
+
+#include "tcloud/client.h"
+
+namespace tacc::tcloud {
+namespace {
+
+using namespace time_literals;
+using workload::JobState;
+
+core::StackConfig
+tiny()
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 1;
+    config.cluster.node.gpu_count = 8;
+    return config;
+}
+
+workload::TaskSpec
+spec(const std::string &name = "t", int gpus = 2)
+{
+    workload::TaskSpec s;
+    s.name = name;
+    s.user = "u";
+    s.group = "g";
+    s.gpus = gpus;
+    s.model = "resnet50";
+    s.iterations = 50;
+    return s;
+}
+
+TEST(TcloudClient, ClusterProfileManagement)
+{
+    core::TaccStack a(tiny()), b(tiny());
+    Client client;
+    EXPECT_FALSE(client.add_cluster("", &a).is_ok());
+    EXPECT_FALSE(client.add_cluster("a", nullptr).is_ok());
+    EXPECT_TRUE(client.add_cluster("a", &a).is_ok());
+    EXPECT_FALSE(client.add_cluster("a", &b).is_ok()); // duplicate
+    EXPECT_TRUE(client.add_cluster("b", &b).is_ok());
+    EXPECT_EQ(client.default_cluster(), "a"); // first registered
+    EXPECT_TRUE(client.set_default_cluster("b").is_ok());
+    EXPECT_FALSE(client.set_default_cluster("zzz").is_ok());
+    EXPECT_EQ(client.cluster_names(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TcloudClient, SubmitRoutesToNamedCluster)
+{
+    core::TaccStack a(tiny()), b(tiny());
+    Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    ASSERT_TRUE(client.add_cluster("b", &b).is_ok());
+
+    auto to_default = client.submit(spec("one"));
+    ASSERT_TRUE(to_default.is_ok());
+    EXPECT_EQ(to_default.value().cluster, "a");
+    EXPECT_EQ(a.jobs().size(), 1u);
+    EXPECT_TRUE(b.jobs().empty());
+
+    // "Change one line of configuration" -> other instance.
+    auto to_b = client.submit(spec("two"), "b");
+    ASSERT_TRUE(to_b.is_ok());
+    EXPECT_EQ(b.jobs().size(), 1u);
+
+    EXPECT_FALSE(client.submit(spec(), "nope").is_ok());
+}
+
+TEST(TcloudClient, SubmitTextParsesSchema)
+{
+    core::TaccStack a(tiny());
+    Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    auto handle = client.submit_text(spec("textual").to_text());
+    ASSERT_TRUE(handle.is_ok());
+    auto final_status = client.wait(handle.value());
+    ASSERT_TRUE(final_status.is_ok());
+    EXPECT_EQ(final_status.value().state, JobState::kCompleted);
+
+    EXPECT_FALSE(client.submit_text("garbage").is_ok());
+}
+
+TEST(TcloudClient, StatusProgressesAndSummaryReadable)
+{
+    core::TaccStack a(tiny());
+    Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    auto handle = client.submit(spec("watched", 4));
+    ASSERT_TRUE(handle.is_ok());
+
+    auto early = client.status(handle.value());
+    ASSERT_TRUE(early.is_ok());
+    EXPECT_EQ(early.value().state, JobState::kProvisioning);
+
+    auto done = client.wait(handle.value());
+    ASSERT_TRUE(done.is_ok());
+    EXPECT_DOUBLE_EQ(done.value().progress, 1.0);
+    EXPECT_NE(done.value().summary.find("watched"), std::string::npos);
+    EXPECT_NE(done.value().summary.find("completed"), std::string::npos);
+
+    TaskHandle bogus{"a", 999};
+    EXPECT_FALSE(client.status(bogus).is_ok());
+}
+
+TEST(TcloudClient, PendingStatusCarriesEta)
+{
+    core::TaccStack a(tiny());
+    tcloud::Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    auto hog = client.submit(spec("hog", 8));
+    ASSERT_TRUE(hog.is_ok());
+    a.run_until(TimePoint::origin() + 5_min);
+    auto queued = client.submit(spec("queued", 8));
+    ASSERT_TRUE(queued.is_ok());
+    auto st = client.status(queued.value());
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_NE(st.value().summary.find("eta="), std::string::npos)
+        << st.value().summary;
+}
+
+TEST(TcloudClient, LogsAggregateAcrossNodes)
+{
+    core::TaccStack a(tiny());
+    Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    auto handle = client.submit(spec("loggy", 8));
+    ASSERT_TRUE(handle.is_ok());
+    ASSERT_TRUE(client.wait(handle.value()).is_ok());
+    auto logs = client.logs(handle.value());
+    ASSERT_TRUE(logs.is_ok());
+    ASSERT_GE(logs.value().size(), 2u);
+    EXPECT_NE(logs.value()[0].find("node"), std::string::npos);
+}
+
+TEST(TcloudClient, KillStopsTask)
+{
+    core::TaccStack a(tiny());
+    Client client;
+    ASSERT_TRUE(client.add_cluster("a", &a).is_ok());
+    auto handle = client.submit(spec("doomed", 2));
+    ASSERT_TRUE(handle.is_ok());
+    EXPECT_TRUE(client.kill(handle.value()).is_ok());
+    auto st = client.status(handle.value());
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_EQ(st.value().state, JobState::kKilled);
+    EXPECT_FALSE(client.kill(handle.value()).is_ok()); // already dead
+}
+
+} // namespace
+} // namespace tacc::tcloud

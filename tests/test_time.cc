@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for Duration / TimePoint.
+ */
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+
+TEST(Duration, NamedConstructorsAgree)
+{
+    EXPECT_EQ(Duration::seconds(1).to_micros(), 1'000'000);
+    EXPECT_EQ(Duration::millis(1500).to_micros(), 1'500'000);
+    EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+    EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+    EXPECT_EQ(Duration::days(1), Duration::hours(24));
+}
+
+TEST(Duration, Literals)
+{
+    EXPECT_EQ(5_us, Duration::micros(5));
+    EXPECT_EQ(5_ms, Duration::millis(5));
+    EXPECT_EQ(5_s, Duration::seconds(5));
+    EXPECT_EQ(5_min, Duration::minutes(5));
+    EXPECT_EQ(5_h, Duration::hours(5));
+}
+
+TEST(Duration, Arithmetic)
+{
+    EXPECT_EQ(3_s + 2_s, 5_s);
+    EXPECT_EQ(3_s - 5_s, -(2_s));
+    EXPECT_EQ((3_s) * 4, 12_s);
+    EXPECT_EQ(4 * (3_s), 12_s);
+    EXPECT_EQ((12_s) / 4, 3_s);
+    EXPECT_DOUBLE_EQ((6_s) / (4_s), 1.5);
+}
+
+TEST(Duration, FractionalScaling)
+{
+    EXPECT_EQ((10_s) * 0.5, 5_s);
+    // Rounds to the nearest microsecond.
+    EXPECT_EQ(Duration::micros(3) * 0.5, Duration::micros(2));
+    EXPECT_EQ(Duration::from_seconds(1.25e-6), Duration::micros(1));
+}
+
+TEST(Duration, FromSecondsRoundTrip)
+{
+    const Duration d = Duration::from_seconds(123.456789);
+    EXPECT_NEAR(d.to_seconds(), 123.456789, 1e-6);
+}
+
+TEST(Duration, Comparisons)
+{
+    EXPECT_LT(1_s, 2_s);
+    EXPECT_GE(2_s, 2_s);
+    EXPECT_TRUE((0_s).is_zero());
+    EXPECT_TRUE((1_s - 2_s).is_negative());
+}
+
+TEST(Duration, Compounds)
+{
+    Duration d = 1_s;
+    d += 500_ms;
+    EXPECT_EQ(d, Duration::millis(1500));
+    d -= 1_s;
+    EXPECT_EQ(d, 500_ms);
+}
+
+TEST(Duration, StringRendering)
+{
+    EXPECT_EQ((500_us).str(), "500us");
+    EXPECT_EQ((-(500_us)).str(), "-500us");
+    EXPECT_EQ((2_ms).str(), "2ms");
+    EXPECT_EQ((30_s).str(), "30s");
+    EXPECT_NE((90_s).str().find("1m"), std::string::npos);
+    EXPECT_NE((25_h).str().find("25h"), std::string::npos);
+}
+
+TEST(TimePoint, Arithmetic)
+{
+    const TimePoint t0 = TimePoint::origin();
+    const TimePoint t1 = t0 + 10_s;
+    EXPECT_EQ(t1 - t0, 10_s);
+    EXPECT_EQ(t1 - 4_s, t0 + 6_s);
+    EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, MaxActsAsInfinity)
+{
+    EXPECT_GT(TimePoint::max(), TimePoint::origin() + Duration::days(10000));
+}
+
+} // namespace
+} // namespace tacc

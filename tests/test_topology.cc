@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the topology / bandwidth model.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+
+namespace tacc::cluster {
+namespace {
+
+TopologyConfig
+config(int racks = 2, int nodes = 4, double oversub = 4.0)
+{
+    TopologyConfig c;
+    c.racks = racks;
+    c.nodes_per_rack = nodes;
+    c.oversubscription = oversub;
+    return c;
+}
+
+Placement
+make_placement(std::vector<std::pair<NodeId, int>> slices)
+{
+    Placement p;
+    for (const auto &[node, count] : slices) {
+        PlacementSlice s;
+        s.node = node;
+        s.gpu_indices.resize(size_t(count), 0);
+        p.slices.push_back(s);
+    }
+    return p;
+}
+
+TEST(Topology, RackMapping)
+{
+    Topology topo(config());
+    EXPECT_EQ(topo.rack_of(0), 0);
+    EXPECT_EQ(topo.rack_of(3), 0);
+    EXPECT_EQ(topo.rack_of(4), 1);
+    EXPECT_EQ(topo.total_nodes(), 8);
+}
+
+TEST(Topology, ScopeClassification)
+{
+    Topology topo(config());
+    EXPECT_EQ(topo.scope_of(make_placement({{0, 1}})),
+              CommScope::kSingleGpu);
+    EXPECT_EQ(topo.scope_of(make_placement({{0, 4}})),
+              CommScope::kIntraNode);
+    EXPECT_EQ(topo.scope_of(make_placement({{0, 4}, {1, 4}})),
+              CommScope::kIntraRack);
+    EXPECT_EQ(topo.scope_of(make_placement({{0, 4}, {4, 4}})),
+              CommScope::kCrossRack);
+}
+
+TEST(Topology, CollectiveBandwidthOrdering)
+{
+    Topology topo(config());
+    const double intra_node =
+        topo.collective_bw_Bps(make_placement({{0, 2}}));
+    const double intra_rack =
+        topo.collective_bw_Bps(make_placement({{0, 4}, {1, 4}}));
+    const double cross_rack =
+        topo.collective_bw_Bps(make_placement({{0, 4}, {4, 4}}));
+    EXPECT_GT(intra_node, intra_rack);
+    EXPECT_GT(intra_rack, cross_rack);
+    // Oversubscription factor is exactly 4.
+    EXPECT_NEAR(intra_rack / cross_rack, 4.0, 1e-9);
+}
+
+TEST(Topology, NvlinkSharedAcrossJobGpus)
+{
+    Topology topo(config());
+    const double two =
+        topo.collective_bw_Bps(make_placement({{0, 2}}));
+    const double eight =
+        topo.collective_bw_Bps(make_placement({{0, 8}}));
+    EXPECT_NEAR(two / eight, 4.0, 1e-9);
+}
+
+TEST(Topology, NonBlockingFabricHasNoCrossRackPenalty)
+{
+    Topology topo(config(2, 4, 1.0));
+    const double intra_rack =
+        topo.collective_bw_Bps(make_placement({{0, 4}, {1, 4}}));
+    const double cross_rack =
+        topo.collective_bw_Bps(make_placement({{0, 4}, {4, 4}}));
+    EXPECT_DOUBLE_EQ(intra_rack, cross_rack);
+}
+
+TEST(Topology, P2pBandwidth)
+{
+    Topology topo(config());
+    EXPECT_GT(topo.p2p_bw_Bps(0, 0), topo.p2p_bw_Bps(0, 1));
+    EXPECT_GT(topo.p2p_bw_Bps(0, 1), topo.p2p_bw_Bps(0, 4));
+}
+
+TEST(Topology, LatencyIncreasesWithScope)
+{
+    Topology topo(config());
+    EXPECT_LT(topo.latency_s(CommScope::kIntraNode),
+              topo.latency_s(CommScope::kIntraRack));
+    EXPECT_LT(topo.latency_s(CommScope::kIntraRack),
+              topo.latency_s(CommScope::kCrossRack));
+}
+
+TEST(Topology, ScopeNames)
+{
+    EXPECT_STREQ(comm_scope_name(CommScope::kIntraNode), "intra-node");
+    EXPECT_STREQ(comm_scope_name(CommScope::kCrossRack), "cross-rack");
+}
+
+} // namespace
+} // namespace tacc::cluster

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property tests for the campus-workload generator: determinism, sorted
+ * arrivals, valid specs, and the published-trace-shaped distributions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "workload/model.h"
+#include "workload/trace.h"
+
+namespace tacc::workload {
+namespace {
+
+TraceConfig
+config(int jobs = 2000, uint64_t seed = 1)
+{
+    TraceConfig c;
+    c.num_jobs = jobs;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Trace, DeterministicForSeed)
+{
+    auto a = TraceGenerator(config(200, 5)).generate();
+    auto b = TraceGenerator(config(200, 5)).generate();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].spec, b[i].spec);
+    }
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    auto a = TraceGenerator(config(50, 1)).generate();
+    auto b = TraceGenerator(config(50, 2)).generate();
+    int same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        same += a[i].arrival == b[i].arrival;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Trace, ArrivalsSortedAndSpecsValid)
+{
+    const auto trace = TraceGenerator(config()).generate();
+    ASSERT_EQ(trace.size(), 2000u);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+        }
+        EXPECT_TRUE(trace[i].spec.validate().is_ok());
+        EXPECT_TRUE(
+            ModelCatalog::instance().contains(trace[i].spec.model));
+    }
+}
+
+TEST(Trace, UniqueJobNames)
+{
+    const auto trace = TraceGenerator(config(500)).generate();
+    std::set<std::string> names;
+    for (const auto &t : trace)
+        names.insert(t.spec.name);
+    EXPECT_EQ(names.size(), trace.size());
+}
+
+TEST(Trace, SingleGpuJobsDominate)
+{
+    const auto trace = TraceGenerator(config()).generate();
+    int single = 0;
+    for (const auto &t : trace)
+        single += t.spec.gpus == 1;
+    const double frac = double(single) / double(trace.size());
+    EXPECT_GT(frac, 0.45);
+    EXPECT_LT(frac, 0.75);
+}
+
+TEST(Trace, DemandsArePowersOfTwo)
+{
+    const auto trace = TraceGenerator(config()).generate();
+    for (const auto &t : trace) {
+        const int g = t.spec.gpus;
+        EXPECT_EQ(g & (g - 1), 0) << "gpus=" << g;
+        EXPECT_LE(g, 64);
+    }
+}
+
+TEST(Trace, QosMixMatchesConfig)
+{
+    TraceConfig c = config(5000);
+    c.frac_interactive = 0.3;
+    c.frac_best_effort = 0.2;
+    const auto trace = TraceGenerator(c).generate();
+    std::map<QosClass, int> counts;
+    for (const auto &t : trace)
+        ++counts[t.spec.qos];
+    EXPECT_NEAR(double(counts[QosClass::kInteractive]) / 5000.0, 0.3,
+                0.03);
+    EXPECT_NEAR(double(counts[QosClass::kBestEffort]) / 5000.0, 0.2, 0.03);
+}
+
+TEST(Trace, InteractiveJobsAreSmallAndNotPreemptible)
+{
+    const auto trace = TraceGenerator(config()).generate();
+    for (const auto &t : trace) {
+        if (t.spec.qos == QosClass::kInteractive) {
+            EXPECT_LE(t.spec.gpus, 2);
+            EXPECT_FALSE(t.spec.preemptible);
+        } else {
+            EXPECT_TRUE(t.spec.preemptible);
+        }
+    }
+}
+
+TEST(Trace, BatchDurationsHeavyTailed)
+{
+    const auto trace = TraceGenerator(config(5000)).generate();
+    std::vector<double> durations;
+    for (const auto &t : trace) {
+        if (t.spec.qos != QosClass::kBatch)
+            continue;
+        const auto profile =
+            ModelCatalog::instance().find(t.spec.model).value();
+        durations.push_back(double(t.spec.iterations) *
+                            estimated_iteration_s(profile, t.spec.gpus));
+    }
+    std::sort(durations.begin(), durations.end());
+    const double p50 = durations[durations.size() / 2];
+    const double p99 = durations[durations.size() * 99 / 100];
+    EXPECT_GT(p99 / p50, 10.0); // heavy tail
+}
+
+TEST(Trace, TimeLimitOverestimatesDuration)
+{
+    const auto trace = TraceGenerator(config(1000)).generate();
+    for (const auto &t : trace) {
+        const auto profile =
+            ModelCatalog::instance().find(t.spec.model).value();
+        const double ideal =
+            double(t.spec.iterations) *
+            estimated_iteration_s(profile, t.spec.gpus);
+        EXPECT_GT(t.spec.time_limit.to_seconds(), ideal * 0.99);
+    }
+}
+
+TEST(Trace, MeanInterarrivalMatchesConfig)
+{
+    TraceConfig c = config(5000);
+    c.mean_interarrival_s = 42.0;
+    const auto trace = TraceGenerator(c).generate();
+    const double span = trace.back().arrival.to_seconds();
+    EXPECT_NEAR(span / 5000.0, 42.0, 3.0);
+}
+
+TEST(Trace, DiurnalModulatesRate)
+{
+    TraceConfig c = config(20000);
+    c.diurnal = true;
+    c.diurnal_peak_ratio = 6.0;
+    c.mean_interarrival_s = 30.0;
+    const auto trace = TraceGenerator(c).generate();
+    // Count arrivals near midnight vs near noon over all days.
+    int night = 0, day = 0;
+    for (const auto &t : trace) {
+        const double hour =
+            std::fmod(t.arrival.to_seconds(), 86400.0) / 3600.0;
+        if (hour < 3.0 || hour >= 21.0)
+            ++night;
+        else if (hour >= 9.0 && hour < 15.0)
+            ++day;
+    }
+    EXPECT_GT(day, night * 2);
+}
+
+TEST(Trace, ElasticFractionHonored)
+{
+    TraceConfig c = config(5000);
+    c.frac_elastic = 0.5;
+    const auto trace = TraceGenerator(c).generate();
+    int elastic = 0, eligible = 0;
+    for (const auto &t : trace) {
+        if (t.spec.qos == QosClass::kBatch && t.spec.gpus >= 2) {
+            ++eligible;
+            elastic += t.spec.is_elastic();
+        }
+    }
+    ASSERT_GT(eligible, 100);
+    EXPECT_NEAR(double(elastic) / double(eligible), 0.5, 0.06);
+}
+
+TEST(Trace, SharedArtifactsAcrossJobs)
+{
+    const auto trace = TraceGenerator(config(200)).generate();
+    std::map<std::string, int> artifact_uses;
+    for (const auto &t : trace) {
+        for (const auto &a : t.spec.artifacts)
+            ++artifact_uses[a.name];
+    }
+    // Dependency sets and group datasets are shared heavily.
+    int shared = 0;
+    for (const auto &[name, uses] : artifact_uses)
+        shared += uses > 10;
+    EXPECT_GT(shared, 0);
+}
+
+TEST(EstimatedIteration, MonotoneInModelSizeAndReasonable)
+{
+    const auto &catalog = ModelCatalog::instance();
+    const auto resnet = catalog.find("resnet50").value();
+    const auto gpt = catalog.find("gpt2-xl").value();
+    EXPECT_GT(estimated_iteration_s(gpt, 8),
+              estimated_iteration_s(resnet, 8));
+    // Multi-node is never faster per iteration than single-GPU compute.
+    EXPECT_GE(estimated_iteration_s(resnet, 64),
+              resnet.compute_time_s(312.0));
+}
+
+TEST(ModelCatalog, LookupAndNames)
+{
+    const auto &catalog = ModelCatalog::instance();
+    EXPECT_TRUE(catalog.contains("resnet50"));
+    EXPECT_FALSE(catalog.contains("skynet"));
+    EXPECT_FALSE(catalog.find("skynet").is_ok());
+    EXPECT_EQ(catalog.names().size(), catalog.profiles().size());
+    for (const auto &p : catalog.profiles()) {
+        EXPECT_GT(p.param_bytes, 0);
+        EXPECT_GT(p.flops_per_iter, 0);
+        EXPECT_GT(p.compute_efficiency, 0);
+        EXPECT_LE(p.compute_efficiency, 1.0);
+        EXPECT_GE(p.overlap_fraction, 0.0);
+        EXPECT_LE(p.overlap_fraction, 1.0);
+        EXPECT_GT(p.compute_time_s(312.0), 0.0);
+    }
+}
+
+} // namespace
+} // namespace tacc::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for fair-share usage decay and quota enforcement.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/usage.h"
+
+namespace tacc::sched {
+namespace {
+
+using namespace time_literals;
+
+TEST(UsageTracker, UnknownKeyIsZero)
+{
+    UsageTracker tracker(1_h);
+    EXPECT_DOUBLE_EQ(tracker.usage("g", TimePoint::origin()), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.total_usage(TimePoint::origin()), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.usage_share("g", TimePoint::origin()), 0.0);
+}
+
+TEST(UsageTracker, ChargeAccumulates)
+{
+    UsageTracker tracker(1_h);
+    tracker.charge("g", 100.0, TimePoint::origin());
+    tracker.charge("g", 50.0, TimePoint::origin());
+    EXPECT_DOUBLE_EQ(tracker.usage("g", TimePoint::origin()), 150.0);
+}
+
+TEST(UsageTracker, HalfLifeDecay)
+{
+    UsageTracker tracker(1_h);
+    tracker.charge("g", 100.0, TimePoint::origin());
+    EXPECT_NEAR(tracker.usage("g", TimePoint::origin() + 1_h), 50.0,
+                1e-9);
+    EXPECT_NEAR(tracker.usage("g", TimePoint::origin() + 2_h), 25.0,
+                1e-9);
+}
+
+TEST(UsageTracker, DecayAppliedOnCharge)
+{
+    UsageTracker tracker(1_h);
+    tracker.charge("g", 100.0, TimePoint::origin());
+    tracker.charge("g", 10.0, TimePoint::origin() + 1_h);
+    EXPECT_NEAR(tracker.usage("g", TimePoint::origin() + 1_h), 60.0,
+                1e-9);
+}
+
+TEST(UsageTracker, ShareAcrossKeys)
+{
+    UsageTracker tracker(24_h);
+    tracker.charge("a", 300.0, TimePoint::origin());
+    tracker.charge("b", 100.0, TimePoint::origin());
+    EXPECT_NEAR(tracker.usage_share("a", TimePoint::origin()), 0.75,
+                1e-12);
+    EXPECT_NEAR(tracker.usage_share("b", TimePoint::origin()), 0.25,
+                1e-12);
+}
+
+TEST(UsageTracker, OldUsageFadesFromShares)
+{
+    UsageTracker tracker(1_h);
+    tracker.charge("old", 1000.0, TimePoint::origin());
+    tracker.charge("new", 100.0, TimePoint::origin() + 10_h);
+    // After 10 half-lives "old" is ~1; "new" dominates.
+    EXPECT_GT(tracker.usage_share("new", TimePoint::origin() + 10_h),
+              0.98);
+}
+
+TEST(QuotaManager, UnlimitedByDefault)
+{
+    QuotaManager quota;
+    EXPECT_FALSE(quota.would_exceed("g", 1000, 1000));
+    EXPECT_EQ(quota.quota_of("g"), -1);
+}
+
+TEST(QuotaManager, GroupCapEnforced)
+{
+    QuotaManager quota;
+    quota.set_group_quota("g", 16);
+    EXPECT_FALSE(quota.would_exceed("g", 8, 8));
+    EXPECT_TRUE(quota.would_exceed("g", 8, 9));
+    EXPECT_FALSE(quota.would_exceed("other", 100, 100));
+}
+
+TEST(QuotaManager, DefaultCapAppliesToUnknownGroups)
+{
+    QuotaManager quota;
+    quota.set_default_quota(8);
+    quota.set_group_quota("vip", 64);
+    EXPECT_TRUE(quota.would_exceed("g", 4, 5));
+    EXPECT_FALSE(quota.would_exceed("vip", 4, 32));
+}
+
+} // namespace
+} // namespace tacc::sched

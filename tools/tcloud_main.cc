@@ -1,0 +1,341 @@
+/**
+ * @file
+ * tcloud — the TACC task-management CLI.
+ *
+ * A scriptable shell over the tcloud client library, bound to two
+ * embedded simulated clusters ("campus", a 256-GPU deployment, and
+ * "lab", a small 32-GPU one). Commands mirror the deployed tool:
+ *
+ *   clusters              list cluster profiles
+ *   use <name>            switch the default cluster
+ *   submit <file>         submit a task schema file
+ *   demo [n]              submit n generated campus jobs (default 10)
+ *   run <seconds>         advance simulated time
+ *   drain                 run until everything finishes
+ *   ps                    list jobs on the default cluster
+ *   status <id>           one job's status
+ *   logs <id>             aggregated distributed logs
+ *   kill <id>             kill a job
+ *   report                operations report
+ *   help | quit
+ *
+ * Example:  printf 'demo 20\ndrain\nps\nreport\n' | ./build/tools/tcloud
+ */
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/config_io.h"
+#include "common/table.h"
+#include "core/stack.h"
+#include "tcloud/client.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+using namespace tacc;
+
+namespace {
+
+core::StackConfig
+campus_config()
+{
+    core::StackConfig config;
+    config.cluster.name = "campus";
+    config.cluster.topology.racks = 4;
+    config.cluster.topology.nodes_per_rack = 8;
+    config.scheduler = "fairshare";
+    config.placement = "topology";
+    return config;
+}
+
+core::StackConfig
+lab_config()
+{
+    core::StackConfig config;
+    config.cluster.name = "lab";
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 4;
+    config.scheduler = "fifo-skip";
+    return config;
+}
+
+/** The CLI session: cluster profiles, one client, a demo-trace cursor. */
+class Shell
+{
+  public:
+    Shell()
+    {
+        add("campus", campus_config());
+        add("lab", lab_config());
+    }
+
+    int
+    repl(std::istream &in, bool interactive)
+    {
+        std::string line;
+        if (interactive)
+            std::fputs("tcloud> ", stdout);
+        while (std::getline(in, line)) {
+            if (!dispatch(line))
+                return 0;
+            if (interactive)
+                std::fputs("tcloud> ", stdout);
+        }
+        return 0;
+    }
+
+  private:
+    void
+    add(const std::string &name, core::StackConfig config)
+    {
+        stacks_[name] = std::make_unique<core::TaccStack>(config);
+        client_.add_cluster(name, stacks_[name].get());
+    }
+
+    core::TaccStack &
+    stack()
+    {
+        return *stacks_.at(client_.default_cluster());
+    }
+
+    /** @return false to exit the REPL. */
+    bool
+    dispatch(const std::string &line)
+    {
+        std::istringstream is(line);
+        std::string cmd;
+        is >> cmd;
+        if (cmd.empty())
+            return true;
+        if (cmd == "quit" || cmd == "exit")
+            return false;
+        if (cmd == "help") {
+            help();
+        } else if (cmd == "clusters") {
+            for (const auto &name : client_.cluster_names()) {
+                std::printf("%s%s\n", name.c_str(),
+                            name == client_.default_cluster() ? " *" : "");
+            }
+        } else if (cmd == "use") {
+            std::string name;
+            is >> name;
+            auto s = client_.set_default_cluster(name);
+            std::printf("%s\n", s.is_ok() ? "ok" : s.str().c_str());
+        } else if (cmd == "submit") {
+            std::string path;
+            is >> path;
+            submit_file(path);
+        } else if (cmd == "open") {
+            std::string path, name;
+            is >> path >> name;
+            open_cluster(path, name);
+        } else if (cmd == "replay") {
+            std::string path;
+            is >> path;
+            replay(path);
+        } else if (cmd == "demo") {
+            int n = 10;
+            is >> n;
+            demo(n);
+        } else if (cmd == "run") {
+            double seconds = 60;
+            is >> seconds;
+            stack().run_until(stack().simulator().now() +
+                              Duration::from_seconds(seconds));
+            std::printf("now %s\n",
+                        stack().simulator().now().str().c_str());
+        } else if (cmd == "drain") {
+            stack().run_to_completion();
+            std::printf("drained at %s\n",
+                        stack().simulator().now().str().c_str());
+        } else if (cmd == "ps") {
+            ps();
+        } else if (cmd == "status") {
+            cluster::JobId id = 0;
+            is >> id;
+            auto s = client_.status({client_.default_cluster(), id});
+            std::printf("%s\n", s.is_ok() ? s.value().summary.c_str()
+                                          : s.status().str().c_str());
+        } else if (cmd == "logs") {
+            cluster::JobId id = 0;
+            is >> id;
+            auto logs = client_.logs({client_.default_cluster(), id});
+            if (!logs.is_ok()) {
+                std::printf("%s\n", logs.status().str().c_str());
+            } else {
+                for (const auto &entry : logs.value())
+                    std::printf("%s\n", entry.c_str());
+            }
+        } else if (cmd == "kill") {
+            cluster::JobId id = 0;
+            is >> id;
+            auto s = client_.kill({client_.default_cluster(), id});
+            std::printf("%s\n", s.str().c_str());
+        } else if (cmd == "report") {
+            report();
+        } else {
+            std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+        }
+        return true;
+    }
+
+    void
+    help()
+    {
+        std::fputs(
+            "clusters | use <name> | open <cfg> <name> | submit <file> "
+            "| replay <csv> |\ndemo [n] | run <s> | drain | ps | "
+            "status <id> | logs <id> | kill <id> |\nreport | quit\n",
+            stdout);
+    }
+
+    void
+    open_cluster(const std::string &path, const std::string &name)
+    {
+        if (name.empty() || stacks_.contains(name)) {
+            std::printf("usage: open <config-file> <new-profile-name>\n");
+            return;
+        }
+        std::ifstream file(path);
+        if (!file) {
+            std::printf("cannot open %s\n", path.c_str());
+            return;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        auto parsed = core::parse_stack_config(buffer.str());
+        if (!parsed.is_ok()) {
+            std::printf("%s\n", parsed.status().str().c_str());
+            return;
+        }
+        add(name, parsed.value());
+        client_.set_default_cluster(name);
+        std::printf("opened cluster '%s' (%d GPUs), now default\n",
+                    name.c_str(),
+                    stacks_[name]->cluster().total_gpus());
+    }
+
+    void
+    replay(const std::string &path)
+    {
+        auto trace = workload::read_trace_file(path);
+        if (!trace.is_ok()) {
+            std::printf("%s\n", trace.status().str().c_str());
+            return;
+        }
+        // Arrivals are relative to t=0; shift to "now".
+        const TimePoint now = stack().simulator().now();
+        auto shifted = trace.value();
+        for (auto &entry : shifted)
+            entry.arrival = now + (entry.arrival - TimePoint::origin());
+        stack().submit_trace(shifted);
+        std::printf("replaying %zu task(s) from %s\n", shifted.size(),
+                    path.c_str());
+    }
+
+    void
+    submit_file(const std::string &path)
+    {
+        std::ifstream file(path);
+        if (!file) {
+            std::printf("cannot open %s\n", path.c_str());
+            return;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        auto handle = client_.submit_text(buffer.str());
+        if (handle.is_ok()) {
+            std::printf("submitted job %llu to %s\n",
+                        (unsigned long long)handle.value().job,
+                        handle.value().cluster.c_str());
+        } else {
+            std::printf("%s\n", handle.status().str().c_str());
+        }
+    }
+
+    void
+    demo(int n)
+    {
+        workload::TraceConfig trace;
+        trace.num_jobs = n;
+        trace.seed = demo_seed_++;
+        trace.mean_interarrival_s = 1.0; // submit "now"-ish
+        int ok = 0;
+        for (auto &entry : workload::TraceGenerator(trace).generate()) {
+            if (entry.spec.gpus > stack().cluster().total_gpus())
+                entry.spec.gpus = stack().cluster().total_gpus();
+            ok += client_.submit(entry.spec).is_ok();
+        }
+        std::printf("submitted %d demo job(s)\n", ok);
+    }
+
+    void
+    ps()
+    {
+        TextTable table;
+        table.set_header(
+            {"id", "name", "user", "gpus", "state", "progress"});
+        for (const auto *job : stack().jobs()) {
+            table.add_row({std::to_string(job->id()), job->spec().name,
+                           job->spec().user,
+                           std::to_string(job->spec().gpus),
+                           workload::job_state_name(job->state()),
+                           TextTable::pct(job->estimated_progress(
+                                              stack().simulator().now()),
+                                          0)});
+        }
+        std::fputs(table.str().c_str(), stdout);
+    }
+
+    void
+    report()
+    {
+        auto &s = stack();
+        const auto &metrics = s.metrics();
+        const auto occupancy = s.cluster().occupancy();
+        std::printf("cluster %s: %d/%d GPUs in use, %zu running, %zu "
+                    "pending\n",
+                    s.cluster().name().c_str(), occupancy.used_gpus,
+                    occupancy.total_gpus, s.running_count(),
+                    s.pending_count());
+        std::printf("completed %zu, failed %zu, preemptions %llu\n",
+                    metrics.completed_count(), metrics.failed_count(),
+                    (unsigned long long)metrics.preemptions());
+        const auto wait = metrics.wait_samples();
+        if (wait.count() > 0) {
+            std::printf("wait: mean %.1f min, p99 %.1f min\n",
+                        wait.mean() / 60.0, wait.percentile(99) / 60.0);
+        }
+        const auto &cache = s.task_compiler().stats();
+        std::printf("compiler cache savings: %.1f%%\n",
+                    cache.transfer_savings() * 100.0);
+    }
+
+    std::map<std::string, std::unique_ptr<core::TaccStack>> stacks_;
+    tcloud::Client client_;
+    uint64_t demo_seed_ = 1;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Shell shell;
+    // `tcloud -c "cmd; cmd"` runs a one-liner script.
+    if (argc == 3 && std::string(argv[1]) == "-c") {
+        std::string script(argv[2]);
+        for (auto &c : script) {
+            if (c == ';')
+                c = '\n';
+        }
+        std::istringstream in(script);
+        return shell.repl(in, false);
+    }
+    return shell.repl(std::cin, false);
+}
