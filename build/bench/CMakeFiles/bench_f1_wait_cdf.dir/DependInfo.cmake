@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f1_wait_cdf.cc" "bench/CMakeFiles/bench_f1_wait_cdf.dir/bench_f1_wait_cdf.cc.o" "gcc" "bench/CMakeFiles/bench_f1_wait_cdf.dir/bench_f1_wait_cdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tacc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/tacc_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tacc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tacc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tacc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tacc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tacc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

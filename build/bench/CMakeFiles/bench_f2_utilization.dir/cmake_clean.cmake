@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_utilization.dir/bench_f2_utilization.cc.o"
+  "CMakeFiles/bench_f2_utilization.dir/bench_f2_utilization.cc.o.d"
+  "bench_f2_utilization"
+  "bench_f2_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

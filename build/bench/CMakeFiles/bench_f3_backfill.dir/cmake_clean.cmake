@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_backfill.dir/bench_f3_backfill.cc.o"
+  "CMakeFiles/bench_f3_backfill.dir/bench_f3_backfill.cc.o.d"
+  "bench_f3_backfill"
+  "bench_f3_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

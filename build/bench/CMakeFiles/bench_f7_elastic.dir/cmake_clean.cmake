@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_elastic.dir/bench_f7_elastic.cc.o"
+  "CMakeFiles/bench_f7_elastic.dir/bench_f7_elastic.cc.o.d"
+  "bench_f7_elastic"
+  "bench_f7_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_failover.dir/bench_f8_failover.cc.o"
+  "CMakeFiles/bench_f8_failover.dir/bench_f8_failover.cc.o.d"
+  "bench_f8_failover"
+  "bench_f8_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

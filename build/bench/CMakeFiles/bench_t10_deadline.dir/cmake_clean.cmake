@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_deadline.dir/bench_t10_deadline.cc.o"
+  "CMakeFiles/bench_t10_deadline.dir/bench_t10_deadline.cc.o.d"
+  "bench_t10_deadline"
+  "bench_t10_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

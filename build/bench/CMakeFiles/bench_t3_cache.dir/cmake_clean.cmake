@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_cache.dir/bench_t3_cache.cc.o"
+  "CMakeFiles/bench_t3_cache.dir/bench_t3_cache.cc.o.d"
+  "bench_t3_cache"
+  "bench_t3_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

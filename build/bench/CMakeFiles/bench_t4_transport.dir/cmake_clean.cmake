@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_transport.dir/bench_t4_transport.cc.o"
+  "CMakeFiles/bench_t4_transport.dir/bench_t4_transport.cc.o.d"
+  "bench_t4_transport"
+  "bench_t4_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_fairshare.dir/bench_t5_fairshare.cc.o"
+  "CMakeFiles/bench_t5_fairshare.dir/bench_t5_fairshare.cc.o.d"
+  "bench_t5_fairshare"
+  "bench_t5_fairshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

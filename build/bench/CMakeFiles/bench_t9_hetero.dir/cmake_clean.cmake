@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_hetero.dir/bench_t9_hetero.cc.o"
+  "CMakeFiles/bench_t9_hetero.dir/bench_t9_hetero.cc.o.d"
+  "bench_t9_hetero"
+  "bench_t9_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

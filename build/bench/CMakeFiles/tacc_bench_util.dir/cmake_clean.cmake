@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tacc_bench_util.dir/bench_util.cc.o.d"
+  "libtacc_bench_util.a"
+  "libtacc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_bakeoff.dir/scheduler_bakeoff.cpp.o"
+  "CMakeFiles/scheduler_bakeoff.dir/scheduler_bakeoff.cpp.o.d"
+  "scheduler_bakeoff"
+  "scheduler_bakeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_bakeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_autoscale.dir/serving_autoscale.cpp.o"
+  "CMakeFiles/serving_autoscale.dir/serving_autoscale.cpp.o.d"
+  "serving_autoscale"
+  "serving_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

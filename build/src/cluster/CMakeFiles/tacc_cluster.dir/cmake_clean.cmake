@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_cluster.dir/cluster.cc.o"
+  "CMakeFiles/tacc_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/tacc_cluster.dir/node.cc.o"
+  "CMakeFiles/tacc_cluster.dir/node.cc.o.d"
+  "CMakeFiles/tacc_cluster.dir/topology.cc.o"
+  "CMakeFiles/tacc_cluster.dir/topology.cc.o.d"
+  "libtacc_cluster.a"
+  "libtacc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtacc_cluster.a"
+)

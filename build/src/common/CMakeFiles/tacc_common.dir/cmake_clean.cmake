@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_common.dir/log.cc.o"
+  "CMakeFiles/tacc_common.dir/log.cc.o.d"
+  "CMakeFiles/tacc_common.dir/rng.cc.o"
+  "CMakeFiles/tacc_common.dir/rng.cc.o.d"
+  "CMakeFiles/tacc_common.dir/stats.cc.o"
+  "CMakeFiles/tacc_common.dir/stats.cc.o.d"
+  "CMakeFiles/tacc_common.dir/status.cc.o"
+  "CMakeFiles/tacc_common.dir/status.cc.o.d"
+  "CMakeFiles/tacc_common.dir/strings.cc.o"
+  "CMakeFiles/tacc_common.dir/strings.cc.o.d"
+  "CMakeFiles/tacc_common.dir/table.cc.o"
+  "CMakeFiles/tacc_common.dir/table.cc.o.d"
+  "CMakeFiles/tacc_common.dir/time.cc.o"
+  "CMakeFiles/tacc_common.dir/time.cc.o.d"
+  "libtacc_common.a"
+  "libtacc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

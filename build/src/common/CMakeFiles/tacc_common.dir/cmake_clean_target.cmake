@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtacc_common.a"
+)

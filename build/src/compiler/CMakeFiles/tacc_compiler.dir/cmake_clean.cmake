@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_compiler.dir/chunk_store.cc.o"
+  "CMakeFiles/tacc_compiler.dir/chunk_store.cc.o.d"
+  "CMakeFiles/tacc_compiler.dir/compiler.cc.o"
+  "CMakeFiles/tacc_compiler.dir/compiler.cc.o.d"
+  "libtacc_compiler.a"
+  "libtacc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_core.dir/config_io.cc.o"
+  "CMakeFiles/tacc_core.dir/config_io.cc.o.d"
+  "CMakeFiles/tacc_core.dir/metrics.cc.o"
+  "CMakeFiles/tacc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/tacc_core.dir/scenario.cc.o"
+  "CMakeFiles/tacc_core.dir/scenario.cc.o.d"
+  "CMakeFiles/tacc_core.dir/stack.cc.o"
+  "CMakeFiles/tacc_core.dir/stack.cc.o.d"
+  "libtacc_core.a"
+  "libtacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

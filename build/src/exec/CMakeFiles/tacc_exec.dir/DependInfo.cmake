@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/comm_model.cc" "src/exec/CMakeFiles/tacc_exec.dir/comm_model.cc.o" "gcc" "src/exec/CMakeFiles/tacc_exec.dir/comm_model.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/tacc_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/tacc_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/failure.cc" "src/exec/CMakeFiles/tacc_exec.dir/failure.cc.o" "gcc" "src/exec/CMakeFiles/tacc_exec.dir/failure.cc.o.d"
+  "/root/repo/src/exec/fs.cc" "src/exec/CMakeFiles/tacc_exec.dir/fs.cc.o" "gcc" "src/exec/CMakeFiles/tacc_exec.dir/fs.cc.o.d"
+  "/root/repo/src/exec/monitor.cc" "src/exec/CMakeFiles/tacc_exec.dir/monitor.cc.o" "gcc" "src/exec/CMakeFiles/tacc_exec.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tacc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tacc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tacc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tacc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_exec.dir/comm_model.cc.o"
+  "CMakeFiles/tacc_exec.dir/comm_model.cc.o.d"
+  "CMakeFiles/tacc_exec.dir/engine.cc.o"
+  "CMakeFiles/tacc_exec.dir/engine.cc.o.d"
+  "CMakeFiles/tacc_exec.dir/failure.cc.o"
+  "CMakeFiles/tacc_exec.dir/failure.cc.o.d"
+  "CMakeFiles/tacc_exec.dir/fs.cc.o"
+  "CMakeFiles/tacc_exec.dir/fs.cc.o.d"
+  "CMakeFiles/tacc_exec.dir/monitor.cc.o"
+  "CMakeFiles/tacc_exec.dir/monitor.cc.o.d"
+  "libtacc_exec.a"
+  "libtacc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

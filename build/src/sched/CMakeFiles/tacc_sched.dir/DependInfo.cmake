@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backfill.cc" "src/sched/CMakeFiles/tacc_sched.dir/backfill.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/backfill.cc.o.d"
+  "/root/repo/src/sched/capacity_profile.cc" "src/sched/CMakeFiles/tacc_sched.dir/capacity_profile.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/capacity_profile.cc.o.d"
+  "/root/repo/src/sched/drf.cc" "src/sched/CMakeFiles/tacc_sched.dir/drf.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/drf.cc.o.d"
+  "/root/repo/src/sched/edf.cc" "src/sched/CMakeFiles/tacc_sched.dir/edf.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/edf.cc.o.d"
+  "/root/repo/src/sched/elastic.cc" "src/sched/CMakeFiles/tacc_sched.dir/elastic.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/elastic.cc.o.d"
+  "/root/repo/src/sched/estimator.cc" "src/sched/CMakeFiles/tacc_sched.dir/estimator.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/estimator.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/sched/CMakeFiles/tacc_sched.dir/factory.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/factory.cc.o.d"
+  "/root/repo/src/sched/free_view.cc" "src/sched/CMakeFiles/tacc_sched.dir/free_view.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/free_view.cc.o.d"
+  "/root/repo/src/sched/gang.cc" "src/sched/CMakeFiles/tacc_sched.dir/gang.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/gang.cc.o.d"
+  "/root/repo/src/sched/greedy.cc" "src/sched/CMakeFiles/tacc_sched.dir/greedy.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/greedy.cc.o.d"
+  "/root/repo/src/sched/placement.cc" "src/sched/CMakeFiles/tacc_sched.dir/placement.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/placement.cc.o.d"
+  "/root/repo/src/sched/preempt.cc" "src/sched/CMakeFiles/tacc_sched.dir/preempt.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/preempt.cc.o.d"
+  "/root/repo/src/sched/queue_schedulers.cc" "src/sched/CMakeFiles/tacc_sched.dir/queue_schedulers.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/queue_schedulers.cc.o.d"
+  "/root/repo/src/sched/usage.cc" "src/sched/CMakeFiles/tacc_sched.dir/usage.cc.o" "gcc" "src/sched/CMakeFiles/tacc_sched.dir/usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tacc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tacc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tacc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_sched.dir/backfill.cc.o"
+  "CMakeFiles/tacc_sched.dir/backfill.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/capacity_profile.cc.o"
+  "CMakeFiles/tacc_sched.dir/capacity_profile.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/drf.cc.o"
+  "CMakeFiles/tacc_sched.dir/drf.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/edf.cc.o"
+  "CMakeFiles/tacc_sched.dir/edf.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/elastic.cc.o"
+  "CMakeFiles/tacc_sched.dir/elastic.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/estimator.cc.o"
+  "CMakeFiles/tacc_sched.dir/estimator.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/factory.cc.o"
+  "CMakeFiles/tacc_sched.dir/factory.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/free_view.cc.o"
+  "CMakeFiles/tacc_sched.dir/free_view.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/gang.cc.o"
+  "CMakeFiles/tacc_sched.dir/gang.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/greedy.cc.o"
+  "CMakeFiles/tacc_sched.dir/greedy.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/placement.cc.o"
+  "CMakeFiles/tacc_sched.dir/placement.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/preempt.cc.o"
+  "CMakeFiles/tacc_sched.dir/preempt.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/queue_schedulers.cc.o"
+  "CMakeFiles/tacc_sched.dir/queue_schedulers.cc.o.d"
+  "CMakeFiles/tacc_sched.dir/usage.cc.o"
+  "CMakeFiles/tacc_sched.dir/usage.cc.o.d"
+  "libtacc_sched.a"
+  "libtacc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/autoscaler.cc" "src/serve/CMakeFiles/tacc_serve.dir/autoscaler.cc.o" "gcc" "src/serve/CMakeFiles/tacc_serve.dir/autoscaler.cc.o.d"
+  "/root/repo/src/serve/latency_model.cc" "src/serve/CMakeFiles/tacc_serve.dir/latency_model.cc.o" "gcc" "src/serve/CMakeFiles/tacc_serve.dir/latency_model.cc.o.d"
+  "/root/repo/src/serve/service_sim.cc" "src/serve/CMakeFiles/tacc_serve.dir/service_sim.cc.o" "gcc" "src/serve/CMakeFiles/tacc_serve.dir/service_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tacc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tacc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tacc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_serve.dir/autoscaler.cc.o"
+  "CMakeFiles/tacc_serve.dir/autoscaler.cc.o.d"
+  "CMakeFiles/tacc_serve.dir/latency_model.cc.o"
+  "CMakeFiles/tacc_serve.dir/latency_model.cc.o.d"
+  "CMakeFiles/tacc_serve.dir/service_sim.cc.o"
+  "CMakeFiles/tacc_serve.dir/service_sim.cc.o.d"
+  "libtacc_serve.a"
+  "libtacc_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

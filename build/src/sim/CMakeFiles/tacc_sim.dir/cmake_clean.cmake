@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_sim.dir/simulator.cc.o"
+  "CMakeFiles/tacc_sim.dir/simulator.cc.o.d"
+  "libtacc_sim.a"
+  "libtacc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_tcloud.dir/client.cc.o"
+  "CMakeFiles/tacc_tcloud.dir/client.cc.o.d"
+  "libtacc_tcloud.a"
+  "libtacc_tcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_tcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacc_workload.dir/job.cc.o"
+  "CMakeFiles/tacc_workload.dir/job.cc.o.d"
+  "CMakeFiles/tacc_workload.dir/model.cc.o"
+  "CMakeFiles/tacc_workload.dir/model.cc.o.d"
+  "CMakeFiles/tacc_workload.dir/task_spec.cc.o"
+  "CMakeFiles/tacc_workload.dir/task_spec.cc.o.d"
+  "CMakeFiles/tacc_workload.dir/trace.cc.o"
+  "CMakeFiles/tacc_workload.dir/trace.cc.o.d"
+  "CMakeFiles/tacc_workload.dir/trace_io.cc.o"
+  "CMakeFiles/tacc_workload.dir/trace_io.cc.o.d"
+  "libtacc_workload.a"
+  "libtacc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_capacity_profile.cc" "tests/CMakeFiles/tacc_tests.dir/test_capacity_profile.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_capacity_profile.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/tacc_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_comm_model.cc" "tests/CMakeFiles/tacc_tests.dir/test_comm_model.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_comm_model.cc.o.d"
+  "/root/repo/tests/test_common_misc.cc" "tests/CMakeFiles/tacc_tests.dir/test_common_misc.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_common_misc.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/tacc_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_config_io.cc" "tests/CMakeFiles/tacc_tests.dir/test_config_io.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_config_io.cc.o.d"
+  "/root/repo/tests/test_edf.cc" "tests/CMakeFiles/tacc_tests.dir/test_edf.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_edf.cc.o.d"
+  "/root/repo/tests/test_estimator.cc" "tests/CMakeFiles/tacc_tests.dir/test_estimator.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_estimator.cc.o.d"
+  "/root/repo/tests/test_exec.cc" "tests/CMakeFiles/tacc_tests.dir/test_exec.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_exec.cc.o.d"
+  "/root/repo/tests/test_hetero.cc" "tests/CMakeFiles/tacc_tests.dir/test_hetero.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_hetero.cc.o.d"
+  "/root/repo/tests/test_job.cc" "tests/CMakeFiles/tacc_tests.dir/test_job.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_job.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/tacc_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/tacc_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_placement.cc" "tests/CMakeFiles/tacc_tests.dir/test_placement.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_placement.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tacc_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scenario.cc" "tests/CMakeFiles/tacc_tests.dir/test_scenario.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_scenario.cc.o.d"
+  "/root/repo/tests/test_sched_invariants.cc" "tests/CMakeFiles/tacc_tests.dir/test_sched_invariants.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_sched_invariants.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/tacc_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_serve.cc" "tests/CMakeFiles/tacc_tests.dir/test_serve.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_serve.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/tacc_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/tacc_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stack.cc" "tests/CMakeFiles/tacc_tests.dir/test_stack.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_stack.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/tacc_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_task_spec.cc" "tests/CMakeFiles/tacc_tests.dir/test_task_spec.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_task_spec.cc.o.d"
+  "/root/repo/tests/test_tcloud.cc" "tests/CMakeFiles/tacc_tests.dir/test_tcloud.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_tcloud.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/tacc_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/tacc_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/tacc_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/tacc_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/tacc_tests.dir/test_trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcloud/CMakeFiles/tacc_tcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/tacc_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tacc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tacc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tacc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tacc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tacc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

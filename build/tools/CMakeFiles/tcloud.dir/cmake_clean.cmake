@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcloud.dir/tcloud_main.cc.o"
+  "CMakeFiles/tcloud.dir/tcloud_main.cc.o.d"
+  "tcloud"
+  "tcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
