@@ -1,0 +1,176 @@
+/**
+ * @file
+ * T12 — Simulation-core throughput (google-benchmark).
+ *
+ * Measures the discrete-event engine in isolation and the full stack
+ * end-to-end, bounding how fast a campus-scale trace can be replayed:
+ *
+ *  - raw event throughput (schedule + fire) at shallow and deep queues;
+ *  - steady-state churn (every fired event schedules a successor), the
+ *    access pattern of segment-completion events;
+ *  - cancel-heavy workloads (schedule, cancel, reschedule), the access
+ *    pattern of preemption and kill paths;
+ *  - periodic-task re-arming (scheduler ticks);
+ *  - end-to-end trace replay through TaccStack (simulated jobs per wall
+ *    second).
+ *
+ * Run with --benchmark_format=json to emit the machine-readable series
+ * recorded in EXPERIMENTS.md (baseline vs. optimized engine).
+ */
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+using namespace tacc;
+
+namespace {
+
+/** Deterministic pseudo-random delay spread, cheap enough to not skew
+ *  the measurement (multiplicative hash, no modulo chains). */
+inline Duration
+spread_delay(uint64_t i)
+{
+    const uint64_t h = (i * 0x9E3779B97F4A7C15ull) >> 40;
+    return Duration::micros(int64_t(h));
+}
+
+/** Schedule `depth` events, then drain the queue. */
+void
+BM_RawEventThroughput(benchmark::State &state)
+{
+    const int depth = int(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < depth; ++i)
+            sim.schedule_after(spread_delay(uint64_t(i)), "event", [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_RawEventThroughput)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Steady-state churn: a fixed window of pending events where every fired
+ * event schedules its successor — the segment-completion access pattern.
+ */
+void
+BM_SteadyStateChurn(benchmark::State &state)
+{
+    const int window = int(state.range(0));
+    const int64_t fires = 200000;
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int64_t remaining = fires;
+        std::function<void()> chain = [&] {
+            if (--remaining > 0) {
+                sim.schedule_after(spread_delay(uint64_t(remaining)),
+                                   "chain", chain);
+            }
+        };
+        for (int i = 0; i < window; ++i)
+            sim.schedule_after(spread_delay(uint64_t(i)), "chain", chain);
+        sim.run();
+        benchmark::DoNotOptimize(sim.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * fires);
+}
+BENCHMARK(BM_SteadyStateChurn)->Arg(64)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Cancel-heavy: schedule a batch, cancel it all, re-schedule, with a live
+ * backlog in the queue — the preemption / kill / re-queue access pattern.
+ */
+void
+BM_CancelHeavy(benchmark::State &state)
+{
+    const int batch = int(state.range(0));
+    std::vector<sim::EventId> ids;
+    ids.resize(size_t(batch));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        // A backlog the cancelled entries interleave with.
+        for (int i = 0; i < batch; ++i) {
+            sim.schedule_after(spread_delay(uint64_t(i)) +
+                                   Duration::hours(1),
+                               "backlog", [] {});
+        }
+        for (int round = 0; round < 8; ++round) {
+            for (int i = 0; i < batch; ++i) {
+                ids[size_t(i)] = sim.schedule_after(
+                    spread_delay(uint64_t(i)), "victim", [] {});
+            }
+            for (int i = 0; i < batch; ++i)
+                sim.cancel(ids[size_t(i)]);
+            benchmark::DoNotOptimize(sim.next_event_time());
+        }
+        sim.run();
+        benchmark::DoNotOptimize(sim.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * batch * 8);
+}
+BENCHMARK(BM_CancelHeavy)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+/** Periodic re-arming: scheduler-tick shaped load. */
+void
+BM_PeriodicTasks(benchmark::State &state)
+{
+    const int tasks = int(state.range(0));
+    const int64_t horizon_s = 1000;
+    for (auto _ : state) {
+        sim::Simulator sim;
+        std::vector<std::unique_ptr<sim::PeriodicTask>> periodic;
+        periodic.reserve(size_t(tasks));
+        for (int i = 0; i < tasks; ++i) {
+            periodic.push_back(std::make_unique<sim::PeriodicTask>(
+                sim, Duration::seconds(1 + i % 7), "tick", [] {}));
+            periodic.back()->start();
+        }
+        sim.run_until(TimePoint::origin() + Duration::seconds(horizon_s));
+        benchmark::DoNotOptimize(sim.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PeriodicTasks)->Arg(100)->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end replay throughput: simulated jobs per wall second through the
+ * full stack (compiler, scheduler, placement, execution, monitoring).
+ */
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const int jobs = int(state.range(0));
+    for (auto _ : state) {
+        core::ScenarioConfig config;
+        config.stack.cluster.topology.racks = 4;
+        config.stack.cluster.topology.nodes_per_rack = 8;
+        config.stack.scheduler = "fairshare";
+        config.stack.emit_monitor_logs = false;
+        config.trace.num_jobs = jobs;
+        config.trace.seed = 42;
+        config.trace.mean_interarrival_s = 120.0;
+        config.trace.gpu_demand_pmf = {
+            {1, 0.5}, {2, 0.2}, {4, 0.15}, {8, 0.1}, {16, 0.05}};
+        auto result = core::run_scenario(config);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_TraceReplay)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace tacc {
+
+int
+StringInterner::intern(const std::string &s)
+{
+    std::lock_guard lock(mu_);
+    auto [it, inserted] = ids_.try_emplace(s, int(names_.size()));
+    if (inserted)
+        names_.push_back(s);
+    return it->second;
+}
+
+const std::string &
+StringInterner::name(int id) const
+{
+    std::lock_guard lock(mu_);
+    assert(id >= 0 && size_t(id) < names_.size());
+    return names_[size_t(id)];
+}
+
+int
+StringInterner::size() const
+{
+    std::lock_guard lock(mu_);
+    return int(names_.size());
+}
+
+StringInterner &
+StringInterner::groups()
+{
+    static StringInterner table;
+    return table;
+}
+
+} // namespace tacc

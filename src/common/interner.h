@@ -1,0 +1,48 @@
+/**
+ * @file
+ * String interning: dense integer ids for recurring names.
+ *
+ * Scheduling touches accounting-group names on every decision (quota
+ * checks, held-GPU tallies, fair-share lookups). Interning maps each
+ * distinct name to a small dense id once, so hot paths index plain
+ * vectors instead of hashing strings. Ids are assigned in first-seen
+ * order and never recycled; name storage is stable for the interner's
+ * lifetime, so returned references may be kept.
+ */
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace tacc {
+
+/** Append-only string <-> dense-id table. */
+class StringInterner
+{
+  public:
+    StringInterner() = default;
+    StringInterner(const StringInterner &) = delete;
+    StringInterner &operator=(const StringInterner &) = delete;
+
+    /** Id for the string, assigning the next dense id on first sight. */
+    int intern(const std::string &s);
+
+    /** The string for a previously assigned id. */
+    const std::string &name(int id) const;
+
+    /** Number of distinct strings interned so far. */
+    int size() const;
+
+    /** Process-wide table for accounting-group names. */
+    static StringInterner &groups();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, int> ids_;
+    /** Stable storage: deque never moves elements on growth. */
+    std::deque<std::string> names_;
+};
+
+} // namespace tacc

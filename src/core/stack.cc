@@ -94,8 +94,7 @@ TaccStack::submit(const workload::TaskSpec &spec,
     assert(s.is_ok());
     const Duration provision = instructions_.at(id).provision_time;
     provisioning_[id] = sim_.schedule_after(
-        provision, strfmt("provision-done job=%llu", (unsigned long long)id),
-        [this, id] {
+        provision, "provision-done", [this, id] {
             provisioning_.erase(id);
             Job *job = find_job(id);
             assert(job);
@@ -168,7 +167,19 @@ TaccStack::submit_trace(const std::vector<workload::SubmittedTask> &trace)
 void
 TaccStack::enqueue_pending(JobId id)
 {
-    pending_.push_back(id);
+    // Ordered insert keeps the queue in (submit time, id) order even for
+    // requeued (preempted/failed) jobs, whose submit time lies in the
+    // past; schedulers then consume it without re-sorting.
+    const Job *job = find_job(id);
+    assert(job);
+    const auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), id, [this, job](JobId, JobId rhs) {
+            const Job *r = find_job(rhs);
+            if (job->submit_time() != r->submit_time())
+                return job->submit_time() < r->submit_time();
+            return job->id() < r->id();
+        });
+    pending_.insert(pos, id);
     metrics_.on_queue_depth(sim_.now(), int(pending_.size()));
 }
 
@@ -275,6 +286,7 @@ TaccStack::stop_segment(Job &job, bool count_as_preemption)
     assert(it != running_.end());
     sim_.cancel(it->second.event);
     running_.erase(it);
+    running_cache_dirty_ = true;
 
     const cluster::Placement placement = cluster_.placement_of(job.id());
     Status s = count_as_preemption ? job.preempt(sim_.now())
@@ -297,6 +309,7 @@ TaccStack::on_segment_complete(JobId id)
     Job *job = find_job(id);
     assert(job && job->state() == JobState::kRunning);
     running_.erase(id);
+    running_cache_dirty_ = true;
 
     const cluster::Placement placement = cluster_.placement_of(id);
     Status s = job->complete(sim_.now());
@@ -317,6 +330,7 @@ TaccStack::on_segment_failure(JobId id)
     Job *job = find_job(id);
     assert(job && job->state() == JobState::kRunning);
     running_.erase(id);
+    running_cache_dirty_ = true;
 
     const cluster::Placement placement = cluster_.placement_of(id);
     // A crash rolls progress back to the last periodic checkpoint (or
@@ -390,16 +404,15 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
         const JobId id = start.job;
         if (plan.failure_after) {
             meta.event = sim_.schedule_after(
-                *plan.failure_after,
-                strfmt("segment-fail job=%llu", (unsigned long long)id),
+                *plan.failure_after, "segment-fail",
                 [this, id] { on_segment_failure(id); });
         } else {
             meta.event = sim_.schedule_after(
-                total,
-                strfmt("segment-done job=%llu", (unsigned long long)id),
+                total, "segment-done",
                 [this, id] { on_segment_complete(id); });
         }
         running_[id] = meta;
+        running_cache_dirty_ = true;
         log_job(*job, granted,
                 strfmt("started on %zu node(s), %d GPU(s), %s/%s",
                        granted.slices.size(), granted.total_gpus(),
@@ -424,21 +437,29 @@ TaccStack::schedule_now()
                            const cluster::Placement &placement) {
         return engine_.iteration_time_s(job, placement);
     };
-    ctx.pending.reserve(pending_.size());
+    pending_jobs_.clear();
+    pending_jobs_.reserve(pending_.size());
     for (JobId id : pending_) {
         Job *job = find_job(id);
         assert(job && job->state() == JobState::kPending);
-        ctx.pending.push_back(job);
+        pending_jobs_.push_back(job);
     }
-    ctx.running.reserve(running_.size());
-    for (const auto &[id, meta] : running_) {
-        sched::RunningInfo info;
-        info.job = find_job(id);
-        assert(info.job);
-        info.placement = cluster_.placement_of(id);
-        info.expected_end = meta.expected_end;
-        ctx.running.push_back(std::move(info));
+    ctx.pending = pending_jobs_;
+    ctx.pending_sorted = true; // enqueue_pending keeps (submit, id) order
+    if (running_cache_dirty_) {
+        running_cache_.clear();
+        running_cache_.reserve(running_.size());
+        for (const auto &[id, meta] : running_) {
+            sched::RunningInfo info;
+            info.job = find_job(id);
+            assert(info.job);
+            info.placement = cluster_.placement_of(id);
+            info.expected_end = meta.expected_end;
+            running_cache_.push_back(std::move(info));
+        }
+        running_cache_dirty_ = false;
     }
+    ctx.running = running_cache_;
 
     const sched::ScheduleDecision decision = scheduler_->schedule(ctx);
     if (!decision.empty())

@@ -186,8 +186,18 @@ class TaccStack
 
     std::map<cluster::JobId, std::unique_ptr<workload::Job>> jobs_;
     std::map<cluster::JobId, compiler::TaskInstruction> instructions_;
-    std::vector<cluster::JobId> pending_; ///< enqueue order
+    /** Kept in (submit time, id) order — the arrival order schedulers
+     *  start from — so decisions skip their re-sort. */
+    std::vector<cluster::JobId> pending_;
     std::map<cluster::JobId, RunningMeta> running_;
+    /** @name Scheduler-context caches (backing SchedulerContext spans).
+     *  pending_jobs_ is refilled per decision; running_cache_ only when
+     *  the running set changed since the last one. */
+    ///@{
+    std::vector<workload::Job *> pending_jobs_;
+    std::vector<sched::RunningInfo> running_cache_;
+    bool running_cache_dirty_ = true;
+    ///@}
     std::map<cluster::JobId, sim::EventId> provisioning_;
     /** Provisioned jobs held back by unfinished dependencies. */
     std::set<cluster::JobId> held_;

@@ -21,7 +21,7 @@ ScheduleDecision
 BackfillScheduler::schedule(const SchedulerContext &ctx)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
 
     CapacityProfile profile(ctx.now, view.total_free());

@@ -47,7 +47,7 @@ ScheduleDecision
 EdfScheduler::schedule(const SchedulerContext &ctx)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
     std::unordered_set<cluster::JobId> already_victim;
 
@@ -89,7 +89,7 @@ EdfScheduler::schedule(const SchedulerContext &ctx)
             if (already_victim.contains(victim->job->id()))
                 continue;
             view.give(victim->placement);
-            held[victim->job->spec().group] -=
+            held[size_t(victim->job->group_id())] -=
                 victim->job->running_gpus();
             chosen.push_back(victim);
             if (view.total_free() < job->spec().gpus)
@@ -107,7 +107,7 @@ EdfScheduler::schedule(const SchedulerContext &ctx)
         if (!started) {
             for (const RunningInfo *v : chosen) {
                 view.take(v->placement);
-                held[v->job->spec().group] += v->job->running_gpus();
+                held[size_t(v->job->group_id())] += v->job->running_gpus();
             }
         }
     }

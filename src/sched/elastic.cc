@@ -78,7 +78,7 @@ ScheduleDecision
 ElasticScheduler::schedule(const SchedulerContext &ctx)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
 
     // Fixed-size pending jobs first, arrival order, skipping blockers.
@@ -108,7 +108,7 @@ ElasticScheduler::schedule(const SchedulerContext &ctx)
     for (const auto &r : ctx.running) {
         if (r.job->spec().is_elastic() && r.job->spec().preemptible) {
             view.give(r.placement);
-            held[r.job->spec().group] -= r.job->running_gpus();
+            held[size_t(r.job->group_id())] -= r.job->running_gpus();
             candidates.push_back(Candidate{r.job, &r, 0});
         }
     }
@@ -183,7 +183,7 @@ ElasticScheduler::schedule(const SchedulerContext &ctx)
               c.alloc * 4 >= current * 3 && c.alloc * 4 <= current * 5));
         if (keep) {
             view.take(c.running->placement);
-            held[c.job->spec().group] += current;
+            held[size_t(c.job->group_id())] += current;
             settled[i] = true;
         }
     }
@@ -207,7 +207,7 @@ ElasticScheduler::schedule(const SchedulerContext &ctx)
         if (c.running && view.fits(c.running->placement)) {
             out.preemptions.pop_back();
             view.take(c.running->placement);
-            held[c.job->spec().group] += current;
+            held[size_t(c.job->group_id())] += current;
         }
     }
     return out;

@@ -46,13 +46,13 @@ GangScheduler::schedule(const SchedulerContext &ctx)
                      });
 
     // Treat every preemptible running gang's GPUs as reclaimable.
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
     std::vector<const RunningInfo *> stoppable;
     for (const auto &r : ctx.running) {
         if (r.job->spec().preemptible) {
             view.give(r.placement);
-            held[r.job->spec().group] -= r.job->running_gpus();
+            held[size_t(r.job->group_id())] -= r.job->running_gpus();
             stoppable.push_back(&r);
         }
     }
@@ -80,7 +80,7 @@ GangScheduler::schedule(const SchedulerContext &ctx)
             }
             if (room) {
                 view.take(ctx.cluster->placement_of(job->id()));
-                held[job->spec().group] += job->running_gpus();
+                held[size_t(job->group_id())] += job->running_gpus();
                 target.insert(job->id());
                 last_served_[job->id()] = round_;
             }

@@ -2,18 +2,19 @@
 
 #include <algorithm>
 
+#include "common/interner.h"
 #include "sched/estimator.h"
 #include "sched/placement.h"
 #include "sched/usage.h"
 
 namespace tacc::sched::detail {
 
-std::unordered_map<std::string, int>
+std::vector<int>
 held_by_group(const SchedulerContext &ctx)
 {
-    std::unordered_map<std::string, int> held;
+    std::vector<int> held(size_t(StringInterner::groups().size()), 0);
     for (const auto &r : ctx.running)
-        held[r.job->spec().group] += r.job->running_gpus();
+        held[size_t(r.job->group_id())] += r.job->running_gpus();
     return held;
 }
 
@@ -26,12 +27,14 @@ per_node_limit(const SchedulerContext &ctx, const workload::Job &job)
 
 bool
 try_start(const SchedulerContext &ctx, FreeView &view,
-          std::unordered_map<std::string, int> &held, workload::Job *job,
-          int gpus, ScheduleDecision *out)
+          std::vector<int> &held, workload::Job *job, int gpus,
+          ScheduleDecision *out)
 {
-    const auto &group = job->spec().group;
-    if (ctx.quota && ctx.quota->would_exceed(group, held[group], gpus))
+    const size_t gid = size_t(job->group_id());
+    if (ctx.quota &&
+        ctx.quota->would_exceed(job->spec().group, held[gid], gpus)) {
         return false;
+    }
     const int limit = per_node_limit(ctx, *job);
 
     StatusOr<cluster::Placement> plan =
@@ -59,7 +62,7 @@ try_start(const SchedulerContext &ctx, FreeView &view,
     if (!plan.is_ok())
         return false;
     view.take(plan.value());
-    held[group] += gpus;
+    held[gid] += gpus;
     out->starts.push_back(StartAction{job->id(), std::move(plan.value())});
     return true;
 }
@@ -69,7 +72,7 @@ greedy(const SchedulerContext &ctx, const std::vector<workload::Job *> &order,
        bool stop_on_block)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = scratch_view(*ctx.cluster);
     auto held = held_by_group(ctx);
     for (workload::Job *job : order) {
         if (!try_start(ctx, view, held, job, job->spec().gpus, &out) &&
@@ -92,14 +95,26 @@ runtime_bound(const SchedulerContext &ctx, const workload::Job &job,
 std::vector<workload::Job *>
 pending_by_arrival(const SchedulerContext &ctx)
 {
-    auto order = ctx.pending;
-    std::stable_sort(order.begin(), order.end(),
-                     [](const workload::Job *a, const workload::Job *b) {
-                         if (a->submit_time() != b->submit_time())
-                             return a->submit_time() < b->submit_time();
-                         return a->id() < b->id();
-                     });
+    std::vector<workload::Job *> order(ctx.pending.begin(),
+                                       ctx.pending.end());
+    if (!ctx.pending_sorted) {
+        std::stable_sort(
+            order.begin(), order.end(),
+            [](const workload::Job *a, const workload::Job *b) {
+                if (a->submit_time() != b->submit_time())
+                    return a->submit_time() < b->submit_time();
+                return a->id() < b->id();
+            });
+    }
     return order;
+}
+
+FreeView &
+scratch_view(const cluster::Cluster &cluster)
+{
+    static thread_local FreeView view;
+    view.reset(cluster);
+    return view;
 }
 
 } // namespace tacc::sched::detail

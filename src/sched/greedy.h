@@ -4,8 +4,6 @@
  */
 #pragma once
 
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/free_view.h"
@@ -13,9 +11,12 @@
 
 namespace tacc::sched::detail {
 
-/** GPUs currently held per accounting group (from the running set). */
-std::unordered_map<std::string, int>
-held_by_group(const SchedulerContext &ctx);
+/**
+ * GPUs currently held per accounting group (from the running set),
+ * indexed by workload::Job::group_id(). Sized for every group interned
+ * so far, so any job visible to the scheduler indexes in range.
+ */
+std::vector<int> held_by_group(const SchedulerContext &ctx);
 
 /**
  * Attempts to start one job with `gpus` devices: checks the group quota,
@@ -24,8 +25,8 @@ held_by_group(const SchedulerContext &ctx);
  * @return true if the start was planned.
  */
 bool try_start(const SchedulerContext &ctx, FreeView &view,
-               std::unordered_map<std::string, int> &held,
-               workload::Job *job, int gpus, ScheduleDecision *out);
+               std::vector<int> &held, workload::Job *job, int gpus,
+               ScheduleDecision *out);
 
 /**
  * Plans starts for jobs in the given order.
@@ -36,8 +37,20 @@ ScheduleDecision greedy(const SchedulerContext &ctx,
                         const std::vector<workload::Job *> &order,
                         bool stop_on_block);
 
-/** Pending jobs sorted by (submit time, id). */
+/**
+ * Pending jobs sorted by (submit time, id). When the context's pending
+ * view is flagged pre-sorted, this is a plain copy.
+ */
 std::vector<workload::Job *> pending_by_arrival(const SchedulerContext &ctx);
+
+/**
+ * Thread-local trial view re-snapshotted from the cluster. Schedulers run
+ * on every queue event; reusing one view's storage avoids re-allocating
+ * the per-node arrays and the bucket index each decision. At most one
+ * scratch view may be in use at a time (every policy builds exactly one
+ * view per decision, so this holds today).
+ */
+FreeView &scratch_view(const cluster::Cluster &cluster);
 
 /** Effective per-node GPU cap for a job in this cluster. */
 int per_node_limit(const SchedulerContext &ctx, const workload::Job &job);

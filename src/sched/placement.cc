@@ -66,36 +66,25 @@ fill_in_order(const FreeView &view, const std::vector<NodeId> &order,
     return out;
 }
 
-/**
- * Tightest single node that can host the whole gang, if any.
- * @return kInvalidNode if none.
- */
-NodeId
-tightest_single_node(const FreeView &view, int gpus, int per_node_limit,
-                     const std::vector<uint8_t> *eligible)
-{
-    if (gpus > per_node_limit)
-        return cluster::kInvalidNode;
-    NodeId best = cluster::kInvalidNode;
-    int best_free = INT32_MAX;
-    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
-        if (!node_ok(eligible, n))
-            continue;
-        const int f = view.free(n);
-        if (f >= gpus && f < best_free) {
-            best = n;
-            best_free = f;
-        }
-    }
-    return best;
-}
-
 std::vector<NodeId>
 all_nodes(const FreeView &view)
 {
     std::vector<NodeId> order(size_t(view.node_count()));
     std::iota(order.begin(), order.end(), NodeId(0));
     return order;
+}
+
+/** Nodes of one rack in id order (nodes are laid out rack-major). */
+std::vector<NodeId>
+rack_nodes(const cluster::Topology &topo, int rack)
+{
+    const int per_rack = topo.config().nodes_per_rack;
+    std::vector<NodeId> nodes;
+    nodes.reserve(size_t(per_rack));
+    const NodeId lo = NodeId(rack * per_rack);
+    for (NodeId n = lo; n < lo + NodeId(per_rack); ++n)
+        nodes.push_back(n);
+    return nodes;
 }
 
 } // namespace
@@ -117,19 +106,17 @@ PackPlacement::plan(const FreeView &view, const cluster::Topology &,
 {
     assert(gpus > 0 && per_node_limit > 0);
     const NodeId single =
-        tightest_single_node(view, gpus, per_node_limit, eligible);
+        view.tightest_single_node(gpus, per_node_limit, eligible);
     if (single != cluster::kInvalidNode) {
         Placement out;
         out.slices.push_back(make_slice(single, gpus));
         return out;
     }
-    // Fewest nodes: fullest-free-first, stable by id.
-    auto order = all_nodes(view);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](NodeId a, NodeId b) {
-                         return view.free(a) > view.free(b);
-                     });
-    return fill_in_order(view, order, gpus, per_node_limit, eligible);
+    // Fewest nodes: fullest-free-first, stable by id — the view's bucket
+    // index hands out exactly that order without a sort.
+    view.nodes_fullest_first(order_scratch_);
+    return fill_in_order(view, order_scratch_, gpus, per_node_limit,
+                         eligible);
 }
 
 StatusOr<Placement>
@@ -175,21 +162,28 @@ TopologyAwarePlacement::plan(const FreeView &view,
 {
     assert(gpus > 0 && per_node_limit > 0);
     const NodeId single =
-        tightest_single_node(view, gpus, per_node_limit, eligible);
+        view.tightest_single_node(gpus, per_node_limit, eligible);
     if (single != cluster::kInvalidNode) {
         Placement out;
         out.slices.push_back(make_slice(single, gpus));
         return out;
     }
 
-    // Capacity usable per rack under the per-node cap.
+    // Capacity usable per rack under the per-node cap. With no mask and a
+    // cap at least every node's capacity, min(free, cap) == free and the
+    // view's incremental rack totals already hold the answer.
     const int racks = topo.racks();
     std::vector<int> rack_capacity(size_t(racks), 0);
-    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
-        if (!node_ok(eligible, n))
-            continue;
-        rack_capacity[size_t(topo.rack_of(n))] +=
-            std::min(view.free(n), per_node_limit);
+    if (!eligible && per_node_limit >= view.max_node_capacity()) {
+        for (int r = 0; r < racks; ++r)
+            rack_capacity[size_t(r)] = view.rack_free(r);
+    } else {
+        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+            if (!node_ok(eligible, n))
+                continue;
+            rack_capacity[size_t(topo.rack_of(n))] +=
+                std::min(view.free(n), per_node_limit);
+        }
     }
 
     // Tightest single rack that fits.
@@ -202,11 +196,7 @@ TopologyAwarePlacement::plan(const FreeView &view,
         }
     }
     if (best_rack >= 0) {
-        std::vector<NodeId> order;
-        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
-            if (topo.rack_of(n) == best_rack)
-                order.push_back(n);
-        }
+        auto order = rack_nodes(topo, best_rack);
         // Fewest nodes within the rack.
         std::stable_sort(order.begin(), order.end(),
                          [&](NodeId a, NodeId b) {
@@ -224,12 +214,9 @@ TopologyAwarePlacement::plan(const FreeView &view,
                                 rack_capacity[size_t(b)];
                      });
     std::vector<NodeId> order;
+    order.reserve(size_t(view.node_count()));
     for (int r : rack_order) {
-        std::vector<NodeId> in_rack;
-        for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
-            if (topo.rack_of(n) == r)
-                in_rack.push_back(n);
-        }
+        auto in_rack = rack_nodes(topo, r);
         std::stable_sort(in_rack.begin(), in_rack.end(),
                          [&](NodeId a, NodeId b) {
                              return view.free(a) > view.free(b);

@@ -72,6 +72,10 @@ class PackPlacement : public PlacementPolicy
     plan(const FreeView &view, const cluster::Topology &topo, int gpus,
          int per_node_limit,
          const std::vector<uint8_t> *eligible) override;
+
+  private:
+    /** Reused node-order scratch; plan() runs once per candidate job. */
+    std::vector<cluster::NodeId> order_scratch_;
 };
 
 /**

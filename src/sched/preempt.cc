@@ -32,7 +32,7 @@ qos_tier(const workload::Job &job)
  */
 bool
 try_start_with_preemption(const SchedulerContext &ctx, FreeView &view,
-                          std::unordered_map<std::string, int> &held,
+                          std::vector<int> &held,
                           workload::Job *job,
                           const std::vector<const RunningInfo *> &candidates,
                           std::unordered_set<cluster::JobId> &already_victim,
@@ -43,7 +43,7 @@ try_start_with_preemption(const SchedulerContext &ctx, FreeView &view,
         if (already_victim.contains(victim->job->id()))
             continue;
         view.give(victim->placement);
-        held[victim->job->spec().group] -= victim->job->running_gpus();
+        held[size_t(victim->job->group_id())] -= victim->job->running_gpus();
         chosen.push_back(victim);
         if (view.total_free() < job->spec().gpus)
             continue; // cheap lower bound before planning
@@ -58,7 +58,7 @@ try_start_with_preemption(const SchedulerContext &ctx, FreeView &view,
     // Roll back.
     for (const RunningInfo *v : chosen) {
         view.take(v->placement);
-        held[v->job->spec().group] += v->job->running_gpus();
+        held[size_t(v->job->group_id())] += v->job->running_gpus();
     }
     return false;
 }
@@ -69,7 +69,7 @@ ScheduleDecision
 QosPreemptScheduler::schedule(const SchedulerContext &ctx)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
     std::unordered_set<cluster::JobId> already_victim;
 
@@ -111,7 +111,7 @@ ScheduleDecision
 LasScheduler::schedule(const SchedulerContext &ctx)
 {
     ScheduleDecision out;
-    FreeView view(*ctx.cluster);
+    FreeView &view = detail::scratch_view(*ctx.cluster);
     auto held = detail::held_by_group(ctx);
     std::unordered_set<cluster::JobId> already_victim;
 

@@ -68,10 +68,19 @@ ScheduleDecision
 FairShareScheduler::schedule(const SchedulerContext &ctx)
 {
     auto order = detail::pending_by_arrival(ctx);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](const workload::Job *a, const workload::Job *b) {
-                         return priority(ctx, *a) > priority(ctx, *b);
+    // priority() is a pure per-job value; evaluate it once per job rather
+    // than once per comparison (the fair-share factor walks every group's
+    // decayed usage).
+    std::vector<std::pair<double, workload::Job *>> ranked;
+    ranked.reserve(order.size());
+    for (workload::Job *job : order)
+        ranked.emplace_back(priority(ctx, *job), job);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
                      });
+    for (size_t i = 0; i < ranked.size(); ++i)
+        order[i] = ranked[i].second;
     return detail::greedy(ctx, order, false);
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,12 +36,22 @@ struct RunningInfo {
     TimePoint expected_end;
 };
 
-/** Snapshot handed to Scheduler::schedule(). */
+/**
+ * Snapshot handed to Scheduler::schedule(). The pending/running views
+ * reference storage owned by the caller (the core keeps both cached
+ * between decisions); they must stay alive and unchanged for the call.
+ */
 struct SchedulerContext {
     TimePoint now;
-    /** Pending jobs in arrival order. */
-    std::vector<workload::Job *> pending;
-    std::vector<RunningInfo> running;
+    /** Pending jobs; see pending_sorted for the ordering guarantee. */
+    std::span<workload::Job *const> pending;
+    /**
+     * True when `pending` is already in (submit time, id) order — the
+     * arrival order every policy starts from — letting schedulers skip
+     * their re-sort. False for ad-hoc contexts (tests, tools).
+     */
+    bool pending_sorted = false;
+    std::span<const RunningInfo> running;
     const cluster::Cluster *cluster = nullptr;
     PlacementPolicy *placement = nullptr;
     /** Decayed per-group service usage; null if untracked. */

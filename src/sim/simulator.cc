@@ -1,66 +1,169 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tacc::sim {
 
+bool
+Simulator::is_live(EventId id) const
+{
+    const uint32_t slot = slot_of(id);
+    return slot < slots_.size() &&
+           slots_[slot].generation == generation_of(id);
+}
+
+uint32_t
+Simulator::acquire_slot()
+{
+    if (!free_.empty()) {
+        const uint32_t slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+    slots_.emplace_back();
+    return uint32_t(slots_.size() - 1);
+}
+
+void
+Simulator::release_slot(uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    ++s.generation; // invalidates every outstanding id for this slot
+    s.fn = nullptr;
+    s.label = nullptr;
+    free_.push_back(slot);
+}
+
+void
+Simulator::heap_push(QueueEntry entry) const
+{
+    heap_.push_back(entry);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const size_t parent = (i - 1) >> 2;
+        if (!fires_before(entry, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = entry;
+}
+
+void
+Simulator::heap_pop() const
+{
+    assert(!heap_.empty());
+    const QueueEntry last = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    if (n == 0)
+        return;
+    // The next minimum is one of the old root's children (heap property),
+    // so start their slot lines now: by the time the next fire checks the
+    // generation and moves the callback out, the line is already here.
+    for (size_t c = 1; c <= 4 && c < n; ++c)
+        __builtin_prefetch(&slots_[slot_of(heap_[c].id)]);
+    // Bottom-up deletion: walk the min-child path to the bottom first
+    // (no comparisons against `last`), then sift `last` up from there.
+    // `last` is a leaf value, so the up-pass almost always stops at once.
+    size_t i = 0;
+    for (;;) {
+        const size_t first_child = (i << 2) + 1;
+        if (first_child >= n)
+            break;
+        // Pull the whole grandchild range while comparing this level (the
+        // four children's child groups are 16 contiguous entries); the
+        // walk is memory-bound once the heap outgrows the cache.
+        const size_t grandchild = (first_child << 2) + 1;
+        if (grandchild < n) {
+            const char *base =
+                reinterpret_cast<const char *>(&heap_[grandchild]);
+            for (size_t off = 0; off < 16 * sizeof(QueueEntry); off += 64)
+                __builtin_prefetch(base + off);
+        }
+        size_t best = first_child;
+        const size_t end = std::min(first_child + 4, n);
+        for (size_t c = first_child + 1; c < end; ++c) {
+            if (fires_before(heap_[c], heap_[best]))
+                best = c;
+        }
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    while (i > 0) {
+        const size_t parent = (i - 1) >> 2;
+        if (!fires_before(last, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = last;
+}
+
 EventId
-Simulator::schedule_at(TimePoint t, std::string label, EventFn fn)
+Simulator::schedule_at(TimePoint t, const char *label, EventFn fn)
 {
     assert(t >= now_ && "cannot schedule in the past");
-    const EventId id = next_id_++;
-    queue_.push(QueueEntry{t, next_seq_++, id});
-    live_.emplace(id, LiveEvent{std::move(label), std::move(fn)});
+    const uint32_t slot = acquire_slot();
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    s.label = label;
+    const EventId id = make_id(s.generation, slot);
+    heap_push(QueueEntry{t.to_micros(), next_seq_++, id});
+    ++live_count_;
     return id;
 }
 
 EventId
-Simulator::schedule_after(Duration d, std::string label, EventFn fn)
+Simulator::schedule_after(Duration d, const char *label, EventFn fn)
 {
     assert(!d.is_negative());
-    return schedule_at(now_ + d, std::move(label), std::move(fn));
+    return schedule_at(now_ + d, label, std::move(fn));
 }
 
 bool
 Simulator::cancel(EventId id)
 {
-    return live_.erase(id) > 0;
+    if (!is_live(id))
+        return false;
+    release_slot(slot_of(id));
+    --live_count_;
+    return true;
 }
 
 void
-Simulator::drain_cancelled()
+Simulator::drain_cancelled() const
 {
-    while (!queue_.empty() && !live_.contains(queue_.top().id))
-        queue_.pop();
+    while (!heap_.empty() && !is_live(heap_.front().id))
+        heap_pop();
 }
 
 TimePoint
 Simulator::next_event_time() const
 {
-    // Lazily-cancelled entries may sit at the top; scan a copy-free way by
-    // const_cast-free peeking is not possible with priority_queue, so we
-    // conservatively scan from the top via a mutable copy only when needed.
-    auto *self = const_cast<Simulator *>(this);
-    self->drain_cancelled();
-    return queue_.empty() ? TimePoint::max() : queue_.top().t;
+    drain_cancelled();
+    return heap_.empty() ? TimePoint::max()
+                         : TimePoint::from_micros(heap_.front().t_us);
 }
 
 bool
 Simulator::step()
 {
     drain_cancelled();
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    auto it = live_.find(entry.id);
-    assert(it != live_.end());
-    // Move the callback out before erasing so the event can reschedule or
-    // cancel others (including itself, harmlessly) while running.
-    EventFn fn = std::move(it->second.fn);
-    live_.erase(it);
-    assert(entry.t >= now_);
-    now_ = entry.t;
+    const QueueEntry entry = heap_.front();
+    heap_pop();
+    Slot &slot = slots_[slot_of(entry.id)];
+    assert(slot.generation == generation_of(entry.id));
+    // Move the callback out before releasing so the event can reschedule
+    // or cancel others (including itself, harmlessly) while running.
+    EventFn fn = std::move(slot.fn);
+    release_slot(slot_of(entry.id));
+    --live_count_;
+    assert(entry.t_us >= now_.to_micros());
+    now_ = TimePoint::from_micros(entry.t_us);
     ++processed_;
     fn();
     return true;
@@ -79,7 +182,7 @@ Simulator::run_until(TimePoint t)
     assert(t >= now_);
     while (true) {
         drain_cancelled();
-        if (queue_.empty() || queue_.top().t > t)
+        if (heap_.empty() || heap_.front().t_us > t.to_micros())
             break;
         step();
     }
@@ -122,7 +225,7 @@ PeriodicTask::stop()
 void
 PeriodicTask::arm()
 {
-    pending_ = sim_.schedule_after(period_, label_, [this] {
+    pending_ = sim_.schedule_after(period_, label_.c_str(), [this] {
         pending_ = 0;
         if (!running_)
             return;

@@ -9,21 +9,41 @@
  * All higher layers (cluster, scheduler, execution) are written against
  * this engine: they react to events and schedule future ones; nothing in
  * the library uses wall-clock time.
+ *
+ * ## Event storage and the lazy-cancellation contract
+ *
+ * Event callbacks live in a slab of pooled slots recycled through a free
+ * list; scheduling and cancelling never touch a hash map or allocate
+ * per-event metadata. An EventId packs {generation, slot}: cancel() and
+ * firing bump the slot's generation, so a stale id (already fired,
+ * already cancelled, or referring to a recycled slot) is detected in O(1)
+ * by a generation mismatch and safely ignored.
+ *
+ * Cancellation is *lazy* with respect to the time-ordered heap: cancel()
+ * releases the callback and the slot immediately (O(1)), but the heap
+ * entry stays behind and is discarded when it surfaces at the top. Heap
+ * maintenance is therefore deferred work that const observers such as
+ * next_event_time() may perform; the heap is declared mutable for exactly
+ * this reason. Observable state (now(), pending(), processed(), event
+ * ordering) is never affected by when the stale entries are drained.
  */
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
 
 namespace tacc::sim {
 
-/** Handle for a scheduled event; usable to cancel it before it fires. */
+/**
+ * Handle for a scheduled event; usable to cancel it before it fires.
+ * Value 0 is never issued (callers may use it as "no event"). Ids are
+ * generation-checked: using an id after its event fired or was cancelled
+ * is safe and has no effect, even if the underlying slot was recycled.
+ */
 using EventId = uint64_t;
 
 /** Callback invoked when an event fires. */
@@ -42,16 +62,18 @@ class Simulator
 
     /**
      * Schedules fn to run at absolute time t (must be >= now()).
-     * The label is kept for diagnostics and tracing.
+     * The label is kept for diagnostics and tracing; it is *not* copied,
+     * so it must outlive the event (pass a string literal or other
+     * statically allocated string).
      * @return an id usable with cancel().
      */
-    EventId schedule_at(TimePoint t, std::string label, EventFn fn);
+    EventId schedule_at(TimePoint t, const char *label, EventFn fn);
 
     /** Schedules fn to run after delay d (>= 0) from now. */
-    EventId schedule_after(Duration d, std::string label, EventFn fn);
+    EventId schedule_after(Duration d, const char *label, EventFn fn);
 
     /**
-     * Cancels a pending event.
+     * Cancels a pending event in O(1).
      * @return true if the event existed and had not yet fired.
      */
     bool cancel(EventId id);
@@ -73,7 +95,7 @@ class Simulator
     bool step();
 
     /** Number of events still pending. */
-    size_t pending() const { return live_.size(); }
+    size_t pending() const { return live_count_; }
 
     /** Total events fired so far. */
     uint64_t processed() const { return processed_; }
@@ -82,34 +104,62 @@ class Simulator
     TimePoint next_event_time() const;
 
   private:
+    /** Pooled event storage; recycled through free_. Cache-line sized
+     *  and aligned so firing an event touches exactly one slot line. */
+    struct alignas(64) Slot {
+        EventFn fn;
+        /** Diagnostic label (static string; never read on the fire path). */
+        const char *label = nullptr;
+        /** Matches the id's generation only while the event is pending. */
+        uint32_t generation = 0;
+    };
+
+    /** Heap entry; ordering is (time, schedule sequence). */
     struct QueueEntry {
-        TimePoint t;
+        int64_t t_us;
         uint64_t seq;
         EventId id;
-        bool
-        operator>(const QueueEntry &o) const
-        {
-            if (t != o.t)
-                return t > o.t;
-            return seq > o.seq;
-        }
     };
 
-    struct LiveEvent {
-        std::string label;
-        EventFn fn;
-    };
+    static bool
+    fires_before(const QueueEntry &a, const QueueEntry &b)
+    {
+        if (a.t_us != b.t_us)
+            return a.t_us < b.t_us;
+        return a.seq < b.seq;
+    }
 
-    void drain_cancelled();
+    /** Packs {generation, slot}; slot is biased by 1 so ids are nonzero. */
+    static EventId
+    make_id(uint32_t generation, uint32_t slot)
+    {
+        return (uint64_t(generation) << 32) | uint64_t(slot + 1);
+    }
+    static uint32_t slot_of(EventId id) { return uint32_t(id) - 1; }
+    static uint32_t generation_of(EventId id) { return uint32_t(id >> 32); }
+
+    bool is_live(EventId id) const;
+    uint32_t acquire_slot();
+    void release_slot(uint32_t slot);
+
+    /** @name Implicit 4-ary min-heap over heap_ (cache-friendlier than a
+     *  binary heap at campus-trace queue depths). Const because lazy
+     *  cancellation lets const observers discard stale top entries. */
+    ///@{
+    void heap_push(QueueEntry entry) const;
+    void heap_pop() const;
+    void drain_cancelled() const;
+    ///@}
 
     TimePoint now_ = TimePoint::origin();
     uint64_t next_seq_ = 0;
-    uint64_t next_id_ = 1;
     uint64_t processed_ = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        queue_;
-    std::unordered_map<EventId, LiveEvent> live_;
+    size_t live_count_ = 0;
+    /** Mutable: stale (cancelled) entries are drained from const paths;
+     *  see the lazy-cancellation contract in the file header. */
+    mutable std::vector<QueueEntry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> free_;
 };
 
 /**
@@ -143,6 +193,7 @@ class PeriodicTask
 
     Simulator &sim_;
     Duration period_;
+    /** Owned here; events reference it by pointer (no copy per firing). */
     std::string label_;
     EventFn fn_;
     bool running_ = false;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/interner.h"
 #include "common/strings.h"
 
 namespace tacc::workload {
@@ -34,6 +35,7 @@ Job::Job(cluster::JobId id, TaskSpec spec, ModelProfile model,
          TimePoint submit_time)
     : id_(id),
       spec_(std::move(spec)),
+      group_id_(StringInterner::groups().intern(spec_.group)),
       model_(std::move(model)),
       submit_time_(submit_time)
 {

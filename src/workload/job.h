@@ -50,6 +50,9 @@ class Job
 
     cluster::JobId id() const { return id_; }
     const TaskSpec &spec() const { return spec_; }
+    /** Interned id of spec().group (StringInterner::groups()); scheduler
+     *  hot paths tally per-group state in vectors indexed by this. */
+    int group_id() const { return group_id_; }
     const ModelProfile &model() const { return model_; }
     JobState state() const { return state_; }
     bool terminal() const { return job_state_terminal(state_); }
@@ -152,6 +155,7 @@ class Job
 
     cluster::JobId id_;
     TaskSpec spec_;
+    int group_id_;
     ModelProfile model_;
     TimePoint submit_time_;
     TimePoint provision_start_;

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Property tests for FreeView's incremental bucket index: after any
+ * randomized sequence of take()/give(), every accelerated query must
+ * return exactly what the straightforward linear scan over the raw
+ * per-node free counts returns.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "sched/free_view.h"
+
+namespace tacc {
+namespace {
+
+using cluster::NodeId;
+using cluster::Placement;
+using cluster::PlacementSlice;
+using sched::FreeView;
+
+/** The un-indexed reference: answers every query by scanning `free`. */
+struct NaiveView {
+    std::vector<int> free;
+    std::vector<int> capacity;
+    int nodes_per_rack = 1;
+
+    bool
+    fits_single_node(int n) const
+    {
+        if (n <= 0)
+            return !free.empty();
+        return std::any_of(free.begin(), free.end(),
+                           [n](int f) { return f >= n; });
+    }
+
+    NodeId
+    tightest_single_node(int gpus, int per_node_limit,
+                         const std::vector<uint8_t> *eligible) const
+    {
+        if (gpus > per_node_limit)
+            return cluster::kInvalidNode;
+        NodeId best = cluster::kInvalidNode;
+        for (NodeId n = 0; n < free.size(); ++n) {
+            if (eligible && !(*eligible)[n])
+                continue;
+            if (free[n] < gpus)
+                continue;
+            if (best == cluster::kInvalidNode || free[n] < free[best])
+                best = n;
+        }
+        return best;
+    }
+
+    std::vector<NodeId>
+    nodes_fullest_first() const
+    {
+        std::vector<NodeId> order;
+        for (NodeId n = 0; n < free.size(); ++n)
+            if (free[n] > 0)
+                order.push_back(n);
+        std::stable_sort(order.begin(), order.end(),
+                         [this](NodeId a, NodeId b) {
+                             return free[a] > free[b];
+                         });
+        return order;
+    }
+
+    int
+    rack_free(int rack) const
+    {
+        int total = 0;
+        for (size_t n = 0; n < free.size(); ++n)
+            if (int(n) / nodes_per_rack == rack)
+                total += free[n];
+        return total;
+    }
+
+    int total_free() const
+    {
+        return std::accumulate(free.begin(), free.end(), 0);
+    }
+};
+
+Placement
+slice_on(NodeId node, int gpus)
+{
+    PlacementSlice slice;
+    slice.node = node;
+    for (int g = 0; g < gpus; ++g)
+        slice.gpu_indices.push_back(g);
+    Placement p;
+    p.slices.push_back(std::move(slice));
+    return p;
+}
+
+void
+expect_views_agree(const FreeView &view, const NaiveView &naive,
+                   const std::vector<uint8_t> &mask)
+{
+    ASSERT_EQ(view.node_count(), int(naive.free.size()));
+    ASSERT_EQ(view.total_free(), naive.total_free());
+    for (NodeId n = 0; n < naive.free.size(); ++n)
+        ASSERT_EQ(view.free(n), naive.free[n]);
+
+    const int max_cap = view.max_node_capacity();
+    for (int n = 0; n <= max_cap + 1; ++n)
+        ASSERT_EQ(view.fits_single_node(n), naive.fits_single_node(n))
+            << "fits_single_node(" << n << ")";
+
+    for (int gpus = 1; gpus <= max_cap + 1; ++gpus) {
+        for (int limit : {gpus, max_cap, max_cap + 4}) {
+            ASSERT_EQ(view.tightest_single_node(gpus, limit),
+                      naive.tightest_single_node(gpus, limit, nullptr))
+                << "tightest(" << gpus << ", " << limit << ")";
+            ASSERT_EQ(view.tightest_single_node(gpus, limit, &mask),
+                      naive.tightest_single_node(gpus, limit, &mask))
+                << "tightest masked(" << gpus << ", " << limit << ")";
+        }
+    }
+
+    std::vector<NodeId> order;
+    view.nodes_fullest_first(order);
+    ASSERT_EQ(order, naive.nodes_fullest_first());
+
+    ASSERT_EQ(view.rack_count() * view.nodes_per_rack(),
+              int(naive.free.size()));
+    for (int r = 0; r < view.rack_count(); ++r)
+        ASSERT_EQ(view.rack_free(r), naive.rack_free(r)) << "rack " << r;
+}
+
+cluster::ClusterConfig
+hetero_config(int racks, int nodes_per_rack, int gpus_per_node)
+{
+    cluster::ClusterConfig config;
+    config.topology.racks = racks;
+    config.topology.nodes_per_rack = nodes_per_rack;
+    config.node.gpu_count = gpus_per_node;
+    // One rack with bigger nodes: capacities must stay per-node, not
+    // cluster-wide.
+    cluster::NodeSpec big = config.node;
+    big.gpu_count = gpus_per_node * 2;
+    config.rack_node_overrides[racks - 1] = big;
+    return config;
+}
+
+TEST(FreeViewProperty, FreshViewMatchesNaive)
+{
+    cluster::Cluster cluster(hetero_config(3, 4, 8));
+    FreeView view(cluster);
+    NaiveView naive;
+    for (int n = 0; n < view.node_count(); ++n) {
+        naive.free.push_back(view.free(NodeId(n)));
+        naive.capacity.push_back(view.node_capacity(NodeId(n)));
+    }
+    naive.nodes_per_rack = view.nodes_per_rack();
+    std::vector<uint8_t> mask(naive.free.size(), 1);
+    expect_views_agree(view, naive, mask);
+}
+
+/** Randomized take/give churn, checking agreement after every step. */
+TEST(FreeViewProperty, RandomTakeGiveChurnMatchesNaive)
+{
+    cluster::Cluster cluster(hetero_config(4, 4, 8));
+    FreeView view(cluster);
+    NaiveView naive;
+    for (int n = 0; n < view.node_count(); ++n) {
+        naive.free.push_back(view.free(NodeId(n)));
+        naive.capacity.push_back(view.node_capacity(NodeId(n)));
+    }
+    naive.nodes_per_rack = view.nodes_per_rack();
+
+    Rng rng(42);
+    // A fixed pseudo-random eligibility mask stresses the masked
+    // (linear-scan) path against the same model.
+    std::vector<uint8_t> mask;
+    for (size_t n = 0; n < naive.free.size(); ++n)
+        mask.push_back(uint8_t(rng.uniform_int(0, 1)));
+
+    // Outstanding placements we can give back later.
+    std::vector<Placement> held;
+    for (int round = 0; round < 400; ++round) {
+        const bool can_take = naive.total_free() > 0;
+        const bool do_take =
+            held.empty() || (can_take && rng.uniform() < 0.55);
+        if (do_take && can_take) {
+            // Take a random amount from a random node with free GPUs.
+            std::vector<NodeId> nonempty;
+            for (NodeId n = 0; n < naive.free.size(); ++n)
+                if (naive.free[n] > 0)
+                    nonempty.push_back(n);
+            const NodeId node = nonempty[size_t(
+                rng.uniform_int(0, int64_t(nonempty.size()) - 1))];
+            const int gpus =
+                int(rng.uniform_int(1, naive.free[node]));
+            held.push_back(slice_on(node, gpus));
+            view.take(held.back());
+            naive.free[node] -= gpus;
+        } else if (!held.empty()) {
+            const size_t pick = size_t(
+                rng.uniform_int(0, int64_t(held.size()) - 1));
+            const Placement p = held[pick];
+            held.erase(held.begin() + long(pick));
+            view.give(p);
+            naive.free[p.slices[0].node] +=
+                int(p.slices[0].gpu_indices.size());
+        }
+        expect_views_agree(view, naive, mask);
+    }
+}
+
+/** Draining the whole cluster and refilling it must round-trip the
+ *  index through the empty and full extremes. */
+TEST(FreeViewProperty, DrainAndRefillRoundTrips)
+{
+    cluster::Cluster cluster(hetero_config(2, 3, 4));
+    FreeView view(cluster);
+    NaiveView naive;
+    for (int n = 0; n < view.node_count(); ++n) {
+        naive.free.push_back(view.free(NodeId(n)));
+        naive.capacity.push_back(view.node_capacity(NodeId(n)));
+    }
+    naive.nodes_per_rack = view.nodes_per_rack();
+    std::vector<uint8_t> mask(naive.free.size(), 1);
+
+    std::vector<Placement> all;
+    for (NodeId n = 0; n < naive.free.size(); ++n) {
+        all.push_back(slice_on(n, naive.free[n]));
+        view.take(all.back());
+        naive.free[n] = 0;
+        expect_views_agree(view, naive, mask);
+    }
+    EXPECT_EQ(view.total_free(), 0);
+    EXPECT_FALSE(view.fits_single_node(1));
+    for (const Placement &p : all) {
+        view.give(p);
+        naive.free[p.slices[0].node] +=
+            int(p.slices[0].gpu_indices.size());
+        expect_views_agree(view, naive, mask);
+    }
+    EXPECT_EQ(view.total_free(), naive.total_free());
+}
+
+/** reset() must fully rebuild the index from a dirty view. */
+TEST(FreeViewProperty, ResetRebuildsFromDirtyState)
+{
+    cluster::Cluster small(hetero_config(2, 2, 4));
+    cluster::Cluster large(hetero_config(3, 5, 8));
+    FreeView view(small);
+    view.take(slice_on(0, 2));
+    view.take(slice_on(3, 4));
+
+    view.reset(large);
+    NaiveView naive;
+    for (int n = 0; n < view.node_count(); ++n) {
+        naive.free.push_back(view.node_capacity(NodeId(n)));
+        naive.capacity.push_back(view.node_capacity(NodeId(n)));
+    }
+    naive.nodes_per_rack = view.nodes_per_rack();
+    std::vector<uint8_t> mask(naive.free.size(), 1);
+    expect_views_agree(view, naive, mask);
+
+    // And shrinking back down must not leave phantom nodes behind.
+    view.reset(small);
+    NaiveView naive_small;
+    for (int n = 0; n < view.node_count(); ++n) {
+        naive_small.free.push_back(view.node_capacity(NodeId(n)));
+        naive_small.capacity.push_back(view.node_capacity(NodeId(n)));
+    }
+    naive_small.nodes_per_rack = view.nodes_per_rack();
+    std::vector<uint8_t> mask_small(naive_small.free.size(), 1);
+    expect_views_agree(view, naive_small, mask_small);
+}
+
+} // namespace
+} // namespace tacc

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Stress tests for the pooled-slot event engine: cancel/reschedule churn,
+ * slot reuse, and generation safety of stale EventIds.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+using sim::EventId;
+using sim::Simulator;
+
+TEST(SimStress, StaleIdAfterFireIsInert)
+{
+    Simulator sim;
+    int fired = 0;
+    const EventId id = sim.schedule_after(1_s, "a", [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    // The id is dead; cancelling it must fail and must not disturb a
+    // later event that recycles the same slot.
+    EXPECT_FALSE(sim.cancel(id));
+    int second = 0;
+    const EventId next = sim.schedule_after(1_s, "b", [&] { ++second; });
+    EXPECT_NE(next, id);
+    EXPECT_FALSE(sim.cancel(id));
+    sim.run();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(SimStress, StaleIdAfterCancelCannotKillSlotReuser)
+{
+    Simulator sim;
+    const EventId old_id = sim.schedule_after(5_s, "victim", [] {});
+    ASSERT_TRUE(sim.cancel(old_id));
+    // The freed slot is recycled by the next schedule; the old id now
+    // aliases the slot but not the generation.
+    int fired = 0;
+    const EventId new_id = sim.schedule_after(2_s, "reuser", [&] {
+        ++fired;
+    });
+    EXPECT_NE(new_id, old_id);
+    EXPECT_FALSE(sim.cancel(old_id));
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(SimStress, DoubleCancelReportsFalse)
+{
+    Simulator sim;
+    const EventId id = sim.schedule_after(1_s, "x", [] {});
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));
+    EXPECT_EQ(sim.pending(), 0u);
+    sim.run();
+    EXPECT_EQ(sim.processed(), 0u);
+}
+
+TEST(SimStress, CancelFromInsideCallback)
+{
+    Simulator sim;
+    int late_fired = 0;
+    const EventId late = sim.schedule_after(10_s, "late", [&] {
+        ++late_fired;
+    });
+    sim.schedule_after(1_s, "killer", [&] { EXPECT_TRUE(sim.cancel(late)); });
+    sim.run();
+    EXPECT_EQ(late_fired, 0);
+    EXPECT_EQ(sim.processed(), 1u);
+}
+
+TEST(SimStress, NextEventTimeSkipsCancelledPrefix)
+{
+    Simulator sim;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 64; ++i)
+        doomed.push_back(sim.schedule_after(Duration::seconds(i + 1),
+                                            "doomed", [] {}));
+    const EventId keeper = sim.schedule_after(100_s, "keeper", [] {});
+    for (EventId id : doomed)
+        EXPECT_TRUE(sim.cancel(id));
+    // The const observer must look through the pile of stale heap
+    // entries without firing anything.
+    EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + 100_s);
+    EXPECT_EQ(sim.pending(), 1u);
+    EXPECT_TRUE(sim.cancel(keeper));
+    EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+}
+
+/**
+ * Randomized churn: schedule, cancel, and fire in bursts for thousands of
+ * rounds, checking that exactly the never-cancelled events fire, in
+ * global (time, schedule order) sequence, while ids recycle slots.
+ */
+TEST(SimStress, RandomChurnFiresExactlyTheLiveSet)
+{
+    Simulator sim;
+    Rng rng(20250806);
+
+    struct Tracked {
+        EventId id;
+        int64_t t_us;
+        uint64_t order; ///< schedule sequence (for same-time ties)
+        bool cancelled = false;
+        bool fired = false;
+    };
+    std::vector<Tracked> events;
+    events.reserve(20000);
+    uint64_t order = 0;
+
+    std::vector<size_t> fire_log;
+    for (int round = 0; round < 200; ++round) {
+        // Burst of schedules at varied horizons (including duplicates of
+        // the same instant to exercise the tie-break).
+        const int burst = int(rng.uniform_int(1, 40));
+        for (int i = 0; i < burst; ++i) {
+            const int64_t delay_us = rng.uniform_int(0, 5'000'000);
+            const size_t idx = events.size();
+            Tracked tr;
+            tr.t_us = (sim.now() + Duration::micros(delay_us)).to_micros();
+            tr.order = order++;
+            tr.id = sim.schedule_after(Duration::micros(delay_us), "churn",
+                                       [&fire_log, &events, idx] {
+                                           events[idx].fired = true;
+                                           fire_log.push_back(idx);
+                                       });
+            events.push_back(tr);
+        }
+        // Cancel a random sample of whatever is still pending.
+        for (int i = 0; i < 8; ++i) {
+            auto &tr = events[size_t(
+                rng.uniform_int(0, int64_t(events.size()) - 1))];
+            const bool expect_live = !tr.cancelled && !tr.fired;
+            EXPECT_EQ(sim.cancel(tr.id), expect_live);
+            tr.cancelled = tr.cancelled || expect_live;
+        }
+        // Fire a few events to advance time and recycle slots.
+        for (int i = 0; i < 10 && sim.step(); ++i) {
+        }
+    }
+    sim.run();
+
+    size_t expected_fired = 0;
+    for (const auto &tr : events) {
+        EXPECT_NE(tr.fired, tr.cancelled);
+        expected_fired += tr.fired ? 1u : 0u;
+    }
+    ASSERT_EQ(fire_log.size(), expected_fired);
+    // Global order: (time, schedule sequence) strictly increasing.
+    for (size_t i = 1; i < fire_log.size(); ++i) {
+        const auto &a = events[fire_log[i - 1]];
+        const auto &b = events[fire_log[i]];
+        if (a.t_us != b.t_us) {
+            EXPECT_LT(a.t_us, b.t_us);
+        } else {
+            EXPECT_LT(a.order, b.order);
+        }
+    }
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.processed(), expected_fired);
+}
+
+/** Cancel + immediate reschedule loops must not leak pending count or
+ *  grow the live set, however many times a slot is reused. */
+TEST(SimStress, CancelRescheduleLoopKeepsBookkeepingExact)
+{
+    Simulator sim;
+    EventId current = 0;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (current != 0)
+            sim.cancel(current);
+        current = sim.schedule_after(Duration::seconds(1 + (i % 7)),
+                                     "rearm", [&] { ++fired; });
+        ASSERT_EQ(sim.pending(), 1u);
+    }
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+} // namespace
+} // namespace tacc
