@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <cstdlib>
+
 namespace tacc::bench {
 
 core::StackConfig
@@ -25,6 +27,11 @@ default_trace(int jobs, uint64_t seed)
 {
     workload::TraceConfig trace;
     trace.num_jobs = jobs;
+    if (const char *cap = std::getenv("TACC_BENCH_JOBS")) {
+        const int n = std::atoi(cap);
+        if (n > 0 && n < jobs)
+            trace.num_jobs = n;
+    }
     trace.seed = seed;
     // Calibrated so the reference workload drives the 256-GPU cluster to
     // ~85% utilization during arrivals — the busy-but-stable operating

@@ -18,7 +18,14 @@ namespace tacc::bench {
 /** Reference deployment: 256 GPUs over 4 racks, 4:1 oversubscription. */
 core::StackConfig default_stack();
 
-/** Reference campus workload. */
+/**
+ * Reference campus workload.
+ *
+ * The TACC_BENCH_JOBS environment variable, when set to a positive
+ * integer smaller than `jobs`, caps the job count — the CI smoke runs
+ * set it so every bench binary finishes in seconds while exercising the
+ * full pipeline. Unset (the normal case), traces are untouched.
+ */
 workload::TraceConfig default_trace(int jobs = 600, uint64_t seed = 42);
 
 /** Header matching print_scenario_row. */

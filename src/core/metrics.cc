@@ -20,7 +20,7 @@ MetricsCollector::on_queue_depth(TimePoint t, int pending)
     queue_depth_.set(t, double(pending));
 }
 
-void
+const JobRecord &
 MetricsCollector::record_job(const workload::Job &job)
 {
     JobRecord r;
@@ -29,6 +29,8 @@ MetricsCollector::record_job(const workload::Job &job)
     r.group = job.spec().group;
     r.qos = job.spec().qos;
     r.final_state = job.state();
+    r.submitted = job.submit_time();
+    r.finished = job.terminal() ? job.finish_time() : job.submit_time();
     r.gpus = job.spec().gpus;
     r.started = job.has_started();
     r.wait_s = job.has_started() ? job.queueing_delay().to_seconds() : 0.0;
@@ -42,9 +44,13 @@ MetricsCollector::record_job(const workload::Job &job)
     r.segments = job.segment_count();
     r.has_deadline = job.spec().has_deadline();
     r.missed_deadline = job.missed_deadline();
+    completed_count_ += r.final_state == workload::JobState::kCompleted;
+    failed_count_ += r.final_state == workload::JobState::kFailed;
+    deadline_missed_ += r.missed_deadline;
     records_.push_back(std::move(r));
     if (job.terminal())
         makespan_ = std::max(makespan_, job.finish_time());
+    return records_.back();
 }
 
 std::vector<JobRecord>
@@ -194,26 +200,6 @@ MetricsCollector::deadline_miss_rate() const
         }
     }
     return with_deadline ? double(missed) / double(with_deadline) : 0.0;
-}
-
-size_t
-MetricsCollector::completed_count() const
-{
-    return size_t(std::count_if(records_.begin(), records_.end(),
-                                [](const JobRecord &r) {
-                                    return r.final_state ==
-                                           workload::JobState::kCompleted;
-                                }));
-}
-
-size_t
-MetricsCollector::failed_count() const
-{
-    return size_t(std::count_if(records_.begin(), records_.end(),
-                                [](const JobRecord &r) {
-                                    return r.final_state ==
-                                           workload::JobState::kFailed;
-                                }));
 }
 
 } // namespace tacc::core

@@ -25,6 +25,10 @@ struct JobRecord {
     std::string group;
     workload::QosClass qos = workload::QosClass::kBatch;
     workload::JobState final_state = workload::JobState::kCompleted;
+    TimePoint submitted;
+    /** Terminal time (== submitted for jobs that never went terminal);
+     *  what billing-period attribution keys on. */
+    TimePoint finished;
     int gpus = 0;
     double wait_s = 0;      ///< submit -> first start (0 if never started)
     double jct_s = 0;       ///< submit -> terminal
@@ -51,7 +55,8 @@ class MetricsCollector
     void on_queue_depth(TimePoint t, int pending);
     void on_preemption() { ++preemptions_; }
     void on_segment_failure() { ++segment_failures_; }
-    void record_job(const workload::Job &job);
+    /** @return the appended record (the ops accounting hand-off). */
+    const JobRecord &record_job(const workload::Job &job);
     ///@}
 
     /** @name Extraction */
@@ -103,8 +108,12 @@ class MetricsCollector
 
     uint64_t preemptions() const { return preemptions_; }
     uint64_t segment_failures() const { return segment_failures_; }
-    size_t completed_count() const;
-    size_t failed_count() const;
+    /** @name O(1) counters (polled every ops sample) */
+    ///@{
+    size_t completed_count() const { return completed_count_; }
+    size_t failed_count() const { return failed_count_; }
+    size_t deadline_missed_count() const { return deadline_missed_; }
+    ///@}
     /** Time of the last recorded job's terminal event. */
     TimePoint makespan() const { return makespan_; }
     ///@}
@@ -115,6 +124,9 @@ class MetricsCollector
     TimeWeightedStat queue_depth_;
     uint64_t preemptions_ = 0;
     uint64_t segment_failures_ = 0;
+    size_t completed_count_ = 0;
+    size_t failed_count_ = 0;
+    size_t deadline_missed_ = 0;
     TimePoint makespan_;
 };
 

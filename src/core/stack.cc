@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "ops/report.h"
 #include "sched/capacity_profile.h"
 #include "common/strings.h"
 #include "workload/model.h"
@@ -38,6 +39,77 @@ TaccStack::TaccStack(StackConfig config)
             sim_, period, "sched-tick", [this] { schedule_now(); });
         tick_->start();
     }
+    if (config_.ops.enabled)
+        wire_ops();
+}
+
+void
+TaccStack::wire_ops()
+{
+    ops_ = std::make_unique<ops::OpsCenter>(config_.ops);
+    namespace series = ops::series;
+
+    // Gauges: live cluster state, read at each sample instant.
+    ops_->add_gauge_source(series::kGpuUtil, [this] {
+        const int total = cluster_.total_gpus();
+        return total > 0 ? double(cluster_.used_gpus()) / double(total)
+                         : 0.0;
+    });
+    ops_->add_gauge_source(series::kFragmentation, [this] {
+        return cluster_.occupancy().fragmentation;
+    });
+    ops_->add_gauge_source(series::kQueueDepth,
+                           [this] { return double(pending_.size()); });
+    ops_->add_gauge_source(series::kQueueOldestWait, [this] {
+        if (pending_.empty())
+            return 0.0;
+        // pending_ is kept in (submit time, id) order: front is oldest.
+        const Job *oldest = find_job(pending_.front());
+        return (sim_.now() - oldest->submit_time()).to_seconds();
+    });
+    ops_->add_gauge_source(series::kRunningJobs,
+                           [this] { return double(running_.size()); });
+    ops_->add_gauge_source(series::kCrossRackJobs, [this] {
+        return double(engine_.cross_rack_jobs());
+    });
+
+    // Counters: monotone totals; alert rules consume them as rates.
+    ops_->add_counter_source(series::kCompletedJobs, [this] {
+        return double(metrics_.completed_count());
+    });
+    ops_->add_counter_source(series::kFailedJobs, [this] {
+        return double(metrics_.failed_count());
+    });
+    ops_->add_counter_source(series::kPreemptions, [this] {
+        return double(metrics_.preemptions());
+    });
+    ops_->add_counter_source(series::kDeadlineMisses, [this] {
+        return double(metrics_.deadline_missed_count());
+    });
+    ops_->add_counter_source(series::kSegmentFailures, [this] {
+        return double(metrics_.segment_failures());
+    });
+    ops_->add_counter_source(series::kMonitorLines, [this] {
+        return double(monitor_.total_emitted());
+    });
+
+    // Per-tenant fair-share usage: one gauge per group, defined lazily
+    // as groups first appear (snapshot order is sorted -> deterministic).
+    ops_->add_multi_source([this](ops::OpsCenter &center, TimePoint now) {
+        const double total = usage_.total_usage(now);
+        if (total <= 0)
+            return;
+        for (const auto &[group, used] : usage_.snapshot(now)) {
+            center.record_gauge(
+                std::string(ops::series::kGroupSharePrefix) + group, now,
+                used / total);
+        }
+    });
+
+    ops_tick_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.ops.sample_period, "ops-sample",
+        [this] { ops_->sample(sim_.now()); });
+    ops_tick_->start();
 }
 
 TaccStack::~TaccStack() = default;
@@ -244,7 +316,50 @@ TaccStack::run_to_completion(uint64_t max_events)
     }
     if (tick_)
         tick_->stop();
+    if (ops_tick_) {
+        ops_tick_->stop();
+        // Close the books with a final sample at the quiesce instant so
+        // the last partial rollup buckets and alert states are current.
+        ops_->sample(sim_.now());
+    }
     return quiescent();
+}
+
+std::string
+TaccStack::operator_report() const
+{
+    ops::ReportContext ctx;
+    ctx.cluster_name = config_.cluster.name;
+    ctx.now = sim_.now();
+    ctx.total_gpus = cluster_.total_gpus();
+    ctx.used_gpus = cluster_.used_gpus();
+    ctx.running_jobs = running_.size();
+    ctx.pending_jobs = pending_.size();
+    ctx.completed_jobs = metrics_.completed_count();
+    ctx.failed_jobs = metrics_.failed_count();
+    ctx.preemptions = metrics_.preemptions();
+    const Samples waits = metrics_.wait_samples();
+    if (!waits.empty()) {
+        ctx.mean_wait_min = waits.mean() / 60.0;
+        ctx.p99_wait_min = waits.percentile(99) / 60.0;
+    }
+    ctx.cache_transfer_savings = compiler_.stats().transfer_savings();
+    if (!ops_) {
+        return strfmt("cluster %s: ops layer disabled\n"
+                      "occupancy: %d/%d GPUs, %zu running, %zu pending\n",
+                      ctx.cluster_name.c_str(), ctx.used_gpus,
+                      ctx.total_gpus, ctx.running_jobs, ctx.pending_jobs);
+    }
+    return ops::render_operator_report(ops_->store(), ops_->alerts(),
+                                       ops_->accounting(), ctx);
+}
+
+std::string
+TaccStack::accounting_report(const std::string &group) const
+{
+    if (!ops_)
+        return "ops layer disabled; no accounting available\n";
+    return ops::render_group_accounting(ops_->accounting(), group);
 }
 
 void
@@ -273,7 +388,22 @@ void
 TaccStack::finalize(Job &job)
 {
     estimator_.observe(job); // no-op unless the job completed
-    metrics_.record_job(job);
+    const JobRecord &rec = metrics_.record_job(job);
+    if (ops_) {
+        ops::UsageEvent ev;
+        ev.group = rec.group;
+        ev.user = rec.user;
+        ev.finished = rec.finished;
+        ev.wait_s = rec.wait_s;
+        ev.gpu_seconds = rec.gpu_seconds;
+        ev.ideal_gpu_seconds = rec.ideal_s * double(rec.gpus);
+        ev.preemptions = rec.preemptions;
+        ev.started = rec.started;
+        ev.completed = rec.final_state == JobState::kCompleted;
+        ev.failed = rec.final_state == JobState::kFailed;
+        ev.missed_deadline = rec.missed_deadline;
+        ops_->accounting().record(ev);
+    }
     charged_gpu_s_.erase(job.id());
     resolve_dependents(job.id(),
                        job.state() == JobState::kCompleted);

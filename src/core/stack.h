@@ -30,6 +30,7 @@
 #include "core/metrics.h"
 #include "exec/engine.h"
 #include "exec/monitor.h"
+#include "ops/ops_center.h"
 #include "sched/estimator.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
@@ -59,6 +60,12 @@ struct StackConfig {
     uint64_t seed = 1;
     /** Emit per-node monitor log lines on job events. */
     bool emit_monitor_logs = true;
+    /**
+     * Operations layer: telemetry collectors, alert rules, tenant
+     * accounting. Strictly observational — enabling it never changes a
+     * scheduling decision or the event ordering jobs see.
+     */
+    ops::OpsConfig ops;
 };
 
 /** The running deployment. */
@@ -78,6 +85,9 @@ class TaccStack
     exec::ExecutionEngine &engine() { return engine_; }
     exec::MonitorHub &monitor() { return monitor_; }
     const MetricsCollector &metrics() const { return metrics_; }
+    /** The operations layer; nullptr when config.ops.enabled is off. */
+    ops::OpsCenter *ops() { return ops_.get(); }
+    const ops::OpsCenter *ops() const { return ops_.get(); }
     const sched::UsageTracker &usage() const { return usage_; }
     const sched::RuntimeEstimator &estimator() const { return estimator_; }
     sched::Scheduler &scheduler() { return *scheduler_; }
@@ -137,6 +147,16 @@ class TaccStack
      *  arrivals remain. */
     bool quiescent() const;
 
+    /**
+     * The `tcloud report` operator summary: occupancy, queueing, last-day
+     * telemetry, alert incidents, per-group usage. Degrades to the
+     * header lines when the ops layer is disabled.
+     */
+    std::string operator_report() const;
+
+    /** One group's accounting statements (`tcloud accounting <group>`). */
+    std::string accounting_report(const std::string &group) const;
+
     /** Runs simulated time forward to t. */
     void run_until(TimePoint t);
 
@@ -155,6 +175,7 @@ class TaccStack
         double iteration_s = 0;
     };
 
+    void wire_ops();
     void enqueue_pending(cluster::JobId id);
     void remove_pending(cluster::JobId id);
     /** Releases/cascades dependents when `id` reaches a terminal state. */
@@ -183,6 +204,7 @@ class TaccStack
     sched::QuotaManager quota_;
     sched::RuntimeEstimator estimator_;
     MetricsCollector metrics_;
+    std::unique_ptr<ops::OpsCenter> ops_;
 
     std::map<cluster::JobId, std::unique_ptr<workload::Job>> jobs_;
     std::map<cluster::JobId, compiler::TaskInstruction> instructions_;
@@ -207,6 +229,7 @@ class TaccStack
     std::map<cluster::JobId, std::vector<cluster::JobId>> dependents_;
     std::map<cluster::JobId, double> charged_gpu_s_;
     std::unique_ptr<sim::PeriodicTask> tick_;
+    std::unique_ptr<sim::PeriodicTask> ops_tick_;
     cluster::JobId next_job_id_ = 1;
     uint64_t arrivals_outstanding_ = 0;
 };

@@ -21,7 +21,7 @@ MonitorHub::emit(TimePoint t, cluster::JobId job, cluster::NodeId node,
         buf.pop_front();
         ++dropped_;
     }
-    buf.push_back(LogLine{t, job, node, std::move(text)});
+    buf.push_back(LogLine{t, job, node, next_seq_++, std::move(text)});
     ++emitted_;
 }
 
@@ -37,17 +37,36 @@ MonitorHub::emit_all(TimePoint t, cluster::JobId job,
 std::vector<LogLine>
 MonitorHub::aggregate(cluster::JobId job) const
 {
+    LogCursor from_start = 0;
+    return aggregate_since(job, from_start);
+}
+
+std::vector<LogLine>
+MonitorHub::aggregate_since(cluster::JobId job, LogCursor &cursor) const
+{
     std::vector<LogLine> out;
+    uint64_t newest = cursor;
     for (const auto &buf : buffers_) {
-        for (const auto &line : buf) {
-            if (line.job == job)
-                out.push_back(line);
+        // Node buffers are seq-ascending (emission stamps them in
+        // order), so the unread suffix starts at one binary search.
+        auto it = std::upper_bound(
+            buf.begin(), buf.end(), cursor,
+            [](LogCursor c, const LogLine &line) { return c < line.seq; });
+        for (; it != buf.end(); ++it) {
+            newest = std::max(newest, it->seq);
+            if (it->job == job)
+                out.push_back(*it);
         }
     }
-    std::stable_sort(out.begin(), out.end(),
-                     [](const LogLine &a, const LogLine &b) {
-                         return a.time < b.time;
-                     });
+    // Simulated time is monotonic, so (time, seq) orders new lines the
+    // way a tail across all nodes would have seen them.
+    std::sort(out.begin(), out.end(),
+              [](const LogLine &a, const LogLine &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.seq < b.seq;
+              });
+    cursor = newest;
     return out;
 }
 

@@ -23,8 +23,16 @@ struct LogLine {
     TimePoint time;
     cluster::JobId job = cluster::kInvalidJob;
     cluster::NodeId node = cluster::kInvalidNode;
+    /** Hub-wide emission sequence number (1-based, monotonic). */
+    uint64_t seq = 0;
     std::string text;
 };
+
+/**
+ * Consumer position for incremental aggregation: the highest emission
+ * seq already fetched. Value 0 (the default) means "from the start".
+ */
+using LogCursor = uint64_t;
 
 /** Per-node bounded log buffer plus job-scoped aggregation. */
 class MonitorHub
@@ -47,9 +55,20 @@ class MonitorHub
 
     /**
      * Aggregated, time-ordered log of a job across all nodes (the
-     * distributed-debugging view).
+     * distributed-debugging view). Ties are broken by emission order.
      */
     std::vector<LogLine> aggregate(cluster::JobId job) const;
+
+    /**
+     * Incremental aggregation: only the job's lines emitted since the
+     * cursor's position, time-ordered, and advances the cursor past
+     * them. Repeated polling (`tcloud logs`, the ops collectors) is
+     * O(new lines + log buffer) instead of re-merging every buffer.
+     * Lines that aged out of a node buffer before being fetched are
+     * skipped (they are gone; total_dropped() counts them).
+     */
+    std::vector<LogLine> aggregate_since(cluster::JobId job,
+                                         LogCursor &cursor) const;
 
     /** Lines currently buffered on one node. */
     size_t node_line_count(cluster::NodeId node) const;
@@ -62,6 +81,7 @@ class MonitorHub
     std::vector<std::deque<LogLine>> buffers_;
     uint64_t emitted_ = 0;
     uint64_t dropped_ = 0;
+    uint64_t next_seq_ = 1;
 };
 
 } // namespace tacc::exec

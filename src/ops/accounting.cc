@@ -1,0 +1,107 @@
+#include "ops/accounting.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::ops {
+
+Accountant::Accountant(Duration billing_period)
+    : billing_period_(billing_period)
+{
+    assert(!billing_period_.is_zero() && !billing_period_.is_negative());
+}
+
+int
+Accountant::period_of(TimePoint t) const
+{
+    return int(t.to_micros() / billing_period_.to_micros());
+}
+
+void
+Accountant::record(const UsageEvent &event)
+{
+    GroupStatement &s =
+        statements_[{period_of(event.finished), event.group}];
+    if (s.group.empty()) {
+        s.period = period_of(event.finished);
+        s.group = event.group;
+    }
+    ++s.jobs;
+    s.completed += event.completed;
+    s.failed += event.failed;
+    s.killed += !event.completed && !event.failed;
+    s.preemptions += event.preemptions;
+    s.deadline_misses += event.missed_deadline;
+    s.gpu_hours += event.gpu_seconds / 3600.0;
+    s.queue_hours += event.wait_s / 3600.0;
+    if (event.preemptions > 0 || event.failed) {
+        s.preemption_loss_gpu_hours +=
+            std::max(0.0, event.gpu_seconds - event.ideal_gpu_seconds) /
+            3600.0;
+    }
+    ++events_;
+    total_gpu_hours_ += event.gpu_seconds / 3600.0;
+}
+
+std::vector<GroupStatement>
+Accountant::statements() const
+{
+    std::vector<GroupStatement> out;
+    out.reserve(statements_.size());
+    for (const auto &[key, s] : statements_)
+        out.push_back(s);
+    return out;
+}
+
+void
+Accountant::fold(GroupStatement &into, const GroupStatement &from)
+{
+    into.jobs += from.jobs;
+    into.completed += from.completed;
+    into.failed += from.failed;
+    into.killed += from.killed;
+    into.preemptions += from.preemptions;
+    into.deadline_misses += from.deadline_misses;
+    into.gpu_hours += from.gpu_hours;
+    into.queue_hours += from.queue_hours;
+    into.preemption_loss_gpu_hours += from.preemption_loss_gpu_hours;
+}
+
+std::vector<GroupStatement>
+Accountant::statements_of(const std::string &group) const
+{
+    std::vector<GroupStatement> out;
+    GroupStatement total;
+    total.period = -1; ///< sentinel: the all-time row
+    total.group = group;
+    for (const auto &[key, s] : statements_) {
+        if (key.second != group)
+            continue;
+        out.push_back(s);
+        fold(total, s);
+    }
+    if (!out.empty())
+        out.push_back(total);
+    return out;
+}
+
+std::vector<GroupStatement>
+Accountant::group_totals() const
+{
+    std::map<std::string, GroupStatement> totals;
+    for (const auto &[key, s] : statements_) {
+        GroupStatement &t = totals[key.second];
+        if (t.group.empty()) {
+            t.period = -1;
+            t.group = key.second;
+        }
+        fold(t, s);
+    }
+    std::vector<GroupStatement> out;
+    out.reserve(totals.size());
+    for (const auto &[group, t] : totals)
+        out.push_back(t);
+    return out;
+}
+
+} // namespace tacc::ops

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tenant accounting: per-group GPU-hour statements per billing period.
+ *
+ * Every terminal job is posted as one UsageEvent (the ops-layer mirror of
+ * `core::JobRecord`, kept dependency-free so ops sits below core in the
+ * module DAG). The accountant buckets events into fixed billing periods
+ * ("months", 30 simulated days by default) keyed by the job's terminal
+ * time, and accumulates per-(period, group) statements: delivered
+ * GPU-hours, queue-time, and the GPU-hours lost re-running work after
+ * preemptions/failures. Delivered GPU-hours are posted exactly as charged
+ * by the metrics layer, so statement totals reconcile with the job-record
+ * ledger by construction.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tacc::ops {
+
+/** One terminal job, as the accountant sees it. */
+struct UsageEvent {
+    std::string group;
+    std::string user;
+    TimePoint finished;         ///< terminal time (billing attribution)
+    double wait_s = 0;          ///< submit -> first start
+    double gpu_seconds = 0;     ///< service actually charged
+    /** Minimal GPU-seconds at the requested scale; service beyond this
+     *  is restart/startup overhead. */
+    double ideal_gpu_seconds = 0;
+    int preemptions = 0;
+    bool started = false;
+    bool completed = false;
+    bool failed = false;
+    bool missed_deadline = false;
+};
+
+/** Per-(billing period, group) roll-up. */
+struct GroupStatement {
+    int period = 0; ///< billing-period index (0-based from t=0)
+    std::string group;
+    int jobs = 0;
+    int completed = 0;
+    int failed = 0;
+    int killed = 0;
+    int preemptions = 0;
+    int deadline_misses = 0;
+    double gpu_hours = 0;
+    double queue_hours = 0;
+    /** GPU-hours of service beyond the ideal, on jobs that were
+     *  preempted or restarted — the tenant's visible preemption tax. */
+    double preemption_loss_gpu_hours = 0;
+};
+
+/** Accumulates usage events into billing statements. */
+class Accountant
+{
+  public:
+    explicit Accountant(Duration billing_period = Duration::days(30));
+
+    Duration billing_period() const { return billing_period_; }
+
+    void record(const UsageEvent &event);
+
+    size_t event_count() const { return events_; }
+
+    /** Period index a terminal time falls into. */
+    int period_of(TimePoint t) const;
+
+    /** All statements, ordered by (period, group). */
+    std::vector<GroupStatement> statements() const;
+
+    /** Statements of one group across periods, plus an all-time total. */
+    std::vector<GroupStatement> statements_of(const std::string &group)
+        const;
+
+    /** All-time GPU-hours across every statement. */
+    double total_gpu_hours() const { return total_gpu_hours_; }
+
+    /** All-time totals folded into one statement per group. */
+    std::vector<GroupStatement> group_totals() const;
+
+  private:
+    static void fold(GroupStatement &into, const GroupStatement &from);
+
+    Duration billing_period_;
+    /** (period, group) -> statement; ordered map for deterministic
+     *  report iteration. */
+    std::map<std::pair<int, std::string>, GroupStatement> statements_;
+    size_t events_ = 0;
+    double total_gpu_hours_ = 0;
+};
+
+} // namespace tacc::ops

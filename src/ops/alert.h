@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Alert rules over the metric store, with for-duration hysteresis.
+ *
+ * A rule names a series, an aggregation (latest value, windowed mean, or
+ * counter burn rate), a comparison, and a `for` duration. The engine is
+ * evaluated on the collector's sampling cadence; a rule transitions to
+ * *firing* only after its condition has held continuously for the `for`
+ * duration, and back to *resolved* only after the condition has been
+ * continuously clear for the same duration — the hysteresis that keeps a
+ * noisy metric from flapping pages. Every firing/resolved pair is kept as
+ * an AlertIncident, the raw material of the operator's incident timeline.
+ *
+ * Rules over series that do not exist yet (or hold no samples in the
+ * aggregation window) are inert: no data never fires.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "ops/metric_store.h"
+
+namespace tacc::ops {
+
+enum class AlertSeverity { kWarning, kCritical };
+
+const char *alert_severity_name(AlertSeverity severity);
+
+/** One alerting condition. */
+struct AlertRule {
+    std::string name;   ///< unique rule name ("queue-depth-spike")
+    std::string series; ///< metric series the rule watches
+
+    enum class Agg {
+        kLast, ///< newest sample
+        kMean, ///< count-weighted mean over `window`
+        kRate, ///< counter per-second increase over `window` (burn rate)
+    };
+    enum class Cmp { kAbove, kBelow };
+
+    Agg agg = Agg::kLast;
+    Cmp cmp = Cmp::kAbove;
+    double threshold = 0;
+    /** Aggregation window for kMean / kRate. */
+    Duration window = Duration::minutes(10);
+    /** Condition must hold (or clear) this long before transitioning. */
+    Duration for_duration = Duration::minutes(5);
+    AlertSeverity severity = AlertSeverity::kWarning;
+    std::string description;
+};
+
+/** One firing episode of a rule. */
+struct AlertIncident {
+    std::string rule;
+    AlertSeverity severity = AlertSeverity::kWarning;
+    TimePoint fired_at;
+    /** TimePoint::max() while still firing. */
+    TimePoint resolved_at = TimePoint::max();
+    /** Most extreme observed value while the condition held. */
+    double peak = 0;
+
+    bool active() const { return resolved_at == TimePoint::max(); }
+};
+
+/** Evaluates rules against a store; owns rule state and incident log. */
+class AlertEngine
+{
+  public:
+    AlertEngine() = default;
+
+    void add_rule(AlertRule rule);
+    size_t rule_count() const { return rules_.size(); }
+    const std::vector<AlertRule> &rules() const { return rules_; }
+
+    /**
+     * Evaluates every rule at time now (must be non-decreasing across
+     * calls). Called once per collector sample.
+     */
+    void evaluate(const MetricStore &store, TimePoint now);
+
+    /** True if the named rule is currently firing. */
+    bool is_firing(const std::string &rule) const;
+
+    /** All incidents, oldest first (including still-active ones). */
+    const std::vector<AlertIncident> &incidents() const
+    {
+        return incidents_;
+    }
+
+    size_t active_count() const;
+
+  private:
+    struct RuleState {
+        /** First evaluation time of the current uninterrupted
+         *  condition-true run; unset when the condition is clear. */
+        std::optional<TimePoint> true_since;
+        /** First evaluation time of the current clear run while firing. */
+        std::optional<TimePoint> clear_since;
+        bool firing = false;
+        /** Index into incidents_ of the active incident. */
+        size_t incident = 0;
+        double peak = 0;
+    };
+
+    /** Rule condition value at now; nullopt = no data (inert). */
+    std::optional<double> aggregate(const AlertRule &rule,
+                                    const MetricStore &store,
+                                    TimePoint now) const;
+
+    std::vector<AlertRule> rules_;
+    std::vector<RuleState> states_;
+    std::vector<AlertIncident> incidents_;
+};
+
+} // namespace tacc::ops

@@ -1,0 +1,266 @@
+#include "ops/metric_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacc::ops {
+
+namespace {
+
+constexpr Duration kMinute = Duration::minutes(1);
+constexpr Duration kHour = Duration::hours(1);
+
+TimePoint
+bucket_start(TimePoint t, Duration bucket)
+{
+    const int64_t w = bucket.to_micros();
+    return TimePoint::from_micros((t.to_micros() / w) * w);
+}
+
+} // namespace
+
+MetricStore::MetricStore(MetricStoreConfig config) : config_(config)
+{
+    assert(config_.raw_capacity > 0 && config_.minute_capacity > 0 &&
+           config_.hour_capacity > 0);
+}
+
+SeriesId
+MetricStore::define(const std::string &name, SeriesKind kind)
+{
+    assert(!name.empty());
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        assert(series_[size_t(it->second)].kind == kind);
+        return it->second;
+    }
+    const SeriesId id = SeriesId(series_.size());
+    series_.emplace_back(name, kind, config_);
+    index_.emplace(name, id);
+    return id;
+}
+
+SeriesId
+MetricStore::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidSeries : it->second;
+}
+
+const MetricStore::Series &
+MetricStore::series_at(SeriesId id) const
+{
+    assert(id >= 0 && size_t(id) < series_.size());
+    return series_[size_t(id)];
+}
+
+const std::string &
+MetricStore::name_of(SeriesId id) const
+{
+    return series_at(id).name;
+}
+
+SeriesKind
+MetricStore::kind_of(SeriesId id) const
+{
+    return series_at(id).kind;
+}
+
+std::vector<std::string>
+MetricStore::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &s : series_)
+        out.push_back(s.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MetricStore::fold(MetricRing<RollupPoint> &closed, RollupPoint &open,
+                  bool &is_open, Duration bucket, TimePoint t, double v)
+{
+    const TimePoint start = bucket_start(t, bucket);
+    if (is_open && open.start != start) {
+        closed.push(open);
+        is_open = false;
+    }
+    if (!is_open) {
+        open = RollupPoint{start, v, v, v, v, 1};
+        is_open = true;
+        return;
+    }
+    open.min = std::min(open.min, v);
+    open.max = std::max(open.max, v);
+    open.sum += v;
+    open.last = v;
+    ++open.count;
+}
+
+void
+MetricStore::record(SeriesId id, TimePoint t, double v)
+{
+    assert(id >= 0 && size_t(id) < series_.size());
+    Series &s = series_[size_t(id)];
+    assert(s.raw.empty() || t >= s.raw.back().t);
+    s.raw.push(MetricSample{t, v});
+    fold(s.minutes, s.open_minute, s.minute_open, kMinute, t, v);
+    fold(s.hours, s.open_hour, s.hour_open, kHour, t, v);
+}
+
+std::optional<MetricSample>
+MetricStore::latest(SeriesId id) const
+{
+    const Series &s = series_at(id);
+    if (s.raw.empty())
+        return std::nullopt;
+    return s.raw.back();
+}
+
+std::vector<RollupPoint>
+MetricStore::range(SeriesId id, TimePoint t0, TimePoint t1,
+                   Resolution res) const
+{
+    const Series &s = series_at(id);
+    std::vector<RollupPoint> out;
+    if (res == Resolution::kRaw) {
+        for (size_t i = 0; i < s.raw.size(); ++i) {
+            const MetricSample &sample = s.raw.at(i);
+            if (sample.t < t0 || sample.t > t1)
+                continue;
+            out.push_back(RollupPoint{sample.t, sample.v, sample.v,
+                                      sample.v, sample.v, 1});
+        }
+        return out;
+    }
+    const Duration width = res == Resolution::kMinute ? kMinute : kHour;
+    const MetricRing<RollupPoint> &ring =
+        res == Resolution::kMinute ? s.minutes : s.hours;
+    const RollupPoint &open =
+        res == Resolution::kMinute ? s.open_minute : s.open_hour;
+    const bool is_open =
+        res == Resolution::kMinute ? s.minute_open : s.hour_open;
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const RollupPoint &p = ring.at(i);
+        if (p.start + width <= t0 || p.start > t1)
+            continue;
+        out.push_back(p);
+    }
+    if (is_open && !(open.start + width <= t0) && !(open.start > t1))
+        out.push_back(open);
+    return out;
+}
+
+double
+MetricStore::percentile_over(SeriesId id, TimePoint end, Duration window,
+                             double pct) const
+{
+    const Series &s = series_at(id);
+    const TimePoint t0 = end - window;
+    std::vector<double> xs;
+    for (size_t i = 0; i < s.raw.size(); ++i) {
+        const MetricSample &sample = s.raw.at(i);
+        if (sample.t >= t0 && sample.t <= end)
+            xs.push_back(sample.v);
+    }
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank =
+        std::clamp(pct, 0.0, 100.0) / 100.0 * double(xs.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - double(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double
+MetricStore::mean_over(SeriesId id, TimePoint end, Duration window) const
+{
+    const Series &s = series_at(id);
+    const TimePoint t0 = end - window;
+    // Raw first; if the raw ring's oldest retained sample post-dates the
+    // window start, widen via the rollups so the answer still covers it.
+    double sum = 0;
+    uint64_t count = 0;
+    const bool raw_covers =
+        !s.raw.empty() && s.raw.at(0).t <= t0;
+    if (raw_covers || (s.minutes.empty() && !s.minute_open)) {
+        for (size_t i = 0; i < s.raw.size(); ++i) {
+            const MetricSample &sample = s.raw.at(i);
+            if (sample.t >= t0 && sample.t <= end) {
+                sum += sample.v;
+                ++count;
+            }
+        }
+    } else {
+        for (const RollupPoint &p :
+             range(id, t0, end, Resolution::kMinute)) {
+            sum += p.sum;
+            count += p.count;
+        }
+    }
+    return count ? sum / double(count) : 0.0;
+}
+
+std::optional<MetricSample>
+MetricStore::value_at_or_before(const Series &s, TimePoint t) const
+{
+    // Newest raw sample at or before t.
+    for (size_t i = s.raw.size(); i > 0; --i) {
+        const MetricSample &sample = s.raw.at(i - 1);
+        if (sample.t <= t)
+            return sample;
+    }
+    // Raw ring starts after t: fall back to the newest closed rollup
+    // whose bucket ended by t (its `last` value, stamped at bucket end).
+    auto scan = [&](const MetricRing<RollupPoint> &ring,
+                    Duration width) -> std::optional<MetricSample> {
+        for (size_t i = ring.size(); i > 0; --i) {
+            const RollupPoint &p = ring.at(i - 1);
+            if (p.start + width <= t)
+                return MetricSample{p.start + width, p.last};
+        }
+        return std::nullopt;
+    };
+    if (auto m = scan(s.minutes, kMinute))
+        return m;
+    return scan(s.hours, kHour);
+}
+
+double
+MetricStore::rate_over(SeriesId id, TimePoint end, Duration window) const
+{
+    assert(!window.is_zero() && !window.is_negative());
+    const Series &s = series_at(id);
+    const auto newest = value_at_or_before(s, end);
+    if (!newest)
+        return 0.0;
+    const TimePoint t0 = end - window;
+    auto oldest = value_at_or_before(s, t0);
+    if (!oldest) {
+        // Counter born inside the window: treat its first retained
+        // observation as the window-start value.
+        if (s.raw.empty() || s.raw.at(0).t > end)
+            return 0.0;
+        oldest = s.raw.at(0);
+    }
+    if (newest->t <= oldest->t)
+        return 0.0;
+    const double delta = newest->v - oldest->v;
+    return std::max(0.0, delta) / window.to_seconds();
+}
+
+size_t
+MetricStore::memory_bytes() const
+{
+    size_t total = 0;
+    for (const auto &s : series_) {
+        total += s.raw.memory_bytes() + s.minutes.memory_bytes() +
+                 s.hours.memory_bytes() + sizeof(Series);
+    }
+    return total;
+}
+
+} // namespace tacc::ops

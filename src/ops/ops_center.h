@@ -1,0 +1,121 @@
+/**
+ * @file
+ * OpsCenter: the operations-layer hub one deployment carries.
+ *
+ * Owns the metric store, the alert engine, and the tenant accountant,
+ * and runs the pull-based collection cycle: higher layers register
+ * sample *sources* (closures reading live cluster state — GPU
+ * utilization, queue depth, usage shares, failure counters) and the
+ * embedding stack drives sample() from a periodic simulator task. One
+ * sample() pass polls every source into the store, then evaluates the
+ * alert rules — so collection is strictly observational: it never
+ * mutates scheduler or cluster state and never perturbs event ordering.
+ *
+ * The ops module sits *below* core in the module DAG (it depends only on
+ * common); TaccStack wires its components in as sources.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "ops/accounting.h"
+#include "ops/alert.h"
+#include "ops/metric_store.h"
+
+namespace tacc::ops {
+
+/** Canonical series names the standard collectors publish. */
+namespace series {
+inline constexpr const char kGpuUtil[] = "cluster.gpu_util";
+inline constexpr const char kFragmentation[] = "cluster.fragmentation";
+inline constexpr const char kQueueDepth[] = "queue.depth";
+inline constexpr const char kQueueOldestWait[] = "queue.oldest_wait_s";
+inline constexpr const char kRunningJobs[] = "jobs.running";
+inline constexpr const char kCompletedJobs[] = "jobs.completed";
+inline constexpr const char kFailedJobs[] = "jobs.failed";
+inline constexpr const char kPreemptions[] = "sched.preemptions";
+inline constexpr const char kDeadlineMisses[] = "sched.deadline_misses";
+inline constexpr const char kSegmentFailures[] = "exec.segment_failures";
+inline constexpr const char kCrossRackJobs[] = "net.cross_rack_jobs";
+inline constexpr const char kMonitorLines[] = "monitor.lines";
+inline constexpr const char kSloAttainment[] = "serve.slo_attainment";
+/** Per-group fair-share usage: kGroupSharePrefix + group name. */
+inline constexpr const char kGroupSharePrefix[] = "group.share.";
+} // namespace series
+
+/** Configuration of one deployment's operations layer. */
+struct OpsConfig {
+    /** Master switch; a disabled stack carries no ops state at all. */
+    bool enabled = true;
+    /** Collector cadence (simulated time). */
+    Duration sample_period = Duration::seconds(30);
+    MetricStoreConfig store;
+    /** Install the standard campus alert pack (see default_rules()). */
+    bool install_default_rules = true;
+    /** Billing period for tenant statements. */
+    Duration billing_period = Duration::days(30);
+};
+
+/** The standard campus alert pack, sized for the 256-GPU deployment. */
+std::vector<AlertRule> default_rules();
+
+class OpsCenter
+{
+  public:
+    explicit OpsCenter(OpsConfig config = {});
+
+    const OpsConfig &config() const { return config_; }
+    MetricStore &store() { return store_; }
+    const MetricStore &store() const { return store_; }
+    AlertEngine &alerts() { return alerts_; }
+    const AlertEngine &alerts() const { return alerts_; }
+    Accountant &accounting() { return accounting_; }
+    const Accountant &accounting() const { return accounting_; }
+
+    /** @name Source registration (done once, at stack wiring time) */
+    ///@{
+    void add_gauge_source(const std::string &name,
+                          std::function<double()> fn);
+    void add_counter_source(const std::string &name,
+                            std::function<double()> fn);
+    /**
+     * A source producing a *set* of gauges per sample (e.g. one share
+     * per tenant group); it calls record_gauge for each.
+     */
+    void add_multi_source(
+        std::function<void(OpsCenter &, TimePoint)> fn);
+    ///@}
+
+    /** Records a dynamically named gauge (defines the series lazily). */
+    void record_gauge(const std::string &name, TimePoint t, double v);
+
+    /**
+     * One collection cycle: polls every source at time now, then
+     * evaluates the alert rules. Driven by the stack's periodic task;
+     * now must be non-decreasing.
+     */
+    void sample(TimePoint now);
+
+    uint64_t samples_taken() const { return samples_; }
+
+  private:
+    struct Source {
+        SeriesId id;
+        std::function<double()> fn;
+    };
+
+    OpsConfig config_;
+    MetricStore store_;
+    AlertEngine alerts_;
+    Accountant accounting_;
+    std::vector<Source> sources_;
+    std::vector<std::function<void(OpsCenter &, TimePoint)>>
+        multi_sources_;
+    uint64_t samples_ = 0;
+};
+
+} // namespace tacc::ops

@@ -1,0 +1,205 @@
+#include "ops/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "ops/ops_center.h"
+
+namespace tacc::ops {
+
+std::string
+format_day_time(TimePoint t)
+{
+    const int64_t total_min = t.to_micros() / 60'000'000;
+    const int64_t day = total_min / (24 * 60);
+    const int64_t hh = (total_min / 60) % 24;
+    const int64_t mm = total_min % 60;
+    return strfmt("d%lld %02lld:%02lld", (long long)day, (long long)hh,
+                  (long long)mm);
+}
+
+namespace {
+
+std::string
+period_label(const GroupStatement &s, Duration billing_period)
+{
+    if (s.period < 0)
+        return "total";
+    const int64_t days = billing_period.to_micros() / 86'400'000'000;
+    return strfmt("month %d (d%lld-d%lld)", s.period,
+                  (long long)(s.period * days),
+                  (long long)((s.period + 1) * days - 1));
+}
+
+void
+add_statement_row(TextTable &table, const std::string &period,
+                  const GroupStatement &s)
+{
+    table.add_row({period, s.group, std::to_string(s.jobs),
+                   std::to_string(s.completed), std::to_string(s.failed),
+                   std::to_string(s.killed),
+                   TextTable::fixed(s.gpu_hours, 1),
+                   TextTable::fixed(s.queue_hours, 1),
+                   std::to_string(s.preemptions),
+                   TextTable::fixed(s.preemption_loss_gpu_hours, 1),
+                   std::to_string(s.deadline_misses)});
+}
+
+std::vector<std::string>
+statement_header()
+{
+    return {"period", "group",   "jobs",    "done",       "fail",
+            "kill",   "GPUh",    "queue-h", "preempt",    "loss-GPUh",
+            "misses"};
+}
+
+} // namespace
+
+std::string
+render_timeline(const MetricStore &store, TimePoint t0, TimePoint t1,
+                Resolution res)
+{
+    const SeriesId util = store.find(series::kGpuUtil);
+    const SeriesId depth = store.find(series::kQueueDepth);
+    TextTable table("telemetry timeline");
+    table.set_header({"t", "util(mean)", "util(max)", "queue(mean)",
+                      "queue(max)"});
+    if (util == kInvalidSeries && depth == kInvalidSeries)
+        return table.str();
+
+    const auto util_points =
+        util == kInvalidSeries
+            ? std::vector<RollupPoint>{}
+            : store.range(util, t0, t1, res);
+    const auto depth_points =
+        depth == kInvalidSeries
+            ? std::vector<RollupPoint>{}
+            : store.range(depth, t0, t1, res);
+    // The standard collectors sample both series on the same tick, so
+    // buckets line up; join on bucket start anyway to stay robust.
+    size_t di = 0;
+    for (const auto &u : util_points) {
+        while (di < depth_points.size() &&
+               depth_points[di].start < u.start) {
+            ++di;
+        }
+        const bool joined = di < depth_points.size() &&
+                            depth_points[di].start == u.start;
+        table.add_row({format_day_time(u.start),
+                       TextTable::pct(u.mean()), TextTable::pct(u.max),
+                       joined ? TextTable::fixed(depth_points[di].mean(), 1)
+                              : "-",
+                       joined ? TextTable::fixed(depth_points[di].max, 0)
+                              : "-"});
+    }
+    return table.str();
+}
+
+std::string
+render_incidents(const AlertEngine &alerts, TimePoint now)
+{
+    TextTable table("alert incidents");
+    table.set_header(
+        {"alert", "severity", "fired", "resolved", "duration", "peak"});
+    for (const auto &incident : alerts.incidents()) {
+        const bool active = incident.active();
+        const Duration held =
+            (active ? now : incident.resolved_at) - incident.fired_at;
+        table.add_row({incident.rule,
+                       alert_severity_name(incident.severity),
+                       format_day_time(incident.fired_at),
+                       active ? "ACTIVE"
+                              : format_day_time(incident.resolved_at),
+                       held.str(), TextTable::num(incident.peak, 4)});
+    }
+    if (alerts.incidents().empty())
+        table.add_row({"(none)", "", "", "", "", ""});
+    return table.str();
+}
+
+std::string
+render_accounting(const Accountant &accounting)
+{
+    TextTable table("tenant accounting (per billing period)");
+    table.set_header(statement_header());
+    for (const auto &s : accounting.statements())
+        add_statement_row(table, period_label(s,
+                                              accounting.billing_period()),
+                          s);
+    std::string out = table.str();
+    out += strfmt("total: %.1f GPU-hours across %zu job(s)\n",
+                  accounting.total_gpu_hours(),
+                  accounting.event_count());
+    return out;
+}
+
+std::string
+render_group_accounting(const Accountant &accounting,
+                        const std::string &group)
+{
+    const auto statements = accounting.statements_of(group);
+    if (statements.empty())
+        return strfmt("no usage recorded for group '%s'\n",
+                      group.c_str());
+    TextTable table(strfmt("accounting statement: group '%s'",
+                           group.c_str()));
+    table.set_header(statement_header());
+    for (const auto &s : statements)
+        add_statement_row(table, period_label(s,
+                                              accounting.billing_period()),
+                          s);
+    return table.str();
+}
+
+std::string
+render_operator_report(const MetricStore &store, const AlertEngine &alerts,
+                       const Accountant &accounting,
+                       const ReportContext &ctx)
+{
+    std::string out = strfmt(
+        "== operations report: cluster '%s' at %s ==\n",
+        ctx.cluster_name.c_str(), format_day_time(ctx.now).c_str());
+    out += strfmt("GPUs %d/%d in use, %zu running, %zu pending; "
+                  "%zu completed, %zu failed, %llu preemption(s)\n",
+                  ctx.used_gpus, ctx.total_gpus, ctx.running_jobs,
+                  ctx.pending_jobs, ctx.completed_jobs, ctx.failed_jobs,
+                  (unsigned long long)ctx.preemptions);
+    if (ctx.mean_wait_min > 0 || ctx.p99_wait_min > 0) {
+        out += strfmt("queueing: mean %.1f min, p99 %.1f min\n",
+                      ctx.mean_wait_min, ctx.p99_wait_min);
+    }
+    out += strfmt("compiler cache savings: %.1f%%\n",
+                  ctx.cache_transfer_savings * 100.0);
+
+    // Last-day telemetry summary from the store, when collectors ran.
+    const SeriesId util = store.find(series::kGpuUtil);
+    if (util != kInvalidSeries && store.latest(util)) {
+        const Duration day = Duration::hours(24);
+        out += strfmt(
+            "last 24h: util mean %.1f%% p95 %.1f%%, queue mean %.1f "
+            "p95 %.0f\n",
+            store.mean_over(util, ctx.now, day) * 100.0,
+            store.percentile_over(util, ctx.now, day, 95) * 100.0,
+            store.mean_over(store.find(series::kQueueDepth), ctx.now,
+                            day),
+            store.percentile_over(store.find(series::kQueueDepth),
+                                  ctx.now, day, 95));
+    }
+    out += strfmt("alerts: %zu active, %zu incident(s) total\n",
+                  alerts.active_count(), alerts.incidents().size());
+    out += render_incidents(alerts, ctx.now);
+
+    TextTable groups("per-group usage (all time)");
+    groups.set_header(statement_header());
+    for (const auto &s : accounting.group_totals())
+        add_statement_row(groups, "total", s);
+    if (accounting.group_totals().empty())
+        groups.add_row(
+            {"(none)", "", "", "", "", "", "", "", "", "", ""});
+    out += groups.str();
+    return out;
+}
+
+} // namespace tacc::ops

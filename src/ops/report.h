@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Operator-facing report rendering: the `tcloud report` summary, the
+ * incident timeline, the downsampled telemetry timeline, and per-group
+ * accounting statements — all through common/table so the output is
+ * uniform with the bench tables and machine-greppable.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/time.h"
+#include "ops/accounting.h"
+#include "ops/alert.h"
+#include "ops/metric_store.h"
+
+namespace tacc::ops {
+
+/** Live facts the ops layer itself does not track. */
+struct ReportContext {
+    std::string cluster_name;
+    TimePoint now;
+    int total_gpus = 0;
+    int used_gpus = 0;
+    size_t running_jobs = 0;
+    size_t pending_jobs = 0;
+    size_t completed_jobs = 0;
+    size_t failed_jobs = 0;
+    uint64_t preemptions = 0;
+    double mean_wait_min = 0;
+    double p99_wait_min = 0;
+    double cache_transfer_savings = 0; ///< fraction
+};
+
+/** "d2 14:30" rendering of a simulation instant (days since t=0). */
+std::string format_day_time(TimePoint t);
+
+/**
+ * Downsampled utilization / queue-depth timeline over [t0, t1] at the
+ * given resolution: one row per bucket with mean/max utilization and
+ * mean/max queue depth.
+ */
+std::string render_timeline(const MetricStore &store, TimePoint t0,
+                            TimePoint t1, Resolution res);
+
+/** Incident table: rule, severity, fired, resolved, duration, peak. */
+std::string render_incidents(const AlertEngine &alerts, TimePoint now);
+
+/** All (period, group) statements plus the reconciliation footer. */
+std::string render_accounting(const Accountant &accounting);
+
+/**
+ * One group's statements across billing periods plus an all-time total
+ * row; empty-table message when the group has no usage.
+ */
+std::string render_group_accounting(const Accountant &accounting,
+                                    const std::string &group);
+
+/** The full `tcloud report` operator summary. */
+std::string render_operator_report(const MetricStore &store,
+                                   const AlertEngine &alerts,
+                                   const Accountant &accounting,
+                                   const ReportContext &ctx);
+
+} // namespace tacc::ops

@@ -1,5 +1,6 @@
 #include "sched/usage.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -27,6 +28,7 @@ UsageTracker::charge(const std::string &key, double gpu_seconds,
     auto &entry = entries_[key];
     entry.value = decayed(entry, now) + gpu_seconds;
     entry.updated = now;
+    total_cache_valid_ = false;
 }
 
 double
@@ -39,10 +41,26 @@ UsageTracker::usage(const std::string &key, TimePoint now) const
 double
 UsageTracker::total_usage(TimePoint now) const
 {
+    if (total_cache_valid_ && total_cached_at_ == now)
+        return total_cached_;
     double total = 0;
     for (const auto &[key, entry] : entries_)
         total += decayed(entry, now);
+    total_cached_at_ = now;
+    total_cached_ = total;
+    total_cache_valid_ = true;
     return total;
+}
+
+std::vector<std::pair<std::string, double>>
+UsageTracker::snapshot(TimePoint now) const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, entry] : entries_)
+        out.emplace_back(key, decayed(entry, now));
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 double

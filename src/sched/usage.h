@@ -11,6 +11,8 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/time.h"
 
@@ -28,7 +30,13 @@ class UsageTracker
     /** Decayed usage of key as of time now (0 for unknown keys). */
     double usage(const std::string &key, TimePoint now) const;
 
-    /** Sum of decayed usage over all keys as of now. */
+    /**
+     * Sum of decayed usage over all keys as of now. The sum for a given
+     * instant is cached until the next charge, so fair-share ranking
+     * (which asks for every key's share at one decision timestamp) and
+     * the ops collectors stay O(keys) per timestamp instead of
+     * O(keys^2); cached and uncached results are bit-identical.
+     */
     double total_usage(TimePoint now) const;
 
     /**
@@ -38,6 +46,16 @@ class UsageTracker
     double usage_share(const std::string &key, TimePoint now) const;
 
     Duration half_life() const { return half_life_; }
+
+    size_t key_count() const { return entries_.size(); }
+
+    /**
+     * Decayed usage of every key as of now, sorted by key — the
+     * deterministic view the ops collectors and accounting reports
+     * iterate.
+     */
+    std::vector<std::pair<std::string, double>> snapshot(TimePoint now)
+        const;
 
   private:
     struct Entry {
@@ -49,6 +67,10 @@ class UsageTracker
 
     Duration half_life_;
     std::unordered_map<std::string, Entry> entries_;
+    /** Memoized total_usage(now); invalidated by charge(). */
+    mutable TimePoint total_cached_at_;
+    mutable double total_cached_ = 0;
+    mutable bool total_cache_valid_ = false;
 };
 
 /** Per-group concurrent GPU caps. */

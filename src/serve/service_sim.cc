@@ -34,7 +34,8 @@ ServiceSimulator::arrival_rate_hz(TimePoint t) const
 }
 
 ServingResult
-ServiceSimulator::run(Autoscaler &autoscaler) const
+ServiceSimulator::run(Autoscaler &autoscaler,
+                      const EpochObserver &on_epoch) const
 {
     ServingResult out;
     out.autoscaler = autoscaler.name();
@@ -88,6 +89,8 @@ ServiceSimulator::run(Autoscaler &autoscaler) const
         good += attainment >= config_.slo_target;
         out.replica_hours += double(replicas) * epoch_s / 3600.0;
         out.epochs.push_back(EpochStats{t, rate, replicas, attainment});
+        if (on_epoch)
+            on_epoch(out.epochs.back());
     }
 
     if (total_requests > 0) {

@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,9 @@ struct ServingResult {
     std::vector<EpochStats> epochs;
 };
 
+/** Observer invoked once per epoch (the ops-telemetry export hook). */
+using EpochObserver = std::function<void(const EpochStats &)>;
+
 /** Runs one service under one autoscaler. */
 class ServiceSimulator
 {
@@ -82,7 +86,13 @@ class ServiceSimulator
     /** Diurnal request rate at time t (deterministic). */
     double arrival_rate_hz(TimePoint t) const;
 
-    ServingResult run(Autoscaler &autoscaler) const;
+    /**
+     * @param on_epoch optional telemetry export: called with each
+     *        epoch's stats as it is priced (e.g. to feed an
+     *        ops::MetricStore SLO-attainment series).
+     */
+    ServingResult run(Autoscaler &autoscaler,
+                      const EpochObserver &on_epoch = nullptr) const;
 
   private:
     ServiceConfig config_;

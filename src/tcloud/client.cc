@@ -145,6 +145,27 @@ Client::logs(const TaskHandle &handle) const
     return out;
 }
 
+StatusOr<std::string>
+Client::operator_report(const std::string &cluster) const
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->operator_report();
+}
+
+StatusOr<std::string>
+Client::accounting(const std::string &group,
+                   const std::string &cluster) const
+{
+    if (group.empty())
+        return Status::invalid_argument("group name required");
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->accounting_report(group);
+}
+
 Status
 Client::kill(const TaskHandle &handle)
 {

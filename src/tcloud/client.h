@@ -91,6 +91,21 @@ class Client
     Status kill(const TaskHandle &handle);
 
     /**
+     * The cluster's operator summary (`tcloud report`): occupancy,
+     * queueing, telemetry, alert incidents, per-group usage.
+     * @param cluster profile name; empty = default cluster.
+     */
+    StatusOr<std::string> operator_report(
+        const std::string &cluster = "") const;
+
+    /**
+     * One group's billing statements (`tcloud accounting <group>`).
+     * @param cluster profile name; empty = default cluster.
+     */
+    StatusOr<std::string> accounting(const std::string &group,
+                                     const std::string &cluster = "") const;
+
+    /**
      * Blocks (drives the simulation) until the task is terminal.
      * @return the final status.
      */

@@ -227,6 +227,81 @@ TEST(MonitorHub, BoundedBuffersDropOldest)
     EXPECT_EQ(lines.front().text, "line2");
 }
 
+TEST(MonitorHub, IncrementalFetchesConcatenateToFullAggregate)
+{
+    MonitorHub hub(3);
+    LogCursor cursor = 0;
+    std::vector<LogLine> fetched;
+    auto drain = [&] {
+        for (auto &line : hub.aggregate_since(1, cursor))
+            fetched.push_back(std::move(line));
+    };
+
+    hub.emit(TimePoint::origin() + 2_s, 1, 0, "n0-first");
+    hub.emit(TimePoint::origin() + 2_s, 1, 2, "n2-tied");
+    hub.emit(TimePoint::origin() + 3_s, 2, 1, "other-job");
+    drain();
+    EXPECT_EQ(fetched.size(), 2u);
+
+    // The cursor advanced past the other job's line too: nothing old is
+    // re-fetched, only what is emitted from here on.
+    drain();
+    EXPECT_EQ(fetched.size(), 2u);
+
+    hub.emit(TimePoint::origin() + 4_s, 1, 1, "n1-late");
+    hub.emit(TimePoint::origin() + 4_s, 1, 0, "n0-tied-late");
+    drain();
+
+    const auto full = hub.aggregate(1);
+    ASSERT_EQ(fetched.size(), full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(fetched[i].seq, full[i].seq) << "position " << i;
+        EXPECT_EQ(fetched[i].text, full[i].text) << "position " << i;
+    }
+    // Time-ordered, ties broken by emission order.
+    EXPECT_EQ(full[0].text, "n0-first");
+    EXPECT_EQ(full[1].text, "n2-tied");
+    EXPECT_EQ(full[2].text, "n1-late");
+    EXPECT_EQ(full[3].text, "n0-tied-late");
+}
+
+TEST(MonitorHub, InterleavedEmissionsMergeTimeOrdered)
+{
+    // Emissions land on nodes round-robin while polls interleave at
+    // arbitrary points; the concatenation of incremental fetches must
+    // equal one shot of the full merge, whatever the poll cadence.
+    MonitorHub hub(4);
+    LogCursor cursor = 0;
+    std::vector<LogLine> fetched;
+    TimePoint t = TimePoint::origin();
+    for (int i = 0; i < 200; ++i) {
+        // Bursts share a timestamp across several nodes (emit_all-like).
+        if (i % 3 != 2)
+            t += Duration::seconds(1);
+        hub.emit(t, 1, cluster::NodeId(i % 4),
+                 "line" + std::to_string(i));
+        if (i % 7 == 0) {
+            for (auto &line : hub.aggregate_since(1, cursor))
+                fetched.push_back(std::move(line));
+        }
+    }
+    for (auto &line : hub.aggregate_since(1, cursor))
+        fetched.push_back(std::move(line));
+
+    const auto full = hub.aggregate(1);
+    ASSERT_EQ(fetched.size(), 200u);
+    ASSERT_EQ(full.size(), 200u);
+    for (size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(fetched[i].seq, full[i].seq);
+        EXPECT_GE(i + 1 < full.size() ? full[i + 1].time : full[i].time,
+                  full[i].time);
+    }
+    // One more poll finds nothing new and leaves the cursor in place.
+    const LogCursor before = cursor;
+    EXPECT_TRUE(hub.aggregate_since(1, cursor).empty());
+    EXPECT_EQ(cursor, before);
+}
+
 class EngineTest : public ::testing::Test
 {
   protected:

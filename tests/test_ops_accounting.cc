@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for tenant accounting: billing-period bucketing, per-group
+ * statements, preemption-loss attribution, and ledger totals.
+ */
+#include <gtest/gtest.h>
+
+#include "ops/accounting.h"
+
+namespace tacc::ops {
+namespace {
+
+using namespace time_literals;
+
+UsageEvent
+event(const std::string &group, double day, double gpu_seconds)
+{
+    UsageEvent e;
+    e.group = group;
+    e.user = "u";
+    e.finished = TimePoint::origin() + Duration::from_seconds(day * 86400);
+    e.gpu_seconds = gpu_seconds;
+    e.ideal_gpu_seconds = gpu_seconds;
+    e.started = true;
+    e.completed = true;
+    return e;
+}
+
+TEST(Accountant, PeriodBucketing)
+{
+    Accountant accountant; // 30-day periods
+    EXPECT_EQ(accountant.period_of(TimePoint::origin()), 0);
+    EXPECT_EQ(accountant.period_of(TimePoint::origin() +
+                                   Duration::days(29)),
+              0);
+    EXPECT_EQ(accountant.period_of(TimePoint::origin() +
+                                   Duration::days(30)),
+              1);
+    EXPECT_EQ(accountant.period_of(TimePoint::origin() +
+                                   Duration::days(100)),
+              3);
+
+    Accountant daily(Duration::days(1));
+    EXPECT_EQ(daily.period_of(TimePoint::origin() + 25_h), 1);
+}
+
+TEST(Accountant, StatementsOrderedByPeriodThenGroup)
+{
+    Accountant accountant;
+    accountant.record(event("zeta", 5, 3600));
+    accountant.record(event("alpha", 40, 3600));  // period 1
+    accountant.record(event("alpha", 10, 7200));  // period 0
+    accountant.record(event("alpha", 12, 1800));  // period 0 again
+
+    const auto statements = accountant.statements();
+    ASSERT_EQ(statements.size(), 3u);
+    EXPECT_EQ(statements[0].group, "alpha");
+    EXPECT_EQ(statements[0].period, 0);
+    EXPECT_EQ(statements[0].jobs, 2);
+    EXPECT_DOUBLE_EQ(statements[0].gpu_hours, 2.5);
+    EXPECT_EQ(statements[1].group, "zeta");
+    EXPECT_EQ(statements[1].period, 0);
+    EXPECT_EQ(statements[2].group, "alpha");
+    EXPECT_EQ(statements[2].period, 1);
+    EXPECT_EQ(accountant.event_count(), 4u);
+    EXPECT_DOUBLE_EQ(accountant.total_gpu_hours(), 1.0 + 1.0 + 2.0 + 0.5);
+}
+
+TEST(Accountant, ClassifiesOutcomesAndPreemptionLoss)
+{
+    Accountant accountant;
+
+    UsageEvent done = event("g", 1, 7200);
+    done.wait_s = 1800;
+    accountant.record(done);
+
+    UsageEvent preempted = event("g", 2, 5400);
+    preempted.ideal_gpu_seconds = 3600; // 1800 GPU-s re-run tax
+    preempted.preemptions = 2;
+    accountant.record(preempted);
+
+    UsageEvent failed = event("g", 3, 4000);
+    failed.completed = false;
+    failed.failed = true;
+    failed.ideal_gpu_seconds = 400;
+    failed.missed_deadline = true;
+    accountant.record(failed);
+
+    UsageEvent killed = event("g", 4, 0);
+    killed.completed = false;
+    killed.started = false;
+    accountant.record(killed);
+
+    // Completed below its ideal (elastic shrink): loss clamps at zero.
+    UsageEvent lucky = event("g", 5, 1000);
+    lucky.ideal_gpu_seconds = 2000;
+    lucky.preemptions = 1;
+    accountant.record(lucky);
+
+    const auto statements = accountant.statements();
+    ASSERT_EQ(statements.size(), 1u);
+    const GroupStatement &s = statements[0];
+    EXPECT_EQ(s.jobs, 5);
+    EXPECT_EQ(s.completed, 3);
+    EXPECT_EQ(s.failed, 1);
+    EXPECT_EQ(s.killed, 1);
+    EXPECT_EQ(s.preemptions, 3);
+    EXPECT_EQ(s.deadline_misses, 1);
+    EXPECT_DOUBLE_EQ(s.queue_hours, 0.5);
+    // 1800 GPU-s from the preempted job + 3600 from the failed one.
+    EXPECT_DOUBLE_EQ(s.preemption_loss_gpu_hours,
+                     (1800.0 + 3600.0) / 3600.0);
+    EXPECT_DOUBLE_EQ(s.gpu_hours,
+                     (7200.0 + 5400.0 + 4000.0 + 1000.0) / 3600.0);
+}
+
+TEST(Accountant, PerGroupStatementsIncludeAllTimeTotal)
+{
+    Accountant accountant;
+    accountant.record(event("g", 5, 3600));
+    accountant.record(event("g", 35, 7200));
+    accountant.record(event("other", 5, 36000));
+
+    const auto rows = accountant.statements_of("g");
+    ASSERT_EQ(rows.size(), 3u); // period 0, period 1, all-time
+    EXPECT_EQ(rows[0].period, 0);
+    EXPECT_EQ(rows[1].period, 1);
+    EXPECT_EQ(rows[2].period, -1);
+    EXPECT_EQ(rows[2].jobs, 2);
+    EXPECT_DOUBLE_EQ(rows[2].gpu_hours, 3.0);
+
+    EXPECT_TRUE(accountant.statements_of("nobody").empty());
+
+    const auto totals = accountant.group_totals();
+    ASSERT_EQ(totals.size(), 2u);
+    EXPECT_EQ(totals[0].group, "g");
+    EXPECT_DOUBLE_EQ(totals[0].gpu_hours, 3.0);
+    EXPECT_EQ(totals[1].group, "other");
+    EXPECT_DOUBLE_EQ(totals[1].gpu_hours, 10.0);
+}
+
+} // namespace
+} // namespace tacc::ops

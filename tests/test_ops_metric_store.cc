@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the fixed-memory time-series store: ring behavior,
+ * rollup math, windowed queries, and the bounded-memory guarantee.
+ */
+#include <gtest/gtest.h>
+
+#include "ops/metric_store.h"
+
+namespace tacc::ops {
+namespace {
+
+using namespace time_literals;
+
+TimePoint
+at(double seconds)
+{
+    return TimePoint::origin() + Duration::from_seconds(seconds);
+}
+
+TEST(MetricRing, WrapsOverwritingOldest)
+{
+    MetricRing<int> ring(3);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 5; ++i)
+        ring.push(i);
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.at(0), 2); // oldest survivor
+    EXPECT_EQ(ring.at(1), 3);
+    EXPECT_EQ(ring.at(2), 4);
+    EXPECT_EQ(ring.back(), 4);
+    EXPECT_EQ(ring.capacity(), 3u);
+}
+
+TEST(MetricStore, DefineIsIdempotent)
+{
+    MetricStore store;
+    const SeriesId a = store.define("cluster.gpu_util", SeriesKind::kGauge);
+    const SeriesId b = store.define("cluster.gpu_util", SeriesKind::kGauge);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(store.series_count(), 1u);
+    EXPECT_EQ(store.find("cluster.gpu_util"), a);
+    EXPECT_EQ(store.find("nope"), kInvalidSeries);
+    EXPECT_EQ(store.name_of(a), "cluster.gpu_util");
+    EXPECT_EQ(store.kind_of(a), SeriesKind::kGauge);
+}
+
+TEST(MetricStore, LatestReturnsNewestSample)
+{
+    MetricStore store;
+    const SeriesId id = store.define("g", SeriesKind::kGauge);
+    EXPECT_FALSE(store.latest(id).has_value());
+    store.record(id, at(10), 1.0);
+    store.record(id, at(20), 2.0);
+    store.record(id, at(20), 3.0); // equal timestamps allowed
+    ASSERT_TRUE(store.latest(id).has_value());
+    EXPECT_EQ(store.latest(id)->t, at(20));
+    EXPECT_DOUBLE_EQ(store.latest(id)->v, 3.0);
+}
+
+TEST(MetricStore, MinuteRollupAggregatesOpenBucket)
+{
+    MetricStore store;
+    const SeriesId id = store.define("g", SeriesKind::kGauge);
+    store.record(id, at(5), 4.0);
+    store.record(id, at(25), 2.0);
+    store.record(id, at(45), 6.0);
+
+    // Still inside minute 0: range must include the open bucket.
+    const auto open = store.range(id, at(0), at(60), Resolution::kMinute);
+    ASSERT_EQ(open.size(), 1u);
+    EXPECT_EQ(open[0].start, at(0));
+    EXPECT_DOUBLE_EQ(open[0].min, 2.0);
+    EXPECT_DOUBLE_EQ(open[0].max, 6.0);
+    EXPECT_DOUBLE_EQ(open[0].sum, 12.0);
+    EXPECT_DOUBLE_EQ(open[0].last, 6.0);
+    EXPECT_EQ(open[0].count, 3u);
+    EXPECT_DOUBLE_EQ(open[0].mean(), 4.0);
+
+    // Crossing the boundary closes minute 0 and opens minute 1.
+    store.record(id, at(70), 10.0);
+    const auto both = store.range(id, at(0), at(120), Resolution::kMinute);
+    ASSERT_EQ(both.size(), 2u);
+    EXPECT_EQ(both[0].count, 3u);
+    EXPECT_EQ(both[1].start, at(60));
+    EXPECT_DOUBLE_EQ(both[1].last, 10.0);
+    EXPECT_EQ(both[1].count, 1u);
+}
+
+TEST(MetricStore, RangeFiltersByWindowAtEveryResolution)
+{
+    MetricStore store;
+    const SeriesId id = store.define("g", SeriesKind::kGauge);
+    for (int i = 0; i < 240; ++i) // one sample/minute for 4 hours
+        store.record(id, at(60.0 * i), double(i));
+
+    const auto raw = store.range(id, at(60), at(180), Resolution::kRaw);
+    ASSERT_EQ(raw.size(), 3u); // samples at 60, 120, 180
+    EXPECT_DOUBLE_EQ(raw[0].last, 1.0);
+    EXPECT_DOUBLE_EQ(raw[2].last, 3.0);
+
+    const auto hours =
+        store.range(id, at(0), at(4 * 3600 - 1), Resolution::kHour);
+    ASSERT_EQ(hours.size(), 4u); // 3 closed + the open hour 3
+    EXPECT_EQ(hours[0].count, 60u);
+    EXPECT_DOUBLE_EQ(hours[1].min, 60.0);
+    EXPECT_DOUBLE_EQ(hours[1].max, 119.0);
+
+    // A window clipped to one hour returns exactly that bucket.
+    const auto one =
+        store.range(id, at(3600), at(2 * 3600 - 1), Resolution::kHour);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].start, at(3600));
+}
+
+TEST(MetricStore, PercentileOverWindowInterpolates)
+{
+    MetricStore store;
+    const SeriesId id = store.define("g", SeriesKind::kGauge);
+    // Values 1..5 inside the window, plus an outlier before it.
+    store.record(id, at(0), 1000.0);
+    for (int i = 1; i <= 5; ++i)
+        store.record(id, at(100.0 + i), double(i));
+
+    EXPECT_DOUBLE_EQ(
+        store.percentile_over(id, at(110), Duration::seconds(10), 0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        store.percentile_over(id, at(110), Duration::seconds(10), 100),
+        5.0);
+    EXPECT_DOUBLE_EQ(
+        store.percentile_over(id, at(110), Duration::seconds(10), 50),
+        3.0);
+    EXPECT_DOUBLE_EQ(
+        store.percentile_over(id, at(110), Duration::seconds(10), 75),
+        4.0);
+    // Empty window -> 0.
+    EXPECT_DOUBLE_EQ(
+        store.percentile_over(id, at(5000), Duration::seconds(1), 50),
+        0.0);
+}
+
+TEST(MetricStore, MeanOverFallsBackToRollupsOnceRawWrapped)
+{
+    MetricStoreConfig config;
+    config.raw_capacity = 8; // tiny: force the raw ring to wrap
+    MetricStore store(config);
+    const SeriesId id = store.define("g", SeriesKind::kGauge);
+    // One sample per 30s for one hour: 120 samples, raw keeps last 8.
+    for (int i = 0; i < 120; ++i)
+        store.record(id, at(30.0 * i), 5.0);
+
+    // Window reaches an hour back; raw no longer covers it, but the
+    // minute rollups do, and the mean is still exact.
+    EXPECT_DOUBLE_EQ(store.mean_over(id, at(3570), Duration::hours(1)),
+                     5.0);
+    // Raw-covered short window also works.
+    EXPECT_DOUBLE_EQ(
+        store.mean_over(id, at(3570), Duration::seconds(60)), 5.0);
+}
+
+TEST(MetricStore, RateOverComputesCounterSlope)
+{
+    MetricStore store;
+    const SeriesId id = store.define("c", SeriesKind::kCounter);
+    // Counter climbing 2/s.
+    for (int i = 0; i <= 100; ++i)
+        store.record(id, at(double(i)), 2.0 * i);
+
+    EXPECT_NEAR(store.rate_over(id, at(100), Duration::seconds(50)), 2.0,
+                1e-12);
+    // Flat segment -> rate 0.
+    store.record(id, at(200), 200.0);
+    store.record(id, at(260), 200.0);
+    EXPECT_DOUBLE_EQ(
+        store.rate_over(id, at(260), Duration::seconds(60)), 0.0);
+    // Counter born inside the window: first observation anchors it.
+    MetricStore fresh;
+    const SeriesId young = fresh.define("c", SeriesKind::kCounter);
+    fresh.record(young, at(30), 0.0);
+    fresh.record(young, at(60), 30.0);
+    EXPECT_NEAR(fresh.rate_over(young, at(60), Duration::minutes(1)), 0.5,
+                1e-12);
+}
+
+TEST(MetricStore, RateOverUsesRollupsPastTheRawRing)
+{
+    MetricStoreConfig config;
+    config.raw_capacity = 4;
+    MetricStore store(config);
+    const SeriesId id = store.define("c", SeriesKind::kCounter);
+    for (int i = 0; i <= 600; ++i) // 10 minutes at 1/s, counter = i
+        store.record(id, at(double(i)), double(i));
+    // The raw ring holds only the last 4 samples; the 5-minute-window
+    // start is served from minute-rollup `last` values.
+    EXPECT_NEAR(store.rate_over(id, at(600), Duration::minutes(5)), 1.0,
+                0.05);
+}
+
+TEST(MetricStore, MemoryIsBoundedAcrossSimulatedDays)
+{
+    MetricStore store;
+    const SeriesId util = store.define("u", SeriesKind::kGauge);
+    const SeriesId depth = store.define("d", SeriesKind::kGauge);
+    const SeriesId fails = store.define("f", SeriesKind::kCounter);
+
+    // Warm up until every ring has wrapped at least once (30s cadence:
+    // raw wraps after ~17h; minute ring after 2 days; hour after 30).
+    double counter = 0;
+    TimePoint t = TimePoint::origin();
+    auto run_days = [&](int days) {
+        const int samples = days * 86400 / 30;
+        for (int i = 0; i < samples; ++i) {
+            t += Duration::seconds(30);
+            store.record(util, t, 0.5);
+            store.record(depth, t, 10.0);
+            store.record(fails, t, counter += 0.25);
+        }
+    };
+    run_days(31);
+    const size_t after_fill = store.memory_bytes();
+    EXPECT_GT(after_fill, 0u);
+
+    // Thirty more simulated days: not one byte of growth.
+    run_days(30);
+    EXPECT_EQ(store.memory_bytes(), after_fill);
+
+    // Queries still answer from the retained window.
+    EXPECT_DOUBLE_EQ(store.mean_over(util, t, Duration::hours(1)), 0.5);
+    EXPECT_NEAR(store.rate_over(fails, t, Duration::hours(1)),
+                0.25 / 30.0, 1e-9);
+
+    // Only *defining* series grows memory, never recording.
+    store.define("extra", SeriesKind::kGauge);
+    EXPECT_GT(store.memory_bytes(), after_fill);
+}
+
+} // namespace
+} // namespace tacc::ops

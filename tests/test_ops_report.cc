@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the operator-facing ops surface: the no-perturbation
+ * guarantee (telemetry must not change scheduling), accounting
+ * reconciliation against the metrics ledger, and golden-output tests
+ * for the `tcloud report` / `tcloud accounting` verbs over a fixed
+ * deterministic scenario.
+ */
+#include <gtest/gtest.h>
+
+#include "core/stack.h"
+#include "ops/report.h"
+#include "tcloud/client.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+
+core::StackConfig
+base_config()
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 1;
+    config.cluster.topology.nodes_per_rack = 2;
+    config.cluster.node.gpu_count = 8;
+    config.scheduler = "fairshare";
+    config.placement = "pack";
+    return config;
+}
+
+workload::TaskSpec
+spec(const std::string &name, const std::string &group, int gpus,
+     int64_t iterations)
+{
+    workload::TaskSpec s;
+    s.name = name;
+    s.user = "alice";
+    s.group = group;
+    s.gpus = gpus;
+    s.model = "resnet50";
+    s.iterations = iterations;
+    return s;
+}
+
+/** Drives a deterministic two-wave, two-group scenario to completion. */
+void
+run_scenario(core::TaccStack &stack)
+{
+    const char *groups[2] = {"lab", "vision"};
+    const int gpus[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 12; ++i) {
+        auto id = stack.submit(spec("a" + std::to_string(i),
+                                    groups[i % 2], gpus[i % 4],
+                                    20000 + 6000 * (i % 5)));
+        ASSERT_TRUE(id.is_ok());
+    }
+    stack.run_until(TimePoint::origin() + 10_min);
+    for (int i = 0; i < 12; ++i) {
+        auto id = stack.submit(spec("b" + std::to_string(i),
+                                    groups[(i + 1) % 2], gpus[i % 4],
+                                    15000 + 4000 * (i % 7)));
+        ASSERT_TRUE(id.is_ok());
+    }
+    ASSERT_TRUE(stack.run_to_completion());
+}
+
+TEST(OpsReport, FormatDayTime)
+{
+    EXPECT_EQ(ops::format_day_time(TimePoint::origin()), "d0 00:00");
+    EXPECT_EQ(ops::format_day_time(TimePoint::origin() + 14_h + 30_min),
+              "d0 14:30");
+    EXPECT_EQ(ops::format_day_time(TimePoint::origin() +
+                                   Duration::days(2) + 9_h + 5_min),
+              "d2 09:05");
+}
+
+// The operations layer is strictly observational: replaying the same
+// workload with telemetry on and off must produce byte-identical job
+// records — the sampling events may interleave with scheduling events
+// but never change a decision.
+TEST(OpsReport, TelemetryDoesNotPerturbScheduling)
+{
+    core::StackConfig with_ops = base_config();
+    with_ops.ops.enabled = true;
+    core::StackConfig without_ops = base_config();
+    without_ops.ops.enabled = false;
+
+    core::TaccStack a(with_ops);
+    core::TaccStack b(without_ops);
+    run_scenario(a);
+    run_scenario(b);
+    ASSERT_NE(a.ops(), nullptr);
+    EXPECT_EQ(b.ops(), nullptr);
+    EXPECT_GT(a.ops()->samples_taken(), 0u);
+
+    const auto &ra = a.metrics().records();
+    const auto &rb = b.metrics().records();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+        SCOPED_TRACE("record " + std::to_string(i));
+        EXPECT_EQ(ra[i].id, rb[i].id);
+        EXPECT_EQ(ra[i].group, rb[i].group);
+        EXPECT_EQ(ra[i].final_state, rb[i].final_state);
+        EXPECT_EQ(ra[i].submitted, rb[i].submitted);
+        EXPECT_EQ(ra[i].finished, rb[i].finished);
+        EXPECT_EQ(ra[i].wait_s, rb[i].wait_s);
+        EXPECT_EQ(ra[i].jct_s, rb[i].jct_s);
+        EXPECT_EQ(ra[i].gpu_seconds, rb[i].gpu_seconds);
+        EXPECT_EQ(ra[i].preemptions, rb[i].preemptions);
+        EXPECT_EQ(ra[i].segments, rb[i].segments);
+    }
+}
+
+// The accounting ledger must reconcile with the metrics records it is
+// derived from: same job count, GPU-hours within 0.1%.
+TEST(OpsReport, AccountingReconcilesWithMetrics)
+{
+    core::TaccStack stack(base_config());
+    run_scenario(stack);
+    ASSERT_NE(stack.ops(), nullptr);
+
+    const auto &ledger = stack.ops()->accounting();
+    const auto &records = stack.metrics().records();
+    EXPECT_EQ(ledger.event_count(), records.size());
+
+    double metric_gpu_hours = 0;
+    for (const auto &rec : records)
+        metric_gpu_hours += rec.gpu_seconds / 3600.0;
+    ASSERT_GT(metric_gpu_hours, 0.0);
+    const double rel_err =
+        std::abs(ledger.total_gpu_hours() - metric_gpu_hours) /
+        metric_gpu_hours;
+    EXPECT_LT(rel_err, 0.001);
+}
+
+const char kOperatorReportGolden[] = R"GOLD(== operations report: cluster 'campus' at d0 00:22 ==
+GPUs 0/16 in use, 0 running, 0 pending; 24 completed, 0 failed, 0 preemption(s)
+queueing: mean 2.8 min, p99 7.5 min
+compiler cache savings: 0.0%
+last 24h: util mean 86.5% p95 100.0%, queue mean 2.8 p95 7
+alerts: 0 active, 0 incident(s) total
+== alert incidents ==
+alert   severity  fired  resolved  duration  peak
+-------------------------------------------------
+(none)                                           
+== per-group usage (all time) ==
+period  group   jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  misses
+---------------------------------------------------------------------------------
+total   lab       12    12     0     0   2.4      0.5        0        0.0       0
+total   vision    12    12     0     0   2.9      0.6        0        0.0       0
+)GOLD";
+
+const char kAccountingGolden[] = R"GOLD(== accounting statement: group 'lab' ==
+period            group  jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  misses
+------------------------------------------------------------------------------------------
+month 0 (d0-d29)  lab      12    12     0     0   2.4      0.5        0        0.0       0
+total             lab      12    12     0     0   2.4      0.5        0        0.0       0
+)GOLD";
+
+/** The fixed-seed scenario behind both golden-output tests. */
+class GoldenScenario
+{
+  public:
+    GoldenScenario()
+    {
+        core::StackConfig config = base_config();
+        config.cluster.name = "campus";
+        stack_ = std::make_unique<core::TaccStack>(config);
+        EXPECT_TRUE(client_.add_cluster("campus", stack_.get()).is_ok());
+        run_scenario(*stack_);
+    }
+
+    tcloud::Client client_;
+    std::unique_ptr<core::TaccStack> stack_;
+};
+
+TEST(OpsReport, OperatorReportGolden)
+{
+    GoldenScenario scenario;
+    auto report = scenario.client_.operator_report();
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_EQ(report.value(), kOperatorReportGolden);
+}
+
+TEST(OpsReport, AccountingGolden)
+{
+    GoldenScenario scenario;
+    auto statement = scenario.client_.accounting("lab");
+    ASSERT_TRUE(statement.is_ok());
+    EXPECT_EQ(statement.value(), kAccountingGolden);
+
+    // Unknown group: a friendly empty statement, not an error.
+    auto empty = scenario.client_.accounting("nobody");
+    ASSERT_TRUE(empty.is_ok());
+    EXPECT_NE(empty.value().find("no usage recorded"), std::string::npos);
+
+    // Malformed requests are rejected.
+    EXPECT_FALSE(scenario.client_.accounting("").is_ok());
+    EXPECT_FALSE(scenario.client_.accounting("lab", "mars").is_ok());
+    EXPECT_FALSE(scenario.client_.operator_report("mars").is_ok());
+}
+
+} // namespace
+} // namespace tacc

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "sched/usage.h"
 
 namespace tacc::sched {
@@ -65,6 +66,94 @@ TEST(UsageTracker, OldUsageFadesFromShares)
     // After 10 half-lives "old" is ~1; "new" dominates.
     EXPECT_GT(tracker.usage_share("new", TimePoint::origin() + 10_h),
               0.98);
+}
+
+/** Brute-force total: what total_usage computed before memoization. */
+double
+summed_usage(const UsageTracker &tracker,
+             const std::vector<std::string> &keys, TimePoint now)
+{
+    double total = 0;
+    for (const auto &key : keys)
+        total += tracker.usage(key, now);
+    return total;
+}
+
+// Regression for the memoized aggregate: the cached total must be
+// *bit-identical* to per-key recomputation at the same instant — the
+// fair-share scheduler compares shares built from it, so even 1-ulp
+// drift could flip a scheduling decision.
+TEST(UsageTracker, CachedTotalBitIdenticalToRecomputation)
+{
+    UsageTracker tracker(24_h);
+    Rng rng(99);
+    const std::vector<std::string> keys = {"a", "b", "c", "d", "e"};
+    TimePoint now = TimePoint::origin();
+    for (int step = 0; step < 500; ++step) {
+        now += Duration::from_seconds(rng.exponential(300.0));
+        tracker.charge(keys[size_t(rng.uniform_int(0, 4))],
+                       rng.uniform(0.0, 5000.0), now);
+        const TimePoint query =
+            now + Duration::from_seconds(rng.uniform(0.0, 3600.0));
+        // The charge invalidated the cache, so the first call
+        // recomputes; the repeat must serve the cache with the exact
+        // same bits.
+        const double first = tracker.total_usage(query);
+        const double cached = tracker.total_usage(query);
+        EXPECT_EQ(first, cached);
+        EXPECT_EQ(tracker.usage_share("a", query),
+                  tracker.usage("a", query) / first);
+    }
+}
+
+TEST(UsageTracker, CacheInvalidatedByCharge)
+{
+    UsageTracker tracker(1_h);
+    const TimePoint t = TimePoint::origin();
+    tracker.charge("a", 100.0, t);
+    EXPECT_DOUBLE_EQ(tracker.total_usage(t), 100.0);
+    // Same query timestamp, new charge: the cache must not serve stale
+    // totals.
+    tracker.charge("b", 50.0, t);
+    EXPECT_DOUBLE_EQ(tracker.total_usage(t), 150.0);
+    tracker.charge("a", 25.0, t);
+    EXPECT_DOUBLE_EQ(tracker.total_usage(t), 175.0);
+}
+
+TEST(UsageTracker, CacheIsPerTimestamp)
+{
+    UsageTracker tracker(1_h);
+    tracker.charge("a", 100.0, TimePoint::origin());
+    EXPECT_NEAR(tracker.total_usage(TimePoint::origin() + 1_h), 50.0,
+                1e-9);
+    // A different timestamp must recompute, not reuse the cached value.
+    EXPECT_NEAR(tracker.total_usage(TimePoint::origin() + 2_h), 25.0,
+                1e-9);
+    EXPECT_NEAR(tracker.total_usage(TimePoint::origin() + 1_h), 50.0,
+                1e-9);
+}
+
+TEST(UsageTracker, SnapshotSortedAndConsistent)
+{
+    UsageTracker tracker(24_h);
+    const TimePoint t = TimePoint::origin();
+    tracker.charge("zeta", 10.0, t);
+    tracker.charge("alpha", 30.0, t);
+    tracker.charge("mid", 20.0, t);
+    const auto snap = tracker.snapshot(t + 1_h);
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[1].first, "mid");
+    EXPECT_EQ(snap[2].first, "zeta");
+    double total = 0;
+    for (const auto &[key, value] : snap) {
+        EXPECT_EQ(value, tracker.usage(key, t + 1_h));
+        total += value;
+    }
+    EXPECT_NEAR(total, summed_usage(tracker, {"alpha", "mid", "zeta"},
+                                    t + 1_h),
+                1e-12);
+    EXPECT_EQ(tracker.key_count(), 3u);
 }
 
 TEST(QuotaManager, UnlimitedByDefault)

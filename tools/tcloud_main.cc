@@ -16,7 +16,8 @@
  *   status <id>           one job's status
  *   logs <id>             aggregated distributed logs
  *   kill <id>             kill a job
- *   report                operations report
+ *   report                operator summary (telemetry, alerts, usage)
+ *   accounting <group>    the group's per-period billing statements
  *   help | quit
  *
  * Example:  printf 'demo 20\ndrain\nps\nreport\n' | ./build/tools/tcloud
@@ -177,7 +178,17 @@ class Shell
             auto s = client_.kill({client_.default_cluster(), id});
             std::printf("%s\n", s.str().c_str());
         } else if (cmd == "report") {
-            report();
+            auto text = client_.operator_report();
+            std::fputs(text.is_ok() ? text.value().c_str()
+                                    : (text.status().str() + "\n").c_str(),
+                       stdout);
+        } else if (cmd == "accounting") {
+            std::string group;
+            is >> group;
+            auto text = client_.accounting(group);
+            std::fputs(text.is_ok() ? text.value().c_str()
+                                    : (text.status().str() + "\n").c_str(),
+                       stdout);
         } else {
             std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
         }
@@ -190,7 +201,8 @@ class Shell
         std::fputs(
             "clusters | use <name> | open <cfg> <name> | submit <file> "
             "| replay <csv> |\ndemo [n] | run <s> | drain | ps | "
-            "status <id> | logs <id> | kill <id> |\nreport | quit\n",
+            "status <id> | logs <id> | kill <id> |\nreport | "
+            "accounting <group> | quit\n",
             stdout);
     }
 
@@ -290,30 +302,6 @@ class Shell
                                           0)});
         }
         std::fputs(table.str().c_str(), stdout);
-    }
-
-    void
-    report()
-    {
-        auto &s = stack();
-        const auto &metrics = s.metrics();
-        const auto occupancy = s.cluster().occupancy();
-        std::printf("cluster %s: %d/%d GPUs in use, %zu running, %zu "
-                    "pending\n",
-                    s.cluster().name().c_str(), occupancy.used_gpus,
-                    occupancy.total_gpus, s.running_count(),
-                    s.pending_count());
-        std::printf("completed %zu, failed %zu, preemptions %llu\n",
-                    metrics.completed_count(), metrics.failed_count(),
-                    (unsigned long long)metrics.preemptions());
-        const auto wait = metrics.wait_samples();
-        if (wait.count() > 0) {
-            std::printf("wait: mean %.1f min, p99 %.1f min\n",
-                        wait.mean() / 60.0, wait.percentile(99) / 60.0);
-        }
-        const auto &cache = s.task_compiler().stats();
-        std::printf("compiler cache savings: %.1f%%\n",
-                    cache.transfer_savings() * 100.0);
     }
 
     std::map<std::string, std::unique_ptr<core::TaccStack>> stacks_;
