@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/scenario.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
@@ -158,7 +159,7 @@ BM_TraceReplay(benchmark::State &state)
         config.stack.cluster.topology.nodes_per_rack = 8;
         config.stack.scheduler = "fairshare";
         config.stack.emit_monitor_logs = false;
-        config.trace.num_jobs = jobs;
+        config.trace.num_jobs = bench::capped_jobs(jobs);
         config.trace.seed = 42;
         config.trace.mean_interarrival_s = 120.0;
         config.trace.gpu_demand_pmf = {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "cluster/cluster.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
@@ -37,6 +38,8 @@ struct Scene {
 
     Scene(int nodes, int queue_depth)
     {
+        // CI smoke honors the job cap by shrinking the queue.
+        queue_depth = bench::capped_jobs(queue_depth);
         cluster::ClusterConfig config;
         config.topology.racks = std::max(1, nodes / 8);
         config.topology.nodes_per_rack = std::min(nodes, 8);

@@ -8,6 +8,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "cluster/cluster.h"
 #include "compiler/chunk_store.h"
 #include "core/scenario.h"
@@ -76,7 +77,7 @@ void
 BM_TraceGeneration(benchmark::State &state)
 {
     workload::TraceConfig config;
-    config.num_jobs = int(state.range(0));
+    config.num_jobs = bench::capped_jobs(int(state.range(0)));
     for (auto _ : state) {
         workload::TraceGenerator generator(config);
         auto trace = generator.generate();
@@ -95,7 +96,7 @@ BM_EndToEndScenario(benchmark::State &state)
         config.stack.cluster.topology.nodes_per_rack = 4;
         config.stack.scheduler = "fairshare";
         config.stack.emit_monitor_logs = false;
-        config.trace.num_jobs = int(state.range(0));
+        config.trace.num_jobs = bench::capped_jobs(int(state.range(0)));
         config.trace.mean_interarrival_s = 300.0;
         config.trace.gpu_demand_pmf = {
             {1, 0.6}, {2, 0.2}, {4, 0.1}, {8, 0.1}};

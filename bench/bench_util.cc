@@ -22,16 +22,22 @@ default_stack()
     return config;
 }
 
+int
+capped_jobs(int jobs)
+{
+    if (const char *cap = std::getenv("TACC_BENCH_JOBS")) {
+        const int n = std::atoi(cap);
+        if (n > 0 && n < jobs)
+            return n;
+    }
+    return jobs;
+}
+
 workload::TraceConfig
 default_trace(int jobs, uint64_t seed)
 {
     workload::TraceConfig trace;
-    trace.num_jobs = jobs;
-    if (const char *cap = std::getenv("TACC_BENCH_JOBS")) {
-        const int n = std::atoi(cap);
-        if (n > 0 && n < jobs)
-            trace.num_jobs = n;
-    }
+    trace.num_jobs = capped_jobs(jobs);
     trace.seed = seed;
     // Calibrated so the reference workload drives the 256-GPU cluster to
     // ~85% utilization during arrivals — the busy-but-stable operating

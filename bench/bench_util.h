@@ -28,6 +28,13 @@ core::StackConfig default_stack();
  */
 workload::TraceConfig default_trace(int jobs = 600, uint64_t seed = 42);
 
+/**
+ * Applies the TACC_BENCH_JOBS cap to an arbitrary job count — the same
+ * contract as default_trace, exposed for binaries that build their
+ * trace/scene sizes directly (micro benches, the sweep bench).
+ */
+int capped_jobs(int jobs);
+
 /** Header matching print_scenario_row. */
 std::vector<std::string> scenario_header();
 

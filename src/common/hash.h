@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing over a canonical byte encoding.
+ *
+ * Basis of the sweep driver's determinism digests: every value is folded
+ * through an explicit fixed-width little-endian encoding, so a digest is
+ * a pure function of the logical values — not of host endianness, struct
+ * padding, or container layout. Strings are length-prefixed to keep the
+ * encoding prefix-free.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tacc {
+
+/** Streaming FNV-1a 64 hasher with canonical value encoders. */
+class Fnv1a
+{
+  public:
+    static constexpr uint64_t kBasis = 14695981039346656037ull;
+    static constexpr uint64_t kPrime = 1099511628211ull;
+
+    constexpr Fnv1a() = default;
+    explicit constexpr Fnv1a(uint64_t state) : h_(state) {}
+
+    constexpr uint64_t value() const { return h_; }
+
+    constexpr void
+    byte(uint8_t b)
+    {
+        h_ = (h_ ^ uint64_t(b)) * kPrime;
+    }
+
+    /** Fixed 8-byte little-endian fold (the canonical integer form). */
+    constexpr void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(uint8_t(v >> (8 * i)));
+    }
+
+    constexpr void i64(int64_t v) { u64(uint64_t(v)); }
+    constexpr void u32(uint32_t v) { u64(uint64_t(v)); }
+    constexpr void i32(int32_t v) { u64(uint64_t(int64_t(v))); }
+    constexpr void boolean(bool v) { byte(v ? 1 : 0); }
+
+    /** Length-prefixed string fold (prefix-free across fields). */
+    void
+    str(std::string_view s)
+    {
+        u64(uint64_t(s.size()));
+        for (char c : s)
+            byte(uint8_t(c));
+    }
+
+    /** 16 lowercase hex digits, the digest rendering in golden files. */
+    static std::string
+    hex(uint64_t v)
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      (unsigned long long)v);
+        return std::string(buf, 16);
+    }
+
+  private:
+    uint64_t h_ = kBasis;
+};
+
+} // namespace tacc

@@ -1,12 +1,15 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tacc {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+/** Atomic: parallel sweep workers read the level while a main thread
+ *  may (re)configure it. */
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char *
 level_tag(LogLevel level)

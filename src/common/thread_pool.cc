@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <cassert>
+
+namespace tacc {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = hardware_threads();
+    workers_.reserve(size_t(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mu_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    assert(queue_.empty() && "workers exited with tasks still queued");
+}
+
+int
+ThreadPool::hardware_threads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : int(n);
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mu_);
+        assert(!stopping_ && "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mu_);
+            work_ready_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // Exceptions are captured by the packaged_task wrapper from
+        // submit(); a raw post()ed task must not throw.
+        task();
+    }
+}
+
+} // namespace tacc

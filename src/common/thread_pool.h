@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size thread pool for coarse-grained parallel work.
+ *
+ * Deliberately minimal — one mutex-guarded FIFO queue and N workers, no
+ * work stealing. The intended tasks are whole simulation runs (seconds
+ * each), so queue contention is negligible and the simple design keeps
+ * the pool easy to reason about under ThreadSanitizer.
+ *
+ * Guarantees:
+ *  - every task submitted before destruction runs to completion: the
+ *    destructor drains the queue, then joins (no work lost on shutdown);
+ *  - exceptions thrown by a task surface through the std::future
+ *    returned by submit(), never on the worker thread;
+ *  - tasks from one submitter start in submission order (FIFO).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tacc {
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 uses hardware_threads(). */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return int(workers_.size()); }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardware_threads();
+
+    /**
+     * Enqueues fn for execution; the future delivers its result or
+     * rethrows its exception. Must not be called during/after
+     * destruction.
+     */
+    template <class F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        post([task] { (*task)(); });
+        return result;
+    }
+
+  private:
+    void post(std::function<void()> task);
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable work_ready_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace tacc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "workload/trace.h"
 
 namespace tacc::core {
@@ -18,6 +19,22 @@ void
 MetricsCollector::on_queue_depth(TimePoint t, int pending)
 {
     queue_depth_.set(t, double(pending));
+}
+
+void
+MetricsCollector::on_placement(cluster::JobId id,
+                               const cluster::Placement &p)
+{
+    auto [it, inserted] = placement_digests_.try_emplace(id, Fnv1a::kBasis);
+    Fnv1a h(it->second);
+    h.u64(uint64_t(p.slices.size()));
+    for (const auto &slice : p.slices) {
+        h.u32(slice.node);
+        h.u64(uint64_t(slice.gpu_indices.size()));
+        for (int gpu : slice.gpu_indices)
+            h.i32(gpu);
+    }
+    it->second = h.value();
 }
 
 const JobRecord &
@@ -44,6 +61,9 @@ MetricsCollector::record_job(const workload::Job &job)
     r.segments = job.segment_count();
     r.has_deadline = job.spec().has_deadline();
     r.missed_deadline = job.missed_deadline();
+    if (auto it = placement_digests_.find(job.id());
+        it != placement_digests_.end())
+        r.placement_digest = it->second;
     completed_count_ += r.final_state == workload::JobState::kCompleted;
     failed_count_ += r.final_state == workload::JobState::kFailed;
     deadline_missed_ += r.missed_deadline;

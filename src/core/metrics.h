@@ -41,6 +41,13 @@ struct JobRecord {
     bool started = false;
     bool has_deadline = false;
     bool missed_deadline = false;
+    /**
+     * Fold of every placement committed for the job (node ids + device
+     * indices, in commit order). Two runs made the same placement
+     * decisions for a job iff the digests match — the per-job input to
+     * the sweep driver's determinism digest.
+     */
+    uint64_t placement_digest = 0;
 };
 
 /** Run-wide metric accumulation. */
@@ -55,6 +62,8 @@ class MetricsCollector
     void on_queue_depth(TimePoint t, int pending);
     void on_preemption() { ++preemptions_; }
     void on_segment_failure() { ++segment_failures_; }
+    /** Folds a committed placement into the job's placement digest. */
+    void on_placement(cluster::JobId id, const cluster::Placement &p);
     /** @return the appended record (the ops accounting hand-off). */
     const JobRecord &record_job(const workload::Job &job);
     ///@}
@@ -120,6 +129,8 @@ class MetricsCollector
 
   private:
     std::vector<JobRecord> records_;
+    /** Running placement fold per job; read out by record_job. */
+    std::map<cluster::JobId, uint64_t> placement_digests_;
     TimeWeightedStat used_gpus_;
     TimeWeightedStat queue_depth_;
     uint64_t preemptions_ = 0;

@@ -28,6 +28,7 @@ run_scenario(const ScenarioConfig &config)
             ++out.never_finished;
     }
 
+    out.records = metrics.records();
     out.jct_samples = metrics.jct_samples();
     out.wait_samples = metrics.wait_samples();
     if (out.jct_samples.count() > 0) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/metrics.h"
 #include "core/stack.h"
 #include "workload/trace.h"
 
@@ -63,6 +64,13 @@ struct ScenarioResult {
     double total_gpu_seconds = 0;
     /** Aggregate minimal GPU-seconds (ideal service at requested scale). */
     double total_ideal_gpu_seconds = 0;
+
+    /**
+     * Terminal per-job records (id order is the collector's terminal-
+     * event order). The sweep driver's determinism digests fold these,
+     * so the full record set rides along with the aggregates.
+     */
+    std::vector<JobRecord> records;
 
     /** Raw samples for CDF figures. */
     Samples jct_samples;

@@ -512,6 +512,7 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
         }
         const cluster::Placement granted =
             cluster_.placement_of(start.job);
+        metrics_.on_placement(start.job, granted);
         const auto &instruction = instructions_.at(start.job);
         exec::SegmentPlan plan =
             engine_.plan_segment(*job, granted, instruction.runtime);

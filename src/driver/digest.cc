@@ -1,0 +1,56 @@
+#include "driver/digest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tacc::driver {
+
+uint64_t
+scenario_digest(const core::ScenarioResult &result)
+{
+    // Sort an index by job id so the digest is independent of the
+    // collector's append (terminal-event) order.
+    std::vector<const core::JobRecord *> order;
+    order.reserve(result.records.size());
+    for (const auto &record : result.records)
+        order.push_back(&record);
+    std::sort(order.begin(), order.end(),
+              [](const core::JobRecord *a, const core::JobRecord *b) {
+                  return a->id < b->id;
+              });
+
+    Fnv1a h;
+    h.str("tacc-sweep-digest-v1");
+    h.str(result.scheduler);
+    h.str(result.placement);
+    h.u64(uint64_t(order.size()));
+    for (const core::JobRecord *r : order) {
+        h.u64(r->id);
+        h.str(r->group);
+        h.str(r->user);
+        h.i32(int32_t(r->qos));
+        h.i32(int32_t(r->final_state));
+        h.i64(r->submitted.to_micros());
+        h.i64(r->finished.to_micros());
+        h.i32(r->gpus);
+        h.boolean(r->started);
+        h.i32(r->preemptions);
+        h.i32(r->segments);
+        h.boolean(r->missed_deadline);
+        h.u64(r->placement_digest);
+    }
+    // Aggregate integer counters (cheap redundancy: a drift in any of
+    // these without a record-level change is itself a bug worth tripping
+    // the gate on).
+    h.u64(uint64_t(result.submitted));
+    h.u64(uint64_t(result.completed));
+    h.u64(uint64_t(result.failed));
+    h.u64(uint64_t(result.never_finished));
+    h.u64(result.preemptions);
+    h.u64(result.segment_failures);
+    return h.value();
+}
+
+} // namespace tacc::driver

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Determinism digests: a canonical 64-bit fingerprint of every decision
+ * a scenario run made.
+ *
+ * The digest folds the sorted terminal job records — submit/finish times
+ * in integer microseconds, per-job placement folds, preemption/segment
+ * counts, final states — plus the integer aggregate counters. Two runs
+ * produce the same digest iff the simulation made identical scheduling
+ * and placement decisions; any behavioural drift (a reordered decision,
+ * a different victim, a moved placement) changes it.
+ *
+ * Derived floating-point aggregates (mean JCT, utilization, …) are
+ * deliberately excluded: they are pure functions of the hashed integer
+ * state, and keeping them out makes the digest robust to summary-side
+ * refactors and cross-toolchain float formatting while losing no
+ * detection power.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/scenario.h"
+
+namespace tacc::driver {
+
+/** Canonical digest of one finished scenario run. */
+uint64_t scenario_digest(const core::ScenarioResult &result);
+
+} // namespace tacc::driver

@@ -1,0 +1,179 @@
+#include "driver/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "driver/digest.h"
+
+namespace tacc::driver {
+
+namespace {
+
+double
+elapsed_ms(std::chrono::steady_clock::time_point since)
+{
+    const auto d = std::chrono::steady_clock::now() - since;
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/** Minimal JSON string escaping (names and policy ids are tame, but a
+ *  spec-provided group name must never corrupt the summary). */
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SweepSummary
+run_sweep(const SweepSpec &spec, int workers)
+{
+    const auto scenarios = expand_sweep(spec);
+    if (workers <= 0)
+        workers = ThreadPool::hardware_threads();
+
+    SweepSummary summary;
+    summary.workers = workers;
+    summary.runs.resize(scenarios.size());
+    const auto sweep_start = std::chrono::steady_clock::now();
+    {
+        ThreadPool pool(workers);
+        std::vector<std::future<void>> done;
+        done.reserve(scenarios.size());
+        for (size_t i = 0; i < scenarios.size(); ++i) {
+            done.push_back(pool.submit([&, i] {
+                RunResult &run = summary.runs[i];
+                run.scenario = scenarios[i];
+                const auto start = std::chrono::steady_clock::now();
+                run.result = core::run_scenario(scenarios[i].config);
+                run.wall_ms = elapsed_ms(start);
+                run.digest = scenario_digest(run.result);
+            }));
+        }
+        // Rethrows the first failure (bad config, bad_alloc, ...) on the
+        // caller thread; remaining runs still finish in ~ThreadPool.
+        for (auto &f : done)
+            f.get();
+    }
+    summary.wall_ms = elapsed_ms(sweep_start);
+    return summary;
+}
+
+std::string
+digests_text(const SweepSummary &summary)
+{
+    std::vector<std::pair<std::string, uint64_t>> lines;
+    lines.reserve(summary.runs.size());
+    for (const auto &run : summary.runs)
+        lines.emplace_back(run.scenario.name, run.digest);
+    std::sort(lines.begin(), lines.end());
+
+    std::string out = "# tacc_sweep digests v1\n";
+    for (const auto &[name, digest] : lines)
+        out += name + " " + Fnv1a::hex(digest) + "\n";
+    return out;
+}
+
+std::string
+summary_to_json(const SweepSummary &summary)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"workers\": " << summary.workers << ",\n";
+    out << strfmt("  \"wall_ms\": %.3f,\n", summary.wall_ms);
+    out << "  \"runs\": [\n";
+    for (size_t i = 0; i < summary.runs.size(); ++i) {
+        const auto &run = summary.runs[i];
+        const auto &r = run.result;
+        out << "    {\n";
+        out << "      \"name\": \"" << json_escape(run.scenario.name)
+            << "\",\n";
+        out << "      \"digest\": \"" << Fnv1a::hex(run.digest)
+            << "\",\n";
+        out << strfmt("      \"wall_ms\": %.3f,\n", run.wall_ms);
+        out << "      \"submitted\": " << r.submitted << ",\n";
+        out << "      \"completed\": " << r.completed << ",\n";
+        out << "      \"failed\": " << r.failed << ",\n";
+        out << "      \"never_finished\": " << r.never_finished << ",\n";
+        out << "      \"preemptions\": " << r.preemptions << ",\n";
+        out << strfmt("      \"mean_jct_s\": %.6f,\n", r.mean_jct_s);
+        out << strfmt("      \"p99_jct_s\": %.6f,\n", r.p99_jct_s);
+        out << strfmt("      \"mean_wait_s\": %.6f,\n", r.mean_wait_s);
+        out << strfmt("      \"p99_wait_s\": %.6f,\n", r.p99_wait_s);
+        out << strfmt("      \"mean_slowdown\": %.6f,\n",
+                      r.mean_slowdown);
+        out << strfmt("      \"utilization\": %.6f,\n",
+                      r.arrival_window_utilization);
+        out << strfmt("      \"fairness\": %.6f,\n", r.group_fairness);
+        out << strfmt("      \"makespan_s\": %.3f\n", r.makespan_s);
+        out << (i + 1 < summary.runs.size() ? "    },\n" : "    }\n");
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+GoldenCheck
+check_digests(const SweepSummary &summary, const std::string &golden_text)
+{
+    std::map<std::string, std::string> golden;
+    for (const auto &raw_line : split(golden_text, '\n')) {
+        const std::string line{trim(raw_line)};
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t space = line.rfind(' ');
+        if (space == std::string::npos || space + 17 != line.size()) {
+            return {false, "malformed golden line: " + line + "\n"};
+        }
+        golden[line.substr(0, space)] = line.substr(space + 1);
+    }
+
+    GoldenCheck check;
+    check.ok = true;
+    std::map<std::string, uint64_t> actual;
+    for (const auto &run : summary.runs)
+        actual[run.scenario.name] = run.digest;
+
+    for (const auto &[name, digest] : actual) {
+        auto it = golden.find(name);
+        if (it == golden.end()) {
+            check.ok = false;
+            check.report += "missing from goldens: " + name + "\n";
+        } else if (it->second != Fnv1a::hex(digest)) {
+            check.ok = false;
+            check.report += "digest drift: " + name + " golden " +
+                            it->second + " != actual " +
+                            Fnv1a::hex(digest) + "\n";
+        }
+    }
+    for (const auto &[name, digest] : golden) {
+        if (!actual.count(name)) {
+            check.ok = false;
+            check.report += "golden run not in sweep: " + name + "\n";
+        }
+    }
+    return check;
+}
+
+} // namespace tacc::driver

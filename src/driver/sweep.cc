@@ -1,0 +1,299 @@
+#include "driver/sweep.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "sched/placement.h"
+#include "sched/schedulers.h"
+
+namespace tacc::driver {
+
+namespace {
+
+Status
+bad(const std::string &key, const std::string &value)
+{
+    return Status::invalid_argument("bad value for " + key + ": " + value);
+}
+
+StatusOr<double>
+parse_double(const std::string &key, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size())
+            return bad(key, value);
+        return v;
+    } catch (const std::exception &) {
+        return bad(key, value);
+    }
+}
+
+StatusOr<uint64_t>
+parse_u64(const std::string &key, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        const unsigned long long v = std::stoull(value, &pos);
+        if (pos != value.size())
+            return bad(key, value);
+        return uint64_t(v);
+    } catch (const std::exception &) {
+        return bad(key, value);
+    }
+}
+
+/** Comma-separated list; empty entries rejected. */
+StatusOr<std::vector<std::string>>
+parse_list(const std::string &key, const std::string &value)
+{
+    std::vector<std::string> out;
+    for (const auto &part : split(value, ',')) {
+        const std::string item{trim(part)};
+        if (item.empty())
+            return bad(key, value);
+        out.push_back(item);
+    }
+    if (out.empty())
+        return bad(key, value);
+    return out;
+}
+
+/** Compact load rendering: x1, x1.4, x0.75 (no trailing zeros). */
+std::string
+load_tag(double load)
+{
+    std::string s = strfmt("%g", load);
+    return "x" + s;
+}
+
+} // namespace
+
+Status
+apply_preempt_mode(const std::string &mode, core::StackConfig *stack)
+{
+    if (mode == "graceful") {
+        stack->exec.restart_overhead_s = 30.0;
+        stack->exec.checkpoint_interval_s = 0.0;
+    } else if (mode == "free") {
+        stack->exec.restart_overhead_s = 0.0;
+        stack->exec.checkpoint_cost_s = 0.0;
+        stack->exec.checkpoint_interval_s = 0.0;
+    } else if (mode == "costly") {
+        stack->exec.restart_overhead_s = 120.0;
+        stack->exec.checkpoint_interval_s = 0.0;
+    } else if (mode == "checkpoint") {
+        stack->exec.restart_overhead_s = 30.0;
+        stack->exec.checkpoint_interval_s = 1800.0;
+    } else {
+        return Status::invalid_argument("unknown preempt mode: " + mode);
+    }
+    return Status::ok();
+}
+
+std::vector<SweepScenario>
+expand_sweep(const SweepSpec &spec)
+{
+    std::vector<SweepScenario> out;
+    out.reserve(spec.grid_size());
+    for (const auto &scheduler : spec.schedulers) {
+        for (const auto &placement : spec.placements) {
+            for (const auto &mode : spec.preempt_modes) {
+                for (double load : spec.loads) {
+                    for (uint64_t seed : spec.seeds) {
+                        SweepScenario sc;
+                        sc.config = spec.base;
+                        sc.config.stack.scheduler = scheduler;
+                        sc.config.stack.placement = placement;
+                        // Validated at parse time; an invalid mode in a
+                        // hand-built spec surfaces when the run fails.
+                        (void)apply_preempt_mode(mode, &sc.config.stack);
+                        sc.config.trace.mean_interarrival_s =
+                            spec.base.trace.mean_interarrival_s / load;
+                        sc.config.stack.seed = seed;
+                        sc.config.trace.seed = seed;
+                        sc.name = scheduler + "/" + placement + "/" +
+                                  mode + "/" + load_tag(load) + "/s" +
+                                  std::to_string(seed);
+                        out.push_back(std::move(sc));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+StatusOr<SweepSpec>
+parse_sweep_spec(const std::string &text)
+{
+    SweepSpec spec;
+    // Sweeps never want per-node monitor log lines.
+    spec.base.stack.emit_monitor_logs = false;
+
+    for (const auto &raw_line : split(text, '\n')) {
+        const std::string line{trim(raw_line)};
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return Status::invalid_argument("malformed line: " + line);
+        const std::string key{trim(line.substr(0, colon))};
+        const std::string value{trim(line.substr(colon + 1))};
+
+        auto to_pos_int = [&](int &out) -> Status {
+            auto v = parse_u64(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() == 0 || v.value() > 1'000'000'000)
+                return bad(key, value);
+            out = int(v.value());
+            return Status::ok();
+        };
+        auto to_frac = [&](double &out) -> Status {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() < 0.0 || v.value() > 1.0)
+                return bad(key, value);
+            out = v.value();
+            return Status::ok();
+        };
+
+        if (key == "schedulers") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            for (const auto &name : list.value()) {
+                if (!sched::make_scheduler(name, {}))
+                    return Status::invalid_argument(
+                        "unknown scheduler: " + name);
+            }
+            spec.schedulers = std::move(list).value();
+        } else if (key == "placements") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            for (const auto &name : list.value()) {
+                if (!sched::make_placement_policy(name))
+                    return Status::invalid_argument(
+                        "unknown placement: " + name);
+            }
+            spec.placements = std::move(list).value();
+        } else if (key == "preempt_modes") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            core::StackConfig scratch;
+            for (const auto &mode : list.value()) {
+                if (auto s = apply_preempt_mode(mode, &scratch);
+                    !s.is_ok())
+                    return s;
+            }
+            spec.preempt_modes = std::move(list).value();
+        } else if (key == "loads") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            spec.loads.clear();
+            for (const auto &item : list.value()) {
+                auto v = parse_double(key, item);
+                if (!v.is_ok())
+                    return v.status();
+                if (v.value() <= 0.0 || v.value() > 100.0)
+                    return bad(key, item);
+                spec.loads.push_back(v.value());
+            }
+        } else if (key == "seeds") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            spec.seeds.clear();
+            for (const auto &item : list.value()) {
+                auto v = parse_u64(key, item);
+                if (!v.is_ok())
+                    return v.status();
+                spec.seeds.push_back(v.value());
+            }
+        } else if (key == "jobs") {
+            if (auto s = to_pos_int(spec.base.trace.num_jobs); !s.is_ok())
+                return s;
+        } else if (key == "interarrival_s") {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() <= 0.0)
+                return bad(key, value);
+            spec.base.trace.mean_interarrival_s = v.value();
+        } else if (key == "diurnal") {
+            if (value == "true")
+                spec.base.trace.diurnal = true;
+            else if (value == "false")
+                spec.base.trace.diurnal = false;
+            else
+                return bad(key, value);
+        } else if (key == "frac_interactive") {
+            if (auto s = to_frac(spec.base.trace.frac_interactive);
+                !s.is_ok())
+                return s;
+        } else if (key == "frac_best_effort") {
+            if (auto s = to_frac(spec.base.trace.frac_best_effort);
+                !s.is_ok())
+                return s;
+        } else if (key == "frac_deadline") {
+            if (auto s = to_frac(spec.base.trace.frac_deadline);
+                !s.is_ok())
+                return s;
+        } else if (key == "frac_elastic") {
+            if (auto s = to_frac(spec.base.trace.frac_elastic); !s.is_ok())
+                return s;
+        } else if (key == "racks") {
+            if (auto s =
+                    to_pos_int(spec.base.stack.cluster.topology.racks);
+                !s.is_ok())
+                return s;
+        } else if (key == "nodes_per_rack") {
+            if (auto s = to_pos_int(
+                    spec.base.stack.cluster.topology.nodes_per_rack);
+                !s.is_ok())
+                return s;
+        } else if (key == "gpus_per_node") {
+            if (auto s =
+                    to_pos_int(spec.base.stack.cluster.node.gpu_count);
+                !s.is_ok())
+                return s;
+        } else if (key == "oversubscription") {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() < 1.0)
+                return bad(key, value);
+            spec.base.stack.cluster.topology.oversubscription = v.value();
+        } else if (key == "max_events") {
+            auto v = parse_u64(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() == 0)
+                return bad(key, value);
+            spec.base.max_events = v.value();
+        } else {
+            return Status::invalid_argument("unknown key: " + key);
+        }
+    }
+    return spec;
+}
+
+StatusOr<SweepSpec>
+load_sweep_spec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::not_found("cannot read sweep spec: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_sweep_spec(text.str());
+}
+
+} // namespace tacc::driver

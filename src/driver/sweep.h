@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sweep specification: the experiment grid behind every policy-comparison
+ * table.
+ *
+ * A SweepSpec is a base scenario (cluster shape + workload shape) plus
+ * five axes — scheduler, placement policy, preemption-cost mode, load
+ * multiplier, seed — whose cross product expands into independent named
+ * scenario runs. Expansion order is canonical (axes iterate in the order
+ * above, values in listed order), so run indices, digest files, and JSON
+ * summaries are stable for a fixed spec.
+ *
+ * Specs are written in the repo's `key: value` dialect:
+ *
+ *   # axes (comma-separated lists)
+ *   schedulers: fairshare,fifo-skip,backfill-easy
+ *   placements: topology,pack
+ *   preempt_modes: graceful
+ *   loads: 1.0,1.4
+ *   seeds: 1,2
+ *   # base scenario knobs (all optional)
+ *   jobs: 40                 trace length
+ *   interarrival_s: 90       mean interarrival at load 1.0
+ *   diurnal: true            day/night arrival modulation
+ *   frac_interactive: 0.25   QoS mix
+ *   frac_best_effort: 0.15
+ *   frac_deadline: 0.0
+ *   frac_elastic: 0.0
+ *   racks: 4
+ *   nodes_per_rack: 8
+ *   gpus_per_node: 8
+ *   oversubscription: 4.0
+ *   max_events: 100000000
+ *
+ * Unknown keys are errors (same contract as the deployment dialect).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/scenario.h"
+
+namespace tacc::driver {
+
+/** The experiment grid; defaults describe a single reference run. */
+struct SweepSpec {
+    /** Template every grid point starts from. */
+    core::ScenarioConfig base;
+
+    /** @name Axes (cross product, in this nesting order) */
+    ///@{
+    std::vector<std::string> schedulers = {"fairshare"};
+    std::vector<std::string> placements = {"topology"};
+    /** See apply_preempt_mode for the recognized modes. */
+    std::vector<std::string> preempt_modes = {"graceful"};
+    /** Arrival-rate multipliers: interarrival = base / load. */
+    std::vector<double> loads = {1.0};
+    /** Seeds both the trace generator and the stack. */
+    std::vector<uint64_t> seeds = {1};
+    ///@}
+
+    size_t
+    grid_size() const
+    {
+        return schedulers.size() * placements.size() *
+               preempt_modes.size() * loads.size() * seeds.size();
+    }
+};
+
+/** One grid point: a canonical name plus the concrete scenario. */
+struct SweepScenario {
+    /** "<sched>/<placement>/<mode>/x<load>/s<seed>". */
+    std::string name;
+    core::ScenarioConfig config;
+};
+
+/**
+ * Applies a preemption-cost mode to a stack config. Recognized modes
+ * (the F4-style preemption axis: how expensive is it to kick a job?):
+ *  - "graceful":   library defaults — 30 s checkpoint-restore on
+ *                  restart, no periodic checkpoints;
+ *  - "free":       zero restart overhead (preemption is costless);
+ *  - "costly":     120 s restart overhead (large checkpoint restore);
+ *  - "checkpoint": periodic 30-min checkpoints with the default 5 s
+ *                  write cost (crash rollback bounded, restarts 30 s).
+ */
+Status apply_preempt_mode(const std::string &mode,
+                          core::StackConfig *stack);
+
+/** Expands the grid into runnable scenarios in canonical order. */
+std::vector<SweepScenario> expand_sweep(const SweepSpec &spec);
+
+/** Parses the spec dialect; axes and scheduler names are validated. */
+StatusOr<SweepSpec> parse_sweep_spec(const std::string &text);
+
+/** Reads and parses a spec file. */
+StatusOr<SweepSpec> load_sweep_spec(const std::string &path);
+
+} // namespace tacc::driver

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ThreadPool contract tests: results and exceptions propagate through
+ * futures, shutdown drains every queued task (no work lost), and the
+ * pool survives heavy churn. These also run under the ThreadSanitizer
+ * CI job, which is where the locking discipline is actually proven.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace tacc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+
+    std::vector<std::future<int>> results;
+    for (int i = 0; i < 100; ++i)
+        results.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(results[size_t(i)].get(), i * i);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardware_threads(), 1);
+    ThreadPool pool(0); // 0 = hardware concurrency
+    EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFutureNotWorker)
+{
+    ThreadPool pool(2);
+    auto failing = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+
+    // The worker that ran the throwing task must still be alive.
+    auto after = pool.submit([] { return 7; });
+    EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        // Far more tasks than workers; most are still queued when the
+        // destructor begins. Every one must still run.
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ran.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NoWorkLostUnderChurn)
+{
+    std::atomic<int64_t> sum{0};
+    constexpr int kTasks = 2000;
+    {
+        ThreadPool pool(4);
+        std::vector<std::future<void>> done;
+        done.reserve(kTasks);
+        for (int i = 1; i <= kTasks; ++i)
+            done.push_back(pool.submit([&sum, i] { sum += i; }));
+        for (auto &f : done)
+            f.get();
+        EXPECT_EQ(sum.load(), int64_t(kTasks) * (kTasks + 1) / 2);
+    }
+}
+
+TEST(ThreadPool, TasksFromOneSubmitterStartInFifoOrder)
+{
+    // With a single worker, execution order == submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 16; ++i)
+        done.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : done)
+        f.get();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(ThreadPool, MoveOnlyResultsSupported)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return std::make_unique<int>(42); });
+    EXPECT_EQ(*fut.get(), 42);
+}
+
+} // namespace
+} // namespace tacc
