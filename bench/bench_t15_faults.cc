@@ -1,0 +1,178 @@
+/**
+ * @file
+ * T15 — Fault storms, goodput, and self-healing recovery.
+ *
+ * Drives the reference 256-GPU campus deployment through a scripted
+ * rack-switch outage (one of four racks, 25% of capacity) under a
+ * sustained workload, in three variants:
+ *
+ *  - baseline:   no faults (the goodput ceiling);
+ *  - self-heal:  the outage hits, detection hands the rack to the
+ *                repair pipeline, capacity returns mid-run;
+ *  - no-repair:  the same outage with repair withheld for the rest of
+ *                the run (what the cluster loses without self-healing).
+ *
+ * The table reports utilization in the pre-outage / outage / post-repair
+ * windows — goodput should degrade roughly with the lost capacity and,
+ * only in the self-heal variant, return once the rack is repaired —
+ * plus fault-lost GPU-hours and requeue latency. A storm-mode mini sweep
+ * then runs twice at 8 workers and byte-compares digests: fault
+ * injection must stay inside the determinism contract. Digest drift
+ * exits non-zero.
+ *
+ * TACC_BENCH_JOBS caps the trace length (CI smoke). --json FILE writes
+ * the key metrics as a machine-readable artifact.
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "driver/runner.h"
+
+using namespace tacc;
+
+namespace {
+
+struct Variant {
+    std::string label;
+    core::ScenarioResult result;
+};
+
+/** Mean of the utilization series over [a_s, b_s) at `bucket_s` width. */
+double
+window_mean(const std::vector<double> &series, double bucket_s,
+            double a_s, double b_s)
+{
+    double sum = 0;
+    int n = 0;
+    for (size_t i = 0; i < series.size(); ++i) {
+        const double t = double(i) * bucket_s;
+        if (t >= a_s && t < b_s) {
+            sum += series[i];
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json_path = argv[i + 1];
+    }
+
+    const int jobs = bench::capped_jobs(300);
+    const double interarrival_s = 45.0;
+    const double span_s = jobs * interarrival_s;
+    const double outage_at_s = span_s * 0.35;
+    const double outage_s = span_s * 0.30;
+    const double bucket_s = 60.0;
+
+    auto make_config = [&](int mode) { // 0 baseline, 1 self-heal, 2 no-repair
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.stack.exec.failure.requeue_backoff_base_s = 5.0;
+        config.trace = bench::default_trace(jobs, 42);
+        config.trace.mean_interarrival_s = interarrival_s;
+        config.utilization_bucket = Duration::from_seconds(bucket_s);
+        if (mode > 0) {
+            config.stack.faults.enabled = true;
+            config.stack.faults.detection_delay_s = 30.0;
+            config.stack.faults.scripted.push_back(
+                {outage_at_s, 0,
+                 mode == 1 ? outage_s : span_s * 100.0});
+        }
+        return config;
+    };
+
+    std::printf("T15: fault storm — %d jobs over %.1f h on 256 GPUs; "
+                "rack 0 (25%% of capacity) out at %.1f h for %.1f h\n",
+                jobs, span_s / 3600.0, outage_at_s / 3600.0,
+                outage_s / 3600.0);
+
+    std::vector<Variant> variants;
+    variants.push_back({"baseline", core::run_scenario(make_config(0))});
+    variants.push_back({"self-heal", core::run_scenario(make_config(1))});
+    variants.push_back({"no-repair", core::run_scenario(make_config(2))});
+
+    // Window boundaries, with slack after the transition instants so the
+    // detection delay and requeue churn don't blur the means.
+    const double pre_a = span_s * 0.10, pre_b = outage_at_s;
+    const double out_a = outage_at_s + 120.0;
+    const double out_b = outage_at_s + outage_s;
+    const double post_a = out_b + 600.0, post_b = span_s;
+
+    TextTable table("T15: goodput under a rack outage");
+    table.set_header({"variant", "done", "util(pre)", "util(outage)",
+                      "util(post)", "faults", "lost-GPUh",
+                      "requeue(mean s)", "requeue(p99 s)"});
+    for (const auto &v : variants) {
+        const auto &r = v.result;
+        table.add_row(
+            {v.label, std::to_string(r.completed),
+             TextTable::pct(window_mean(r.utilization_series, bucket_s,
+                                        pre_a, pre_b)),
+             TextTable::pct(window_mean(r.utilization_series, bucket_s,
+                                        out_a, out_b)),
+             TextTable::pct(window_mean(r.utilization_series, bucket_s,
+                                        post_a, post_b)),
+             std::to_string(r.node_faults),
+             TextTable::fixed(r.fault_lost_gpu_hours, 1),
+             TextTable::fixed(r.mean_requeue_latency_s, 1),
+             TextTable::fixed(r.p99_requeue_latency_s, 1)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("expectation: outage-window goodput tracks the lost "
+                "capacity (~75%% of pre), and only self-heal recovers "
+                "in the post window\n");
+
+    // Determinism under storms: the same random-fault sweep twice at 8
+    // workers must produce byte-identical digests.
+    driver::SweepSpec storm;
+    storm.base.stack = bench::default_stack();
+    storm.base.trace = bench::default_trace(std::min(jobs, 80), 42);
+    storm.schedulers = {"fairshare", "backfill-easy"};
+    storm.placements = {"topology", "antiaffinity"};
+    storm.fault_modes = {"storm"};
+    storm.seeds = {1, 2};
+    const auto pass1 = driver::run_sweep(storm, 8);
+    const auto pass2 = driver::run_sweep(storm, 8);
+    const bool identical =
+        driver::digests_text(pass1) == driver::digests_text(pass2);
+    std::printf("storm sweep determinism: %zu scenarios x2 at 8 workers "
+                "— digests %s\n",
+                storm.grid_size(),
+                identical ? "identical" : "DRIFT — violation");
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << "{\n";
+        for (size_t i = 0; i < variants.size(); ++i) {
+            const auto &r = variants[i].result;
+            out << "  \"" << variants[i].label << "\": {"
+                << "\"completed\": " << r.completed
+                << ", \"node_faults\": " << r.node_faults
+                << ", \"fault_lost_gpu_hours\": " << r.fault_lost_gpu_hours
+                << ", \"mean_requeue_latency_s\": "
+                << r.mean_requeue_latency_s
+                << ", \"util_outage\": "
+                << window_mean(r.utilization_series, bucket_s, out_a,
+                               out_b)
+                << ", \"util_post\": "
+                << window_mean(r.utilization_series, bucket_s, post_a,
+                               post_b)
+                << "},\n";
+        }
+        out << "  \"storm_sweep_digests_identical\": "
+            << (identical ? "true" : "false") << "\n}\n";
+    }
+    return identical ? 0 : 1;
+}

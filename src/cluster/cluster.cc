@@ -28,6 +28,31 @@ Cluster::Cluster(ClusterConfig config)
         max_gpus_per_node_ = std::max(max_gpus_per_node_, spec.gpu_count);
     }
     free_gpus_ = total_gpus_;
+    health_ = NodeHealthTracker(n);
+}
+
+int
+Cluster::schedulable_free_gpus() const
+{
+    if (health_.all_healthy())
+        return free_gpus_;
+    int free = 0;
+    for (const auto &n : nodes_)
+        if (health_.schedulable(n.id()))
+            free += n.free_gpu_count();
+    return free;
+}
+
+int
+Cluster::schedulable_total_gpus() const
+{
+    if (health_.all_healthy())
+        return total_gpus_;
+    int total = 0;
+    for (const auto &n : nodes_)
+        if (health_.schedulable(n.id()))
+            total += n.gpu_count();
+    return total;
 }
 
 const Node &

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/health.h"
 #include "cluster/node.h"
 #include "cluster/topology.h"
 #include "cluster/types.h"
@@ -107,6 +108,15 @@ class Cluster
     Node &node(NodeId id);
     const std::vector<Node> &nodes() const { return nodes_; }
 
+    /** Per-node health, shared by scheduler / injector / operator verbs. */
+    const NodeHealthTracker &health() const { return health_; }
+    NodeHealthTracker &health() { return health_; }
+
+    /** Free GPUs on schedulable (Healthy/Degraded) nodes only. */
+    int schedulable_free_gpus() const;
+    /** Total GPUs on schedulable nodes (capacity net of outages). */
+    int schedulable_total_gpus() const;
+
     /**
      * Applies a placement atomically: either every slice is granted or
      * nothing is. Slices must name distinct nodes.
@@ -137,6 +147,7 @@ class Cluster
     int total_gpus_ = 0;
     int max_gpus_per_node_ = 0;
     int free_gpus_ = 0;
+    NodeHealthTracker health_;
     std::unordered_map<JobId, Placement> holdings_;
 };
 

@@ -1,0 +1,284 @@
+#include "core/fault_domain.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace tacc::core {
+
+using cluster::NodeHealth;
+using cluster::NodeId;
+
+namespace {
+
+/** Independent per-chain stream: depends only on (seed, tag). */
+Rng
+make_stream(uint64_t seed, uint64_t tag)
+{
+    uint64_t state = seed ^ 0xfa17'd0ca'10de'e5e7ULL ^
+                     (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng(split_mix64(state));
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(sim::Simulator &sim,
+                             cluster::Cluster &cluster,
+                             FaultDomainConfig config, uint64_t seed,
+                             Callbacks cb)
+    : sim_(sim), cluster_(cluster), config_(std::move(config)),
+      cb_(std::move(cb))
+{
+    const int nodes = cluster_.node_count();
+    const int racks = cluster_.topology().racks();
+    crash_rng_.reserve(size_t(nodes));
+    degrade_rng_.reserve(size_t(nodes));
+    for (int n = 0; n < nodes; ++n) {
+        crash_rng_.push_back(make_stream(seed, 0x10000 + uint64_t(n)));
+        degrade_rng_.push_back(make_stream(seed, 0x20000 + uint64_t(n)));
+    }
+    for (int r = 0; r < racks; ++r)
+        rack_rng_.push_back(make_stream(seed, 0x30000 + uint64_t(r)));
+    for (int p = 0; p < pdu_count(); ++p)
+        pdu_rng_.push_back(make_stream(seed, 0x40000 + uint64_t(p)));
+    strikes_.resize(size_t(nodes));
+}
+
+int
+FaultInjector::pdu_count() const
+{
+    const int rpp = std::max(config_.racks_per_pdu, 1);
+    return (cluster_.topology().racks() + rpp - 1) / rpp;
+}
+
+void
+FaultInjector::start()
+{
+    const int nodes = cluster_.node_count();
+    const int racks = cluster_.topology().racks();
+    if (config_.node_crash_mtbf_hours > 0) {
+        for (int n = 0; n < nodes; ++n)
+            schedule_node_crash(NodeId(n));
+    }
+    if (config_.node_degrade_mtbf_hours > 0) {
+        for (int n = 0; n < nodes; ++n)
+            schedule_node_degrade(NodeId(n));
+    }
+    if (config_.rack_outage_mtbf_hours > 0) {
+        for (int r = 0; r < racks; ++r)
+            schedule_rack_outage(r);
+    }
+    if (config_.pdu_outage_mtbf_hours > 0) {
+        for (int p = 0; p < pdu_count(); ++p)
+            schedule_pdu_outage(p);
+    }
+    for (const ScriptedOutage &outage : config_.scripted) {
+        sim_.schedule_at(
+            TimePoint::origin() + Duration::from_seconds(outage.at_s),
+            "scripted-outage", [this, outage] {
+                ++rack_outages_;
+                take_down_rack(outage.rack,
+                               Duration::from_seconds(outage.duration_s));
+            });
+    }
+}
+
+void
+FaultInjector::take_down(NodeId node, Duration repair)
+{
+    auto &health = cluster_.health();
+    const uint64_t down_epoch = health.set_state(node, NodeHealth::kDown);
+    if (cb_.on_node_down)
+        cb_.on_node_down(node);
+
+    // Self-healing: detection turns the node over to the repair crew,
+    // repair returns it to service. A second hit while down bumps the
+    // epoch, invalidating this chain, and schedules a fresh one — so
+    // overlapping outages extend downtime instead of racing.
+    const Duration detect = std::min(
+        Duration::from_seconds(config_.detection_delay_s), repair);
+    sim_.schedule_after(detect, "fault-detect", [this, node, down_epoch,
+                                                 repair, detect] {
+        auto &h = cluster_.health();
+        if (h.epoch(node) != down_epoch)
+            return;
+        const uint64_t repair_epoch =
+            h.set_state(node, NodeHealth::kRepairing);
+        sim_.schedule_after(
+            repair - detect, "fault-repair", [this, node, repair_epoch] {
+                auto &hh = cluster_.health();
+                if (hh.epoch(node) != repair_epoch)
+                    return;
+                hh.set_state(node, NodeHealth::kHealthy);
+                ++repairs_;
+                if (cb_.on_capacity_change)
+                    cb_.on_capacity_change();
+            });
+    });
+}
+
+void
+FaultInjector::take_down_rack(int rack, Duration repair)
+{
+    const int per_rack = cluster_.topology().config().nodes_per_rack;
+    const NodeId lo = NodeId(rack * per_rack);
+    for (NodeId n = lo; n < lo + NodeId(per_rack); ++n)
+        take_down(n, repair);
+}
+
+void
+FaultInjector::schedule_node_crash(NodeId node)
+{
+    const Duration dt = Duration::from_seconds(
+        crash_rng_[size_t(node)].exponential(
+            config_.node_crash_mtbf_hours * 3600.0));
+    sim_.schedule_after(dt, "node-crash", [this, node] {
+        ++node_crashes_;
+        record_strike(node, sim_.now());
+        take_down(node,
+                  Duration::from_seconds(config_.node_repair_hours *
+                                         3600.0));
+        schedule_node_crash(node);
+    });
+}
+
+void
+FaultInjector::schedule_node_degrade(NodeId node)
+{
+    const Duration dt = Duration::from_seconds(
+        degrade_rng_[size_t(node)].exponential(
+            config_.node_degrade_mtbf_hours * 3600.0));
+    sim_.schedule_after(dt, "node-degrade", [this, node] {
+        auto &health = cluster_.health();
+        if (health.state(node) == NodeHealth::kHealthy) {
+            ++degradations_;
+            const uint64_t epoch =
+                health.set_state(node, NodeHealth::kDegraded);
+            sim_.schedule_after(
+                Duration::from_seconds(config_.degraded_duration_hours *
+                                       3600.0),
+                "degrade-recover", [this, node, epoch] {
+                    auto &h = cluster_.health();
+                    if (h.epoch(node) != epoch)
+                        return;
+                    h.set_state(node, NodeHealth::kHealthy);
+                });
+        }
+        schedule_node_degrade(node);
+    });
+}
+
+void
+FaultInjector::schedule_rack_outage(int rack)
+{
+    const Duration dt = Duration::from_seconds(
+        rack_rng_[size_t(rack)].exponential(
+            config_.rack_outage_mtbf_hours * 3600.0));
+    sim_.schedule_after(dt, "rack-outage", [this, rack] {
+        ++rack_outages_;
+        take_down_rack(rack,
+                       Duration::from_seconds(config_.rack_repair_hours *
+                                              3600.0));
+        schedule_rack_outage(rack);
+    });
+}
+
+void
+FaultInjector::schedule_pdu_outage(int pdu)
+{
+    const Duration dt = Duration::from_seconds(
+        pdu_rng_[size_t(pdu)].exponential(config_.pdu_outage_mtbf_hours *
+                                          3600.0));
+    sim_.schedule_after(dt, "pdu-outage", [this, pdu] {
+        ++pdu_outages_;
+        const int rpp = std::max(config_.racks_per_pdu, 1);
+        const int racks = cluster_.topology().racks();
+        const Duration repair = Duration::from_seconds(
+            config_.pdu_repair_hours * 3600.0);
+        for (int r = pdu * rpp; r < std::min((pdu + 1) * rpp, racks); ++r)
+            take_down_rack(r, repair);
+        schedule_pdu_outage(pdu);
+    });
+}
+
+Status
+FaultInjector::cordon(NodeId node)
+{
+    if (size_t(node) >= size_t(cluster_.node_count()))
+        return Status::not_found(strfmt("node %d", int(node)));
+    auto &health = cluster_.health();
+    const NodeHealth s = health.state(node);
+    if (s != NodeHealth::kHealthy && s != NodeHealth::kDegraded) {
+        return Status::failed_precondition(
+            strfmt("node %d is %s", int(node), health_name(s)));
+    }
+    health.set_state(node, NodeHealth::kCordoned);
+    return Status::ok();
+}
+
+Status
+FaultInjector::drain(NodeId node)
+{
+    if (size_t(node) >= size_t(cluster_.node_count()))
+        return Status::not_found(strfmt("node %d", int(node)));
+    auto &health = cluster_.health();
+    const NodeHealth s = health.state(node);
+    if (s != NodeHealth::kHealthy && s != NodeHealth::kDegraded &&
+        s != NodeHealth::kCordoned) {
+        return Status::failed_precondition(
+            strfmt("node %d is %s", int(node), health_name(s)));
+    }
+    health.set_state(node, NodeHealth::kDraining);
+    if (cb_.on_node_evacuate)
+        cb_.on_node_evacuate(node);
+    return Status::ok();
+}
+
+Status
+FaultInjector::uncordon(NodeId node)
+{
+    if (size_t(node) >= size_t(cluster_.node_count()))
+        return Status::not_found(strfmt("node %d", int(node)));
+    auto &health = cluster_.health();
+    const NodeHealth s = health.state(node);
+    if (s != NodeHealth::kCordoned && s != NodeHealth::kDraining) {
+        return Status::failed_precondition(
+            strfmt("node %d is %s", int(node), health_name(s)));
+    }
+    health.set_state(node, NodeHealth::kHealthy);
+    if (cb_.on_capacity_change)
+        cb_.on_capacity_change();
+    return Status::ok();
+}
+
+void
+FaultInjector::record_strike(NodeId node, TimePoint now)
+{
+    strikes_[size_t(node)].push_back(now);
+    any_strikes_ = true;
+}
+
+bool
+FaultInjector::build_node_filter(TimePoint now,
+                                 std::vector<uint8_t> &mask)
+{
+    if (!any_strikes_)
+        return false;
+    const Duration window =
+        Duration::from_seconds(config_.flaky_window_hours * 3600.0);
+    bool any = false;
+    mask.assign(size_t(cluster_.node_count()), 1);
+    for (size_t n = 0; n < strikes_.size(); ++n) {
+        auto &hits = strikes_[n];
+        while (!hits.empty() && hits.front() + window < now)
+            hits.erase(hits.begin());
+        if (int(hits.size()) >= config_.flaky_strike_threshold) {
+            mask[n] = 0;
+            any = true;
+        }
+    }
+    return any;
+}
+
+} // namespace tacc::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fault-domain failure injection and the self-healing node lifecycle.
+ *
+ * The injector drives the cluster's per-node health state machine with
+ * three deterministic fault processes, each on its own derived RNG
+ * stream so their draws never depend on scheduling order:
+ *
+ *  - independent node crashes (exponential inter-arrival per node),
+ *  - correlated fault-domain outages: a rack switch takes out one rack,
+ *    a PDU takes out `racks_per_pdu` adjacent racks at once,
+ *  - degradation: a node drops to Degraded, where it keeps running but
+ *    faults segments at `degraded_fault_multiplier` times the base rate
+ *    (applied by the FailureModel), until it recovers.
+ *
+ * Every downed node self-heals: Down -> (detection delay) -> Repairing
+ * -> (repair time) -> Healthy. Overlapping outages extend downtime via
+ * the health tracker's per-node epochs — a repair scheduled before a
+ * second hit simply goes stale. Scripted outages give tests and benches
+ * exactly reproducible storms without touching the random streams.
+ *
+ * The injector also keeps the flaky-node scoreboard: nodes whose crashes
+ * killed gangs collect strikes; nodes with enough recent strikes are
+ * vetoed from placement (SchedulerContext::node_filter) until the
+ * strikes age out.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace tacc::core {
+
+/** One deterministic, pre-planned fault-domain outage. */
+struct ScriptedOutage {
+    double at_s = 0;       ///< outage start (sim seconds from origin)
+    int rack = 0;          ///< rack that loses its switch
+    double duration_s = 0; ///< all nodes of the rack are back after this
+};
+
+/** Fault-domain / node-lifecycle configuration. */
+struct FaultDomainConfig {
+    /** Master switch; off means no injector exists at all. */
+    bool enabled = false;
+
+    /** @name Random fault processes (<= 0 disables each) */
+    ///@{
+    double node_crash_mtbf_hours = 0.0;   ///< per-node independent crash
+    double node_degrade_mtbf_hours = 0.0; ///< per-node degradation onset
+    double degraded_duration_hours = 2.0; ///< Degraded -> Healthy
+    double rack_outage_mtbf_hours = 0.0;  ///< per-rack switch outage
+    double pdu_outage_mtbf_hours = 0.0;   ///< per-PDU-group outage
+    ///@}
+    /** Racks sharing one power distribution unit. */
+    int racks_per_pdu = 2;
+
+    /** @name Repair-time model */
+    ///@{
+    double detection_delay_s = 30.0; ///< Down -> Repairing
+    double node_repair_hours = 2.0;  ///< crashed node restore
+    double rack_repair_hours = 0.5;  ///< switch swap
+    double pdu_repair_hours = 1.0;   ///< power restore
+    ///@}
+
+    /** Deterministic outages, independent of the random processes. */
+    std::vector<ScriptedOutage> scripted;
+
+    /** @name Flaky-node scoreboard */
+    ///@{
+    /** Recent strikes at which a node is vetoed from placement. */
+    int flaky_strike_threshold = 2;
+    /** Strikes older than this stop counting. */
+    double flaky_window_hours = 1.0;
+    ///@}
+};
+
+/** Injects faults, heals nodes, and scores flaky ones. */
+class FaultInjector
+{
+  public:
+    struct Callbacks {
+        /** A node just went Down; the core must kill its gangs. */
+        std::function<void(cluster::NodeId)> on_node_down;
+        /** A node is Draining; the core gracefully requeues residents. */
+        std::function<void(cluster::NodeId)> on_node_evacuate;
+        /** Capacity returned (repair/uncordon); worth rescheduling. */
+        std::function<void()> on_capacity_change;
+    };
+
+    FaultInjector(sim::Simulator &sim, cluster::Cluster &cluster,
+                  FaultDomainConfig config, uint64_t seed, Callbacks cb);
+
+    const FaultDomainConfig &config() const { return config_; }
+
+    /** Schedules the initial fault events; call once before running. */
+    void start();
+
+    /** @name Operator verbs */
+    ///@{
+    /** Hold a node: no new placements, residents keep running. */
+    Status cordon(cluster::NodeId node);
+    /** Evacuate a node for maintenance: residents are gracefully
+     *  requeued (no attempt is charged), no new placements. */
+    Status drain(cluster::NodeId node);
+    /** Return a cordoned/drained node to service. */
+    Status uncordon(cluster::NodeId node);
+    ///@}
+
+    /** @name Flaky-node scoreboard */
+    ///@{
+    void record_strike(cluster::NodeId node, TimePoint now);
+    /**
+     * Fills `mask` (1 = allowed) vetoing nodes with at least
+     * flaky_strike_threshold strikes in the window ending at `now`.
+     * @return true if any node is vetoed (mask is only valid then).
+     */
+    bool build_node_filter(TimePoint now, std::vector<uint8_t> &mask);
+    ///@}
+
+    /** @name Counters (observability) */
+    ///@{
+    uint64_t node_crashes() const { return node_crashes_; }
+    uint64_t rack_outages() const { return rack_outages_; }
+    uint64_t pdu_outages() const { return pdu_outages_; }
+    uint64_t degradations() const { return degradations_; }
+    uint64_t repairs() const { return repairs_; }
+    ///@}
+
+  private:
+    /** Takes one node Down (killing gangs) and schedules its healing
+     *  after `repair` (detection + fix; total downtime). */
+    void take_down(cluster::NodeId node, Duration repair);
+    void take_down_rack(int rack, Duration repair);
+    void schedule_node_crash(cluster::NodeId node);
+    void schedule_node_degrade(cluster::NodeId node);
+    void schedule_rack_outage(int rack);
+    void schedule_pdu_outage(int pdu);
+    int pdu_count() const;
+
+    sim::Simulator &sim_;
+    cluster::Cluster &cluster_;
+    FaultDomainConfig config_;
+    Callbacks cb_;
+    /** One stream per fault chain: draws depend only on (seed, chain). */
+    std::vector<Rng> crash_rng_, degrade_rng_, rack_rng_, pdu_rng_;
+    /** Strike timestamps per node, oldest first. */
+    std::vector<std::vector<TimePoint>> strikes_;
+    /** Fast path: stays false until the first strike ever. */
+    bool any_strikes_ = false;
+    uint64_t node_crashes_ = 0;
+    uint64_t rack_outages_ = 0;
+    uint64_t pdu_outages_ = 0;
+    uint64_t degradations_ = 0;
+    uint64_t repairs_ = 0;
+};
+
+} // namespace tacc::core

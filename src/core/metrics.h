@@ -62,6 +62,20 @@ class MetricsCollector
     void on_queue_depth(TimePoint t, int pending);
     void on_preemption() { ++preemptions_; }
     void on_segment_failure() { ++segment_failures_; }
+    /** A node went Down (crash or fault-domain outage). */
+    void on_node_fault() { ++node_faults_; }
+    /** GPU-seconds of held-but-wasted work a fault destroyed. */
+    void
+    on_fault_loss(double gpu_seconds)
+    {
+        fault_lost_gpu_seconds_ += gpu_seconds;
+    }
+    /** Fault kill -> next segment start, per requeued job. */
+    void
+    on_requeue_latency(double seconds)
+    {
+        requeue_latency_.add(seconds);
+    }
     /** Folds a committed placement into the job's placement digest. */
     void on_placement(cluster::JobId id, const cluster::Placement &p);
     /** @return the appended record (the ops accounting hand-off). */
@@ -117,6 +131,12 @@ class MetricsCollector
 
     uint64_t preemptions() const { return preemptions_; }
     uint64_t segment_failures() const { return segment_failures_; }
+    uint64_t node_faults() const { return node_faults_; }
+    double fault_lost_gpu_seconds() const { return fault_lost_gpu_seconds_; }
+    const Samples &requeue_latency_samples() const
+    {
+        return requeue_latency_;
+    }
     /** @name O(1) counters (polled every ops sample) */
     ///@{
     size_t completed_count() const { return completed_count_; }
@@ -135,6 +155,9 @@ class MetricsCollector
     TimeWeightedStat queue_depth_;
     uint64_t preemptions_ = 0;
     uint64_t segment_failures_ = 0;
+    uint64_t node_faults_ = 0;
+    double fault_lost_gpu_seconds_ = 0;
+    Samples requeue_latency_;
     size_t completed_count_ = 0;
     size_t failed_count_ = 0;
     size_t deadline_missed_ = 0;

@@ -80,6 +80,14 @@ run_scenario(const ScenarioConfig &config)
     out.deadline_miss_rate = metrics.deadline_miss_rate();
     out.segment_failures = metrics.segment_failures();
 
+    out.node_faults = metrics.node_faults();
+    out.fault_lost_gpu_hours = metrics.fault_lost_gpu_seconds() / 3600.0;
+    const Samples requeue = metrics.requeue_latency_samples();
+    if (requeue.count() > 0) {
+        out.mean_requeue_latency_s = requeue.mean();
+        out.p99_requeue_latency_s = requeue.percentile(99);
+    }
+
     const auto &cstats = stack.task_compiler().stats();
     out.mean_provision_s = cstats.mean_provision_s();
     out.cache_transfer_savings = cstats.transfer_savings();

@@ -60,6 +60,14 @@ struct ScenarioResult {
     double mean_provision_s = 0;
     double cache_transfer_savings = 0;
 
+    /** @name Fault-domain summary (zero when injection is off) */
+    ///@{
+    uint64_t node_faults = 0;            ///< nodes taken Down by faults
+    double fault_lost_gpu_hours = 0;     ///< work destroyed by fault kills
+    double mean_requeue_latency_s = 0;   ///< fault kill -> next start
+    double p99_requeue_latency_s = 0;
+    ///@}
+
     /** Aggregate GPU-seconds actually charged across all jobs. */
     double total_gpu_seconds = 0;
     /** Aggregate minimal GPU-seconds (ideal service at requested scale). */

@@ -33,6 +33,23 @@ TaccStack::TaccStack(StackConfig config)
     for (const auto &[group, cap] : config_.group_quotas)
         quota_.set_group_quota(group, cap);
 
+    // The injector always exists (operator verbs need it); its fault
+    // chains only run when the subsystem is enabled.
+    FaultInjector::Callbacks fault_cb;
+    fault_cb.on_node_down = [this](cluster::NodeId node) {
+        metrics_.on_node_fault();
+        kill_gangs_on(node);
+    };
+    fault_cb.on_node_evacuate = [this](cluster::NodeId node) {
+        evacuate_node(node);
+    };
+    fault_cb.on_capacity_change = [this] { schedule_now(); };
+    faults_ = std::make_unique<FaultInjector>(sim_, cluster_,
+                                              config_.faults, config_.seed,
+                                              std::move(fault_cb));
+    if (config_.faults.enabled)
+        faults_->start();
+
     const Duration period = scheduler_->tick_period();
     if (!period.is_zero()) {
         tick_ = std::make_unique<sim::PeriodicTask>(
@@ -72,6 +89,24 @@ TaccStack::wire_ops()
     ops_->add_gauge_source(series::kCrossRackJobs, [this] {
         return double(engine_.cross_rack_jobs());
     });
+    ops_->add_gauge_source(series::kNodesHealthy, [this] {
+        return double(
+            cluster_.health().count(cluster::NodeHealth::kHealthy));
+    });
+    ops_->add_gauge_source(series::kNodesDegraded, [this] {
+        return double(
+            cluster_.health().count(cluster::NodeHealth::kDegraded));
+    });
+    ops_->add_gauge_source(series::kNodesDown, [this] {
+        return double(cluster_.health().count(cluster::NodeHealth::kDown));
+    });
+    ops_->add_gauge_source(series::kSchedulableCapacity, [this] {
+        const int total = cluster_.total_gpus();
+        return total > 0
+                   ? double(cluster_.schedulable_total_gpus()) /
+                         double(total)
+                   : 0.0;
+    });
 
     // Counters: monotone totals; alert rules consume them as rates.
     ops_->add_counter_source(series::kCompletedJobs, [this] {
@@ -88,6 +123,12 @@ TaccStack::wire_ops()
     });
     ops_->add_counter_source(series::kSegmentFailures, [this] {
         return double(metrics_.segment_failures());
+    });
+    ops_->add_counter_source(series::kNodeFaults, [this] {
+        return double(metrics_.node_faults());
+    });
+    ops_->add_counter_source(series::kFaultLostGpuSeconds, [this] {
+        return metrics_.fault_lost_gpu_seconds();
     });
     ops_->add_counter_source(series::kMonitorLines, [this] {
         return double(monitor_.total_emitted());
@@ -293,7 +334,8 @@ bool
 TaccStack::quiescent() const
 {
     if (arrivals_outstanding_ > 0 || !provisioning_.empty() ||
-        !pending_.empty() || !running_.empty() || !held_.empty()) {
+        !pending_.empty() || !running_.empty() || !held_.empty() ||
+        !backoff_.empty()) {
         return false;
     }
     return true;
@@ -402,9 +444,15 @@ TaccStack::finalize(Job &job)
         ev.completed = rec.final_state == JobState::kCompleted;
         ev.failed = rec.final_state == JobState::kFailed;
         ev.missed_deadline = rec.missed_deadline;
+        if (auto lost = fault_lost_gpu_s_.find(job.id());
+            lost != fault_lost_gpu_s_.end()) {
+            ev.fault_lost_gpu_seconds = lost->second;
+        }
         ops_->accounting().record(ev);
     }
     charged_gpu_s_.erase(job.id());
+    fault_lost_gpu_s_.erase(job.id());
+    requeue_killed_at_.erase(job.id());
     resolve_dependents(job.id(),
                        job.state() == JobState::kCompleted);
 }
@@ -457,17 +505,45 @@ TaccStack::on_segment_complete(JobId id)
 void
 TaccStack::on_segment_failure(JobId id)
 {
+    // A sampled in-segment fault: transient unless the segment ran on
+    // the job's incompatible runtime.
+    auto it = running_.find(id);
+    assert(it != running_.end());
+    const Job *job = find_job(id);
+    assert(job);
+    handle_segment_failure(
+        id, engine_.failures().classify(*job, it->second.runtime));
+}
+
+void
+TaccStack::handle_segment_failure(JobId id, exec::FailureKind kind)
+{
     Job *job = find_job(id);
     assert(job && job->state() == JobState::kRunning);
-    running_.erase(id);
+    auto it = running_.find(id);
+    assert(it != running_.end());
+    const double iteration_s = it->second.iteration_s;
+    sim_.cancel(it->second.event); // no-op for the firing event itself
+    running_.erase(it);
     running_cache_dirty_ = true;
 
     const cluster::Placement placement = cluster_.placement_of(id);
     // A crash rolls progress back to the last periodic checkpoint (or
-    // loses the segment when checkpointing is off).
+    // loses the segment when checkpointing is off). The wall-clock the
+    // gang held beyond the surviving credited compute is fault loss.
+    const int64_t iters_before = job->iterations_done();
+    const double held_s =
+        (sim_.now() - job->segment_start()).to_seconds();
+    const int gpus = job->running_gpus();
     Status s = job->end_segment(
         sim_.now(), engine_.config().checkpoint_interval_s);
     assert(s.is_ok());
+    const double useful_s =
+        double(job->iterations_done() - iters_before) * iteration_s;
+    const double lost_gpu_s =
+        std::max(0.0, held_s - useful_s) * double(gpus);
+    metrics_.on_fault_loss(lost_gpu_s);
+    fault_lost_gpu_s_[id] += lost_gpu_s;
     cluster_.release(id);
     engine_.fs().unregister_reader(id);
     engine_.unregister_cross_rack_job(id);
@@ -481,8 +557,60 @@ TaccStack::on_segment_failure(JobId id)
         Status st = job->fail(sim_.now(), "exceeded max attempts");
         assert(st.is_ok());
         finalize(*job);
+        schedule_now();
+        return;
+    }
+    log_job(*job, placement,
+            kind == exec::FailureKind::kNodeLocal
+                ? "node fault; requeueing"
+                : "segment failed; requeueing");
+    requeue_killed_at_[id] = sim_.now();
+    const Duration backoff = engine_.failures().requeue_backoff(
+        engine_.failures().attempts_of(id));
+    if (backoff.is_zero()) {
+        enqueue_pending(id);
     } else {
-        log_job(*job, placement, "segment failed; requeueing");
+        // Failure-classified exponential backoff: the job sits out the
+        // delay before re-entering the queue, damping crash loops.
+        backoff_[id] = sim_.schedule_after(
+            backoff, "requeue-backoff", [this, id] {
+                backoff_.erase(id);
+                enqueue_pending(id);
+                schedule_now();
+            });
+    }
+    schedule_now();
+}
+
+void
+TaccStack::kill_gangs_on(cluster::NodeId node)
+{
+    // Snapshot first: killing a gang mutates the node's residency.
+    std::vector<JobId> victims = cluster_.node(node).resident_jobs();
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (JobId id : victims) {
+        const Job *job = find_job(id);
+        if (job && job->state() == JobState::kRunning)
+            handle_segment_failure(id, exec::FailureKind::kNodeLocal);
+    }
+}
+
+void
+TaccStack::evacuate_node(cluster::NodeId node)
+{
+    std::vector<JobId> victims = cluster_.node(node).resident_jobs();
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (JobId id : victims) {
+        Job *job = find_job(id);
+        if (!job || job->state() != JobState::kRunning)
+            continue;
+        // Graceful: checkpoint on demand, no progress lost, no failure
+        // attempt charged — the operator asked, the job did nothing.
+        stop_segment(*job, true);
         enqueue_pending(id);
     }
     schedule_now();
@@ -527,10 +655,18 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
             engine_.register_cross_rack_job(start.job);
         }
 
+        if (auto killed = requeue_killed_at_.find(start.job);
+            killed != requeue_killed_at_.end()) {
+            metrics_.on_requeue_latency(
+                (sim_.now() - killed->second).to_seconds());
+            requeue_killed_at_.erase(killed);
+        }
+
         const Duration total =
             plan.startup + job->remaining_runtime(plan.iteration_s);
         RunningMeta meta;
         meta.iteration_s = plan.iteration_s;
+        meta.runtime = plan.runtime;
         meta.expected_end = sim_.now() + total;
         const JobId id = start.job;
         if (plan.failure_after) {
@@ -564,6 +700,9 @@ TaccStack::schedule_now()
     ctx.quota = &quota_;
     ctx.estimator = &estimator_;
     ctx.avoid_gpu_mixing = config_.avoid_gpu_mixing;
+    // Flaky-node scoreboard: veto nodes with recent fault strikes.
+    if (faults_->build_node_filter(sim_.now(), node_filter_scratch_))
+        ctx.node_filter = &node_filter_scratch_;
     ctx.iter_time = [this](const Job &job,
                            const cluster::Placement &placement) {
         return engine_.iteration_time_s(job, placement);
@@ -651,6 +790,68 @@ TaccStack::set_group_quota(const std::string &group, int max_gpus)
 }
 
 Status
+TaccStack::cordon_node(int node)
+{
+    return faults_->cordon(cluster::NodeId(node));
+}
+
+Status
+TaccStack::drain_node(int node)
+{
+    return faults_->drain(cluster::NodeId(node));
+}
+
+Status
+TaccStack::uncordon_node(int node)
+{
+    Status s = faults_->uncordon(cluster::NodeId(node));
+    return s;
+}
+
+std::string
+TaccStack::health_report() const
+{
+    using cluster::NodeHealth;
+    const auto &health = cluster_.health();
+    std::string out = strfmt(
+        "== node health: cluster '%s' at %s ==\n",
+        config_.cluster.name.c_str(),
+        ops::format_day_time(sim_.now()).c_str());
+    out += strfmt(
+        "nodes: %d healthy, %d degraded, %d cordoned, %d draining, "
+        "%d down, %d repairing\n",
+        health.count(NodeHealth::kHealthy),
+        health.count(NodeHealth::kDegraded),
+        health.count(NodeHealth::kCordoned),
+        health.count(NodeHealth::kDraining),
+        health.count(NodeHealth::kDown),
+        health.count(NodeHealth::kRepairing));
+    out += strfmt("schedulable GPUs: %d/%d (%d free)\n",
+                  cluster_.schedulable_total_gpus(),
+                  cluster_.total_gpus(),
+                  cluster_.schedulable_free_gpus());
+    out += strfmt(
+        "faults: %llu node crash(es), %llu rack outage(s), "
+        "%llu PDU outage(s), %llu degradation(s), %llu repair(s)\n",
+        (unsigned long long)faults_->node_crashes(),
+        (unsigned long long)faults_->rack_outages(),
+        (unsigned long long)faults_->pdu_outages(),
+        (unsigned long long)faults_->degradations(),
+        (unsigned long long)faults_->repairs());
+    out += strfmt("fault-lost GPU-hours: %.1f\n",
+                  metrics_.fault_lost_gpu_seconds() / 3600.0);
+    for (const auto &node : cluster_.nodes()) {
+        const NodeHealth s = health.state(node.id());
+        if (s == NodeHealth::kHealthy)
+            continue;
+        out += strfmt("  %s: %s (%d job(s) resident)\n",
+                      node.name().c_str(), cluster::health_name(s),
+                      int(node.resident_jobs().size()));
+    }
+    return out;
+}
+
+Status
 TaccStack::kill(JobId id)
 {
     Job *job = find_job(id);
@@ -667,11 +868,17 @@ TaccStack::kill(JobId id)
         provisioning_.erase(it);
         break;
       }
-      case JobState::kPending:
+      case JobState::kPending: {
         remove_pending(id);
         held_.erase(id);
         waiting_on_.erase(id);
+        auto backoff = backoff_.find(id);
+        if (backoff != backoff_.end()) {
+            sim_.cancel(backoff->second);
+            backoff_.erase(backoff);
+        }
         break;
+      }
       case JobState::kRunning:
         stop_segment(*job, false);
         break;

@@ -27,6 +27,7 @@
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "compiler/compiler.h"
+#include "core/fault_domain.h"
 #include "core/metrics.h"
 #include "exec/engine.h"
 #include "exec/monitor.h"
@@ -66,6 +67,13 @@ struct StackConfig {
      * scheduling decision or the event ordering jobs see.
      */
     ops::OpsConfig ops;
+    /**
+     * Fault-domain injection and the self-healing node lifecycle.
+     * Disabled (the default) leaves every run byte-identical to a
+     * stack without the subsystem; operator verbs (cordon/drain/
+     * uncordon) work either way.
+     */
+    FaultDomainConfig faults;
 };
 
 /** The running deployment. */
@@ -140,6 +148,20 @@ class TaccStack
     /** All jobs ever submitted, in id order. */
     std::vector<const workload::Job *> jobs() const;
 
+    /** @name Node lifecycle (operator verbs + introspection) */
+    ///@{
+    /** Hold a node: running gangs finish, no new placements land. */
+    Status cordon_node(int node);
+    /** Evacuate a node: residents are gracefully requeued. */
+    Status drain_node(int node);
+    /** Return a cordoned/drained node to service. */
+    Status uncordon_node(int node);
+    /** `tcloud health`: per-state node counts, capacity, fault totals. */
+    std::string health_report() const;
+    /** The fault injector (always present; chains run when enabled). */
+    const FaultInjector &fault_injector() const { return *faults_; }
+    ///@}
+
     size_t pending_count() const { return pending_.size(); }
     size_t running_count() const { return running_.size(); }
 
@@ -173,6 +195,7 @@ class TaccStack
         sim::EventId event = 0;
         TimePoint expected_end;
         double iteration_s = 0;
+        compiler::RuntimeKind runtime = compiler::RuntimeKind::kContainer;
     };
 
     void wire_ops();
@@ -186,6 +209,13 @@ class TaccStack
     void stop_segment(workload::Job &job, bool count_as_preemption);
     void on_segment_complete(cluster::JobId id);
     void on_segment_failure(cluster::JobId id);
+    /** Crash-kills one running segment and requeues (or fails) the job,
+     *  with failure-classified backoff and fault-loss accounting. */
+    void handle_segment_failure(cluster::JobId id, exec::FailureKind kind);
+    /** Fault path: every gang on the node dies (node went Down). */
+    void kill_gangs_on(cluster::NodeId node);
+    /** Drain path: residents are gracefully preempted and requeued. */
+    void evacuate_node(cluster::NodeId node);
     void charge_usage(workload::Job &job);
     void finalize(workload::Job &job);
     void log_job(const workload::Job &job,
@@ -228,6 +258,15 @@ class TaccStack
     /** completed-dependency fan-out: job -> dependents. */
     std::map<cluster::JobId, std::vector<cluster::JobId>> dependents_;
     std::map<cluster::JobId, double> charged_gpu_s_;
+    std::unique_ptr<FaultInjector> faults_;
+    /** Jobs waiting out a requeue backoff before re-entering pending_. */
+    std::map<cluster::JobId, sim::EventId> backoff_;
+    /** Fault-kill instants, sampled as requeue latency at next start. */
+    std::map<cluster::JobId, TimePoint> requeue_killed_at_;
+    /** Per-job GPU-seconds destroyed by faults (flows to accounting). */
+    std::map<cluster::JobId, double> fault_lost_gpu_s_;
+    /** Scratch for the flaky-node scoreboard's placement veto. */
+    std::vector<uint8_t> node_filter_scratch_;
     std::unique_ptr<sim::PeriodicTask> tick_;
     std::unique_ptr<sim::PeriodicTask> ops_tick_;
     cluster::JobId next_job_id_ = 1;

@@ -93,31 +93,65 @@ apply_preempt_mode(const std::string &mode, core::StackConfig *stack)
     return Status::ok();
 }
 
+Status
+apply_fault_mode(const std::string &mode, core::StackConfig *stack)
+{
+    if (mode == "none")
+        return Status::ok();
+    if (mode == "segfault") {
+        stack->exec.failure.node_mtbf_hours = 120.0;
+        stack->exec.failure.requeue_backoff_base_s = 5.0;
+        return Status::ok();
+    }
+    if (mode == "storm") {
+        stack->exec.failure.node_mtbf_hours = 500.0;
+        stack->exec.failure.requeue_backoff_base_s = 5.0;
+        stack->faults.enabled = true;
+        stack->faults.node_crash_mtbf_hours = 240.0;
+        stack->faults.node_degrade_mtbf_hours = 360.0;
+        stack->faults.rack_outage_mtbf_hours = 1440.0;
+        stack->faults.pdu_outage_mtbf_hours = 2880.0;
+        return Status::ok();
+    }
+    return Status::invalid_argument("unknown fault mode: " + mode);
+}
+
 std::vector<SweepScenario>
 expand_sweep(const SweepSpec &spec)
 {
     std::vector<SweepScenario> out;
     out.reserve(spec.grid_size());
-    for (const auto &scheduler : spec.schedulers) {
-        for (const auto &placement : spec.placements) {
-            for (const auto &mode : spec.preempt_modes) {
-                for (double load : spec.loads) {
-                    for (uint64_t seed : spec.seeds) {
-                        SweepScenario sc;
-                        sc.config = spec.base;
-                        sc.config.stack.scheduler = scheduler;
-                        sc.config.stack.placement = placement;
-                        // Validated at parse time; an invalid mode in a
-                        // hand-built spec surfaces when the run fails.
-                        (void)apply_preempt_mode(mode, &sc.config.stack);
-                        sc.config.trace.mean_interarrival_s =
-                            spec.base.trace.mean_interarrival_s / load;
-                        sc.config.stack.seed = seed;
-                        sc.config.trace.seed = seed;
-                        sc.name = scheduler + "/" + placement + "/" +
-                                  mode + "/" + load_tag(load) + "/s" +
-                                  std::to_string(seed);
-                        out.push_back(std::move(sc));
+    // fault_modes is the outermost axis so "none,<more>" specs keep the
+    // fault-free grid as an unchanged prefix of the expansion.
+    for (const auto &fault_mode : spec.fault_modes) {
+        for (const auto &scheduler : spec.schedulers) {
+            for (const auto &placement : spec.placements) {
+                for (const auto &mode : spec.preempt_modes) {
+                    for (double load : spec.loads) {
+                        for (uint64_t seed : spec.seeds) {
+                            SweepScenario sc;
+                            sc.config = spec.base;
+                            sc.config.stack.scheduler = scheduler;
+                            sc.config.stack.placement = placement;
+                            // Validated at parse time; an invalid mode
+                            // in a hand-built spec surfaces when the
+                            // run fails.
+                            (void)apply_preempt_mode(mode,
+                                                     &sc.config.stack);
+                            (void)apply_fault_mode(fault_mode,
+                                                   &sc.config.stack);
+                            sc.config.trace.mean_interarrival_s =
+                                spec.base.trace.mean_interarrival_s /
+                                load;
+                            sc.config.stack.seed = seed;
+                            sc.config.trace.seed = seed;
+                            sc.name = scheduler + "/" + placement + "/" +
+                                      mode + "/" + load_tag(load) + "/s" +
+                                      std::to_string(seed);
+                            if (fault_mode != "none")
+                                sc.name += "+" + fault_mode;
+                            out.push_back(std::move(sc));
+                        }
                     }
                 }
             }
@@ -193,6 +227,16 @@ parse_sweep_spec(const std::string &text)
                     return s;
             }
             spec.preempt_modes = std::move(list).value();
+        } else if (key == "fault_modes") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            core::StackConfig scratch;
+            for (const auto &mode : list.value()) {
+                if (auto s = apply_fault_mode(mode, &scratch); !s.is_ok())
+                    return s;
+            }
+            spec.fault_modes = std::move(list).value();
         } else if (key == "loads") {
             auto list = parse_list(key, value);
             if (!list.is_ok())
@@ -271,6 +315,13 @@ parse_sweep_spec(const std::string &text)
             if (v.value() < 1.0)
                 return bad(key, value);
             spec.base.stack.cluster.topology.oversubscription = v.value();
+        } else if (key == "node_mtbf_hours") {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() < 0.0)
+                return bad(key, value);
+            spec.base.stack.exec.failure.node_mtbf_hours = v.value();
         } else if (key == "max_events") {
             auto v = parse_u64(key, value);
             if (!v.is_ok())

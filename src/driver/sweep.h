@@ -4,11 +4,14 @@
  * table.
  *
  * A SweepSpec is a base scenario (cluster shape + workload shape) plus
- * five axes — scheduler, placement policy, preemption-cost mode, load
- * multiplier, seed — whose cross product expands into independent named
- * scenario runs. Expansion order is canonical (axes iterate in the order
- * above, values in listed order), so run indices, digest files, and JSON
- * summaries are stable for a fixed spec.
+ * six axes — fault mode, scheduler, placement policy, preemption-cost
+ * mode, load multiplier, seed — whose cross product expands into
+ * independent named scenario runs. Expansion order is canonical (axes
+ * iterate in the order above, values in listed order), so run indices,
+ * digest files, and JSON summaries are stable for a fixed spec. The
+ * fault-mode axis is outermost and "none" leaves the scenario name
+ * unsuffixed, so adding fault modes to a spec appends scenarios without
+ * renaming (or reordering) the existing grid.
  *
  * Specs are written in the repo's `key: value` dialect:
  *
@@ -18,6 +21,7 @@
  *   preempt_modes: graceful
  *   loads: 1.0,1.4
  *   seeds: 1,2
+ *   fault_modes: none,storm
  *   # base scenario knobs (all optional)
  *   jobs: 40                 trace length
  *   interarrival_s: 90       mean interarrival at load 1.0
@@ -30,6 +34,7 @@
  *   nodes_per_rack: 8
  *   gpus_per_node: 8
  *   oversubscription: 4.0
+ *   node_mtbf_hours: 0      per-segment transient-fault MTBF
  *   max_events: 100000000
  *
  * Unknown keys are errors (same contract as the deployment dialect).
@@ -49,8 +54,11 @@ struct SweepSpec {
     /** Template every grid point starts from. */
     core::ScenarioConfig base;
 
-    /** @name Axes (cross product, in this nesting order) */
+    /** @name Axes (cross product; fault_modes outermost, then in this
+     *  nesting order) */
     ///@{
+    /** See apply_fault_mode for the recognized modes. */
+    std::vector<std::string> fault_modes = {"none"};
     std::vector<std::string> schedulers = {"fairshare"};
     std::vector<std::string> placements = {"topology"};
     /** See apply_preempt_mode for the recognized modes. */
@@ -64,14 +72,16 @@ struct SweepSpec {
     size_t
     grid_size() const
     {
-        return schedulers.size() * placements.size() *
-               preempt_modes.size() * loads.size() * seeds.size();
+        return fault_modes.size() * schedulers.size() *
+               placements.size() * preempt_modes.size() * loads.size() *
+               seeds.size();
     }
 };
 
 /** One grid point: a canonical name plus the concrete scenario. */
 struct SweepScenario {
-    /** "<sched>/<placement>/<mode>/x<load>/s<seed>". */
+    /** "<sched>/<placement>/<mode>/x<load>/s<seed>[+<fault-mode>]"
+     *  (no suffix for fault mode "none"). */
     std::string name;
     core::ScenarioConfig config;
 };
@@ -88,6 +98,19 @@ struct SweepScenario {
  */
 Status apply_preempt_mode(const std::string &mode,
                           core::StackConfig *stack);
+
+/**
+ * Applies a fault mode to a stack config (the T15-style robustness
+ * axis: how hostile is the hardware?):
+ *  - "none":     no injected faults (the default; scenario names stay
+ *                unsuffixed so existing grids are unchanged);
+ *  - "segfault": per-segment transient faults only (exec-layer MTBF
+ *                120 h/node, short requeue backoff), no node outages;
+ *  - "storm":    the full fault-domain storm — independent node
+ *                crashes, degradations, correlated rack and PDU
+ *                outages with the self-healing repair pipeline.
+ */
+Status apply_fault_mode(const std::string &mode, core::StackConfig *stack);
 
 /** Expands the grid into runnable scenarios in canonical order. */
 std::vector<SweepScenario> expand_sweep(const SweepSpec &spec);

@@ -13,6 +13,7 @@ ExecutionEngine::ExecutionEngine(const cluster::Cluster &cluster,
       fs_(config.fs),
       failures_(config.failure, seed)
 {
+    failures_.set_health(&cluster_.health());
 }
 
 void

@@ -6,10 +6,22 @@
 namespace tacc::exec {
 
 FailureModel::FailureModel(FailureConfig config, uint64_t seed)
-    : config_(config), seed_(seed), rng_(seed ^ 0xfa11'5afe'0000'0001ULL)
+    : config_(config), seed_(seed)
 {
     assert(config_.max_attempts >= 1);
     assert(config_.persistent_prob >= 0 && config_.persistent_prob <= 1);
+}
+
+Rng &
+FailureModel::stream_of(cluster::JobId job)
+{
+    auto it = streams_.find(job);
+    if (it == streams_.end()) {
+        uint64_t state = seed_ ^ 0xfa11'5afe'0000'0001ULL ^
+                         (job * 0x9e3779b97f4a7c15ULL);
+        it = streams_.emplace(job, Rng(split_mix64(state))).first;
+    }
+    return it->second;
 }
 
 std::optional<compiler::RuntimeKind>
@@ -68,11 +80,22 @@ FailureModel::sample_segment_failure(const workload::Job &job,
     }
 
     if (config_.node_mtbf_hours > 0 && !placement.slices.empty()) {
-        // Minimum of exponentials across the gang's nodes.
-        const double per_node_mean_s = config_.node_mtbf_hours * 3600.0;
-        const double mean_s =
-            per_node_mean_s / double(placement.slices.size());
-        const Duration t = Duration::from_seconds(rng_.exponential(mean_s));
+        // Minimum of exponentials across the gang's nodes: sum the
+        // per-node rates (Degraded nodes fault at a multiple of the base
+        // rate). With every node Healthy this is slices/mean, exactly
+        // the pre-health model.
+        const double per_node_rate =
+            1.0 / (config_.node_mtbf_hours * 3600.0);
+        double rate = 0;
+        for (const auto &slice : placement.slices) {
+            const bool degraded =
+                health_ && health_->state(slice.node) ==
+                               cluster::NodeHealth::kDegraded;
+            rate += per_node_rate *
+                    (degraded ? config_.degraded_fault_multiplier : 1.0);
+        }
+        const Duration t = Duration::from_seconds(
+            stream_of(job.id()).exponential(1.0 / rate));
         if (t < horizon && (!first || t < *first))
             first = t;
     }
@@ -94,6 +117,28 @@ FailureModel::attempts_of(cluster::JobId job) const
 {
     auto it = failures_.find(job);
     return it == failures_.end() ? 0 : it->second;
+}
+
+FailureKind
+FailureModel::classify(const workload::Job &job,
+                       compiler::RuntimeKind runtime) const
+{
+    return is_incompatible(job, runtime) ? FailureKind::kPersistent
+                                         : FailureKind::kTransient;
+}
+
+Duration
+FailureModel::requeue_backoff(int attempts) const
+{
+    if (config_.requeue_backoff_base_s <= 0 || attempts <= 0)
+        return Duration::zero();
+    double delay_s = config_.requeue_backoff_base_s;
+    for (int i = 1; i < attempts && delay_s < config_.requeue_backoff_cap_s;
+         ++i) {
+        delay_s *= 2;
+    }
+    return Duration::from_seconds(
+        std::min(delay_s, config_.requeue_backoff_cap_s));
 }
 
 } // namespace tacc::exec

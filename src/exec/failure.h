@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "cluster/health.h"
 #include "cluster/types.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -38,6 +39,22 @@ struct FailureConfig {
     int max_attempts = 4;
     /** A persistent-incompatibility segment dies this long after start. */
     double persistent_fail_after_s = 120.0;
+    /** Fault-rate multiplier for nodes in the Degraded health state. */
+    double degraded_fault_multiplier = 8.0;
+    /**
+     * Requeue backoff after a non-graceful failure: the k-th retry waits
+     * min(base * 2^(k-1), cap) before re-entering the pending queue.
+     * base <= 0 requeues immediately (the pre-backoff behavior).
+     */
+    double requeue_backoff_base_s = 0.0;
+    double requeue_backoff_cap_s = 600.0;
+};
+
+/** Why a segment died — drives the requeue policy. */
+enum class FailureKind {
+    kTransient,  ///< sampled per-segment fault: retry in place
+    kNodeLocal,  ///< node crash / fault-domain outage: avoid the node
+    kPersistent, ///< runtime incompatibility: fail-safe switch
 };
 
 /** Per-job failure state plus sampling. */
@@ -47,6 +64,16 @@ class FailureModel
     FailureModel(FailureConfig config, uint64_t seed);
 
     const FailureConfig &config() const { return config_; }
+
+    /**
+     * Optional node-health source: Degraded nodes fault at
+     * degraded_fault_multiplier times the base rate. Null (the default)
+     * treats every node as Healthy.
+     */
+    void set_health(const cluster::NodeHealthTracker *health)
+    {
+        health_ = health;
+    }
 
     /**
      * Runtime the next segment of this job should use, applying fail-safe
@@ -70,6 +97,16 @@ class FailureModel
 
     int attempts_of(cluster::JobId job) const;
 
+    /** Persistent if the segment's runtime is the job's bad runtime. */
+    FailureKind classify(const workload::Job &job,
+                         compiler::RuntimeKind runtime) const;
+
+    /**
+     * Requeue delay before attempt `attempts` retries (exponential in
+     * the attempt count, capped). zero() when backoff is disabled.
+     */
+    Duration requeue_backoff(int attempts) const;
+
     /** True if the job is runtime-incompatible with `runtime` (test
      *  introspection). */
     bool is_incompatible(const workload::Job &job,
@@ -80,9 +117,17 @@ class FailureModel
     std::optional<compiler::RuntimeKind>
     bad_runtime_of(const workload::Job &job) const;
 
+    /**
+     * Per-job sampling stream, created on first use. Keyed by job so the
+     * failure times a job draws depend only on (seed, job id, draw
+     * index) — never on the order the scheduler interleaves jobs.
+     */
+    Rng &stream_of(cluster::JobId job);
+
     FailureConfig config_;
     uint64_t seed_;
-    Rng rng_;
+    const cluster::NodeHealthTracker *health_ = nullptr;
+    std::unordered_map<cluster::JobId, Rng> streams_;
     std::unordered_map<cluster::JobId, int> failures_;
 };
 

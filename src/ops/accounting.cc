@@ -39,6 +39,7 @@ Accountant::record(const UsageEvent &event)
             std::max(0.0, event.gpu_seconds - event.ideal_gpu_seconds) /
             3600.0;
     }
+    s.fault_loss_gpu_hours += event.fault_lost_gpu_seconds / 3600.0;
     ++events_;
     total_gpu_hours_ += event.gpu_seconds / 3600.0;
 }
@@ -65,6 +66,7 @@ Accountant::fold(GroupStatement &into, const GroupStatement &from)
     into.gpu_hours += from.gpu_hours;
     into.queue_hours += from.queue_hours;
     into.preemption_loss_gpu_hours += from.preemption_loss_gpu_hours;
+    into.fault_loss_gpu_hours += from.fault_loss_gpu_hours;
 }
 
 std::vector<GroupStatement>

@@ -33,6 +33,8 @@ struct UsageEvent {
      *  is restart/startup overhead. */
     double ideal_gpu_seconds = 0;
     int preemptions = 0;
+    /** GPU-seconds destroyed by faults (node crashes, outages). */
+    double fault_lost_gpu_seconds = 0;
     bool started = false;
     bool completed = false;
     bool failed = false;
@@ -54,6 +56,8 @@ struct GroupStatement {
     /** GPU-hours of service beyond the ideal, on jobs that were
      *  preempted or restarted — the tenant's visible preemption tax. */
     double preemption_loss_gpu_hours = 0;
+    /** GPU-hours destroyed by node/fault-domain faults. */
+    double fault_loss_gpu_hours = 0;
 };
 
 /** Accumulates usage events into billing statements. */

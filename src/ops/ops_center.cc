@@ -93,6 +93,29 @@ default_rules()
     r.description = "serving SLO attainment burning below 98%";
     rules.push_back(r);
 
+    r = AlertRule{};
+    r.name = "node-down-storm";
+    r.series = series::kNodeFaults;
+    r.agg = Agg::kRate;
+    r.cmp = Cmp::kAbove;
+    r.threshold = 4.0 / 3600.0; // > 4 node faults per hour
+    r.window = Duration::hours(1);
+    r.for_duration = Duration::minutes(10);
+    r.severity = AlertSeverity::kCritical;
+    r.description = "nodes going down faster than 4/hour";
+    rules.push_back(r);
+
+    r = AlertRule{};
+    r.name = "capacity-loss";
+    r.series = series::kSchedulableCapacity;
+    r.agg = Agg::kLast;
+    r.cmp = Cmp::kBelow;
+    r.threshold = 0.9;
+    r.for_duration = Duration::minutes(10);
+    r.severity = AlertSeverity::kWarning;
+    r.description = "over 10% of GPU capacity unschedulable";
+    rules.push_back(r);
+
     return rules;
 }
 

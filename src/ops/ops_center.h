@@ -43,6 +43,15 @@ inline constexpr const char kSegmentFailures[] = "exec.segment_failures";
 inline constexpr const char kCrossRackJobs[] = "net.cross_rack_jobs";
 inline constexpr const char kMonitorLines[] = "monitor.lines";
 inline constexpr const char kSloAttainment[] = "serve.slo_attainment";
+inline constexpr const char kNodesHealthy[] = "health.nodes_healthy";
+inline constexpr const char kNodesDegraded[] = "health.nodes_degraded";
+inline constexpr const char kNodesDown[] = "health.nodes_down";
+/** Fraction of total GPU capacity on schedulable nodes. */
+inline constexpr const char kSchedulableCapacity[] =
+    "health.schedulable_capacity";
+inline constexpr const char kNodeFaults[] = "health.node_faults";
+inline constexpr const char kFaultLostGpuSeconds[] =
+    "health.fault_lost_gpu_s";
 /** Per-group fair-share usage: kGroupSharePrefix + group name. */
 inline constexpr const char kGroupSharePrefix[] = "group.share.";
 } // namespace series

@@ -44,15 +44,16 @@ add_statement_row(TextTable &table, const std::string &period,
                    TextTable::fixed(s.queue_hours, 1),
                    std::to_string(s.preemptions),
                    TextTable::fixed(s.preemption_loss_gpu_hours, 1),
+                   TextTable::fixed(s.fault_loss_gpu_hours, 1),
                    std::to_string(s.deadline_misses)});
 }
 
 std::vector<std::string>
 statement_header()
 {
-    return {"period", "group",   "jobs",    "done",       "fail",
-            "kill",   "GPUh",    "queue-h", "preempt",    "loss-GPUh",
-            "misses"};
+    return {"period",  "group",     "jobs",   "done",
+            "fail",    "kill",      "GPUh",   "queue-h",
+            "preempt", "loss-GPUh", "fault-GPUh", "misses"};
 }
 
 } // namespace
@@ -197,7 +198,7 @@ render_operator_report(const MetricStore &store, const AlertEngine &alerts,
         add_statement_row(groups, "total", s);
     if (accounting.group_totals().empty())
         groups.add_row(
-            {"(none)", "", "", "", "", "", "", "", "", "", ""});
+            {"(none)", "", "", "", "", "", "", "", "", "", "", ""});
     out += groups.str();
     return out;
 }

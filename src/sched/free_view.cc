@@ -15,15 +15,31 @@ void
 FreeView::reset(const cluster::Cluster &cluster)
 {
     const size_t n = size_t(cluster.node_count());
+    const auto &health = cluster.health();
+    masked_ = !health.all_healthy() && health.schedulable_count() <
+                                           health.node_count();
     free_.clear();
     capacity_.clear();
     free_.reserve(n);
     capacity_.reserve(n);
-    for (const auto &node : cluster.nodes()) {
-        free_.push_back(node.free_gpu_count());
-        capacity_.push_back(node.gpu_count());
+    if (masked_) {
+        schedulable_.clear();
+        schedulable_.reserve(n);
+        total_free_ = 0;
+        for (const auto &node : cluster.nodes()) {
+            const bool usable = health.schedulable(node.id());
+            schedulable_.push_back(usable ? 1 : 0);
+            free_.push_back(usable ? node.free_gpu_count() : 0);
+            capacity_.push_back(node.gpu_count());
+            total_free_ += free_.back();
+        }
+    } else {
+        for (const auto &node : cluster.nodes()) {
+            free_.push_back(node.free_gpu_count());
+            capacity_.push_back(node.gpu_count());
+        }
+        total_free_ = cluster.free_gpus();
     }
-    total_free_ = cluster.free_gpus();
     max_capacity_ = cluster.max_gpus_per_node();
     nodes_per_rack_ = cluster.topology().config().nodes_per_rack;
 
@@ -71,6 +87,8 @@ FreeView::take(const cluster::Placement &placement)
 {
     for (const auto &slice : placement.slices) {
         assert(size_t(slice.node) < free_.size());
+        if (masked_ && !schedulable_[size_t(slice.node)])
+            continue;
         const int n = int(slice.gpu_indices.size());
         if (n == 0)
             continue;
@@ -87,6 +105,8 @@ FreeView::give(const cluster::Placement &placement)
 {
     for (const auto &slice : placement.slices) {
         assert(size_t(slice.node) < free_.size());
+        if (masked_ && !schedulable_[size_t(slice.node)])
+            continue;
         const int n = int(slice.gpu_indices.size());
         if (n == 0)
             continue;

@@ -34,10 +34,23 @@ class FreeView
     FreeView() = default;
     explicit FreeView(const cluster::Cluster &cluster);
 
-    /** Re-snapshots the cluster, reusing this view's storage. */
+    /**
+     * Re-snapshots the cluster, reusing this view's storage. Nodes that
+     * are not schedulable per the cluster's health tracker (cordoned,
+     * draining, down, repairing) are masked: their free count snapshots
+     * as 0 and take()/give() ignore slices on them, so neither a planned
+     * start nor a planned preemption victim can expose their capacity.
+     */
     void reset(const cluster::Cluster &cluster);
 
     int free(cluster::NodeId node) const { return free_[node]; }
+
+    /** False when the node is health-masked out of this view. */
+    bool
+    schedulable(cluster::NodeId node) const
+    {
+        return !masked_ || schedulable_[size_t(node)] != 0;
+    }
     int total_free() const { return total_free_; }
     int node_count() const { return int(free_.size()); }
     /** GPU capacity of one node (racks may differ in hardware). */
@@ -100,6 +113,9 @@ class FreeView
 
     std::vector<int> free_;
     std::vector<int> capacity_;
+    /** Health mask; empty (masked_ == false) when every node is usable. */
+    std::vector<uint8_t> schedulable_;
+    bool masked_ = false;
     int total_free_ = 0;
     int max_capacity_ = 0;
     int nodes_per_rack_ = 1;

@@ -36,25 +36,35 @@ try_start(const SchedulerContext &ctx, FreeView &view,
         return false;
     }
     const int limit = per_node_limit(ctx, *job);
+    const auto apply_filter = [&ctx](std::vector<uint8_t> &mask) {
+        for (size_t i = 0; i < mask.size(); ++i)
+            mask[i] &= (*ctx.node_filter)[i];
+    };
 
     StatusOr<cluster::Placement> plan =
         Status::resource_exhausted("unplanned");
     if (!job->spec().gpu_model.empty()) {
         // Hard requirement: only nodes with the requested GPU model.
-        const auto mask =
-            ctx.cluster->eligible_mask(job->spec().gpu_model);
+        auto mask = ctx.cluster->eligible_mask(job->spec().gpu_model);
+        if (ctx.node_filter)
+            apply_filter(mask);
         plan = ctx.placement->plan(view, ctx.cluster->topology(), gpus,
                                    limit, &mask);
     } else if (ctx.avoid_gpu_mixing) {
         // Soft policy: try one hardware generation at a time so a gang
         // never mixes GPU speeds (it would run at the slowest worker).
         for (const auto &model : ctx.cluster->gpu_models()) {
-            const auto mask = ctx.cluster->eligible_mask(model);
+            auto mask = ctx.cluster->eligible_mask(model);
+            if (ctx.node_filter)
+                apply_filter(mask);
             plan = ctx.placement->plan(view, ctx.cluster->topology(),
                                        gpus, limit, &mask);
             if (plan.is_ok())
                 break;
         }
+    } else if (ctx.node_filter) {
+        plan = ctx.placement->plan(view, ctx.cluster->topology(), gpus,
+                                   limit, ctx.node_filter);
     } else {
         plan = ctx.placement->plan(view, ctx.cluster->topology(), gpus,
                                    limit);

@@ -227,6 +227,103 @@ TopologyAwarePlacement::plan(const FreeView &view,
 }
 
 StatusOr<Placement>
+AntiAffinityPlacement::plan(const FreeView &view,
+                            const cluster::Topology &topo, int gpus,
+                            int per_node_limit,
+                            const std::vector<uint8_t> *eligible)
+{
+    assert(gpus > 0 && per_node_limit > 0);
+    // One node is one fault domain no matter the policy; keep NVLink
+    // locality for gangs that fit.
+    const NodeId single =
+        view.tightest_single_node(gpus, per_node_limit, eligible);
+    if (single != cluster::kInvalidNode) {
+        Placement out;
+        out.slices.push_back(make_slice(single, gpus));
+        return out;
+    }
+
+    const int racks = topo.racks();
+    std::vector<int> rack_capacity(size_t(racks), 0);
+    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+        if (!node_ok(eligible, n))
+            continue;
+        rack_capacity[size_t(topo.rack_of(n))] +=
+            std::min(view.free(n), per_node_limit);
+    }
+
+    // Roomiest racks first so per-rack quotas are met where possible.
+    std::vector<int> rack_order;
+    rack_order.reserve(size_t(racks));
+    for (int r = 0; r < racks; ++r) {
+        if (rack_capacity[size_t(r)] > 0)
+            rack_order.push_back(r);
+    }
+    std::stable_sort(rack_order.begin(), rack_order.end(),
+                     [&](int a, int b) {
+                         return rack_capacity[size_t(a)] >
+                                rack_capacity[size_t(b)];
+                     });
+
+    // Even split: each rack contributes at most ceil(remaining / racks
+    // left), so losing any one rack loses roughly 1/R of the gang. Racks
+    // too small for their quota push the slack onto later (smaller)
+    // racks; a final top-up pass relaxes the quota so a fit is never
+    // refused when raw capacity exists.
+    std::vector<int> taken(size_t(view.node_count()), 0);
+    std::vector<NodeId> fill_order;
+    fill_order.reserve(size_t(view.node_count()));
+    for (int r : rack_order) {
+        auto in_rack = rack_nodes(topo, r);
+        std::stable_sort(in_rack.begin(), in_rack.end(),
+                         [&](NodeId a, NodeId b) {
+                             return view.free(a) > view.free(b);
+                         });
+        fill_order.insert(fill_order.end(), in_rack.begin(),
+                          in_rack.end());
+    }
+    const auto take_from = [&](NodeId node, int cap) {
+        if (!node_ok(eligible, node))
+            return 0;
+        const int take = std::min(
+            {view.free(node) - taken[node], per_node_limit - taken[node],
+             cap});
+        if (take > 0)
+            taken[node] += take;
+        return std::max(take, 0);
+    };
+
+    int remaining = gpus;
+    int racks_left = int(rack_order.size());
+    size_t cursor = 0;
+    for (int r : rack_order) {
+        const int quota =
+            remaining == 0 ? 0 : (remaining + racks_left - 1) / racks_left;
+        --racks_left;
+        int budget = std::min(quota, rack_capacity[size_t(r)]);
+        const int per_rack = topo.config().nodes_per_rack;
+        for (int i = 0; i < per_rack && budget > 0; ++i) {
+            const int got = take_from(fill_order[cursor + size_t(i)],
+                                      std::min(budget, remaining));
+            budget -= got;
+            remaining -= got;
+        }
+        cursor += size_t(per_rack);
+    }
+    for (size_t i = 0; i < fill_order.size() && remaining > 0; ++i)
+        remaining -= take_from(fill_order[i], remaining);
+    if (remaining > 0)
+        return no_fit(gpus);
+
+    Placement out;
+    for (NodeId n = 0; n < NodeId(view.node_count()); ++n) {
+        if (taken[n] > 0)
+            out.slices.push_back(make_slice(n, taken[n]));
+    }
+    return out;
+}
+
+StatusOr<Placement>
 RandomPlacement::plan(const FreeView &view, const cluster::Topology &,
                       int gpus, int per_node_limit,
                       const std::vector<uint8_t> *eligible)
@@ -252,6 +349,8 @@ make_placement_policy(const std::string &name, uint64_t seed)
         return std::make_unique<SpreadPlacement>();
     if (name == "topology")
         return std::make_unique<TopologyAwarePlacement>();
+    if (name == "antiaffinity")
+        return std::make_unique<AntiAffinityPlacement>();
     if (name == "random")
         return std::make_unique<RandomPlacement>(seed);
     return nullptr;

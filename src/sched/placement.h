@@ -106,6 +106,23 @@ class TopologyAwarePlacement : public PlacementPolicy
          const std::vector<uint8_t> *eligible) override;
 };
 
+/**
+ * Blast-radius-aware anti-affinity: a gang that fits on one node stays on
+ * one node (a single node is a single fault domain either way, and keeps
+ * NVLink locality), but a gang that must span nodes is spread across as
+ * many racks as can contribute, capped per rack, so one rack-switch or
+ * PDU outage never takes out the whole gang.
+ */
+class AntiAffinityPlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "antiaffinity"; }
+    StatusOr<cluster::Placement>
+    plan(const FreeView &view, const cluster::Topology &topo, int gpus,
+         int per_node_limit,
+         const std::vector<uint8_t> *eligible) override;
+};
+
 /** First-fit over a randomly shuffled node order (baseline). */
 class RandomPlacement : public PlacementPolicy
 {

@@ -66,6 +66,12 @@ struct SchedulerContext {
      */
     bool avoid_gpu_mixing = false;
     /**
+     * Per-node placement veto (1 = allowed), e.g. the flaky-node
+     * scoreboard steering requeues away from recently-faulty nodes.
+     * Null means every node is allowed. ANDed with any GPU-model mask.
+     */
+    const std::vector<uint8_t> *node_filter = nullptr;
+    /**
      * Per-iteration wall seconds the execution layer predicts for a job on
      * a hypothetical placement. Used for reservations and elastic search.
      */

@@ -167,6 +167,42 @@ Client::accounting(const std::string &group,
 }
 
 Status
+Client::cordon(int node, const std::string &cluster)
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->cordon_node(node);
+}
+
+Status
+Client::drain_node(int node, const std::string &cluster)
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->drain_node(node);
+}
+
+Status
+Client::uncordon(int node, const std::string &cluster)
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->uncordon_node(node);
+}
+
+StatusOr<std::string>
+Client::health(const std::string &cluster) const
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->health_report();
+}
+
+Status
 Client::kill(const TaskHandle &handle)
 {
     core::TaccStack *stack = resolve(handle.cluster);

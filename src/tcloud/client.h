@@ -105,6 +105,18 @@ class Client
     StatusOr<std::string> accounting(const std::string &group,
                                      const std::string &cluster = "") const;
 
+    /** @name Node lifecycle (`tcloud cordon|drain|uncordon|health`) */
+    ///@{
+    /** Holds a node: running gangs finish, no new placements land. */
+    Status cordon(int node, const std::string &cluster = "");
+    /** Evacuates a node: residents are gracefully requeued. */
+    Status drain_node(int node, const std::string &cluster = "");
+    /** Returns a cordoned/drained node to service. */
+    Status uncordon(int node, const std::string &cluster = "");
+    /** Per-state node counts, capacity, and fault totals. */
+    StatusOr<std::string> health(const std::string &cluster = "") const;
+    ///@}
+
     /**
      * Blocks (drives the simulation) until the task is terminal.
      * @return the final status.

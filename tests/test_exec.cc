@@ -194,6 +194,71 @@ TEST(FailureModel, MaxAttemptsExhausts)
     EXPECT_TRUE(fm.on_failure(job));
 }
 
+TEST(FailureModel, MaxAttemptsOfOneFailsImmediately)
+{
+    FailureConfig config;
+    config.max_attempts = 1;
+    FailureModel fm(config, 1);
+    const auto job = make_job(spec());
+    EXPECT_TRUE(fm.on_failure(job));
+}
+
+TEST(FailureModel, ChooseRuntimeBeforeAnyFailureIsCompiled)
+{
+    FailureModel fm(FailureConfig{}, 3);
+    const auto job = make_job(spec());
+    EXPECT_EQ(fm.attempts_of(job.id()), 0);
+    EXPECT_EQ(fm.choose_runtime(job, compiler::RuntimeKind::kBareMetal),
+              compiler::RuntimeKind::kBareMetal);
+}
+
+TEST(FailureModel, ClassifyPersistentOnlyOnBadRuntime)
+{
+    FailureConfig config;
+    config.persistent_prob = 1.0;
+    FailureModel fm(config, 11);
+    const auto job = make_job(spec());
+    const bool bad_container =
+        fm.is_incompatible(job, compiler::RuntimeKind::kContainer);
+    const auto bad = bad_container ? compiler::RuntimeKind::kContainer
+                                   : compiler::RuntimeKind::kBareMetal;
+    const auto good = bad_container ? compiler::RuntimeKind::kBareMetal
+                                    : compiler::RuntimeKind::kContainer;
+    EXPECT_EQ(fm.classify(job, bad), FailureKind::kPersistent);
+    EXPECT_EQ(fm.classify(job, good), FailureKind::kTransient);
+}
+
+TEST(FailureModel, RequeueBackoffDisabledByDefault)
+{
+    FailureModel fm(FailureConfig{}, 1);
+    EXPECT_EQ(fm.requeue_backoff(1), Duration::zero());
+    EXPECT_EQ(fm.requeue_backoff(10), Duration::zero());
+}
+
+TEST(FailureModel, RequeueBackoffDoublesAndCaps)
+{
+    FailureConfig config;
+    config.requeue_backoff_base_s = 10.0;
+    config.requeue_backoff_cap_s = 60.0;
+    FailureModel fm(config, 1);
+    EXPECT_EQ(fm.requeue_backoff(0), Duration::zero());
+    EXPECT_NEAR(fm.requeue_backoff(1).to_seconds(), 10.0, 1e-9);
+    EXPECT_NEAR(fm.requeue_backoff(2).to_seconds(), 20.0, 1e-9);
+    EXPECT_NEAR(fm.requeue_backoff(3).to_seconds(), 40.0, 1e-9);
+    EXPECT_NEAR(fm.requeue_backoff(4).to_seconds(), 60.0, 1e-9); // capped
+    EXPECT_NEAR(fm.requeue_backoff(20).to_seconds(), 60.0, 1e-9);
+}
+
+TEST(FailureModel, RequeueBackoffCapBelowBaseClampsToCap)
+{
+    FailureConfig config;
+    config.requeue_backoff_base_s = 100.0;
+    config.requeue_backoff_cap_s = 30.0;
+    FailureModel fm(config, 1);
+    EXPECT_NEAR(fm.requeue_backoff(1).to_seconds(), 30.0, 1e-9);
+    EXPECT_NEAR(fm.requeue_backoff(5).to_seconds(), 30.0, 1e-9);
+}
+
 TEST(MonitorHub, AggregatesAcrossNodesInTimeOrder)
 {
     MonitorHub hub(4);

@@ -145,17 +145,17 @@ alert   severity  fired  resolved  duration  peak
 -------------------------------------------------
 (none)                                           
 == per-group usage (all time) ==
-period  group   jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  misses
----------------------------------------------------------------------------------
-total   lab       12    12     0     0   2.4      0.5        0        0.0       0
-total   vision    12    12     0     0   2.9      0.6        0        0.0       0
+period  group   jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  fault-GPUh  misses
+---------------------------------------------------------------------------------------------
+total   lab       12    12     0     0   2.4      0.5        0        0.0         0.0       0
+total   vision    12    12     0     0   2.9      0.6        0        0.0         0.0       0
 )GOLD";
 
 const char kAccountingGolden[] = R"GOLD(== accounting statement: group 'lab' ==
-period            group  jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  misses
-------------------------------------------------------------------------------------------
-month 0 (d0-d29)  lab      12    12     0     0   2.4      0.5        0        0.0       0
-total             lab      12    12     0     0   2.4      0.5        0        0.0       0
+period            group  jobs  done  fail  kill  GPUh  queue-h  preempt  loss-GPUh  fault-GPUh  misses
+------------------------------------------------------------------------------------------------------
+month 0 (d0-d29)  lab      12    12     0     0   2.4      0.5        0        0.0         0.0       0
+total             lab      12    12     0     0   2.4      0.5        0        0.0         0.0       0
 )GOLD";
 
 /** The fixed-seed scenario behind both golden-output tests. */

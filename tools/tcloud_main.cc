@@ -18,6 +18,10 @@
  *   kill <id>             kill a job
  *   report                operator summary (telemetry, alerts, usage)
  *   accounting <group>    the group's per-period billing statements
+ *   cordon <node>         hold a node (no new placements)
+ *   drain <node>          evacuate a node for maintenance
+ *   uncordon <node>       return a cordoned/drained node to service
+ *   health                per-state node counts + fault totals
  *   help | quit
  *
  * Example:  printf 'demo 20\ndrain\nps\nreport\n' | ./build/tools/tcloud
@@ -151,9 +155,32 @@ class Shell
             std::printf("now %s\n",
                         stack().simulator().now().str().c_str());
         } else if (cmd == "drain") {
-            stack().run_to_completion();
-            std::printf("drained at %s\n",
-                        stack().simulator().now().str().c_str());
+            // `drain <node>` evacuates one node; bare `drain` keeps the
+            // historical meaning: run the simulation to completion.
+            int node = -1;
+            if (is >> node) {
+                auto s = client_.drain_node(node);
+                std::printf("%s\n", s.str().c_str());
+            } else {
+                stack().run_to_completion();
+                std::printf("drained at %s\n",
+                            stack().simulator().now().str().c_str());
+            }
+        } else if (cmd == "cordon") {
+            int node = -1;
+            is >> node;
+            auto s = client_.cordon(node);
+            std::printf("%s\n", s.str().c_str());
+        } else if (cmd == "uncordon") {
+            int node = -1;
+            is >> node;
+            auto s = client_.uncordon(node);
+            std::printf("%s\n", s.str().c_str());
+        } else if (cmd == "health") {
+            auto text = client_.health();
+            std::fputs(text.is_ok() ? text.value().c_str()
+                                    : (text.status().str() + "\n").c_str(),
+                       stdout);
         } else if (cmd == "ps") {
             ps();
         } else if (cmd == "status") {
@@ -200,9 +227,10 @@ class Shell
     {
         std::fputs(
             "clusters | use <name> | open <cfg> <name> | submit <file> "
-            "| replay <csv> |\ndemo [n] | run <s> | drain | ps | "
+            "| replay <csv> |\ndemo [n] | run <s> | drain [node] | ps | "
             "status <id> | logs <id> | kill <id> |\nreport | "
-            "accounting <group> | quit\n",
+            "accounting <group> | cordon <node> | uncordon <node> | "
+            "health | quit\n",
             stdout);
     }
 
