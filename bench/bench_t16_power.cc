@@ -1,0 +1,200 @@
+/**
+ * @file
+ * T16 — Power caps, DVFS, and tenant energy accounting.
+ *
+ * Drives the reference 256-GPU campus deployment (idle floor 28.2 kW,
+ * ~87 kW of additional draw if every GPU computes flat out) under a
+ * sustained workload against a 60 kW facility budget (the workload's
+ * natural peak is ~79 kW, so the cap binds), in three variants:
+ *
+ *  - baseline:   power metering only (uncapped ceiling);
+ *  - admission:  starts that would overflow the budget wait in queue;
+ *  - dvfs:       starts are frequency-scaled into the remaining
+ *                headroom instead of waiting.
+ *
+ * The table shows the JCT / peak-power trade between the two policies.
+ * Hard checks, each exiting non-zero on violation:
+ *
+ *  1. capped variants never draw above the cap — draw is piecewise
+ *     constant, so peak <= cap proves the budget held at every instant;
+ *  2. the tenant energy ledger reconciles: cluster kWh equals baseline
+ *     kWh plus the sum of per-group active kWh to 0.0000%;
+ *  3. a power-axis mini sweep run twice at 8 workers produces
+ *     byte-identical digests (cap enforcement stays deterministic).
+ *
+ * TACC_BENCH_JOBS caps the trace length (CI smoke). --json FILE writes
+ * the key metrics as a machine-readable artifact.
+ */
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "driver/runner.h"
+
+using namespace tacc;
+
+namespace {
+
+constexpr double kCapW = 60'000.0;
+
+struct Variant {
+    std::string label;
+    double cap_w = 0;
+    core::ScenarioResult result;
+};
+
+/** Sum of the per-group active energies. */
+double
+group_energy_sum_kwh(const core::ScenarioResult &r)
+{
+    double sum = 0;
+    for (const auto &[group, kwh] : r.group_energy_kwh)
+        sum += kwh;
+    return sum;
+}
+
+/** Ledger error relative to the integrated cluster draw. */
+double
+ledger_error_fraction(const core::ScenarioResult &r)
+{
+    if (r.energy_kwh <= 0)
+        return 0.0;
+    const double reconstructed =
+        r.baseline_energy_kwh + group_energy_sum_kwh(r);
+    return std::fabs(r.energy_kwh - reconstructed) / r.energy_kwh;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json_path = argv[i + 1];
+    }
+
+    const int jobs = bench::capped_jobs(300);
+    const double interarrival_s = 45.0;
+
+    auto make_config = [&](const std::string &policy, double cap_w) {
+        core::ScenarioConfig config;
+        config.stack = bench::default_stack();
+        config.trace = bench::default_trace(jobs, 42);
+        config.trace.mean_interarrival_s = interarrival_s;
+        config.stack.power.enabled = true;
+        config.stack.power.policy = policy;
+        config.stack.power.cluster_cap_w = cap_w;
+        return config;
+    };
+
+    std::printf("T16: power caps — %d jobs on 256 GPUs; cluster budget "
+                "%.0f kW (idle floor %.1f kW)\n",
+                jobs, kCapW / 1000.0, 28'160.0 / 1000.0);
+
+    std::vector<Variant> variants;
+    variants.push_back(
+        {"baseline", 0.0,
+         core::run_scenario(make_config("admission", 0.0))});
+    variants.push_back(
+        {"admission", kCapW,
+         core::run_scenario(make_config("admission", kCapW))});
+    variants.push_back(
+        {"dvfs", kCapW, core::run_scenario(make_config("dvfs", kCapW))});
+
+    bool ok = true;
+
+    TextTable table("T16: JCT vs peak power under a 60 kW budget");
+    table.set_header({"variant", "done", "meanJCT(h)", "p99JCT(h)",
+                      "meanWait(m)", "peak(kW)", "energy(kWh)",
+                      "deferrals", "dvfs-starts", "ledger-err"});
+    for (const auto &v : variants) {
+        const auto &r = v.result;
+        table.add_row(
+            {v.label, std::to_string(r.completed),
+             TextTable::fixed(r.mean_jct_s / 3600.0, 2),
+             TextTable::fixed(r.p99_jct_s / 3600.0, 2),
+             TextTable::fixed(r.mean_wait_s / 60.0, 1),
+             TextTable::fixed(r.peak_draw_w / 1000.0, 2),
+             TextTable::fixed(r.energy_kwh, 1),
+             std::to_string(r.power_deferrals),
+             std::to_string(r.dvfs_starts),
+             TextTable::pct(ledger_error_fraction(r), 4)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("expectation: both policies hold peak <= %.0f kW; "
+                "admission trades wait time, dvfs trades iteration "
+                "speed\n",
+                kCapW / 1000.0);
+
+    // Check 1: the cap held at every instant (tiny tolerance for the
+    // DVFS clock's pow() round-trip at exact-fill starts).
+    for (const auto &v : variants) {
+        if (v.cap_w > 0 && v.result.peak_draw_w > v.cap_w + 1e-6) {
+            std::printf("VIOLATION: %s peak %.3f W above cap %.3f W\n",
+                        v.label.c_str(), v.result.peak_draw_w, v.cap_w);
+            ok = false;
+        }
+    }
+
+    // Check 2: per-tenant kWh reconciles to the integrated cluster draw.
+    for (const auto &v : variants) {
+        const double err = ledger_error_fraction(v.result);
+        if (err > 1e-6) {
+            std::printf("VIOLATION: %s energy ledger off by %.6f%%\n",
+                        v.label.c_str(), err * 100.0);
+            ok = false;
+        }
+    }
+    std::printf("energy ledger: cluster == baseline + sum(groups) to "
+                "%.4f%% in all variants\n",
+                ledger_error_fraction(variants[2].result) * 100.0);
+
+    // Check 3: determinism under caps — the same power sweep twice at 8
+    // workers must produce byte-identical digests.
+    driver::SweepSpec sweep;
+    sweep.base.stack = bench::default_stack();
+    sweep.base.trace = bench::default_trace(std::min(jobs, 80), 42);
+    sweep.schedulers = {"fairshare", "backfill-easy"};
+    sweep.power_caps = {0.0, kCapW};
+    sweep.power_policies = {"admission", "dvfs"};
+    sweep.seeds = {1, 2};
+    const auto pass1 = driver::run_sweep(sweep, 8);
+    const auto pass2 = driver::run_sweep(sweep, 8);
+    const bool identical =
+        driver::digests_text(pass1) == driver::digests_text(pass2);
+    std::printf("power sweep determinism: %zu scenarios x2 at 8 workers "
+                "— digests %s\n",
+                sweep.grid_size(),
+                identical ? "identical" : "DRIFT — violation");
+    ok = ok && identical;
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << "{\n";
+        for (const auto &v : variants) {
+            const auto &r = v.result;
+            out << "  \"" << v.label << "\": {"
+                << "\"completed\": " << r.completed
+                << ", \"mean_jct_s\": " << r.mean_jct_s
+                << ", \"mean_wait_s\": " << r.mean_wait_s
+                << ", \"peak_draw_w\": " << r.peak_draw_w
+                << ", \"energy_kwh\": " << r.energy_kwh
+                << ", \"baseline_energy_kwh\": " << r.baseline_energy_kwh
+                << ", \"power_deferrals\": " << r.power_deferrals
+                << ", \"dvfs_starts\": " << r.dvfs_starts
+                << ", \"ledger_error\": " << ledger_error_fraction(r)
+                << "},\n";
+        }
+        out << "  \"cap_w\": " << kCapW << ",\n";
+        out << "  \"power_sweep_digests_identical\": "
+            << (identical ? "true" : "false") << ",\n";
+        out << "  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+    }
+    return ok ? 0 : 1;
+}

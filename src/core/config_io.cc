@@ -212,6 +212,71 @@ parse_stack_config(const std::string &text)
             if (auto s = to_double(dv); !s.is_ok())
                 return s;
             config.exec.restart_overhead_s = dv;
+        } else if (key == "power") {
+            auto b = parse_bool(key, value);
+            if (!b.is_ok())
+                return b.status();
+            config.power.enabled = b.value();
+        } else if (key == "power_policy") {
+            if (value != "admission" && value != "dvfs")
+                return bad(key, value);
+            config.power.policy = value;
+        } else if (key == "power_cluster_cap_w") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.power.cluster_cap_w = dv;
+        } else if (key == "power_rack_cap_w") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.power.rack_cap_w = dv;
+        } else if (key == "power_pdu_cap_w") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            config.power.pdu_cap_w = dv;
+        } else if (key == "power_racks_per_pdu") {
+            if (auto s = to_int(iv); !s.is_ok())
+                return s;
+            if (iv <= 0)
+                return bad(key, value);
+            config.power.racks_per_pdu = iv;
+        } else if (key == "power_host_idle_w") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv < 0)
+                return bad(key, value);
+            config.power.host_idle_w = dv;
+        } else if (key == "power_gpu_w") {
+            // "idle,active" for the default GPU, or "model,idle,active".
+            const auto parts = split(value, ',');
+            try {
+                if (parts.size() == 2) {
+                    config.power.default_gpu.idle_w = std::stod(parts[0]);
+                    config.power.default_gpu.active_w =
+                        std::stod(parts[1]);
+                } else if (parts.size() == 3) {
+                    power::GpuPowerSpec spec;
+                    spec.idle_w = std::stod(parts[1]);
+                    spec.active_w = std::stod(parts[2]);
+                    config.power
+                        .gpu_power[std::string(trim(parts[0]))] = spec;
+                } else {
+                    return bad(key, value);
+                }
+            } catch (const std::exception &) {
+                return bad(key, value);
+            }
+        } else if (key == "power_dvfs_exponent") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv <= 0)
+                return bad(key, value);
+            config.power.dvfs_exponent = dv;
+        } else if (key == "power_min_clock") {
+            if (auto s = to_double(dv); !s.is_ok())
+                return s;
+            if (dv <= 0 || dv > 1)
+                return bad(key, value);
+            config.power.min_clock = dv;
         } else if (key == "seed") {
             if (auto s = to_int(iv); !s.is_ok())
                 return s;
@@ -273,6 +338,29 @@ stack_config_to_text(const StackConfig &config)
                  config.exec.checkpoint_cost_s);
     os << strfmt("restart_overhead_s: %g\n",
                  config.exec.restart_overhead_s);
+    // Power keys appear only when the subsystem is on, keeping rendered
+    // configs of power-free stacks byte-identical to the pre-power form.
+    if (config.power.enabled) {
+        os << "power: true\n";
+        os << "power_policy: " << config.power.policy << '\n';
+        os << strfmt("power_cluster_cap_w: %g\n",
+                     config.power.cluster_cap_w);
+        os << strfmt("power_rack_cap_w: %g\n", config.power.rack_cap_w);
+        os << strfmt("power_pdu_cap_w: %g\n", config.power.pdu_cap_w);
+        os << "power_racks_per_pdu: " << config.power.racks_per_pdu
+           << '\n';
+        os << strfmt("power_host_idle_w: %g\n", config.power.host_idle_w);
+        os << strfmt("power_gpu_w: %g,%g\n",
+                     config.power.default_gpu.idle_w,
+                     config.power.default_gpu.active_w);
+        for (const auto &[model, spec] : config.power.gpu_power) {
+            os << strfmt("power_gpu_w: %s,%g,%g\n", model.c_str(),
+                         spec.idle_w, spec.active_w);
+        }
+        os << strfmt("power_dvfs_exponent: %g\n",
+                     config.power.dvfs_exponent);
+        os << strfmt("power_min_clock: %g\n", config.power.min_clock);
+    }
     os << "seed: " << config.seed << '\n';
     return os.str();
 }

@@ -80,6 +80,16 @@ run_scenario(const ScenarioConfig &config)
     out.deadline_miss_rate = metrics.deadline_miss_rate();
     out.segment_failures = metrics.segment_failures();
 
+    if (const auto *power = stack.power()) {
+        out.peak_draw_w = power->peak_draw_w();
+        out.energy_kwh = power->energy_kwh();
+        out.baseline_energy_kwh = power->baseline_energy_kwh();
+        out.power_deferrals = power->deferrals();
+        out.dvfs_starts = power->dvfs_starts();
+        for (const auto &[group, kwh] : power->group_energy_kwh())
+            out.group_energy_kwh.emplace_back(group, kwh);
+    }
+
     out.node_faults = metrics.node_faults();
     out.fault_lost_gpu_hours = metrics.fault_lost_gpu_seconds() / 3600.0;
     const Samples requeue = metrics.requeue_latency_samples();

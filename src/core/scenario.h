@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -66,6 +67,17 @@ struct ScenarioResult {
     double fault_lost_gpu_hours = 0;     ///< work destroyed by fault kills
     double mean_requeue_latency_s = 0;   ///< fault kill -> next start
     double p99_requeue_latency_s = 0;
+    ///@}
+
+    /** @name Power & energy summary (zero when power is off) */
+    ///@{
+    double peak_draw_w = 0;          ///< highest instantaneous draw
+    double energy_kwh = 0;           ///< integrated cluster draw
+    double baseline_energy_kwh = 0;  ///< idle-floor share of the energy
+    uint64_t power_deferrals = 0;    ///< starts blocked on headroom
+    uint64_t dvfs_starts = 0;        ///< starts frequency-scaled
+    /** Active (above-baseline) kWh per group, name order. */
+    std::vector<std::pair<std::string, double>> group_energy_kwh;
     ///@}
 
     /** Aggregate GPU-seconds actually charged across all jobs. */

@@ -50,6 +50,11 @@ TaccStack::TaccStack(StackConfig config)
     if (config_.faults.enabled)
         faults_->start();
 
+    if (config_.power.enabled) {
+        power_ =
+            std::make_unique<power::PowerManager>(cluster_, config_.power);
+    }
+
     const Duration period = scheduler_->tick_period();
     if (!period.is_zero()) {
         tick_ = std::make_unique<sim::PeriodicTask>(
@@ -133,6 +138,55 @@ TaccStack::wire_ops()
     ops_->add_counter_source(series::kMonitorLines, [this] {
         return double(monitor_.total_emitted());
     });
+
+    // Power & energy: draw/headroom gauges, the kWh meter, and cap
+    // alerting. The energy source advances the ledger first — a pure
+    // integration of already-decided draw, so sampling cannot perturb
+    // scheduling (the telemetry invariant the ops layer guarantees).
+    if (power_) {
+        ops_->add_gauge_source(series::kPowerDrawW,
+                               [this] { return power_->draw_w(); });
+        ops_->add_counter_source(series::kPowerEnergyKwh, [this] {
+            power_->advance(sim_.now());
+            return power_->energy_kwh();
+        });
+        ops_->add_counter_source(series::kPowerDeferrals, [this] {
+            return double(power_->deferrals());
+        });
+        ops_->add_counter_source(series::kPowerDvfsStarts, [this] {
+            return double(power_->dvfs_starts());
+        });
+        const double cap = config_.power.cluster_cap_w;
+        if (cap > 0) {
+            ops_->add_gauge_source(series::kPowerHeadroomW, [this] {
+                return power_->cluster_headroom_w();
+            });
+            ops::AlertRule breach;
+            breach.name = "power-cap-breach";
+            breach.series = series::kPowerDrawW;
+            breach.agg = ops::AlertRule::Agg::kLast;
+            breach.cmp = ops::AlertRule::Cmp::kAbove;
+            breach.threshold = cap;
+            breach.for_duration = Duration::zero();
+            breach.severity = ops::AlertSeverity::kCritical;
+            breach.description =
+                "instantaneous cluster draw exceeds the facility cap";
+            ops_->alerts().add_rule(std::move(breach));
+
+            ops::AlertRule sustained;
+            sustained.name = "sustained-high-draw";
+            sustained.series = series::kPowerDrawW;
+            sustained.agg = ops::AlertRule::Agg::kMean;
+            sustained.cmp = ops::AlertRule::Cmp::kAbove;
+            sustained.threshold = config_.power.high_draw_fraction * cap;
+            sustained.window = Duration::minutes(30);
+            sustained.for_duration = Duration::minutes(10);
+            sustained.severity = ops::AlertSeverity::kWarning;
+            sustained.description =
+                "mean draw has run near the facility cap for 30 min";
+            ops_->alerts().add_rule(std::move(sustained));
+        }
+    }
 
     // Per-tenant fair-share usage: one gauge per group, defined lazily
     // as groups first appear (snapshot order is sorted -> deterministic).
@@ -364,6 +418,8 @@ TaccStack::run_to_completion(uint64_t max_events)
         // the last partial rollup buckets and alert states are current.
         ops_->sample(sim_.now());
     }
+    if (power_)
+        power_->advance(sim_.now()); // close the energy ledger
     return quiescent();
 }
 
@@ -427,9 +483,27 @@ TaccStack::charge_usage(Job &job)
 }
 
 void
+TaccStack::release_power(JobId id, const cluster::Placement &placement)
+{
+    if (!power_)
+        return;
+    power_->on_segment_stop(id, sim_.now());
+    // The departing gang may have been the reason its nodes ran
+    // throttled; push the refreshed clocks into the engine.
+    for (const auto &slice : placement.slices) {
+        engine_.set_node_clock(slice.node,
+                               power_->node_clock_of(slice.node));
+    }
+}
+
+void
 TaccStack::finalize(Job &job)
 {
     estimator_.observe(job); // no-op unless the job completed
+    // Drain the job's energy meter even when accounting is off, so the
+    // ledger does not grow with terminal jobs.
+    const double energy_kwh =
+        power_ ? power_->take_job_energy_kwh(job.id()) : 0.0;
     const JobRecord &rec = metrics_.record_job(job);
     if (ops_) {
         ops::UsageEvent ev;
@@ -448,6 +522,7 @@ TaccStack::finalize(Job &job)
             lost != fault_lost_gpu_s_.end()) {
             ev.fault_lost_gpu_seconds = lost->second;
         }
+        ev.energy_kwh = energy_kwh;
         ops_->accounting().record(ev);
     }
     charged_gpu_s_.erase(job.id());
@@ -473,6 +548,7 @@ TaccStack::stop_segment(Job &job, bool count_as_preemption)
     cluster_.release(job.id());
     engine_.fs().unregister_reader(job.id());
     engine_.unregister_cross_rack_job(job.id());
+    release_power(job.id(), placement);
     charge_usage(job);
     if (count_as_preemption) {
         metrics_.on_preemption();
@@ -495,6 +571,7 @@ TaccStack::on_segment_complete(JobId id)
     cluster_.release(id);
     engine_.fs().unregister_reader(id);
     engine_.unregister_cross_rack_job(id);
+    release_power(id, placement);
     charge_usage(*job);
     log_job(*job, placement, "completed");
     metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
@@ -547,6 +624,7 @@ TaccStack::handle_segment_failure(JobId id, exec::FailureKind kind)
     cluster_.release(id);
     engine_.fs().unregister_reader(id);
     engine_.unregister_cross_rack_job(id);
+    release_power(id, placement);
     charge_usage(*job);
     metrics_.on_segment_failure();
     metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
@@ -631,6 +709,18 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
         Job *job = find_job(start.job);
         if (!job || job->state() != JobState::kPending)
             continue;
+        // Power authority check against the exact model (the scheduler's
+        // gate is conservative): a refused start simply stays pending.
+        double activity = 0;
+        power::StartDecision power_start;
+        if (power_) {
+            activity = engine_.compute_activity(*job, start.placement);
+            power_start = power_->plan_start(start.placement, activity);
+            if (!power_start.admit) {
+                power_->note_deferrals(1);
+                continue;
+            }
+        }
         Status alloc = cluster_.allocate(start.job, start.placement);
         if (!alloc.is_ok()) {
             Log::warnf("placement failed for job %llu: %s",
@@ -641,6 +731,17 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
         const cluster::Placement granted =
             cluster_.placement_of(start.job);
         metrics_.on_placement(start.job, granted);
+        if (power_) {
+            // Commit draw and push node clocks before pricing, so
+            // plan_segment sees any DVFS stretch this start causes.
+            power_->on_segment_start(start.job, job->spec().group,
+                                     granted, activity,
+                                     power_start.clock, sim_.now());
+            for (const auto &slice : granted.slices) {
+                engine_.set_node_clock(
+                    slice.node, power_->node_clock_of(slice.node));
+            }
+        }
         const auto &instruction = instructions_.at(start.job);
         exec::SegmentPlan plan =
             engine_.plan_segment(*job, granted, instruction.runtime);
@@ -703,6 +804,36 @@ TaccStack::schedule_now()
     // Flaky-node scoreboard: veto nodes with recent fault strikes.
     if (faults_->build_node_filter(sim_.now(), node_filter_scratch_))
         ctx.node_filter = &node_filter_scratch_;
+    // Power gate: conservative per-scope headroom snapshot the policy
+    // deducts from as it commits starts. Only wired when a cap exists.
+    const bool power_capped =
+        power_ && (config_.power.cluster_cap_w > 0 ||
+                   config_.power.rack_cap_w > 0 ||
+                   config_.power.pdu_cap_w > 0);
+    if (power_capped) {
+        power_gate_ = sched::PowerGate{};
+        power_gate_.cluster = &cluster_;
+        power_gate_.racks_per_pdu = config_.power.racks_per_pdu;
+        power_gate_.per_gpu_w =
+            power_->model().max_gpu_delta_w() * power_->commit_fraction();
+        if (config_.power.cluster_cap_w > 0)
+            power_gate_.cluster_headroom_w = power_->cluster_headroom_w();
+        if (config_.power.rack_cap_w > 0) {
+            const int racks = power_->model().rack_count();
+            power_gate_.rack_headroom_w.resize(size_t(racks));
+            for (int r = 0; r < racks; ++r)
+                power_gate_.rack_headroom_w[size_t(r)] =
+                    power_->rack_headroom_w(r);
+        }
+        if (config_.power.pdu_cap_w > 0) {
+            const int pdus = power_->pdu_count();
+            power_gate_.pdu_headroom_w.resize(size_t(pdus));
+            for (int p = 0; p < pdus; ++p)
+                power_gate_.pdu_headroom_w[size_t(p)] =
+                    power_->pdu_headroom_w(p);
+        }
+        ctx.power = &power_gate_;
+    }
     ctx.iter_time = [this](const Job &job,
                            const cluster::Placement &placement) {
         return engine_.iteration_time_s(job, placement);
@@ -732,6 +863,8 @@ TaccStack::schedule_now()
     ctx.running = running_cache_;
 
     const sched::ScheduleDecision decision = scheduler_->schedule(ctx);
+    if (power_capped)
+        power_->note_deferrals(power_gate_.rejections);
     if (!decision.empty())
         apply_decision(decision);
 }
@@ -847,6 +980,66 @@ TaccStack::health_report() const
         out += strfmt("  %s: %s (%d job(s) resident)\n",
                       node.name().c_str(), cluster::health_name(s),
                       int(node.resident_jobs().size()));
+    }
+    return out;
+}
+
+std::string
+TaccStack::power_report() const
+{
+    if (!power_)
+        return "power management disabled\n";
+    const auto &pc = config_.power;
+    std::string out = strfmt(
+        "== power: cluster '%s' at %s ==\n", config_.cluster.name.c_str(),
+        ops::format_day_time(sim_.now()).c_str());
+    out += strfmt("draw: %.1f kW (baseline %.1f kW, peak %.1f kW)\n",
+                  power_->draw_w() / 1000.0, power_->baseline_w() / 1000.0,
+                  power_->peak_draw_w() / 1000.0);
+    out += strfmt("policy: %s\n", pc.policy.c_str());
+    if (pc.cluster_cap_w > 0) {
+        out += strfmt("cluster cap: %.1f kW (headroom %.1f kW)\n",
+                      pc.cluster_cap_w / 1000.0,
+                      power_->cluster_headroom_w() / 1000.0);
+    }
+    if (pc.rack_cap_w > 0)
+        out += strfmt("rack cap: %.1f kW\n", pc.rack_cap_w / 1000.0);
+    if (pc.pdu_cap_w > 0) {
+        out += strfmt("PDU cap: %.1f kW (%d rack(s) per PDU)\n",
+                      pc.pdu_cap_w / 1000.0, pc.racks_per_pdu);
+    }
+    out += strfmt(
+        "enforcement: %llu deferral(s), %llu DVFS-scaled start(s), "
+        "%d node(s) throttled\n",
+        (unsigned long long)power_->deferrals(),
+        (unsigned long long)power_->dvfs_starts(),
+        power_->throttled_nodes());
+    for (int rack = 0; rack < power_->model().rack_count(); ++rack) {
+        out += strfmt("  rack %d: %.1f kW\n", rack,
+                      power_->rack_draw_w(rack) / 1000.0);
+    }
+    return out;
+}
+
+std::string
+TaccStack::energy_report() const
+{
+    if (!power_)
+        return "power management disabled\n";
+    power_->advance(sim_.now());
+    std::string out = strfmt(
+        "== energy: cluster '%s' at %s ==\n", config_.cluster.name.c_str(),
+        ops::format_day_time(sim_.now()).c_str());
+    const double total = power_->energy_kwh();
+    const double baseline = power_->baseline_energy_kwh();
+    out += strfmt("cluster: %.1f kWh (baseline %.1f kWh, active %.1f "
+                  "kWh)\n",
+                  total, baseline, total - baseline);
+    const auto groups = power_->group_energy_kwh();
+    if (!groups.empty()) {
+        out += "active energy by group:\n";
+        for (const auto &[group, kwh] : groups)
+            out += strfmt("  %s: %.1f kWh\n", group.c_str(), kwh);
     }
     return out;
 }

@@ -32,6 +32,7 @@
 #include "exec/engine.h"
 #include "exec/monitor.h"
 #include "ops/ops_center.h"
+#include "power/power_manager.h"
 #include "sched/estimator.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
@@ -74,6 +75,13 @@ struct StackConfig {
      * uncordon) work either way.
      */
     FaultDomainConfig faults;
+    /**
+     * Power & energy management: draw model, cluster/rack/PDU caps
+     * (admission gating or DVFS), per-tenant energy accounting.
+     * Disabled (the default) keeps every run byte-identical to a stack
+     * without the subsystem.
+     */
+    power::PowerConfig power;
 };
 
 /** The running deployment. */
@@ -96,6 +104,8 @@ class TaccStack
     /** The operations layer; nullptr when config.ops.enabled is off. */
     ops::OpsCenter *ops() { return ops_.get(); }
     const ops::OpsCenter *ops() const { return ops_.get(); }
+    /** The power manager; nullptr when config.power.enabled is off. */
+    const power::PowerManager *power() const { return power_.get(); }
     const sched::UsageTracker &usage() const { return usage_; }
     const sched::RuntimeEstimator &estimator() const { return estimator_; }
     sched::Scheduler &scheduler() { return *scheduler_; }
@@ -158,6 +168,10 @@ class TaccStack
     Status uncordon_node(int node);
     /** `tcloud health`: per-state node counts, capacity, fault totals. */
     std::string health_report() const;
+    /** `tcloud power`: draw vs caps per scope, throttling, deferrals. */
+    std::string power_report() const;
+    /** `tcloud energy`: cluster/baseline/per-group kWh ledger. */
+    std::string energy_report() const;
     /** The fault injector (always present; chains run when enabled). */
     const FaultInjector &fault_injector() const { return *faults_; }
     ///@}
@@ -218,6 +232,9 @@ class TaccStack
     void evacuate_node(cluster::NodeId node);
     void charge_usage(workload::Job &job);
     void finalize(workload::Job &job);
+    /** Releases a stopped segment's draw and refreshes node clocks. */
+    void release_power(cluster::JobId id,
+                       const cluster::Placement &placement);
     void log_job(const workload::Job &job,
                  const cluster::Placement &placement,
                  const std::string &text);
@@ -235,6 +252,9 @@ class TaccStack
     sched::RuntimeEstimator estimator_;
     MetricsCollector metrics_;
     std::unique_ptr<ops::OpsCenter> ops_;
+    std::unique_ptr<power::PowerManager> power_;
+    /** Scratch the scheduler context's power gate points into. */
+    sched::PowerGate power_gate_;
 
     std::map<cluster::JobId, std::unique_ptr<workload::Job>> jobs_;
     std::map<cluster::JobId, compiler::TaskInstruction> instructions_;

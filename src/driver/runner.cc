@@ -127,6 +127,8 @@ summary_to_json(const SweepSummary &summary)
         out << strfmt("      \"utilization\": %.6f,\n",
                       r.arrival_window_utilization);
         out << strfmt("      \"fairness\": %.6f,\n", r.group_fairness);
+        out << strfmt("      \"peak_draw_w\": %.3f,\n", r.peak_draw_w);
+        out << strfmt("      \"energy_kwh\": %.6f,\n", r.energy_kwh);
         out << strfmt("      \"makespan_s\": %.3f\n", r.makespan_s);
         out << (i + 1 < summary.runs.size() ? "    },\n" : "    }\n");
     }

@@ -94,6 +94,20 @@ apply_preempt_mode(const std::string &mode, core::StackConfig *stack)
 }
 
 Status
+apply_power_mode(double cap_w, const std::string &policy,
+                 core::StackConfig *stack)
+{
+    if (cap_w <= 0)
+        return Status::ok(); // power off: the byte-identical baseline
+    if (policy != "admission" && policy != "dvfs")
+        return Status::invalid_argument("unknown power policy: " + policy);
+    stack->power.enabled = true;
+    stack->power.policy = policy;
+    stack->power.cluster_cap_w = cap_w;
+    return Status::ok();
+}
+
+Status
 apply_fault_mode(const std::string &mode, core::StackConfig *stack)
 {
     if (mode == "none")
@@ -119,38 +133,66 @@ apply_fault_mode(const std::string &mode, core::StackConfig *stack)
 std::vector<SweepScenario>
 expand_sweep(const SweepSpec &spec)
 {
+    // Power points in listed order; every cap <= 0 collapses to the one
+    // unsuffixed power-off point so the pre-power grid survives verbatim
+    // (and the off point cannot collide with itself per policy).
+    std::vector<std::pair<double, std::string>> power_points;
+    bool have_off = false;
+    for (double cap : spec.power_caps) {
+        if (cap <= 0) {
+            if (!have_off) {
+                power_points.emplace_back(0.0, "");
+                have_off = true;
+            }
+        } else {
+            for (const auto &policy : spec.power_policies)
+                power_points.emplace_back(cap, policy);
+        }
+    }
+
     std::vector<SweepScenario> out;
     out.reserve(spec.grid_size());
-    // fault_modes is the outermost axis so "none,<more>" specs keep the
-    // fault-free grid as an unchanged prefix of the expansion.
-    for (const auto &fault_mode : spec.fault_modes) {
-        for (const auto &scheduler : spec.schedulers) {
-            for (const auto &placement : spec.placements) {
-                for (const auto &mode : spec.preempt_modes) {
-                    for (double load : spec.loads) {
-                        for (uint64_t seed : spec.seeds) {
-                            SweepScenario sc;
-                            sc.config = spec.base;
-                            sc.config.stack.scheduler = scheduler;
-                            sc.config.stack.placement = placement;
-                            // Validated at parse time; an invalid mode
-                            // in a hand-built spec surfaces when the
-                            // run fails.
-                            (void)apply_preempt_mode(mode,
-                                                     &sc.config.stack);
-                            (void)apply_fault_mode(fault_mode,
-                                                   &sc.config.stack);
-                            sc.config.trace.mean_interarrival_s =
-                                spec.base.trace.mean_interarrival_s /
-                                load;
-                            sc.config.stack.seed = seed;
-                            sc.config.trace.seed = seed;
-                            sc.name = scheduler + "/" + placement + "/" +
-                                      mode + "/" + load_tag(load) + "/s" +
-                                      std::to_string(seed);
-                            if (fault_mode != "none")
-                                sc.name += "+" + fault_mode;
-                            out.push_back(std::move(sc));
+    // Power is the outermost axis, then fault_modes, so "0,<caps>" and
+    // "none,<more>" specs keep the plain grid as an unchanged prefix of
+    // the expansion.
+    for (const auto &[cap_w, policy] : power_points) {
+        for (const auto &fault_mode : spec.fault_modes) {
+            for (const auto &scheduler : spec.schedulers) {
+                for (const auto &placement : spec.placements) {
+                    for (const auto &mode : spec.preempt_modes) {
+                        for (double load : spec.loads) {
+                            for (uint64_t seed : spec.seeds) {
+                                SweepScenario sc;
+                                sc.config = spec.base;
+                                sc.config.stack.scheduler = scheduler;
+                                sc.config.stack.placement = placement;
+                                // Validated at parse time; an invalid
+                                // mode in a hand-built spec surfaces
+                                // when the run fails.
+                                (void)apply_preempt_mode(
+                                    mode, &sc.config.stack);
+                                (void)apply_fault_mode(
+                                    fault_mode, &sc.config.stack);
+                                (void)apply_power_mode(
+                                    cap_w, policy, &sc.config.stack);
+                                sc.config.trace.mean_interarrival_s =
+                                    spec.base.trace.mean_interarrival_s /
+                                    load;
+                                sc.config.stack.seed = seed;
+                                sc.config.trace.seed = seed;
+                                sc.name = scheduler + "/" + placement +
+                                          "/" + mode + "/" +
+                                          load_tag(load) + "/s" +
+                                          std::to_string(seed);
+                                if (fault_mode != "none")
+                                    sc.name += "+" + fault_mode;
+                                if (cap_w > 0) {
+                                    sc.name += strfmt("+%gkW-%s",
+                                                      cap_w / 1000.0,
+                                                      policy.c_str());
+                                }
+                                out.push_back(std::move(sc));
+                            }
                         }
                     }
                 }
@@ -237,6 +279,30 @@ parse_sweep_spec(const std::string &text)
                     return s;
             }
             spec.fault_modes = std::move(list).value();
+        } else if (key == "power_caps") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            spec.power_caps.clear();
+            for (const auto &item : list.value()) {
+                auto v = parse_double(key, item);
+                if (!v.is_ok())
+                    return v.status();
+                if (v.value() < 0.0 || v.value() > 1e9)
+                    return bad(key, item);
+                spec.power_caps.push_back(v.value());
+            }
+        } else if (key == "power_policies") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            for (const auto &policy : list.value()) {
+                core::StackConfig scratch;
+                if (auto s = apply_power_mode(1.0, policy, &scratch);
+                    !s.is_ok())
+                    return s;
+            }
+            spec.power_policies = std::move(list).value();
         } else if (key == "loads") {
             auto list = parse_list(key, value);
             if (!list.is_ok())

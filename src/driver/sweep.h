@@ -4,13 +4,15 @@
  * table.
  *
  * A SweepSpec is a base scenario (cluster shape + workload shape) plus
- * six axes — fault mode, scheduler, placement policy, preemption-cost
- * mode, load multiplier, seed — whose cross product expands into
- * independent named scenario runs. Expansion order is canonical (axes
- * iterate in the order above, values in listed order), so run indices,
- * digest files, and JSON summaries are stable for a fixed spec. The
- * fault-mode axis is outermost and "none" leaves the scenario name
- * unsuffixed, so adding fault modes to a spec appends scenarios without
+ * seven axes — power cap x policy, fault mode, scheduler, placement
+ * policy, preemption-cost mode, load multiplier, seed — whose cross
+ * product expands into independent named scenario runs. Expansion order
+ * is canonical (axes iterate in the order above, values in listed
+ * order), so run indices, digest files, and JSON summaries are stable
+ * for a fixed spec. The power axis is outermost and every cap <= 0
+ * collapses into one unsuffixed power-off point (regardless of the
+ * policy list), then the fault-mode axis with "none" unsuffixed — so
+ * adding power caps or fault modes to a spec appends scenarios without
  * renaming (or reordering) the existing grid.
  *
  * Specs are written in the repo's `key: value` dialect:
@@ -22,6 +24,8 @@
  *   loads: 1.0,1.4
  *   seeds: 1,2
  *   fault_modes: none,storm
+ *   power_caps: 0,80000      cluster cap in watts; 0 = power off
+ *   power_policies: admission,dvfs
  *   # base scenario knobs (all optional)
  *   jobs: 40                 trace length
  *   interarrival_s: 90       mean interarrival at load 1.0
@@ -54,9 +58,14 @@ struct SweepSpec {
     /** Template every grid point starts from. */
     core::ScenarioConfig base;
 
-    /** @name Axes (cross product; fault_modes outermost, then in this
-     *  nesting order) */
+    /** @name Axes (cross product; power outermost, then fault_modes,
+     *  then in this nesting order) */
     ///@{
+    /** Cluster power caps in watts; <= 0 = power management off. All
+     *  off entries collapse to one unsuffixed power-off point. */
+    std::vector<double> power_caps = {0.0};
+    /** Cap policies crossed with every cap > 0 (see apply_power_mode). */
+    std::vector<std::string> power_policies = {"admission"};
     /** See apply_fault_mode for the recognized modes. */
     std::vector<std::string> fault_modes = {"none"};
     std::vector<std::string> schedulers = {"fairshare"};
@@ -69,19 +78,35 @@ struct SweepSpec {
     std::vector<uint64_t> seeds = {1};
     ///@}
 
+    /** Expanded (cap, policy) points after the power-off collapse. */
+    size_t
+    power_point_count() const
+    {
+        size_t points = 0;
+        bool any_off = false;
+        for (double cap : power_caps) {
+            if (cap <= 0)
+                any_off = true;
+            else
+                points += power_policies.size();
+        }
+        return points + (any_off ? 1 : 0);
+    }
+
     size_t
     grid_size() const
     {
-        return fault_modes.size() * schedulers.size() *
-               placements.size() * preempt_modes.size() * loads.size() *
-               seeds.size();
+        return power_point_count() * fault_modes.size() *
+               schedulers.size() * placements.size() *
+               preempt_modes.size() * loads.size() * seeds.size();
     }
 };
 
 /** One grid point: a canonical name plus the concrete scenario. */
 struct SweepScenario {
-    /** "<sched>/<placement>/<mode>/x<load>/s<seed>[+<fault-mode>]"
-     *  (no suffix for fault mode "none"). */
+    /** "<sched>/<placement>/<mode>/x<load>/s<seed>[+<fault-mode>]
+     *  [+<cap>kW-<policy>]" (no suffix for fault mode "none" or for
+     *  the power-off point). */
     std::string name;
     core::ScenarioConfig config;
 };
@@ -111,6 +136,15 @@ Status apply_preempt_mode(const std::string &mode,
  *                outages with the self-healing repair pipeline.
  */
 Status apply_fault_mode(const std::string &mode, core::StackConfig *stack);
+
+/**
+ * Applies one power grid point to a stack config (the T16 axis: how
+ * tight is the facility budget, and how is it enforced?). cap_w <= 0
+ * leaves power management off entirely; otherwise enables it with the
+ * given cluster cap and policy ("admission" or "dvfs").
+ */
+Status apply_power_mode(double cap_w, const std::string &policy,
+                        core::StackConfig *stack);
 
 /** Expands the grid into runnable scenarios in canonical order. */
 std::vector<SweepScenario> expand_sweep(const SweepSpec &spec);

@@ -75,10 +75,11 @@ ExecutionEngine::resolve_transport(const workload::TaskSpec &spec,
     return Transport::kTcp;
 }
 
-double
-ExecutionEngine::iteration_time_s(const workload::Job &job,
-                                  const cluster::Placement &placement) const
+ExecutionEngine::IterParts
+ExecutionEngine::iter_parts(const workload::Job &job,
+                            const cluster::Placement &placement) const
 {
+    IterParts parts;
     const auto &model = job.model();
     // A synchronous gang advances at its slowest worker: mixed-generation
     // placements run at the weakest GPU's speed.
@@ -87,30 +88,87 @@ ExecutionEngine::iteration_time_s(const workload::Job &job,
         gpu_tflops = std::min(
             gpu_tflops, cluster_.node(slice.node).spec().gpu.tflops);
     }
-    const double compute_s = model.compute_time_s(gpu_tflops);
+    parts.compute_s = model.compute_time_s(gpu_tflops);
 
     const Transport transport =
         resolve_transport(job.spec(), placement);
     const double sync_s = comm_.sync_time_s(
         model, placement, cluster_.topology(), transport,
         config_.sync_algorithm, cross_rack_bw_scale(job.id()));
-    const double exposed_comm_s =
-        comm_.effective_comm_s(sync_s, compute_s, model.overlap_fraction);
+    parts.exposed_comm_s = comm_.effective_comm_s(
+        sync_s, parts.compute_s, model.overlap_fraction);
 
     // Input pipeline streams from the shared FS in parallel with the
     // compute+sync critical path; it binds only when slower.
     const double input_bytes =
         model.input_mib_per_iter * 1024.0 * 1024.0 *
         double(placement.total_gpus());
-    const double io_s = fs_.read_time_s(input_bytes);
+    parts.io_s = fs_.read_time_s(input_bytes);
+    return parts;
+}
 
-    double iter = std::max(compute_s + exposed_comm_s, io_s);
+double
+ExecutionEngine::placement_clock(const cluster::Placement &placement) const
+{
+    if (node_clock_.empty())
+        return 1.0;
+    double clock = 1.0;
+    for (const auto &slice : placement.slices) {
+        auto it = node_clock_.find(slice.node);
+        if (it != node_clock_.end())
+            clock = std::min(clock, it->second);
+    }
+    return clock;
+}
+
+void
+ExecutionEngine::set_node_clock(cluster::NodeId node, double clock)
+{
+    if (clock >= 1.0)
+        node_clock_.erase(node);
+    else
+        node_clock_[node] = clock;
+}
+
+double
+ExecutionEngine::node_clock(cluster::NodeId node) const
+{
+    auto it = node_clock_.find(node);
+    return it == node_clock_.end() ? 1.0 : it->second;
+}
+
+double
+ExecutionEngine::iteration_time_s(const workload::Job &job,
+                                  const cluster::Placement &placement) const
+{
+    const IterParts parts = iter_parts(job, placement);
+    double compute_s = parts.compute_s;
+    // DVFS: a gang advances at its slowest node's clock, stretching only
+    // the compute phase (comm and I/O run off-chip at full rate). The
+    // guard keeps the arithmetic byte-identical when power is off.
+    const double clock = placement_clock(placement);
+    if (clock < 1.0 && clock > 0.0)
+        compute_s /= clock;
+
+    double iter = std::max(compute_s + parts.exposed_comm_s, parts.io_s);
     // Periodic checkpoints steal a slice of every interval.
     if (config_.checkpoint_interval_s > 0) {
         iter *= 1.0 + config_.checkpoint_cost_s /
                           config_.checkpoint_interval_s;
     }
     return iter;
+}
+
+double
+ExecutionEngine::compute_activity(const workload::Job &job,
+                                  const cluster::Placement &placement) const
+{
+    const IterParts parts = iter_parts(job, placement);
+    const double iter =
+        std::max(parts.compute_s + parts.exposed_comm_s, parts.io_s);
+    if (iter <= 0 || parts.compute_s <= 0)
+        return 0.0;
+    return std::min(1.0, parts.compute_s / iter);
 }
 
 SegmentPlan

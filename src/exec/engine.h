@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "cluster/cluster.h"
 #include "compiler/compiler.h"
@@ -105,9 +106,28 @@ class ExecutionEngine
     /**
      * Wall seconds per iteration for a job at a placement, at the current
      * shared-filesystem load: max(compute + exposed-comm, input-pipeline).
+     * Compute time stretches by 1/clock when any placement node runs
+     * DVFS-throttled below full clock.
      */
     double iteration_time_s(const workload::Job &job,
                             const cluster::Placement &placement) const;
+
+    /**
+     * Compute fraction of the full-clock iteration for a job at a
+     * placement, in [0, 1]: the share of wall time its GPUs actually burn
+     * active power (a gang bound on input I/O or exposed communication
+     * idles its compute engines). Input to the power model.
+     */
+    double compute_activity(const workload::Job &job,
+                            const cluster::Placement &placement) const;
+
+    /** @name DVFS node clocks (power management) */
+    ///@{
+    /** Sets a node's clock multiplier; >= 1 restores full speed. */
+    void set_node_clock(cluster::NodeId node, double clock);
+    /** Clock multiplier a node runs at (1.0 = full speed). */
+    double node_clock(cluster::NodeId node) const;
+    ///@}
 
     /**
      * Plans a segment: resolves runtime (with fail-safe switching) and
@@ -119,12 +139,24 @@ class ExecutionEngine
                              compiler::RuntimeKind compiled_runtime);
 
   private:
+    /** Full-clock iteration components (before DVFS stretch). */
+    struct IterParts {
+        double compute_s = 0;
+        double exposed_comm_s = 0;
+        double io_s = 0;
+    };
+    IterParts iter_parts(const workload::Job &job,
+                         const cluster::Placement &placement) const;
+    double placement_clock(const cluster::Placement &placement) const;
+
     const cluster::Cluster &cluster_;
     ExecConfig config_;
     CommModel comm_;
     SharedFilesystem fs_;
     FailureModel failures_;
     std::set<cluster::JobId> cross_rack_jobs_;
+    /** Only throttled nodes (clock < 1) appear; empty when power is off. */
+    std::unordered_map<cluster::NodeId, double> node_clock_;
 };
 
 } // namespace tacc::exec

@@ -40,6 +40,7 @@ Accountant::record(const UsageEvent &event)
             3600.0;
     }
     s.fault_loss_gpu_hours += event.fault_lost_gpu_seconds / 3600.0;
+    s.energy_kwh += event.energy_kwh;
     ++events_;
     total_gpu_hours_ += event.gpu_seconds / 3600.0;
 }
@@ -67,6 +68,7 @@ Accountant::fold(GroupStatement &into, const GroupStatement &from)
     into.queue_hours += from.queue_hours;
     into.preemption_loss_gpu_hours += from.preemption_loss_gpu_hours;
     into.fault_loss_gpu_hours += from.fault_loss_gpu_hours;
+    into.energy_kwh += from.energy_kwh;
 }
 
 std::vector<GroupStatement>

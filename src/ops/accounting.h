@@ -35,6 +35,8 @@ struct UsageEvent {
     int preemptions = 0;
     /** GPU-seconds destroyed by faults (node crashes, outages). */
     double fault_lost_gpu_seconds = 0;
+    /** Energy the job's segments drew (0 when power metering is off). */
+    double energy_kwh = 0;
     bool started = false;
     bool completed = false;
     bool failed = false;
@@ -58,6 +60,8 @@ struct GroupStatement {
     double preemption_loss_gpu_hours = 0;
     /** GPU-hours destroyed by node/fault-domain faults. */
     double fault_loss_gpu_hours = 0;
+    /** Metered energy (0 when power management is off). */
+    double energy_kwh = 0;
 };
 
 /** Accumulates usage events into billing statements. */

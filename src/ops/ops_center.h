@@ -54,6 +54,14 @@ inline constexpr const char kFaultLostGpuSeconds[] =
     "health.fault_lost_gpu_s";
 /** Per-group fair-share usage: kGroupSharePrefix + group name. */
 inline constexpr const char kGroupSharePrefix[] = "group.share.";
+/** @name Power & energy (published when power management is on) */
+///@{
+inline constexpr const char kPowerDrawW[] = "power.draw_w";
+inline constexpr const char kPowerHeadroomW[] = "power.headroom_w";
+inline constexpr const char kPowerEnergyKwh[] = "power.energy_kwh";
+inline constexpr const char kPowerDeferrals[] = "power.deferrals";
+inline constexpr const char kPowerDvfsStarts[] = "power.dvfs_starts";
+///@}
 } // namespace series
 
 /** Configuration of one deployment's operations layer. */

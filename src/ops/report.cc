@@ -35,25 +35,43 @@ period_label(const GroupStatement &s, Duration billing_period)
 
 void
 add_statement_row(TextTable &table, const std::string &period,
-                  const GroupStatement &s)
+                  const GroupStatement &s, bool with_energy)
 {
-    table.add_row({period, s.group, std::to_string(s.jobs),
-                   std::to_string(s.completed), std::to_string(s.failed),
-                   std::to_string(s.killed),
-                   TextTable::fixed(s.gpu_hours, 1),
-                   TextTable::fixed(s.queue_hours, 1),
-                   std::to_string(s.preemptions),
-                   TextTable::fixed(s.preemption_loss_gpu_hours, 1),
-                   TextTable::fixed(s.fault_loss_gpu_hours, 1),
-                   std::to_string(s.deadline_misses)});
+    std::vector<std::string> row{
+        period, s.group, std::to_string(s.jobs),
+        std::to_string(s.completed), std::to_string(s.failed),
+        std::to_string(s.killed), TextTable::fixed(s.gpu_hours, 1),
+        TextTable::fixed(s.queue_hours, 1),
+        std::to_string(s.preemptions),
+        TextTable::fixed(s.preemption_loss_gpu_hours, 1),
+        TextTable::fixed(s.fault_loss_gpu_hours, 1),
+        std::to_string(s.deadline_misses)};
+    if (with_energy)
+        row.push_back(TextTable::fixed(s.energy_kwh, 1));
+    table.add_row(std::move(row));
 }
 
 std::vector<std::string>
-statement_header()
+statement_header(bool with_energy)
 {
-    return {"period",  "group",     "jobs",   "done",
-            "fail",    "kill",      "GPUh",   "queue-h",
-            "preempt", "loss-GPUh", "fault-GPUh", "misses"};
+    std::vector<std::string> header{
+        "period",  "group",     "jobs",   "done",
+        "fail",    "kill",      "GPUh",   "queue-h",
+        "preempt", "loss-GPUh", "fault-GPUh", "misses"};
+    if (with_energy)
+        header.push_back("kWh");
+    return header;
+}
+
+/** The kWh column appears only when energy was actually metered, so
+ *  power-off reports stay byte-identical to the pre-power layout. */
+bool
+any_energy(const std::vector<GroupStatement> &statements)
+{
+    return std::any_of(statements.begin(), statements.end(),
+                       [](const GroupStatement &s) {
+                           return s.energy_kwh > 0;
+                       });
 }
 
 } // namespace
@@ -123,12 +141,14 @@ render_incidents(const AlertEngine &alerts, TimePoint now)
 std::string
 render_accounting(const Accountant &accounting)
 {
+    const auto statements = accounting.statements();
+    const bool with_energy = any_energy(statements);
     TextTable table("tenant accounting (per billing period)");
-    table.set_header(statement_header());
-    for (const auto &s : accounting.statements())
+    table.set_header(statement_header(with_energy));
+    for (const auto &s : statements)
         add_statement_row(table, period_label(s,
                                               accounting.billing_period()),
-                          s);
+                          s, with_energy);
     std::string out = table.str();
     out += strfmt("total: %.1f GPU-hours across %zu job(s)\n",
                   accounting.total_gpu_hours(),
@@ -144,13 +164,14 @@ render_group_accounting(const Accountant &accounting,
     if (statements.empty())
         return strfmt("no usage recorded for group '%s'\n",
                       group.c_str());
+    const bool with_energy = any_energy(statements);
     TextTable table(strfmt("accounting statement: group '%s'",
                            group.c_str()));
-    table.set_header(statement_header());
+    table.set_header(statement_header(with_energy));
     for (const auto &s : statements)
         add_statement_row(table, period_label(s,
                                               accounting.billing_period()),
-                          s);
+                          s, with_energy);
     return table.str();
 }
 
@@ -192,11 +213,13 @@ render_operator_report(const MetricStore &store, const AlertEngine &alerts,
                   alerts.active_count(), alerts.incidents().size());
     out += render_incidents(alerts, ctx.now);
 
+    const auto totals = accounting.group_totals();
+    const bool with_energy = any_energy(totals);
     TextTable groups("per-group usage (all time)");
-    groups.set_header(statement_header());
-    for (const auto &s : accounting.group_totals())
-        add_statement_row(groups, "total", s);
-    if (accounting.group_totals().empty())
+    groups.set_header(statement_header(with_energy));
+    for (const auto &s : totals)
+        add_statement_row(groups, "total", s, with_energy);
+    if (totals.empty())
         groups.add_row(
             {"(none)", "", "", "", "", "", "", "", "", "", "", ""});
     out += groups.str();

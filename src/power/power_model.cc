@@ -1,0 +1,52 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+namespace tacc::power {
+
+PowerModel::PowerModel(const cluster::Cluster &cluster,
+                       const PowerConfig &config)
+    : config_(config)
+{
+    rack_baseline_w_.assign(
+        size_t(cluster.topology().config().racks), 0.0);
+    for (const auto &node : cluster.nodes()) {
+        const double idle = node_idle_w(node.spec());
+        baseline_w_ += idle;
+        rack_baseline_w_[size_t(node.rack())] += idle;
+        max_gpu_delta_w_ = std::max(max_gpu_delta_w_,
+                                    gpu_delta_w(node.spec().gpu.model));
+    }
+}
+
+const GpuPowerSpec &
+PowerModel::gpu_spec(const std::string &model) const
+{
+    auto it = config_.gpu_power.find(model);
+    return it != config_.gpu_power.end() ? it->second
+                                         : config_.default_gpu;
+}
+
+double
+PowerModel::gpu_delta_w(const std::string &model) const
+{
+    const GpuPowerSpec &spec = gpu_spec(model);
+    return std::max(0.0, spec.active_w - spec.idle_w);
+}
+
+double
+PowerModel::node_idle_w(const cluster::NodeSpec &spec) const
+{
+    return config_.host_idle_w +
+           double(spec.gpu_count) * gpu_spec(spec.gpu.model).idle_w;
+}
+
+double
+PowerModel::rack_baseline_w(int rack) const
+{
+    return rack >= 0 && size_t(rack) < rack_baseline_w_.size()
+               ? rack_baseline_w_[size_t(rack)]
+               : 0.0;
+}
+
+} // namespace tacc::power

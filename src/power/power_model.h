@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Power model: static wattage description of a deployment.
+ *
+ * Campus clusters run under hard facility power budgets, so draw has to
+ * be derivable from simulator state alone. The model prices a cluster as
+ *
+ *   draw = baseline + sum over running segments of their active delta
+ *
+ * where the baseline is the idle floor every powered node contributes
+ * (host overhead plus every GPU at idle wattage) and the active delta of
+ * one GPU running a training segment is
+ *
+ *   delta = (active_w - idle_w) * activity * clock^alpha
+ *
+ * with `activity` the compute fraction of the iteration at full clock
+ * (a GPU stalled on the input pipeline or exposed communication burns
+ * near-idle power) and `clock` the DVFS frequency multiplier (dynamic
+ * power scales roughly with f*V^2 ~ f^3; alpha is configurable). The
+ * power topology mirrors the fault-domain one: nodes aggregate into
+ * racks, racks into PDU groups, each scope with an optional budget.
+ *
+ * Everything here is static arithmetic over specs — the PowerManager
+ * owns all mutable draw/energy state.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace tacc::power {
+
+/** Wattage of one GPU model. */
+struct GpuPowerSpec {
+    double idle_w = 60.0;    ///< powered but not computing
+    double active_w = 400.0; ///< TDP while the compute engine is busy
+};
+
+/** Power-management configuration of one deployment. */
+struct PowerConfig {
+    /** Master switch; off keeps every run byte-identical to a stack
+     *  without the subsystem. */
+    bool enabled = false;
+    /**
+     * Cap-enforcement policy:
+     *  - "admission": the scheduler defers starts that would push any
+     *    scope over its budget (jobs queue, run at full speed);
+     *  - "dvfs": starts are frequency-scaled into the remaining
+     *    headroom (jobs run slower instead of queueing), deferred only
+     *    below min_clock.
+     */
+    std::string policy = "admission";
+
+    /** @name Budgets in watts (<= 0 leaves the scope uncapped) */
+    ///@{
+    double cluster_cap_w = 0.0;
+    double rack_cap_w = 0.0; ///< per rack
+    double pdu_cap_w = 0.0;  ///< per PDU group of racks_per_pdu racks
+    ///@}
+    /** Racks sharing one power distribution unit. */
+    int racks_per_pdu = 2;
+
+    /** Per-node host overhead (CPUs, DRAM, fans, NICs), watts. */
+    double host_idle_w = 400.0;
+    /** Wattage by GPU model name; models not listed use default_gpu. */
+    std::map<std::string, GpuPowerSpec> gpu_power;
+    GpuPowerSpec default_gpu;
+
+    /** @name DVFS knobs (policy "dvfs") */
+    ///@{
+    /** Dynamic-power exponent: delta scales with clock^alpha. */
+    double dvfs_exponent = 3.0;
+    /** Floor clock multiplier; starts needing less are deferred. */
+    double min_clock = 0.5;
+    ///@}
+
+    /** Sustained-high-draw alert threshold, as a fraction of the cap. */
+    double high_draw_fraction = 0.9;
+};
+
+/** Static draw arithmetic over a cluster's hardware inventory. */
+class PowerModel
+{
+  public:
+    PowerModel(const cluster::Cluster &cluster, const PowerConfig &config);
+
+    /** Wattage of a GPU model (default_gpu when not listed). */
+    const GpuPowerSpec &gpu_spec(const std::string &model) const;
+
+    /** active_w - idle_w of a model: the per-GPU full-activity delta. */
+    double gpu_delta_w(const std::string &model) const;
+
+    /** Largest per-GPU delta across the inventory (gate upper bound). */
+    double max_gpu_delta_w() const { return max_gpu_delta_w_; }
+
+    /** Idle floor of one node: host overhead + all GPUs idle. */
+    double node_idle_w(const cluster::NodeSpec &spec) const;
+
+    /** Cluster idle floor (every node powered, including down ones —
+     *  a crashed node still draws until physically unplugged). */
+    double baseline_w() const { return baseline_w_; }
+
+    /** Idle floor of one rack. */
+    double rack_baseline_w(int rack) const;
+
+    int rack_count() const { return int(rack_baseline_w_.size()); }
+
+  private:
+    const PowerConfig &config_;
+    double baseline_w_ = 0;
+    double max_gpu_delta_w_ = 0;
+    std::vector<double> rack_baseline_w_;
+};
+
+} // namespace tacc::power

@@ -35,6 +35,10 @@ try_start(const SchedulerContext &ctx, FreeView &view,
         ctx.quota->would_exceed(job->spec().group, held[gid], gpus)) {
         return false;
     }
+    if (ctx.power && !ctx.power->admits(gpus)) {
+        ++ctx.power->rejections;
+        return false;
+    }
     const int limit = per_node_limit(ctx, *job);
     const auto apply_filter = [&ctx](std::vector<uint8_t> &mask) {
         for (size_t i = 0; i < mask.size(); ++i)
@@ -71,6 +75,10 @@ try_start(const SchedulerContext &ctx, FreeView &view,
     }
     if (!plan.is_ok())
         return false;
+    if (ctx.power && !ctx.power->try_commit(plan.value())) {
+        ++ctx.power->rejections;
+        return false;
+    }
     view.take(plan.value());
     held[gid] += gpus;
     out->starts.push_back(StartAction{job->id(), std::move(plan.value())});

@@ -11,7 +11,9 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,6 +29,92 @@ class PlacementPolicy;
 class QuotaManager;
 class RuntimeEstimator;
 class UsageTracker;
+
+/**
+ * Power admission gate the core fills from the PowerManager before each
+ * scheduling pass. Advisory and conservative: headroom is priced at
+ * `per_gpu_w` (the worst-case per-GPU delta times the policy's commit
+ * fraction), so the gate only skips starts that certainly cannot fit.
+ * The core re-checks every start against the exact power model when
+ * applying the decision. Mutable headrooms let a const context deduct
+ * reservations as the scheduler commits starts within one pass.
+ */
+struct PowerGate {
+    const cluster::Cluster *cluster = nullptr;
+    /** Conservative watts reserved per requested GPU. */
+    double per_gpu_w = 0;
+    int racks_per_pdu = 2;
+    /** Remaining budget per scope; empty vector = scope uncapped. */
+    mutable double cluster_headroom_w =
+        std::numeric_limits<double>::infinity();
+    mutable std::vector<double> rack_headroom_w;
+    mutable std::vector<double> pdu_headroom_w;
+    /** Starts this pass skipped for lack of power headroom. */
+    mutable uint64_t rejections = 0;
+
+    /** Cheap pre-plan check: can `gpus` possibly fit anywhere? */
+    bool
+    admits(int gpus) const
+    {
+        return double(gpus) * per_gpu_w <= cluster_headroom_w;
+    }
+
+    /**
+     * Post-plan check against every scope the placement touches;
+     * deducts the reservation from each on success.
+     */
+    bool
+    try_commit(const cluster::Placement &placement) const
+    {
+        const double total = double(placement.total_gpus()) * per_gpu_w;
+        if (total > cluster_headroom_w)
+            return false;
+        if (!rack_headroom_w.empty() || !pdu_headroom_w.empty()) {
+            std::vector<std::pair<int, double>> rack_w;
+            for (const auto &slice : placement.slices) {
+                const int rack = int(cluster->node(slice.node).rack());
+                const double w =
+                    double(slice.gpu_indices.size()) * per_gpu_w;
+                bool merged = false;
+                for (auto &[r, acc] : rack_w) {
+                    if (r == rack) {
+                        acc += w;
+                        merged = true;
+                        break;
+                    }
+                }
+                if (!merged)
+                    rack_w.emplace_back(rack, w);
+            }
+            const int per = racks_per_pdu > 0 ? racks_per_pdu : 1;
+            for (const auto &[rack, w] : rack_w) {
+                if (!rack_headroom_w.empty() &&
+                    (size_t(rack) >= rack_headroom_w.size() ||
+                     w > rack_headroom_w[size_t(rack)]))
+                    return false;
+                if (!pdu_headroom_w.empty()) {
+                    const size_t pdu = size_t(rack / per);
+                    double pdu_w = 0;
+                    for (const auto &[r2, w2] : rack_w) {
+                        if (size_t(r2 / per) == pdu)
+                            pdu_w += w2;
+                    }
+                    if (pdu >= pdu_headroom_w.size() ||
+                        pdu_w > pdu_headroom_w[pdu])
+                        return false;
+                }
+            }
+            for (const auto &[rack, w] : rack_w) {
+                if (!rack_headroom_w.empty())
+                    rack_headroom_w[size_t(rack)] -= w;
+                if (!pdu_headroom_w.empty())
+                    pdu_headroom_w[size_t(rack / per)] -= w;
+            }
+        }
+        cluster_headroom_w -= total;
+        return true;
+    }
+};
 
 /** A running job as the scheduler sees it. */
 struct RunningInfo {
@@ -71,6 +159,11 @@ struct SchedulerContext {
      * Null means every node is allowed. ANDed with any GPU-model mask.
      */
     const std::vector<uint8_t> *node_filter = nullptr;
+    /**
+     * Power admission gate; null when power management is off or the
+     * deployment is uncapped. See PowerGate for the contract.
+     */
+    const PowerGate *power = nullptr;
     /**
      * Per-iteration wall seconds the execution layer predicts for a job on
      * a hypothetical placement. Used for reservations and elastic search.

@@ -202,6 +202,24 @@ Client::health(const std::string &cluster) const
     return stack->health_report();
 }
 
+StatusOr<std::string>
+Client::power(const std::string &cluster) const
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->power_report();
+}
+
+StatusOr<std::string>
+Client::energy(const std::string &cluster) const
+{
+    core::TaccStack *stack = resolve(cluster);
+    if (!stack)
+        return Status::not_found("no such cluster profile");
+    return stack->energy_report();
+}
+
 Status
 Client::kill(const TaskHandle &handle)
 {

@@ -117,6 +117,14 @@ class Client
     StatusOr<std::string> health(const std::string &cluster = "") const;
     ///@}
 
+    /** @name Power & energy (`tcloud power|energy`) */
+    ///@{
+    /** Draw vs caps per scope, throttling, deferrals. */
+    StatusOr<std::string> power(const std::string &cluster = "") const;
+    /** Cluster/baseline/per-group kWh ledger. */
+    StatusOr<std::string> energy(const std::string &cluster = "") const;
+    ///@}
+
     /**
      * Blocks (drives the simulation) until the task is terminal.
      * @return the final status.

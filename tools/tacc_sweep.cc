@@ -2,9 +2,10 @@
  * @file
  * tacc_sweep — the parallel experiment-sweep driver CLI.
  *
- * Expands a sweep spec (grid over scheduler / placement / preemption
- * mode / load / seed) into independent scenario runs, executes them on a
- * thread pool, and reports per-run metrics plus determinism digests.
+ * Expands a sweep spec (grid over power cap x policy / fault mode /
+ * scheduler / placement / preemption mode / load / seed) into
+ * independent scenario runs, executes them on a thread pool, and
+ * reports per-run metrics plus determinism digests.
  * The digests are the CI regression gate: any change to scheduling or
  * placement decisions moves a digest, and `--check-goldens` fails.
  *
@@ -17,7 +18,8 @@
  *                        (default tests/goldens/sweep_digests.txt)
  *     --check-goldens    compare against the golden file; exit 1 on drift
  *     --update-goldens   rewrite the golden file from this run
- *     --list             print the expanded scenario names and exit
+ *     --list             dry run: print the expanded grid (a summary
+ *                        line plus one scenario name per line) and exit
  *     --quiet            suppress the per-run table
  *
  * Golden workflow: after an intentional behaviour change, run
@@ -151,7 +153,10 @@ main(int argc, char **argv)
     }
 
     if (opt.list_only) {
-        for (const auto &scenario : driver::expand_sweep(spec.value()))
+        const auto scenarios = driver::expand_sweep(spec.value());
+        std::printf("# %zu scenario(s) from %s\n", scenarios.size(),
+                    opt.spec_path.c_str());
+        for (const auto &scenario : scenarios)
             std::printf("%s\n", scenario.name.c_str());
         return 0;
     }

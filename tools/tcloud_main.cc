@@ -22,6 +22,8 @@
  *   drain <node>          evacuate a node for maintenance
  *   uncordon <node>       return a cordoned/drained node to service
  *   health                per-state node counts + fault totals
+ *   power                 draw vs caps, throttling, deferrals
+ *   energy                cluster/baseline/per-group kWh ledger
  *   help | quit
  *
  * Example:  printf 'demo 20\ndrain\nps\nreport\n' | ./build/tools/tcloud
@@ -181,6 +183,16 @@ class Shell
             std::fputs(text.is_ok() ? text.value().c_str()
                                     : (text.status().str() + "\n").c_str(),
                        stdout);
+        } else if (cmd == "power") {
+            auto text = client_.power();
+            std::fputs(text.is_ok() ? text.value().c_str()
+                                    : (text.status().str() + "\n").c_str(),
+                       stdout);
+        } else if (cmd == "energy") {
+            auto text = client_.energy();
+            std::fputs(text.is_ok() ? text.value().c_str()
+                                    : (text.status().str() + "\n").c_str(),
+                       stdout);
         } else if (cmd == "ps") {
             ps();
         } else if (cmd == "status") {
@@ -230,7 +242,7 @@ class Shell
             "| replay <csv> |\ndemo [n] | run <s> | drain [node] | ps | "
             "status <id> | logs <id> | kill <id> |\nreport | "
             "accounting <group> | cordon <node> | uncordon <node> | "
-            "health | quit\n",
+            "health | power | energy | quit\n",
             stdout);
     }
 
