@@ -1,0 +1,200 @@
+/**
+ * @file
+ * T17 — The million-job streaming regime.
+ *
+ * Exercises the flat-memory pipeline end to end: a 10^6-job synthetic
+ * trace is pulled through the streaming workload pipeline (bounded
+ * arrival windows, batched event-heap refills, terminal-job
+ * reclamation, incremental digest fold) and the run is judged on the
+ * two axes the regime exists for:
+ *
+ *  - throughput: submitted jobs per wall-second at full scale;
+ *  - memory: peak RSS after the full run must be *sub-linear* in trace
+ *    length — it is compared against a 10x-smaller reference run in
+ *    the same process, and the bench fails if the ratio suggests
+ *    per-job retention crept back in.
+ *
+ * A third check runs a small scenario both materialized and streaming
+ * and requires byte-identical determinism digests — the property that
+ * lets streaming runs share the checked-in golden files.
+ *
+ * TACC_BENCH_JOBS caps the trace length (CI smoke). --json FILE writes
+ * a machine-readable artifact with the numbers above.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/proc.h"
+#include "common/strings.h"
+#include "driver/digest.h"
+
+using namespace tacc;
+
+namespace {
+
+/**
+ * Million-job workload shape: short, lightly-tailed jobs at an
+ * interarrival that keeps the 256-GPU reference cluster busy but
+ * stable, so the live-job set (and thus streaming memory) stays
+ * bounded while the trace length grows without limit.
+ */
+workload::TraceConfig
+million_trace(int jobs, uint64_t seed)
+{
+    workload::TraceConfig trace;
+    trace.num_jobs = jobs;
+    trace.seed = seed;
+    trace.mean_interarrival_s = 4.5;
+    trace.batch_duration_mu = 4.6;   // median ~100 s
+    trace.batch_duration_sigma = 0.9;
+    trace.interactive_duration_mu = 4.2;
+    trace.interactive_duration_sigma = 0.7;
+    trace.max_duration_s = 3600.0;
+    // Small-job-dominated demand: the occasional 32/64-GPU gang of the
+    // reference mix head-of-line-blocks a heavily loaded queue, which
+    // makes the live set (and sim cost) grow with trace length instead
+    // of staying flat.
+    trace.gpu_demand_pmf = {
+        {1, 0.55}, {2, 0.15}, {4, 0.14}, {8, 0.12}, {16, 0.04},
+    };
+    return trace;
+}
+
+core::ScenarioConfig
+scenario_for(int jobs, bool streaming)
+{
+    core::ScenarioConfig config;
+    config.stack = bench::default_stack();
+    config.trace = million_trace(jobs, 42);
+    config.streaming = streaming;
+    // The delta cache defaults to an unbounded registry, whose chunk
+    // index otherwise grows (and slows) with every artifact version in
+    // the trace — the one remaining O(trace) term. A real registry
+    // cache is bounded, and at this scale chunking is coarser: 512 GB
+    // of 64 MB chunks keeps ~8k chunks hot via LRU and cuts per-job
+    // index traffic ~16x vs the 4 MB default.
+    config.stack.compiler.cache_capacity_bytes = 512ull << 30;
+    config.stack.compiler.chunk_bytes = 64ull << 20;
+    return config;
+}
+
+struct RunStats {
+    core::ScenarioResult result;
+    double wall_s = 0;
+    double jobs_per_s = 0;
+    size_t peak_rss_bytes = 0;
+};
+
+RunStats
+run_streaming(int jobs, core::StackArena *arena)
+{
+    RunStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    stats.result = core::run_scenario(scenario_for(jobs, true), arena);
+    stats.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    stats.jobs_per_s = stats.wall_s > 0
+                           ? double(stats.result.submitted) / stats.wall_s
+                           : 0.0;
+    stats.peak_rss_bytes = peak_rss_bytes();
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const int jobs = bench::capped_jobs(1'000'000);
+    const int reference_jobs = std::max(1, jobs / 10);
+    std::printf("T17: million-job streaming regime — %d jobs "
+                "(reference %d), window 4096\n",
+                jobs, reference_jobs);
+
+    // Digest identity first (small, fast): one scenario both ways.
+    const int digest_jobs = std::min(jobs, 2000);
+    const auto materialized =
+        core::run_scenario(scenario_for(digest_jobs, false));
+    const auto streamed = core::run_scenario(scenario_for(digest_jobs, true));
+    const uint64_t digest_m = driver::scenario_digest(materialized);
+    const uint64_t digest_s = driver::scenario_digest(streamed);
+    const bool digests_match = digest_m == digest_s;
+    std::printf("digest identity (%d jobs): materialized %016llx, "
+                "streaming %016llx — %s\n",
+                digest_jobs, (unsigned long long)digest_m,
+                (unsigned long long)digest_s,
+                digests_match ? "identical" : "MISMATCH");
+
+    // Reference run at N/10, then the full run, sharing one arena.
+    // Peak RSS is monotone per process, so measuring after each run
+    // brackets the memory the big run added on top of the small one.
+    core::StackArena arena;
+    const RunStats small = run_streaming(reference_jobs, &arena);
+    const RunStats big = run_streaming(jobs, &arena);
+    const double rss_ratio =
+        small.peak_rss_bytes > 0
+            ? double(big.peak_rss_bytes) / double(small.peak_rss_bytes)
+            : 0.0;
+    // 10x the jobs must cost well under 10x the memory; flat retention
+    // lands near 1.0, per-job retention near the job ratio.
+    const bool rss_sublinear = rss_ratio < 2.5;
+
+    TextTable table("T17: streaming scale");
+    table.set_header({"jobs", "completed", "wall(s)", "jobs/s",
+                      "peakRSS(MB)", "util", "makespan(d)"});
+    for (const RunStats *run : {&small, &big}) {
+        table.add_row({
+            TextTable::num(double(run->result.submitted), 6),
+            TextTable::num(double(run->result.completed), 6),
+            TextTable::fixed(run->wall_s, 1),
+            TextTable::num(run->jobs_per_s, 6),
+            TextTable::fixed(double(run->peak_rss_bytes) / 1048576.0, 1),
+            TextTable::pct(run->result.arrival_window_utilization),
+            TextTable::fixed(run->result.makespan_s / 86400.0, 1),
+        });
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("peak RSS ratio (10x jobs): %.2fx — %s\n", rss_ratio,
+                rss_sublinear ? "sub-linear" : "LINEAR GROWTH");
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        out << "{\n";
+        out << "  \"jobs\": " << big.result.submitted << ",\n";
+        out << "  \"completed\": " << big.result.completed << ",\n";
+        out << strfmt("  \"wall_s\": %.3f,\n", big.wall_s);
+        out << strfmt("  \"jobs_per_s\": %.1f,\n", big.jobs_per_s);
+        out << "  \"reference_jobs\": " << small.result.submitted
+            << ",\n";
+        out << "  \"peak_rss_bytes_reference\": " << small.peak_rss_bytes
+            << ",\n";
+        out << "  \"peak_rss_bytes\": " << big.peak_rss_bytes << ",\n";
+        out << strfmt("  \"peak_rss_ratio\": %.3f,\n", rss_ratio);
+        out << "  \"rss_sublinear\": "
+            << (rss_sublinear ? "true" : "false") << ",\n";
+        out << "  \"digests_match\": "
+            << (digests_match ? "true" : "false") << "\n";
+        out << "}\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 2;
+        }
+    }
+    return digests_match && rss_sublinear ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+#include "common/proc.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace tacc {
+
+size_t
+peak_rss_bytes()
+{
+#if defined(__APPLE__)
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return size_t(usage.ru_maxrss); // bytes on macOS
+#elif defined(__unix__)
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return size_t(usage.ru_maxrss) * 1024; // kilobytes on Linux
+#else
+    return 0;
+#endif
+}
+
+} // namespace tacc

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Process introspection helpers for the perf harness.
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace tacc {
+
+/**
+ * Peak resident-set size of the calling process in bytes, as reported
+ * by the OS (ru_maxrss). Monotone over the process lifetime — useful
+ * for "did this phase grow the high-water mark" deltas, not for
+ * instantaneous usage. Returns 0 on platforms without getrusage.
+ */
+size_t peak_rss_bytes();
+
+} // namespace tacc

@@ -155,6 +155,51 @@ Histogram::fraction(size_t i) const
     return double(counts_[i]) / double(total_);
 }
 
+void
+QuantileSketch::add(double x)
+{
+    stats_.add(x);
+    if (!(x > 0)) {
+        ++zero_count_;
+        return;
+    }
+    int exp = 0;
+    const double m = std::frexp(x, &exp); // x = m * 2^exp, m in [0.5, 1)
+    const int sub = std::min(kSub - 1, int((m - 0.5) * 2.0 * kSub));
+    const int octave =
+        std::clamp(exp - kMinExp, 0, kOctaves - 1);
+    ++buckets_[size_t(octave) * kSub + size_t(sub)];
+}
+
+double
+QuantileSketch::percentile(double p) const
+{
+    assert(p >= 0.0 && p <= 100.0);
+    const uint64_t n = stats_.count();
+    if (n == 0)
+        return 0.0;
+    // Target rank mirrors Samples::percentile's closest-rank scheme
+    // (without interpolation: buckets already quantize the value).
+    const uint64_t target =
+        uint64_t(p / 100.0 * double(n - 1)) + 1;
+    if (target <= zero_count_)
+        return 0.0;
+    uint64_t cum = zero_count_;
+    for (size_t i = 0; i < size_t(kOctaves) * kSub; ++i) {
+        cum += buckets_[i];
+        if (cum >= target) {
+            const int octave = int(i) / kSub;
+            const int sub = int(i) % kSub;
+            // Representative value: the sub-bucket midpoint.
+            const double m =
+                0.5 + (double(sub) + 0.5) / double(2 * kSub);
+            const double v = std::ldexp(m, octave + kMinExp);
+            return std::clamp(v, stats_.min(), stats_.max());
+        }
+    }
+    return stats_.max();
+}
+
 TimeWeightedStat::TimeWeightedStat(double initial) : value_(initial)
 {
     points_.emplace_back(TimePoint::origin(), initial);
@@ -203,6 +248,90 @@ TimeWeightedStat::bucket_averages(TimePoint t0, TimePoint t1,
     for (TimePoint t = t0; t < t1; t += bucket) {
         const TimePoint end = std::min(t + bucket, t1);
         out.push_back(average(t, end));
+    }
+    return out;
+}
+
+BoundedTimeWeighted::BoundedTimeWeighted(double initial, Duration bucket)
+    : value_(initial), bucket_us_(bucket.to_micros())
+{
+    assert(bucket_us_ > 0);
+}
+
+void
+BoundedTimeWeighted::advance_to(TimePoint t)
+{
+    assert(t >= last_);
+    int64_t from_us = last_.to_micros();
+    const int64_t to_us = t.to_micros();
+    // Spread the constant segment across the buckets it covers.
+    while (from_us < to_us) {
+        const size_t bucket = size_t(from_us / bucket_us_);
+        if (bucket >= bucket_integral_.size())
+            bucket_integral_.resize(bucket + 1, 0.0);
+        const int64_t bucket_end = int64_t(bucket + 1) * bucket_us_;
+        const int64_t seg_us = std::min(to_us, bucket_end) - from_us;
+        bucket_integral_[bucket] += value_ * double(seg_us) / 1e6;
+        from_us += seg_us;
+    }
+    integral_ += value_ * double(to_us - last_.to_micros()) / 1e6;
+    last_ = t;
+}
+
+void
+BoundedTimeWeighted::set(TimePoint t, double v)
+{
+    advance_to(t);
+    value_ = v;
+}
+
+void
+BoundedTimeWeighted::mark(TimePoint t)
+{
+    advance_to(t);
+    mark_ = t;
+    mark_integral_ = integral_;
+}
+
+double
+BoundedTimeWeighted::average_to(TimePoint t1) const
+{
+    if (t1 <= TimePoint::origin())
+        return value_;
+    assert(t1 >= last_);
+    const double integral =
+        integral_ + value_ * (t1 - last_).to_seconds();
+    return integral / t1.to_seconds();
+}
+
+double
+BoundedTimeWeighted::average_to_mark() const
+{
+    if (mark_ <= TimePoint::origin())
+        return 0.0;
+    return mark_integral_ / mark_.to_seconds();
+}
+
+std::vector<double>
+BoundedTimeWeighted::bucket_averages(TimePoint t1) const
+{
+    std::vector<double> out;
+    if (t1 <= TimePoint::origin())
+        return out;
+    const int64_t t1_us = t1.to_micros();
+    const size_t buckets = size_t((t1_us + bucket_us_ - 1) / bucket_us_);
+    out.reserve(buckets);
+    for (size_t i = 0; i < buckets; ++i) {
+        const int64_t lo = int64_t(i) * bucket_us_;
+        const int64_t hi = std::min(t1_us, int64_t(i + 1) * bucket_us_);
+        double integral =
+            i < bucket_integral_.size() ? bucket_integral_[i] : 0.0;
+        // The signal has been constant at value_ since last_; extend the
+        // stored integrals over any uncovered tail of this bucket.
+        const int64_t tail_lo = std::max(lo, last_.to_micros());
+        if (hi > tail_lo)
+            integral += value_ * double(hi - tail_lo) / 1e6;
+        out.push_back(integral / (double(hi - lo) / 1e6));
     }
     return out;
 }

@@ -5,7 +5,10 @@
  * - RunningStats: O(1)-memory mean/variance/min/max (Welford).
  * - Samples: exact percentiles / CDF over retained samples.
  * - Histogram: fixed linear bins for distribution tables.
+ * - QuantileSketch: O(1)-memory approximate percentiles (log buckets).
  * - TimeWeightedStat: time-integrated averages (e.g. GPU utilization).
+ * - BoundedTimeWeighted: the same integral with O(makespan/bucket)
+ *   memory instead of O(change points), for the streaming regime.
  * - jain_fairness / gini: cross-entity fairness indices.
  */
 #pragma once
@@ -106,6 +109,46 @@ class Histogram
 };
 
 /**
+ * Streaming percentile sketch over positive values with O(1) memory.
+ *
+ * Values land in logarithmic buckets: 8 sub-buckets per octave across a
+ * fixed exponent range (512 buckets total), so percentile queries carry
+ * at most ~6.3% relative error regardless of sample count — the
+ * million-job replacement for retaining every wait/JCT sample. Count,
+ * sum, mean, min and max are exact (Welford accumulator alongside the
+ * buckets). Non-positive values are counted exactly in a zero bucket.
+ * Fully deterministic: same insertion multiset => same answers.
+ */
+class QuantileSketch
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return stats_.count(); }
+    bool empty() const { return stats_.count() == 0; }
+    double mean() const { return stats_.mean(); }
+    double sum() const { return stats_.sum(); }
+    double min() const { return stats_.min(); }
+    double max() const { return stats_.max(); }
+
+    /**
+     * Approximate percentile (p in [0, 100]): the representative value
+     * of the bucket holding the target rank, clamped to [min, max].
+     */
+    double percentile(double p) const;
+
+  private:
+    /** Octaves cover 2^-17 .. 2^46 (~1e-5 s .. ~2000 years). */
+    static constexpr int kMinExp = -16;
+    static constexpr int kOctaves = 64;
+    static constexpr int kSub = 8; ///< sub-buckets per octave
+
+    RunningStats stats_;
+    uint64_t zero_count_ = 0;
+    uint64_t buckets_[size_t(kOctaves) * kSub] = {};
+};
+
+/**
  * Integrates a piecewise-constant signal over simulated time.
  *
  * Call set(t, v) whenever the signal changes; average(t0, t1) returns the
@@ -145,6 +188,56 @@ class TimeWeightedStat
   private:
     double value_;
     std::vector<std::pair<TimePoint, double>> points_;
+};
+
+/**
+ * TimeWeightedStat's flat-memory sibling for the streaming regime.
+ *
+ * Keeps a running integral plus fixed-width per-bucket integrals instead
+ * of the full change-point list, so memory is O(makespan / bucket) —
+ * bounded by simulated time, not by how many events changed the signal.
+ * Averages are therefore only available from the origin forward (the
+ * only window the scenario harness ever asks for). mark() snapshots the
+ * integral at arrival instants so the arrival-window average survives
+ * without replaying history.
+ */
+class BoundedTimeWeighted
+{
+  public:
+    explicit BoundedTimeWeighted(double initial = 0.0,
+                                 Duration bucket = Duration::hours(1));
+
+    /** Records that the signal takes value v from time t onward. */
+    void set(TimePoint t, double v);
+
+    double current() const { return value_; }
+
+    /** Snapshots the integral at t (call at each arrival; the last call
+     *  wins and defines the arrival window [origin, t]). */
+    void mark(TimePoint t);
+
+    /** Time-weighted average over [origin, t1]; t1 >= last set time. */
+    double average_to(TimePoint t1) const;
+
+    /** Average over [origin, last mark]; 0 before the first mark. */
+    double average_to_mark() const;
+
+    /** Time of the last mark (the arrival-window end). */
+    TimePoint mark_time() const { return mark_; }
+
+    /** Average per fixed-width bucket across [origin, t1]. */
+    std::vector<double> bucket_averages(TimePoint t1) const;
+
+  private:
+    void advance_to(TimePoint t);
+
+    double value_;
+    int64_t bucket_us_;
+    TimePoint last_ = TimePoint::origin();
+    double integral_ = 0;
+    std::vector<double> bucket_integral_;
+    TimePoint mark_ = TimePoint::origin();
+    double mark_integral_ = 0;
 };
 
 /** Jain's fairness index over non-negative allocations; 1.0 == fair. */

@@ -1,0 +1,53 @@
+#include "core/digest.h"
+
+#include "common/hash.h"
+
+namespace tacc::core {
+
+uint64_t
+run_digest_prefix(const std::string &scheduler,
+                  const std::string &placement)
+{
+    Fnv1a h;
+    h.str(kRunDigestVersion);
+    h.str(scheduler);
+    h.str(placement);
+    return h.value();
+}
+
+uint64_t
+fold_job_record(uint64_t state, const JobRecord &r)
+{
+    Fnv1a h(state);
+    h.u64(r.id);
+    h.str(r.group);
+    h.str(r.user);
+    h.i32(int32_t(r.qos));
+    h.i32(int32_t(r.final_state));
+    h.i64(r.submitted.to_micros());
+    h.i64(r.finished.to_micros());
+    h.i32(r.gpus);
+    h.boolean(r.started);
+    h.i32(r.preemptions);
+    h.i32(r.segments);
+    h.boolean(r.missed_deadline);
+    h.u64(r.placement_digest);
+    return h.value();
+}
+
+uint64_t
+finish_run_digest(uint64_t state, uint64_t record_count,
+                  const RunDigestCounts &counts)
+{
+    Fnv1a h(state);
+    h.u64(record_count);
+    h.u64(counts.submitted);
+    h.u64(counts.completed);
+    h.u64(counts.failed);
+    h.u64(counts.never_finished);
+    h.u64(counts.preemptions);
+    h.u64(counts.segment_failures);
+    return h.value();
+}
+
+} // namespace tacc::core

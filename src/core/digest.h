@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Incremental run-digest primitives (the v2 determinism digest).
+ *
+ * The sweep driver's digest folds every terminal job record plus the
+ * run's aggregate counters into one FNV-1a 64 fingerprint. v2 reorders
+ * the v1 layout so it can be computed *incrementally*: the record count
+ * and aggregates fold AFTER the records, which lets the streaming
+ * metrics path fold each record the moment the job-id prefix becomes
+ * contiguous and discard it — no terminal-record vector. The
+ * materialized path (driver::scenario_digest) folds the identical
+ * layout over its sorted record set, so both modes produce
+ * byte-identical digests by construction.
+ *
+ * Fold order: version string, scheduler, placement (the prefix), then
+ * records in increasing job-id order, then the record count and the
+ * aggregate counters (the tail).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/metrics.h"
+
+namespace tacc::core {
+
+/** Digest layout version; bump when the fold order or fields change. */
+inline constexpr const char *kRunDigestVersion = "tacc-sweep-digest-v2";
+
+/** Aggregate counters folded into the digest tail. */
+struct RunDigestCounts {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t never_finished = 0;
+    uint64_t preemptions = 0;
+    uint64_t segment_failures = 0;
+};
+
+/** FNV state after folding the run-identity prefix. */
+uint64_t run_digest_prefix(const std::string &scheduler,
+                           const std::string &placement);
+
+/** Folds one terminal record; call in increasing job-id order. */
+uint64_t fold_job_record(uint64_t state, const JobRecord &r);
+
+/** Folds the tail (record count + aggregates); returns the digest. */
+uint64_t finish_run_digest(uint64_t state, uint64_t record_count,
+                           const RunDigestCounts &counts);
+
+} // namespace tacc::core

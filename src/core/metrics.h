@@ -50,11 +50,44 @@ struct JobRecord {
     uint64_t placement_digest = 0;
 };
 
-/** Run-wide metric accumulation. */
+struct RunDigestCounts; // core/digest.h
+
+/** Streaming-mode knobs (see MetricsCollector::enable_streaming). */
+struct StreamingMetricsConfig {
+    /** FNV state after the run-identity prefix (run_digest_prefix). */
+    uint64_t digest_prefix = 0;
+    /** Bucket width of the bounded utilization/queue-depth series. */
+    Duration series_bucket = Duration::hours(1);
+};
+
+/**
+ * Run-wide metric accumulation.
+ *
+ * Two retention modes. The default (materialized) keeps every terminal
+ * JobRecord for exact percentiles and post-hoc digests. Streaming mode
+ * — the million-job regime — retains no records: each one is folded
+ * into the run digest the moment the job-id prefix becomes contiguous
+ * (terminal order is arbitrary but the reorder buffer is bounded by
+ * the number of live jobs) and into O(1)-memory percentile sketches,
+ * and the time-weighted signals switch to flat per-bucket integrals.
+ * Aggregate sums (GPU-seconds, per-group service, deadline counters)
+ * accumulate identically in both modes.
+ */
 class MetricsCollector
 {
   public:
     MetricsCollector();
+
+    /**
+     * Switches to streaming retention. Call before the first signal;
+     * the digest prefix seeds the incremental record fold.
+     */
+    void enable_streaming(const StreamingMetricsConfig &config);
+
+    bool streaming() const { return streaming_; }
+
+    /** Capacity hint for the record vector (materialized mode). */
+    void reserve_records(size_t n);
 
     /** @name Signals driven by the core */
     ///@{
@@ -78,7 +111,12 @@ class MetricsCollector
     }
     /** Folds a committed placement into the job's placement digest. */
     void on_placement(cluster::JobId id, const cluster::Placement &p);
-    /** @return the appended record (the ops accounting hand-off). */
+    /** An arrival fired at t; tracks the arrival-window end (streaming
+     *  mode; the materialized path derives it from the trace). */
+    void on_arrival(TimePoint t);
+    /** @return the appended record (the ops accounting hand-off). In
+     *  streaming mode the reference is to a scratch record that stays
+     *  valid only until the next record_job call. */
     const JobRecord &record_job(const workload::Job &job);
     ///@}
 
@@ -129,6 +167,43 @@ class MetricsCollector
     /** Fraction of deadline-carrying jobs that missed (0 if none). */
     double deadline_miss_rate() const;
 
+    /** @name Streaming-mode extraction */
+    ///@{
+    /** Percentile sketches (exact count/sum/mean/min/max). */
+    const QuantileSketch &jct_sketch() const { return jct_sketch_; }
+    const QuantileSketch &wait_sketch() const { return wait_sketch_; }
+    const QuantileSketch &
+    interactive_wait_sketch() const
+    {
+        return interactive_wait_sketch_;
+    }
+    const QuantileSketch &
+    slowdown_sketch() const
+    {
+        return slowdown_sketch_;
+    }
+    /** Mean utilization over [origin, last arrival] (the mark). */
+    double arrival_window_utilization(int total_gpus) const;
+    /** Time of the last arrival seen by on_arrival. */
+    TimePoint arrival_window_end() const;
+    /**
+     * Drains the reorder buffer (records of never-contiguous prefixes
+     * fold in id order), folds the digest tail, and returns the run
+     * digest. Call exactly once, after the run has quiesced.
+     */
+    uint64_t finish_streaming_digest(const RunDigestCounts &counts);
+    ///@}
+
+    /** @name Running aggregates (O(1) per record; both modes) */
+    ///@{
+    double total_gpu_seconds() const { return total_gpu_seconds_; }
+    double
+    total_ideal_gpu_seconds() const
+    {
+        return total_ideal_gpu_seconds_;
+    }
+    ///@}
+
     uint64_t preemptions() const { return preemptions_; }
     uint64_t segment_failures() const { return segment_failures_; }
     uint64_t node_faults() const { return node_faults_; }
@@ -148,8 +223,14 @@ class MetricsCollector
     ///@}
 
   private:
+    /** Builds the terminal record (shared by both retention modes). */
+    JobRecord make_record(const workload::Job &job);
+    /** Folds buffered records while the id prefix is contiguous. */
+    void drain_fold();
+
     std::vector<JobRecord> records_;
-    /** Running placement fold per job; read out by record_job. */
+    /** Running placement fold per job; erased when the job's terminal
+     *  record reads it out (bounded by live jobs). */
     std::map<cluster::JobId, uint64_t> placement_digests_;
     TimeWeightedStat used_gpus_;
     TimeWeightedStat queue_depth_;
@@ -161,7 +242,37 @@ class MetricsCollector
     size_t completed_count_ = 0;
     size_t failed_count_ = 0;
     size_t deadline_missed_ = 0;
+    size_t with_deadline_ = 0;
     TimePoint makespan_;
+
+    /** @name Running aggregates (both modes; accumulation order equals
+     *  record order, so sums match the record-loop values bit-for-bit) */
+    ///@{
+    double total_gpu_seconds_ = 0;
+    double total_ideal_gpu_seconds_ = 0;
+    std::map<std::string, double> group_gpu_seconds_;
+    std::map<std::string, double> group_slowdown_sum_;
+    std::map<std::string, int> group_slowdown_count_;
+    ///@}
+
+    /** @name Streaming mode */
+    ///@{
+    bool streaming_ = false;
+    uint64_t digest_state_ = 0;
+    uint64_t folded_records_ = 0;
+    /** Next job id the contiguous fold is waiting for. */
+    cluster::JobId next_fold_id_ = 1;
+    /** Terminal records not yet foldable (id order); O(live jobs). */
+    std::map<cluster::JobId, JobRecord> reorder_;
+    /** Returned by record_job in streaming mode (no retention). */
+    JobRecord scratch_record_;
+    QuantileSketch jct_sketch_;
+    QuantileSketch wait_sketch_;
+    QuantileSketch interactive_wait_sketch_;
+    QuantileSketch slowdown_sketch_;
+    BoundedTimeWeighted bounded_used_;
+    BoundedTimeWeighted bounded_queue_;
+    ///@}
 };
 
 } // namespace tacc::core

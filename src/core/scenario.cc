@@ -2,57 +2,19 @@
 
 #include <cassert>
 
+#include "core/digest.h"
+#include "workload/stream.h"
+
 namespace tacc::core {
 
-ScenarioResult
-run_scenario(const ScenarioConfig &config)
+namespace {
+
+/** Extraction shared by both retention modes (post-run). */
+void
+extract_common(const ScenarioConfig &config, TaccStack &stack,
+               TimePoint last_arrival, ScenarioResult &out)
 {
-    TaccStack stack(config.stack);
-    workload::TraceGenerator generator(config.trace);
-    const auto trace = generator.generate();
-    const TimePoint last_arrival =
-        trace.empty() ? TimePoint::origin() : trace.back().arrival;
-    stack.submit_trace(trace);
-    stack.run_to_completion(config.max_events);
-
-    ScenarioResult out;
-    out.scheduler = config.stack.scheduler;
-    out.placement = config.stack.placement;
-
     const auto &metrics = stack.metrics();
-    out.submitted = stack.jobs().size();
-    out.completed = metrics.completed_count();
-    out.failed = metrics.failed_count();
-    for (const auto *job : stack.jobs()) {
-        if (!job->terminal())
-            ++out.never_finished;
-    }
-
-    out.records = metrics.records();
-    out.jct_samples = metrics.jct_samples();
-    out.wait_samples = metrics.wait_samples();
-    if (out.jct_samples.count() > 0) {
-        out.mean_jct_s = out.jct_samples.mean();
-        out.p50_jct_s = out.jct_samples.percentile(50);
-        out.p99_jct_s = out.jct_samples.percentile(99);
-    }
-    if (out.wait_samples.count() > 0) {
-        out.mean_wait_s = out.wait_samples.mean();
-        out.p50_wait_s = out.wait_samples.percentile(50);
-        out.p99_wait_s = out.wait_samples.percentile(99);
-    }
-    const Samples slowdown = metrics.slowdown_samples();
-    if (slowdown.count() > 0) {
-        out.mean_slowdown = slowdown.mean();
-        out.p99_slowdown = slowdown.percentile(99);
-    }
-    const Samples interactive_wait =
-        metrics.wait_samples_of(workload::QosClass::kInteractive);
-    if (interactive_wait.count() > 0) {
-        out.interactive_mean_wait_s = interactive_wait.mean();
-        out.interactive_p99_wait_s = interactive_wait.percentile(99);
-    }
-
     const TimePoint end = metrics.makespan();
     out.makespan_s = end.to_seconds();
     const int total_gpus = stack.cluster().total_gpus();
@@ -66,15 +28,19 @@ run_scenario(const ScenarioConfig &config)
             TimePoint::origin(), end, config.utilization_bucket);
     }
     out.arrival_span_s = last_arrival.to_seconds();
-    if (last_arrival > TimePoint::origin()) {
+    if (metrics.streaming()) {
+        // Signals keep arriving after the mark; the bounded stat's
+        // mark-integral is the [0, last arrival] window average.
+        if (last_arrival > TimePoint::origin()) {
+            out.arrival_window_utilization =
+                metrics.arrival_window_utilization(total_gpus);
+        }
+    } else if (last_arrival > TimePoint::origin()) {
         out.arrival_window_utilization = metrics.mean_utilization(
             TimePoint::origin(), last_arrival, total_gpus);
     }
-    for (const auto &record : metrics.records()) {
-        out.total_gpu_seconds += record.gpu_seconds;
-        out.total_ideal_gpu_seconds +=
-            record.ideal_s * double(record.gpus);
-    }
+    out.total_gpu_seconds = metrics.total_gpu_seconds();
+    out.total_ideal_gpu_seconds = metrics.total_ideal_gpu_seconds();
     out.group_fairness = metrics.group_fairness();
     out.preemptions = metrics.preemptions();
     out.deadline_miss_rate = metrics.deadline_miss_rate();
@@ -101,6 +67,123 @@ run_scenario(const ScenarioConfig &config)
     const auto &cstats = stack.task_compiler().stats();
     out.mean_provision_s = cstats.mean_provision_s();
     out.cache_transfer_savings = cstats.transfer_savings();
+}
+
+} // namespace
+
+ScenarioResult
+run_scenario(const ScenarioConfig &config)
+{
+    return run_scenario(config, nullptr);
+}
+
+ScenarioResult
+run_scenario(const ScenarioConfig &config, StackArena *arena)
+{
+    StackConfig stack_config = config.stack;
+    stack_config.streaming = config.streaming;
+    TaccStack stack(std::move(stack_config), arena);
+
+    ScenarioResult out;
+    out.scheduler = config.stack.scheduler;
+    out.placement = config.stack.placement;
+    out.streaming = config.streaming;
+
+    if (config.streaming) {
+        workload::SyntheticWorkloadStream stream(config.trace);
+        stack.submit_stream(stream, config.stream_window);
+        stack.run_to_completion(config.max_events);
+
+        auto &metrics = stack.metrics();
+        out.submitted = size_t(stack.total_submitted());
+        out.completed = metrics.completed_count();
+        out.failed = metrics.failed_count();
+        // Terminal jobs were reclaimed as they finished; whatever is
+        // left is exactly the never-finished set.
+        for (const auto *job : stack.jobs()) {
+            if (!job->terminal())
+                ++out.never_finished;
+        }
+
+        const QuantileSketch &jct = metrics.jct_sketch();
+        if (jct.count() > 0) {
+            out.mean_jct_s = jct.mean();
+            out.p50_jct_s = jct.percentile(50);
+            out.p99_jct_s = jct.percentile(99);
+        }
+        const QuantileSketch &wait = metrics.wait_sketch();
+        if (wait.count() > 0) {
+            out.mean_wait_s = wait.mean();
+            out.p50_wait_s = wait.percentile(50);
+            out.p99_wait_s = wait.percentile(99);
+        }
+        const QuantileSketch &slowdown = metrics.slowdown_sketch();
+        if (slowdown.count() > 0) {
+            out.mean_slowdown = slowdown.mean();
+            out.p99_slowdown = slowdown.percentile(99);
+        }
+        const QuantileSketch &iwait = metrics.interactive_wait_sketch();
+        if (iwait.count() > 0) {
+            out.interactive_mean_wait_s = iwait.mean();
+            out.interactive_p99_wait_s = iwait.percentile(99);
+        }
+
+        extract_common(config, stack, metrics.arrival_window_end(), out);
+
+        RunDigestCounts counts;
+        counts.submitted = out.submitted;
+        counts.completed = out.completed;
+        counts.failed = out.failed;
+        counts.never_finished = out.never_finished;
+        counts.preemptions = out.preemptions;
+        counts.segment_failures = out.segment_failures;
+        out.digest = metrics.finish_streaming_digest(counts);
+    } else {
+        workload::TraceGenerator generator(config.trace);
+        const auto trace = generator.generate();
+        const TimePoint last_arrival =
+            trace.empty() ? TimePoint::origin() : trace.back().arrival;
+        stack.submit_trace(trace);
+        stack.run_to_completion(config.max_events);
+
+        const auto &metrics = stack.metrics();
+        out.submitted = stack.jobs().size();
+        out.completed = metrics.completed_count();
+        out.failed = metrics.failed_count();
+        for (const auto *job : stack.jobs()) {
+            if (!job->terminal())
+                ++out.never_finished;
+        }
+
+        out.records = metrics.records();
+        out.jct_samples = metrics.jct_samples();
+        out.wait_samples = metrics.wait_samples();
+        if (out.jct_samples.count() > 0) {
+            out.mean_jct_s = out.jct_samples.mean();
+            out.p50_jct_s = out.jct_samples.percentile(50);
+            out.p99_jct_s = out.jct_samples.percentile(99);
+        }
+        if (out.wait_samples.count() > 0) {
+            out.mean_wait_s = out.wait_samples.mean();
+            out.p50_wait_s = out.wait_samples.percentile(50);
+            out.p99_wait_s = out.wait_samples.percentile(99);
+        }
+        const Samples slowdown = metrics.slowdown_samples();
+        if (slowdown.count() > 0) {
+            out.mean_slowdown = slowdown.mean();
+            out.p99_slowdown = slowdown.percentile(99);
+        }
+        const Samples interactive_wait =
+            metrics.wait_samples_of(workload::QosClass::kInteractive);
+        if (interactive_wait.count() > 0) {
+            out.interactive_mean_wait_s = interactive_wait.mean();
+            out.interactive_p99_wait_s = interactive_wait.percentile(99);
+        }
+
+        extract_common(config, stack, last_arrival, out);
+    }
+
+    stack.donate_arena(arena);
     return out;
 }
 

@@ -25,12 +25,31 @@ struct ScenarioConfig {
     Duration utilization_bucket = Duration::hours(1);
     /** Safety valve passed to run_to_completion. */
     uint64_t max_events = 100'000'000;
+    /**
+     * Streaming (million-job) retention: the workload is pulled in
+     * bounded windows, terminal jobs fold into the run digest and
+     * sketches and are reclaimed. `records`/`jct_samples`/
+     * `wait_samples` come back empty; percentiles are sketch-derived
+     * (exact means, ~6% worst-case percentile error).
+     */
+    bool streaming = false;
+    /** Arrival lookahead (events in flight) in streaming mode. */
+    size_t stream_window = 4096;
 };
 
 /** Summary of one scenario run. */
 struct ScenarioResult {
     std::string scheduler;
     std::string placement;
+    /** The run used streaming retention (records empty; see below). */
+    bool streaming = false;
+    /**
+     * Determinism digest, computed incrementally during the run
+     * (streaming mode only; materialized runs fold `records` in the
+     * sweep driver instead — both paths produce the identical v2
+     * digest for the same scenario).
+     */
+    uint64_t digest = 0;
     size_t submitted = 0;
     size_t completed = 0;
     size_t failed = 0;
@@ -103,5 +122,14 @@ struct ScenarioResult {
 
 /** Runs a scenario to completion and extracts the summary. */
 ScenarioResult run_scenario(const ScenarioConfig &config);
+
+/**
+ * Arena-reuse variant: the stack adopts `arena`'s recycled allocations
+ * (event slab, scheduler scratch) and donates them back after the run.
+ * Sweep workers pass one thread-local arena across thousands of
+ * scenarios. arena may be null (equivalent to the plain overload).
+ */
+ScenarioResult run_scenario(const ScenarioConfig &config,
+                            StackArena *arena);
 
 } // namespace tacc::core

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "core/digest.h"
 #include "ops/report.h"
 #include "sched/capacity_profile.h"
 #include "common/strings.h"
@@ -15,7 +16,7 @@ using cluster::JobId;
 using workload::Job;
 using workload::JobState;
 
-TaccStack::TaccStack(StackConfig config)
+TaccStack::TaccStack(StackConfig config, StackArena *arena)
     : config_(std::move(config)),
       cluster_(config_.cluster),
       compiler_(config_.compiler),
@@ -29,6 +30,23 @@ TaccStack::TaccStack(StackConfig config)
 {
     assert(placement_ && "unknown placement policy name");
     assert(scheduler_ && "unknown scheduler name");
+    // Adopt recycled allocations before anything schedules an event
+    // (the simulator requires a pristine engine).
+    if (arena) {
+        if (arena->has_storage) {
+            sim_.adopt_storage(std::move(arena->sim_storage));
+            arena->has_storage = false;
+        }
+        pending_jobs_ = std::move(arena->pending_scratch);
+        pending_jobs_.clear();
+        running_cache_ = std::move(arena->running_scratch);
+        running_cache_.clear();
+    }
+    if (config_.streaming) {
+        metrics_.enable_streaming(
+            {run_digest_prefix(config_.scheduler, config_.placement),
+             config_.metrics_bucket});
+    }
     quota_.set_default_quota(config_.default_group_quota);
     for (const auto &[group, cap] : config_.group_quotas)
         quota_.set_group_quota(group, cap);
@@ -317,11 +335,13 @@ TaccStack::resolve_dependents(JobId id, bool completed)
 void
 TaccStack::submit_trace(const std::vector<workload::SubmittedTask> &trace)
 {
+    metrics_.reserve_records(metrics_.records().size() + trace.size());
     for (const auto &entry : trace) {
         assert(entry.arrival >= sim_.now());
         ++arrivals_outstanding_;
         sim_.schedule_at(entry.arrival, "arrival", [this, entry] {
             --arrivals_outstanding_;
+            metrics_.on_arrival(sim_.now());
             auto result = submit(entry.spec);
             if (!result.is_ok()) {
                 Log::warnf("trace submission rejected: %s",
@@ -329,6 +349,69 @@ TaccStack::submit_trace(const std::vector<workload::SubmittedTask> &trace)
             }
         });
     }
+}
+
+void
+TaccStack::submit_stream(workload::WorkloadStream &stream, size_t window)
+{
+    assert(window > 0);
+    assert(!stream_ && "a stream is already attached");
+    stream_ = &stream;
+    stream_window_ = window;
+    refill_stream();
+}
+
+void
+TaccStack::refill_stream()
+{
+    if (!stream_)
+        return;
+    stream_tasks_.clear();
+    stream_->pull(stream_tasks_, stream_window_);
+    if (stream_tasks_.empty()) {
+        stream_ = nullptr; // exhausted
+        return;
+    }
+    stream_batch_.clear();
+    stream_batch_.reserve(stream_tasks_.size());
+    const size_t last = stream_tasks_.size() - 1;
+    for (size_t i = 0; i <= last; ++i) {
+        assert(stream_tasks_[i].arrival >= sim_.now());
+        const TimePoint arrival = stream_tasks_[i].arrival;
+        const bool refill = i == last;
+        ++arrivals_outstanding_;
+        stream_batch_.push_back(sim::BatchEvent{
+            arrival, "arrival",
+            [this, task = std::move(stream_tasks_[i]), refill] {
+                --arrivals_outstanding_;
+                metrics_.on_arrival(sim_.now());
+                // Pull the next window BEFORE submitting: its arrival
+                // events then take consecutive sequence numbers ahead
+                // of anything this submission schedules, matching the
+                // all-at-once trace order for same-instant arrivals.
+                if (refill)
+                    refill_stream();
+                auto result = submit(task.spec);
+                if (!result.is_ok()) {
+                    Log::warnf("trace submission rejected: %s",
+                               result.status().str().c_str());
+                }
+            }});
+    }
+    sim_.schedule_batch(stream_batch_);
+}
+
+void
+TaccStack::donate_arena(StackArena *arena)
+{
+    if (!arena)
+        return;
+    arena->sim_storage = sim_.release_storage();
+    arena->has_storage = true;
+    pending_jobs_.clear();
+    arena->pending_scratch = std::move(pending_jobs_);
+    running_cache_.clear();
+    arena->running_scratch = std::move(running_cache_);
 }
 
 void
@@ -528,8 +611,17 @@ TaccStack::finalize(Job &job)
     charged_gpu_s_.erase(job.id());
     fault_lost_gpu_s_.erase(job.id());
     requeue_killed_at_.erase(job.id());
-    resolve_dependents(job.id(),
-                       job.state() == JobState::kCompleted);
+    const JobId id = job.id();
+    resolve_dependents(id, job.state() == JobState::kCompleted);
+    if (metrics_.streaming()) {
+        // Streaming reclamation: the terminal record is folded, so the
+        // job's state is dead weight — drop it everywhere. Memory now
+        // tracks the live job set, not the trace length. `job` dangles
+        // past the last erase; nothing below may touch it.
+        engine_.failures().forget(id);
+        instructions_.erase(id);
+        jobs_.erase(id);
+    }
 }
 
 void

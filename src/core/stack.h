@@ -39,6 +39,7 @@
 #include "sched/usage.h"
 #include "sim/simulator.h"
 #include "workload/job.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace tacc::core {
@@ -82,13 +83,40 @@ struct StackConfig {
      * without the subsystem.
      */
     power::PowerConfig power;
+    /**
+     * Streaming (million-job) retention: terminal jobs are folded into
+     * the run digest and percentile sketches and then reclaimed, so
+     * memory tracks the *live* job set instead of the trace length.
+     * Exact per-record extraction (metrics().records()) is empty in
+     * this mode; pair with submit_stream().
+     */
+    bool streaming = false;
+    /** Bucket width of the bounded metric series in streaming mode. */
+    Duration metrics_bucket = Duration::hours(1);
+};
+
+/**
+ * Recyclable allocations handed between successive TaccStack runs —
+ * one arena per sweep worker. Holds the simulator's event slab/heap
+ * and the scheduler-context scratch vectors, so back-to-back scenarios
+ * skip the allocation ramp-up a fresh stack pays.
+ */
+struct StackArena {
+    sim::Simulator::Storage sim_storage;
+    bool has_storage = false;
+    std::vector<workload::Job *> pending_scratch;
+    std::vector<sched::RunningInfo> running_scratch;
 };
 
 /** The running deployment. */
 class TaccStack
 {
   public:
-    explicit TaccStack(StackConfig config);
+    /**
+     * @param arena optional recycled allocations from a previous run
+     *        (see StackArena); adopted before any event is scheduled.
+     */
+    explicit TaccStack(StackConfig config, StackArena *arena = nullptr);
     ~TaccStack();
     TaccStack(const TaccStack &) = delete;
     TaccStack &operator=(const TaccStack &) = delete;
@@ -101,6 +129,8 @@ class TaccStack
     exec::ExecutionEngine &engine() { return engine_; }
     exec::MonitorHub &monitor() { return monitor_; }
     const MetricsCollector &metrics() const { return metrics_; }
+    /** Mutable access (streaming digest finish; see MetricsCollector). */
+    MetricsCollector &metrics() { return metrics_; }
     /** The operations layer; nullptr when config.ops.enabled is off. */
     ops::OpsCenter *ops() { return ops_.get(); }
     const ops::OpsCenter *ops() const { return ops_.get(); }
@@ -129,6 +159,26 @@ class TaccStack
 
     /** Schedules every trace entry for submission at its arrival time. */
     void submit_trace(const std::vector<workload::SubmittedTask> &trace);
+
+    /**
+     * Streams arrivals from a pull-based source with bounded lookahead:
+     * only `window` arrival events are materialized at a time; the last
+     * arrival of each window pulls the next one. Same-instant arrivals
+     * keep trace order (the batch assigns consecutive sequence
+     * numbers), so the event interleaving matches submit_trace. The
+     * stream must outlive the run and yield sorted arrivals >= now().
+     */
+    void submit_stream(workload::WorkloadStream &stream,
+                       size_t window = 4096);
+
+    /** Jobs assigned an id so far (streaming mode reclaims terminal
+     *  jobs, so jobs().size() undercounts submissions there). */
+    uint64_t total_submitted() const { return next_job_id_ - 1; }
+
+    /** Hands the stack's recyclable allocations to `arena` for the next
+     *  run. Call after the run completes; the stack stays destructible
+     *  but must not run further events. */
+    void donate_arena(StackArena *arena);
 
     /** Kills a job in any non-terminal state. */
     Status kill(cluster::JobId id);
@@ -213,6 +263,8 @@ class TaccStack
     };
 
     void wire_ops();
+    /** Pulls and schedules the next arrival window (streaming mode). */
+    void refill_stream();
     void enqueue_pending(cluster::JobId id);
     void remove_pending(cluster::JobId id);
     /** Releases/cascades dependents when `id` reaches a terminal state. */
@@ -291,6 +343,13 @@ class TaccStack
     std::unique_ptr<sim::PeriodicTask> ops_tick_;
     cluster::JobId next_job_id_ = 1;
     uint64_t arrivals_outstanding_ = 0;
+    /** @name Streaming arrivals (null/empty unless submit_stream ran) */
+    ///@{
+    workload::WorkloadStream *stream_ = nullptr;
+    size_t stream_window_ = 0;
+    std::vector<workload::SubmittedTask> stream_tasks_;
+    std::vector<sim::BatchEvent> stream_batch_;
+    ///@}
 };
 
 } // namespace tacc::core

@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <vector>
 
-#include "common/hash.h"
+#include "core/digest.h"
 
 namespace tacc::driver {
 
 uint64_t
 scenario_digest(const core::ScenarioResult &result)
 {
+    // Streaming runs computed the digest incrementally during the run
+    // (identical v2 layout, folded as job-id prefixes became
+    // contiguous); just hand it through.
+    if (result.streaming)
+        return result.digest;
+
     // Sort an index by job id so the digest is independent of the
-    // collector's append (terminal-event) order.
+    // collector's append (terminal-event) order — and matches the
+    // streaming fold order.
     std::vector<const core::JobRecord *> order;
     order.reserve(result.records.size());
     for (const auto &record : result.records)
@@ -21,36 +28,21 @@ scenario_digest(const core::ScenarioResult &result)
                   return a->id < b->id;
               });
 
-    Fnv1a h;
-    h.str("tacc-sweep-digest-v1");
-    h.str(result.scheduler);
-    h.str(result.placement);
-    h.u64(uint64_t(order.size()));
-    for (const core::JobRecord *r : order) {
-        h.u64(r->id);
-        h.str(r->group);
-        h.str(r->user);
-        h.i32(int32_t(r->qos));
-        h.i32(int32_t(r->final_state));
-        h.i64(r->submitted.to_micros());
-        h.i64(r->finished.to_micros());
-        h.i32(r->gpus);
-        h.boolean(r->started);
-        h.i32(r->preemptions);
-        h.i32(r->segments);
-        h.boolean(r->missed_deadline);
-        h.u64(r->placement_digest);
-    }
+    uint64_t state =
+        core::run_digest_prefix(result.scheduler, result.placement);
+    for (const core::JobRecord *r : order)
+        state = core::fold_job_record(state, *r);
     // Aggregate integer counters (cheap redundancy: a drift in any of
     // these without a record-level change is itself a bug worth tripping
     // the gate on).
-    h.u64(uint64_t(result.submitted));
-    h.u64(uint64_t(result.completed));
-    h.u64(uint64_t(result.failed));
-    h.u64(uint64_t(result.never_finished));
-    h.u64(result.preemptions);
-    h.u64(result.segment_failures);
-    return h.value();
+    core::RunDigestCounts counts;
+    counts.submitted = result.submitted;
+    counts.completed = result.completed;
+    counts.failed = result.failed;
+    counts.never_finished = result.never_finished;
+    counts.preemptions = result.preemptions;
+    counts.segment_failures = result.segment_failures;
+    return core::finish_run_digest(state, uint64_t(order.size()), counts);
 }
 
 } // namespace tacc::driver

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/hash.h"
+#include "common/proc.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "driver/digest.h"
@@ -64,12 +65,21 @@ run_sweep(const SweepSpec &spec, int workers)
         done.reserve(scenarios.size());
         for (size_t i = 0; i < scenarios.size(); ++i) {
             done.push_back(pool.submit([&, i] {
+                // One arena per pool worker: successive scenarios on
+                // this thread reuse the previous run's event slab and
+                // scheduler scratch instead of re-growing them.
+                thread_local core::StackArena arena;
                 RunResult &run = summary.runs[i];
                 run.scenario = scenarios[i];
                 const auto start = std::chrono::steady_clock::now();
-                run.result = core::run_scenario(scenarios[i].config);
+                run.result = core::run_scenario(scenarios[i].config,
+                                                &arena);
                 run.wall_ms = elapsed_ms(start);
                 run.digest = scenario_digest(run.result);
+                if (run.wall_ms > 0) {
+                    run.jobs_per_s = double(run.result.submitted) /
+                                     (run.wall_ms / 1000.0);
+                }
             }));
         }
         // Rethrows the first failure (bad config, bad_alloc, ...) on the
@@ -78,6 +88,7 @@ run_sweep(const SweepSpec &spec, int workers)
             f.get();
     }
     summary.wall_ms = elapsed_ms(sweep_start);
+    summary.peak_rss_bytes = peak_rss_bytes();
     return summary;
 }
 
@@ -103,6 +114,7 @@ summary_to_json(const SweepSummary &summary)
     out << "{\n";
     out << "  \"workers\": " << summary.workers << ",\n";
     out << strfmt("  \"wall_ms\": %.3f,\n", summary.wall_ms);
+    out << "  \"peak_rss_bytes\": " << summary.peak_rss_bytes << ",\n";
     out << "  \"runs\": [\n";
     for (size_t i = 0; i < summary.runs.size(); ++i) {
         const auto &run = summary.runs[i];
@@ -113,6 +125,9 @@ summary_to_json(const SweepSummary &summary)
         out << "      \"digest\": \"" << Fnv1a::hex(run.digest)
             << "\",\n";
         out << strfmt("      \"wall_ms\": %.3f,\n", run.wall_ms);
+        out << strfmt("      \"jobs_per_s\": %.1f,\n", run.jobs_per_s);
+        out << "      \"streaming\": " << (r.streaming ? "true" : "false")
+            << ",\n";
         out << "      \"submitted\": " << r.submitted << ",\n";
         out << "      \"completed\": " << r.completed << ",\n";
         out << "      \"failed\": " << r.failed << ",\n";

@@ -31,6 +31,8 @@ struct RunResult {
     uint64_t digest = 0;
     /** Wall-clock cost of this run (informational; never hashed). */
     double wall_ms = 0;
+    /** Submission throughput (submitted / wall seconds; never hashed). */
+    double jobs_per_s = 0;
 };
 
 /** A finished sweep, runs in canonical expansion order. */
@@ -38,6 +40,9 @@ struct SweepSummary {
     std::vector<RunResult> runs;
     int workers = 1;
     double wall_ms = 0;
+    /** Process-wide peak RSS sampled when the sweep finished (bytes;
+     *  0 where unsupported). Informational; never hashed. */
+    size_t peak_rss_bytes = 0;
 };
 
 /**

@@ -395,6 +395,20 @@ parse_sweep_spec(const std::string &text)
             if (v.value() == 0)
                 return bad(key, value);
             spec.base.max_events = v.value();
+        } else if (key == "streaming") {
+            if (value == "true")
+                spec.base.streaming = true;
+            else if (value == "false")
+                spec.base.streaming = false;
+            else
+                return bad(key, value);
+        } else if (key == "stream_window") {
+            auto v = parse_u64(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() == 0)
+                return bad(key, value);
+            spec.base.stream_window = size_t(v.value());
         } else {
             return Status::invalid_argument("unknown key: " + key);
         }

@@ -40,6 +40,8 @@
  *   oversubscription: 4.0
  *   node_mtbf_hours: 0      per-segment transient-fault MTBF
  *   max_events: 100000000
+ *   streaming: false         million-job retention (see ScenarioConfig)
+ *   stream_window: 4096      arrival lookahead in streaming mode
  *
  * Unknown keys are errors (same contract as the deployment dialect).
  */

@@ -112,6 +112,15 @@ class FailureModel
     bool is_incompatible(const workload::Job &job,
                          compiler::RuntimeKind runtime) const;
 
+    /** Drops per-job sampling/attempt state once the job is terminal
+     *  (streaming reclamation; keeps these maps bounded by live jobs). */
+    void
+    forget(cluster::JobId job)
+    {
+        streams_.erase(job);
+        failures_.erase(job);
+    }
+
   private:
     /** Deterministic per-job "bad runtime", if the job has one. */
     std::optional<compiler::RuntimeKind>

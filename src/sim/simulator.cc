@@ -36,10 +36,9 @@ Simulator::release_slot(uint32_t slot)
 }
 
 void
-Simulator::heap_push(QueueEntry entry) const
+Simulator::heap_sift_up(size_t i) const
 {
-    heap_.push_back(entry);
-    size_t i = heap_.size() - 1;
+    const QueueEntry entry = heap_[i];
     while (i > 0) {
         const size_t parent = (i - 1) >> 2;
         if (!fires_before(entry, heap_[parent]))
@@ -48,6 +47,36 @@ Simulator::heap_push(QueueEntry entry) const
         i = parent;
     }
     heap_[i] = entry;
+}
+
+void
+Simulator::heap_sift_down(size_t i) const
+{
+    const size_t n = heap_.size();
+    const QueueEntry entry = heap_[i];
+    for (;;) {
+        const size_t first_child = (i << 2) + 1;
+        if (first_child >= n)
+            break;
+        size_t best = first_child;
+        const size_t end = std::min(first_child + 4, n);
+        for (size_t c = first_child + 1; c < end; ++c) {
+            if (fires_before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!fires_before(heap_[best], entry))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = entry;
+}
+
+void
+Simulator::heap_push(QueueEntry entry) const
+{
+    heap_.push_back(entry);
+    heap_sift_up(heap_.size() - 1);
 }
 
 void
@@ -122,6 +151,36 @@ Simulator::schedule_after(Duration d, const char *label, EventFn fn)
     return schedule_at(now_ + d, label, std::move(fn));
 }
 
+void
+Simulator::schedule_batch(std::vector<BatchEvent> &batch)
+{
+    const size_t k = batch.size();
+    if (k == 0)
+        return;
+    const size_t old_size = heap_.size();
+    heap_.reserve(old_size + k);
+    for (BatchEvent &ev : batch) {
+        assert(ev.t >= now_ && "cannot schedule in the past");
+        const uint32_t slot = acquire_slot();
+        Slot &s = slots_[slot];
+        s.fn = std::move(ev.fn);
+        s.label = ev.label;
+        heap_.push_back(QueueEntry{ev.t.to_micros(), next_seq_++,
+                                   make_id(s.generation, slot)});
+    }
+    live_count_ += k;
+    // Restore the heap once for the whole burst. Sifting each appended
+    // entry up costs O(k log n); Floyd's rebuild costs O(n) regardless
+    // of k. Cross over when the burst is a sizable fraction of the heap.
+    if (k <= old_size / 4 + 1) {
+        for (size_t i = old_size; i < heap_.size(); ++i)
+            heap_sift_up(i);
+    } else if (heap_.size() > 1) {
+        for (size_t i = (heap_.size() - 2) >> 2; i != size_t(-1); --i)
+            heap_sift_down(i);
+    }
+}
+
 bool
 Simulator::cancel(EventId id)
 {
@@ -174,6 +233,61 @@ Simulator::run()
 {
     while (step()) {
     }
+}
+
+void
+Simulator::reset()
+{
+    // Destroy pending callbacks and invalidate every outstanding id —
+    // semantically a cancel() of each pending event, done slab-wide.
+    for (Slot &s : slots_) {
+        ++s.generation;
+        s.fn = nullptr;
+        s.label = nullptr;
+    }
+    free_.clear();
+    free_.reserve(slots_.size());
+    // Descending, so the next acquire_slot() hands out slot 0 first and
+    // a fresh run allocates slots in the same order as a fresh engine.
+    for (size_t i = slots_.size(); i > 0; --i)
+        free_.push_back(uint32_t(i - 1));
+    heap_.clear();
+    now_ = TimePoint::origin();
+    next_seq_ = 0;
+    processed_ = 0;
+    live_count_ = 0;
+}
+
+void
+Simulator::adopt_storage(Storage &&storage)
+{
+    assert(slots_.empty() && heap_.empty() && next_seq_ == 0 &&
+           "adopt_storage requires a pristine engine");
+    heap_ = std::move(storage.heap);
+    slots_ = std::move(storage.slots);
+    free_ = std::move(storage.free_slots);
+    heap_.clear();
+    // The donor left the slab with all fns destroyed and generations
+    // advanced; rebuild the free list so allocation order matches a
+    // fresh engine (slot 0 first).
+    free_.clear();
+    free_.reserve(slots_.size());
+    for (size_t i = slots_.size(); i > 0; --i)
+        free_.push_back(uint32_t(i - 1));
+}
+
+Simulator::Storage
+Simulator::release_storage()
+{
+    reset();
+    Storage storage;
+    storage.heap = std::move(heap_);
+    storage.slots = std::move(slots_);
+    storage.free_slots = std::move(free_);
+    heap_ = {};
+    slots_ = {};
+    free_ = {};
+    return storage;
 }
 
 void

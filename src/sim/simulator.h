@@ -49,6 +49,16 @@ using EventId = uint64_t;
 /** Callback invoked when an event fires. */
 using EventFn = std::function<void()>;
 
+/**
+ * One future event of a bulk schedule (see Simulator::schedule_batch).
+ * Same label-lifetime contract as schedule_at.
+ */
+struct BatchEvent {
+    TimePoint t;
+    const char *label = nullptr;
+    EventFn fn;
+};
+
 /** Deterministic discrete-event simulator. */
 class Simulator
 {
@@ -71,6 +81,19 @@ class Simulator
 
     /** Schedules fn to run after delay d (>= 0) from now. */
     EventId schedule_after(Duration d, const char *label, EventFn fn);
+
+    /**
+     * Schedules a burst of events in one pass — the batched event-heap
+     * path behind streaming arrival-window refills. Equivalent to
+     * calling schedule_at for each entry in order (sequence numbers are
+     * assigned in batch order, so same-instant ties fire in batch
+     * order and the pop order is identical to serial pushes), but the
+     * heap is restored once: small bursts sift only the appended range,
+     * large bursts trigger a single Floyd rebuild instead of k
+     * leaf-to-root walks. Entries' callbacks are moved from; the batch
+     * vector itself is left with empty functions for caller reuse.
+     */
+    void schedule_batch(std::vector<BatchEvent> &batch);
 
     /**
      * Cancels a pending event in O(1).
@@ -102,6 +125,18 @@ class Simulator
 
     /** Time of the earliest pending event, or TimePoint::max() if none. */
     TimePoint next_event_time() const;
+
+    /**
+     * Returns the engine to its just-constructed logical state — clock
+     * at origin, empty queue, zero counters — while keeping the event
+     * slab, free list, and heap capacity. Outstanding EventIds are
+     * invalidated (generations advance, exactly as if every pending
+     * event had been cancelled), so a stale id held across reset() is
+     * detected and ignored like any other dead id. This is the
+     * arena-reuse path: sweep workers run thousands of scenarios
+     * without re-paying slab growth each time.
+     */
+    void reset();
 
   private:
     /** Pooled event storage; recycled through free_. Cache-line sized
@@ -148,8 +183,40 @@ class Simulator
     ///@{
     void heap_push(QueueEntry entry) const;
     void heap_pop() const;
+    void heap_sift_up(size_t i) const;
+    void heap_sift_down(size_t i) const;
     void drain_cancelled() const;
     ///@}
+
+  public:
+    /**
+     * The engine's recyclable allocations: the event slab, free list,
+     * and heap buffer. Opaque to callers — it exists only to move
+     * capacity between Simulator instances (core::StackArena), so sweep
+     * workers reconstructing a stack per scenario reuse the previous
+     * run's slab instead of growing a fresh one.
+     */
+    struct Storage {
+        std::vector<QueueEntry> heap;
+        std::vector<Slot> slots;
+        std::vector<uint32_t> free_slots;
+    };
+
+    /**
+     * Donates previously released storage to this engine. Must be
+     * called before any event is scheduled. Slot generations carry
+     * over, so ids issued by the storage's previous owner stay dead.
+     */
+    void adopt_storage(Storage &&storage);
+
+    /**
+     * Hands the engine's allocations back for reuse and leaves it
+     * logically empty. Pending callbacks are destroyed (their captures
+     * are released), exactly as if each had been cancelled.
+     */
+    Storage release_storage();
+
+  private:
 
     TimePoint now_ = TimePoint::origin();
     uint64_t next_seq_ = 0;

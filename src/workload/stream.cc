@@ -1,0 +1,123 @@
+#include "workload/stream.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "workload/trace_io.h"
+
+namespace tacc::workload {
+
+size_t
+SyntheticWorkloadStream::pull(std::vector<SubmittedTask> &out,
+                              size_t max_count)
+{
+    size_t appended = 0;
+    while (appended < max_count && !gen_.exhausted()) {
+        out.push_back(gen_.next());
+        ++appended;
+    }
+    return appended;
+}
+
+size_t
+VectorWorkloadStream::pull(std::vector<SubmittedTask> &out,
+                           size_t max_count)
+{
+    const size_t n = std::min(max_count, trace_.size() - cursor_);
+    out.insert(out.end(), trace_.begin() + long(cursor_),
+               trace_.begin() + long(cursor_ + n));
+    cursor_ += n;
+    return n;
+}
+
+FileTraceStream::FileTraceStream(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "r");
+    if (!file_) {
+        status_ = Status::not_found("cannot open " + path);
+        return;
+    }
+    std::string header;
+    if (!read_line(header) ||
+        std::string(trim(header)) != trace_csv_header()) {
+        status_ = Status::invalid_argument("missing or wrong CSV header: " +
+                                           path);
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+FileTraceStream::~FileTraceStream()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileTraceStream::read_line(std::string &line)
+{
+    line.clear();
+    if (!file_)
+        return false;
+    char buf[512];
+    while (std::fgets(buf, sizeof buf, file_)) {
+        line += buf;
+        if (!line.empty() && line.back() == '\n') {
+            line.pop_back();
+            return true;
+        }
+    }
+    return !line.empty(); // final unterminated line
+}
+
+size_t
+FileTraceStream::pull(std::vector<SubmittedTask> &out, size_t max_count)
+{
+    size_t appended = 0;
+    std::string line;
+    while (appended < max_count && status_.is_ok() && read_line(line)) {
+        const std::string row{trim(line)};
+        if (row.empty())
+            continue;
+        auto entry = parse_trace_row(row, row_);
+        if (!entry.is_ok()) {
+            status_ = entry.status();
+            break;
+        }
+        const int64_t arrival_us = entry.value().arrival.to_micros();
+        if (arrival_us < last_arrival_us_) {
+            status_ = Status::invalid_argument(
+                strfmt("row %zu: arrivals not sorted", row_ + 1));
+            break;
+        }
+        last_arrival_us_ = arrival_us;
+        ++row_;
+        out.push_back(std::move(entry.value()));
+        ++appended;
+    }
+    return appended;
+}
+
+void
+FileTraceStream::rewind()
+{
+    if (!file_) {
+        // Reopen after a constructor or I/O failure was cleared upstream;
+        // keep the original status if the file is still unreadable.
+        file_ = std::fopen(path_.c_str(), "r");
+        if (!file_)
+            return;
+    }
+    std::rewind(file_);
+    status_ = Status::ok();
+    row_ = 0;
+    last_arrival_us_ = INT64_MIN;
+    std::string header;
+    if (!read_line(header) ||
+        std::string(trim(header)) != trace_csv_header()) {
+        status_ = Status::invalid_argument("missing or wrong CSV header: " +
+                                           path_);
+    }
+}
+
+} // namespace tacc::workload

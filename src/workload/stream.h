@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Pull-based workload streams for the million-job regime.
+ *
+ * A WorkloadStream hands out arrivals in bounded lookahead windows
+ * instead of materializing a whole trace, so scenario memory stays
+ * O(window) while the trace length grows to 10^6 jobs and beyond. The
+ * simulation core (TaccStack::submit_stream) pulls the next window when
+ * the previous one's last arrival fires; the stream never sees virtual
+ * time and the core never sees generator state, so any source — the
+ * synthetic generator, an in-memory vector, or a CSV trace file — plugs
+ * in behind the same two calls.
+ *
+ * Contract: pull() appends at most max_count tasks with nondecreasing
+ * arrival times, both within a window and across successive windows.
+ * A short (or empty) append signals exhaustion only when fewer than
+ * max_count tasks were produced. rewind() restarts the stream from the
+ * first arrival; the same sequence is produced again (this is what
+ * makes streaming-mode digests reproducible and lets one stream serve
+ * repeated scenario runs).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace tacc::workload {
+
+/** Source of trace arrivals, pulled window-by-window. */
+class WorkloadStream
+{
+  public:
+    virtual ~WorkloadStream() = default;
+
+    /**
+     * Appends up to max_count next tasks to out (existing contents are
+     * kept). Returns the number appended; fewer than max_count — in
+     * particular zero — means the stream is exhausted.
+     */
+    virtual size_t pull(std::vector<SubmittedTask> &out,
+                        size_t max_count) = 0;
+
+    /** Restarts the stream; the identical sequence follows. */
+    virtual void rewind() = 0;
+
+    /**
+     * Total tasks the stream will produce over a full pass, when known
+     * up front; 0 if unknown (e.g. a file stream before the first
+     * pass). Used only for progress reporting and reserve() hints.
+     */
+    virtual size_t size_hint() const { return 0; }
+
+    /** Stream health; file-backed streams surface I/O errors here. */
+    virtual Status status() const { return Status::ok(); }
+};
+
+/** Streams the synthetic generator without materializing the trace. */
+class SyntheticWorkloadStream final : public WorkloadStream
+{
+  public:
+    explicit SyntheticWorkloadStream(TraceConfig config)
+        : gen_(std::move(config))
+    {
+    }
+
+    size_t pull(std::vector<SubmittedTask> &out, size_t max_count) override;
+    void rewind() override { gen_.rewind(); }
+    size_t size_hint() const override
+    {
+        return size_t(gen_.config().num_jobs);
+    }
+
+  private:
+    TraceGenerator gen_;
+};
+
+/** Adapts an already-materialized trace (tests, programmatic traces). */
+class VectorWorkloadStream final : public WorkloadStream
+{
+  public:
+    explicit VectorWorkloadStream(std::vector<SubmittedTask> trace)
+        : trace_(std::move(trace))
+    {
+    }
+
+    size_t pull(std::vector<SubmittedTask> &out, size_t max_count) override;
+    void rewind() override { cursor_ = 0; }
+    size_t size_hint() const override { return trace_.size(); }
+
+  private:
+    std::vector<SubmittedTask> trace_;
+    size_t cursor_ = 0;
+};
+
+/**
+ * Streams a CSV trace file (trace_io schema) row by row; the file is
+ * never resident in memory. Construction validates the header only;
+ * malformed rows and unsorted arrivals surface through status() and end
+ * the stream at the bad row.
+ */
+class FileTraceStream final : public WorkloadStream
+{
+  public:
+    explicit FileTraceStream(const std::string &path);
+    ~FileTraceStream() override;
+
+    FileTraceStream(const FileTraceStream &) = delete;
+    FileTraceStream &operator=(const FileTraceStream &) = delete;
+
+    size_t pull(std::vector<SubmittedTask> &out, size_t max_count) override;
+    void rewind() override;
+    Status status() const override { return status_; }
+
+  private:
+    bool read_line(std::string &line);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    Status status_;
+    size_t row_ = 0;
+    int64_t last_arrival_us_ = INT64_MIN;
+};
+
+} // namespace tacc::workload

@@ -63,7 +63,7 @@ const std::vector<std::pair<const char *, double>> kBatchModelMix = {
 } // namespace
 
 TraceGenerator::TraceGenerator(TraceConfig config)
-    : config_(std::move(config))
+    : config_(std::move(config)), rng_(config_.seed)
 {
     assert(config_.num_jobs >= 0);
     assert(config_.mean_interarrival_s > 0);
@@ -89,23 +89,36 @@ TraceGenerator::diurnal_factor(TimePoint t) const
     return 1.0 + (config_.diurnal_peak_ratio - 1.0) * phase;
 }
 
+void
+TraceGenerator::rewind()
+{
+    rng_ = Rng(config_.seed);
+    t_ = TimePoint::origin();
+    index_ = 0;
+}
+
+SubmittedTask
+TraceGenerator::next()
+{
+    assert(!exhausted());
+    // Thinned nonhomogeneous Poisson: scale the local mean gap by the
+    // current diurnal factor.
+    const double factor = diurnal_factor(t_);
+    const double gap =
+        rng_.exponential(config_.mean_interarrival_s / factor);
+    t_ += Duration::from_seconds(gap);
+    return SubmittedTask{t_, make_spec(rng_, index_++)};
+}
+
 std::vector<SubmittedTask>
 TraceGenerator::generate()
 {
-    Rng rng(config_.seed);
+    rewind();
     std::vector<SubmittedTask> out;
     out.reserve(size_t(config_.num_jobs));
-
-    TimePoint t = TimePoint::origin();
-    for (int i = 0; i < config_.num_jobs; ++i) {
-        // Thinned nonhomogeneous Poisson: scale the local mean gap by the
-        // current diurnal factor.
-        const double factor = diurnal_factor(t);
-        const double gap =
-            rng.exponential(config_.mean_interarrival_s / factor);
-        t += Duration::from_seconds(gap);
-        out.push_back(SubmittedTask{t, make_spec(rng, i)});
-    }
+    while (!exhausted())
+        out.push_back(next());
+    rewind();
     return out;
 }
 

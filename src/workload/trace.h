@@ -86,7 +86,14 @@ struct TraceConfig {
  */
 double estimated_iteration_s(const ModelProfile &profile, int gpus);
 
-/** Deterministic trace generator (same config + seed => same trace). */
+/**
+ * Deterministic trace generator (same config + seed => same trace).
+ *
+ * Doubles as a pull cursor: next() yields one arrival at a time without
+ * materializing anything, and generate() is just the cursor drained into
+ * a vector — so the streaming and materialized paths produce identical
+ * sequences by construction.
+ */
 class TraceGenerator
 {
   public:
@@ -95,11 +102,30 @@ class TraceGenerator
     /** Generates the full trace, sorted by arrival time. */
     std::vector<SubmittedTask> generate();
 
+    /** The generator's configuration (as validated by the ctor). */
+    const TraceConfig &config() const { return config_; }
+
+    /** Jobs emitted by next() since the last rewind. */
+    int emitted() const { return index_; }
+
+    /** True once the configured job count has been produced. */
+    bool exhausted() const { return index_ >= config_.num_jobs; }
+
+    /** Produces the next arrival; arrival times are nondecreasing.
+     *  Must not be called when exhausted(). */
+    SubmittedTask next();
+
+    /** Rewinds the cursor; the same sequence is produced again. */
+    void rewind();
+
   private:
     TaskSpec make_spec(Rng &rng, int job_index);
     double diurnal_factor(TimePoint t) const;
 
     TraceConfig config_;
+    Rng rng_;
+    TimePoint t_ = TimePoint::origin();
+    int index_ = 0;
 };
 
 } // namespace tacc::workload

@@ -45,6 +45,54 @@ trace_to_csv(const std::vector<SubmittedTask> &trace)
     return os.str();
 }
 
+const char *
+trace_csv_header()
+{
+    return kHeader;
+}
+
+StatusOr<SubmittedTask>
+parse_trace_row(const std::string &line, size_t row)
+{
+    const auto fields = split(line, ',');
+    if (fields.size() != 14) {
+        return Status::invalid_argument(
+            strfmt("row %zu: expected 14 fields, got %zu", row + 1,
+                   fields.size()));
+    }
+    SubmittedTask entry;
+    TaskSpec &s = entry.spec;
+    try {
+        entry.arrival = TimePoint::origin() +
+                        Duration::from_seconds(std::stod(fields[0]));
+        s.name = fields[1];
+        s.user = fields[2];
+        s.group = fields[3];
+        s.gpus = std::stoi(fields[4]);
+        s.gpu_model = fields[5];
+        auto qos = parse_qos_class(fields[6]);
+        if (!qos.is_ok())
+            return qos.status();
+        s.qos = qos.value();
+        s.preemptible = fields[7] == "1";
+        s.model = fields[8];
+        s.iterations = std::stoll(fields[9]);
+        s.time_limit = Duration::seconds(std::stoll(fields[10]));
+        s.deadline = Duration::seconds(std::stoll(fields[11]));
+        s.min_gpus = std::stoi(fields[12]);
+        s.max_gpus = std::stoi(fields[13]);
+    } catch (const std::exception &) {
+        return Status::invalid_argument(
+            strfmt("row %zu: malformed number", row + 1));
+    }
+    s.artifacts = default_artifacts(s, row);
+    if (auto st = s.validate(); !st.is_ok()) {
+        return Status::invalid_argument(
+            strfmt("row %zu: %s", row + 1, st.str().c_str()));
+    }
+    return entry;
+}
+
 StatusOr<std::vector<SubmittedTask>>
 trace_from_csv(const std::string &csv)
 {
@@ -57,47 +105,14 @@ trace_from_csv(const std::string &csv)
         const std::string line{trim(lines[i])};
         if (line.empty())
             continue;
-        const auto fields = split(line, ',');
-        if (fields.size() != 14) {
-            return Status::invalid_argument(
-                strfmt("row %zu: expected 14 fields, got %zu", i,
-                       fields.size()));
-        }
-        SubmittedTask entry;
-        TaskSpec &s = entry.spec;
-        try {
-            entry.arrival = TimePoint::origin() +
-                            Duration::from_seconds(std::stod(fields[0]));
-            s.name = fields[1];
-            s.user = fields[2];
-            s.group = fields[3];
-            s.gpus = std::stoi(fields[4]);
-            s.gpu_model = fields[5];
-            auto qos = parse_qos_class(fields[6]);
-            if (!qos.is_ok())
-                return qos.status();
-            s.qos = qos.value();
-            s.preemptible = fields[7] == "1";
-            s.model = fields[8];
-            s.iterations = std::stoll(fields[9]);
-            s.time_limit = Duration::seconds(std::stoll(fields[10]));
-            s.deadline = Duration::seconds(std::stoll(fields[11]));
-            s.min_gpus = std::stoi(fields[12]);
-            s.max_gpus = std::stoi(fields[13]);
-        } catch (const std::exception &) {
-            return Status::invalid_argument(
-                strfmt("row %zu: malformed number", i));
-        }
-        s.artifacts = default_artifacts(s, i - 1);
-        if (auto st = s.validate(); !st.is_ok()) {
-            return Status::invalid_argument(
-                strfmt("row %zu: %s", i, st.str().c_str()));
-        }
-        if (!out.empty() && entry.arrival < out.back().arrival) {
+        auto entry = parse_trace_row(line, i - 1);
+        if (!entry.is_ok())
+            return entry.status();
+        if (!out.empty() && entry.value().arrival < out.back().arrival) {
             return Status::invalid_argument(
                 strfmt("row %zu: arrivals not sorted", i));
         }
-        out.push_back(std::move(entry));
+        out.push_back(std::move(entry.value()));
     }
     return out;
 }

@@ -25,6 +25,17 @@ namespace tacc::workload {
 /** Serializes a trace (header + one row per task). */
 std::string trace_to_csv(const std::vector<SubmittedTask> &trace);
 
+/** The CSV header line shared by every trace parser/writer. */
+const char *trace_csv_header();
+
+/**
+ * Parses one CSV data row (no header) into a validated task. @p row is
+ * the 0-based data-row index; it seeds the standard artifact set the
+ * same way trace_from_csv does. Row ordering is the caller's concern.
+ */
+StatusOr<SubmittedTask> parse_trace_row(const std::string &line,
+                                        size_t row);
+
 /**
  * Parses a CSV trace. Rows must be sorted by arrival time; every spec is
  * schema-validated. Artifacts are not part of the wire format; parsed

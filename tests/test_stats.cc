@@ -134,6 +134,78 @@ TEST(TimeWeightedStat, BucketAverages)
     EXPECT_DOUBLE_EQ(buckets[1], 10.0);
 }
 
+TEST(QuantileSketch, ExactMomentsApproximatePercentiles)
+{
+    QuantileSketch sketch;
+    Samples exact;
+    // Log-normal-ish spread across several octaves.
+    for (int i = 1; i <= 10000; ++i) {
+        const double x = 0.001 * double(i) * double(i);
+        sketch.add(x);
+        exact.add(x);
+    }
+    EXPECT_EQ(sketch.count(), 10000u);
+    // Welford mean vs sum/count differ only in rounding.
+    EXPECT_NEAR(sketch.mean(), exact.mean(), 1e-9 * exact.mean());
+    EXPECT_DOUBLE_EQ(sketch.sum(), exact.sum());
+    EXPECT_DOUBLE_EQ(sketch.min(), 0.001);
+    EXPECT_DOUBLE_EQ(sketch.max(), 100000.0);
+    // 8 sub-buckets per octave -> worst-case relative error
+    // 2^(1/8)-1 ~ 9%.
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+        EXPECT_NEAR(sketch.percentile(p), exact.percentile(p),
+                    0.1 * exact.percentile(p))
+            << "p" << p;
+    }
+}
+
+TEST(QuantileSketch, ZerosAndEmpty)
+{
+    QuantileSketch sketch;
+    EXPECT_TRUE(sketch.empty());
+    EXPECT_DOUBLE_EQ(sketch.percentile(50), 0.0);
+    for (int i = 0; i < 10; ++i)
+        sketch.add(0.0);
+    sketch.add(4.0);
+    EXPECT_DOUBLE_EQ(sketch.percentile(50), 0.0);
+    // Closest-rank: p99 of 11 samples is still rank 10 (a zero); only
+    // the max rank reaches the lone non-zero.
+    EXPECT_DOUBLE_EQ(sketch.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(sketch.percentile(100), 4.0);
+}
+
+TEST(BoundedTimeWeighted, MatchesExactIntegralOnBucketEdges)
+{
+    // A step signal whose change points land on bucket edges integrates
+    // exactly in both accumulators.
+    TimeWeightedStat exact(0.0);
+    BoundedTimeWeighted bounded(0.0, 1_h);
+    const auto t0 = TimePoint::origin();
+    for (int h = 0; h < 12; ++h) {
+        const double v = double(h % 4);
+        exact.set(t0 + Duration::hours(h), v);
+        bounded.set(t0 + Duration::hours(h), v);
+    }
+    const auto end = t0 + Duration::hours(12);
+    EXPECT_DOUBLE_EQ(bounded.average_to(end), exact.average(t0, end));
+}
+
+TEST(BoundedTimeWeighted, MarkSnapshotsArrivalWindow)
+{
+    BoundedTimeWeighted stat(0.0, 1_h);
+    const auto t0 = TimePoint::origin();
+    EXPECT_DOUBLE_EQ(stat.average_to_mark(), 0.0); // before any mark
+    stat.set(t0, 2.0);
+    stat.mark(t0 + 4_h);
+    // Signal keeps changing after the mark; the window average must not.
+    stat.set(t0 + 6_h, 100.0);
+    EXPECT_DOUBLE_EQ(stat.average_to_mark(), 2.0);
+    EXPECT_EQ(stat.mark_time(), t0 + 4_h);
+    // A later mark supersedes the earlier one.
+    stat.mark(t0 + 8_h);
+    EXPECT_DOUBLE_EQ(stat.average_to_mark(), (2.0 * 6 + 100.0 * 2) / 8);
+}
+
 TEST(Fairness, JainExtremes)
 {
     EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);

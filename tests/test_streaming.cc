@@ -1,0 +1,439 @@
+/**
+ * @file
+ * The million-job streaming regime: batched event-heap inserts,
+ * simulator storage recycling, pull-based workload streams, streaming
+ * metrics retention, and — the keystone — digest identity between the
+ * streaming and materialized pipelines.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scenario.h"
+#include "driver/digest.h"
+#include "sim/simulator.h"
+#include "workload/stream.h"
+#include "workload/trace_io.h"
+
+namespace tacc {
+namespace {
+
+using namespace time_literals;
+using sim::BatchEvent;
+using sim::Simulator;
+
+// ---------------------------------------------------------------------
+// Batched heap inserts
+
+/**
+ * Property: for any prefix of serial pushes plus any burst sizes and
+ * times, schedule_batch produces the exact pop order serial schedule_at
+ * calls would — including empty and single-element bursts and bursts
+ * colliding with existing instants (ties break on sequence numbers,
+ * which the batch assigns in order).
+ */
+TEST(ScheduleBatch, PopOrderMatchesSerialPushesProperty)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        Simulator serial;
+        Simulator batched;
+        std::vector<int> serial_order;
+        std::vector<int> batched_order;
+
+        int tag = 0;
+        const int rounds = int(rng.uniform_int(1, 6));
+        for (int round = 0; round < rounds; ++round) {
+            // A few serial pushes first, so bursts land in a heap with
+            // arbitrary existing structure.
+            const int pre = int(rng.uniform_int(0, 8));
+            for (int i = 0; i < pre; ++i) {
+                const auto t =
+                    TimePoint::origin() +
+                    Duration::seconds(double(rng.uniform_int(0, 20)));
+                const int id = tag++;
+                serial.schedule_at(t, "s", [&serial_order, id] {
+                    serial_order.push_back(id);
+                });
+                batched.schedule_at(t, "s", [&batched_order, id] {
+                    batched_order.push_back(id);
+                });
+            }
+            // Burst sizes cross the sift-up/Floyd-rebuild threshold
+            // (k <= old/4+1 sifts, larger bursts rebuild): 0, 1, and
+            // up to 64 entries against heaps of ~tens.
+            const int k = int(rng.uniform_int(0, 64));
+            std::vector<BatchEvent> batch;
+            for (int i = 0; i < k; ++i) {
+                const auto t =
+                    TimePoint::origin() +
+                    Duration::seconds(double(rng.uniform_int(0, 20)));
+                const int id = tag++;
+                serial.schedule_at(t, "b", [&serial_order, id] {
+                    serial_order.push_back(id);
+                });
+                batch.push_back(BatchEvent{
+                    t, "b", [&batched_order, id] {
+                        batched_order.push_back(id);
+                    }});
+            }
+            batched.schedule_batch(batch);
+        }
+        serial.run();
+        batched.run();
+        ASSERT_EQ(serial_order, batched_order) << "trial " << trial;
+    }
+}
+
+TEST(ScheduleBatch, EmptyBurstIsANoOp)
+{
+    Simulator sim;
+    std::vector<BatchEvent> batch;
+    sim.schedule_batch(batch);
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(ScheduleBatch, SingleEventBurst)
+{
+    Simulator sim;
+    bool fired = false;
+    std::vector<BatchEvent> batch;
+    batch.push_back(BatchEvent{TimePoint::origin() + 5_s, "one",
+                               [&] { fired = true; }});
+    sim.schedule_batch(batch);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 5_s);
+}
+
+TEST(ScheduleBatch, SameInstantTiesFireInBatchOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    std::vector<BatchEvent> batch;
+    for (int i = 0; i < 16; ++i) {
+        batch.push_back(BatchEvent{TimePoint::origin() + 1_s, "tie",
+                                   [&order, i] { order.push_back(i); }});
+    }
+    sim.schedule_batch(batch);
+    sim.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 16; ++i)
+        expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ScheduleBatch, BatchFromInsideEventInterleavesWithSerial)
+{
+    // A batch scheduled while an event runs (the window-refill shape):
+    // its entries must interleave with serially scheduled events purely
+    // by (time, seq).
+    Simulator sim;
+    std::vector<std::string> order;
+    sim.schedule_after(10_s, "later",
+                       [&] { order.push_back("later"); });
+    sim.schedule_after(2_s, "refill", [&] {
+        std::vector<BatchEvent> batch;
+        batch.push_back(BatchEvent{sim.now() + 3_s, "w1",
+                                   [&] { order.push_back("w1"); }});
+        batch.push_back(BatchEvent{sim.now() + 8_s, "w2",
+                                   [&] { order.push_back("w2"); }});
+        sim.schedule_batch(batch);
+    });
+    sim.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"w1", "later", "w2"}));
+}
+
+// ---------------------------------------------------------------------
+// Simulator reset and storage recycling
+
+TEST(SimulatorReset, ReturnsToPristineStateAndKillsStaleIds)
+{
+    Simulator sim;
+    int fired = 0;
+    const auto id = sim.schedule_after(5_s, "a", [&] { ++fired; });
+    sim.schedule_after(1_s, "b", [&] { ++fired; });
+    sim.run_until(TimePoint::origin() + 2_s);
+    EXPECT_EQ(fired, 1);
+
+    sim.reset();
+    EXPECT_EQ(sim.now(), TimePoint::origin());
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.processed(), 0u);
+    EXPECT_FALSE(sim.cancel(id)); // stale id from before the reset
+    sim.run();
+    EXPECT_EQ(fired, 1); // the pending event did not survive
+
+    // The engine is fully usable after reset.
+    sim.schedule_after(3_s, "c", [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + 3_s);
+}
+
+TEST(SimulatorStorage, AdoptedStorageReplaysIdenticalEventOrder)
+{
+    // Run a workload on a fresh engine, recycle its storage into a new
+    // engine, run the same workload: the fire order must be identical
+    // (slot handout order is normalized by the descending free list).
+    auto run_workload = [](Simulator &sim) {
+        std::vector<int> order;
+        for (int i = 0; i < 40; ++i) {
+            sim.schedule_after(Duration::seconds(double((i * 7) % 13)),
+                               "w", [&order, i] { order.push_back(i); });
+        }
+        sim.run();
+        return order;
+    };
+
+    Simulator first;
+    const auto expect = run_workload(first);
+
+    Simulator second;
+    second.adopt_storage(first.release_storage());
+    EXPECT_EQ(second.pending(), 0u);
+    const auto got = run_workload(second);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(SimulatorStorage, ReleaseDestroysPendingCallbacks)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    Simulator sim;
+    sim.schedule_after(5_s, "hold", [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired()); // the pending event holds it
+    (void)sim.release_storage();
+    EXPECT_TRUE(watch.expired()); // release dropped the capture
+}
+
+// ---------------------------------------------------------------------
+// Workload streams
+
+workload::TraceConfig
+small_trace(int jobs, uint64_t seed)
+{
+    workload::TraceConfig trace;
+    trace.num_jobs = jobs;
+    trace.seed = seed;
+    trace.mean_interarrival_s = 40.0;
+    return trace;
+}
+
+TEST(WorkloadStream, SyntheticStreamMatchesGeneratedTrace)
+{
+    const auto config = small_trace(300, 11);
+    workload::TraceGenerator gen(config);
+    const auto trace = gen.generate();
+
+    workload::SyntheticWorkloadStream stream(config);
+    EXPECT_EQ(stream.size_hint(), 300u);
+    std::vector<workload::SubmittedTask> pulled;
+    // Ragged window sizes; the final short pull signals exhaustion.
+    while (stream.pull(pulled, 64) == 64) {
+    }
+    ASSERT_EQ(pulled.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(pulled[i].arrival, trace[i].arrival);
+        EXPECT_EQ(pulled[i].spec.name, trace[i].spec.name);
+        EXPECT_EQ(pulled[i].spec.gpus, trace[i].spec.gpus);
+    }
+
+    // rewind reproduces the identical sequence.
+    stream.rewind();
+    std::vector<workload::SubmittedTask> again;
+    stream.pull(again, trace.size());
+    ASSERT_EQ(again.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(again[i].arrival, trace[i].arrival);
+}
+
+TEST(WorkloadStream, FileTraceStreamRoundTrips)
+{
+    workload::TraceGenerator gen(small_trace(120, 5));
+    const auto trace = gen.generate();
+    const std::string path =
+        testing::TempDir() + "/t17_stream_trace.csv";
+    ASSERT_TRUE(workload::write_trace_file(path, trace).is_ok());
+
+    workload::FileTraceStream stream(path);
+    ASSERT_TRUE(stream.status().is_ok());
+    std::vector<workload::SubmittedTask> pulled;
+    while (stream.pull(pulled, 17) == 17) {
+    }
+    ASSERT_TRUE(stream.status().is_ok());
+    ASSERT_EQ(pulled.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(pulled[i].arrival, trace[i].arrival);
+        EXPECT_EQ(pulled[i].spec.user, trace[i].spec.user);
+        EXPECT_EQ(pulled[i].spec.iterations, trace[i].spec.iterations);
+    }
+
+    stream.rewind();
+    std::vector<workload::SubmittedTask> first;
+    EXPECT_EQ(stream.pull(first, 1), 1u);
+    EXPECT_EQ(first.at(0).arrival, trace.front().arrival);
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadStream, FileStreamSurfacesMalformedRows)
+{
+    const std::string path = testing::TempDir() + "/t17_bad_trace.csv";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(workload::trace_csv_header(), f);
+    std::fputs("\nnot,a,valid,row\n", f);
+    std::fclose(f);
+
+    workload::FileTraceStream stream(path);
+    ASSERT_TRUE(stream.status().is_ok()); // header is fine
+    std::vector<workload::SubmittedTask> pulled;
+    EXPECT_EQ(stream.pull(pulled, 8), 0u);
+    EXPECT_FALSE(stream.status().is_ok());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Streaming scenarios: digest identity and reclamation
+
+core::ScenarioConfig
+scenario(const std::string &scheduler, const std::string &placement,
+         uint64_t seed, bool streaming)
+{
+    core::ScenarioConfig config;
+    config.stack.cluster.topology.racks = 2;
+    config.stack.cluster.topology.nodes_per_rack = 4;
+    config.stack.cluster.node.gpu_count = 8;
+    config.stack.scheduler = scheduler;
+    config.stack.placement = placement;
+    config.stack.seed = seed;
+    config.stack.emit_monitor_logs = false;
+    config.trace = small_trace(150, seed);
+    config.streaming = streaming;
+    return config;
+}
+
+TEST(StreamingScenario, DigestMatchesMaterializedAcrossPolicies)
+{
+    for (const char *scheduler :
+         {"fairshare", "fifo-skip", "backfill-easy"}) {
+        for (uint64_t seed : {1u, 2u}) {
+            const auto mat = core::run_scenario(
+                scenario(scheduler, "topology", seed, false));
+            const auto str = core::run_scenario(
+                scenario(scheduler, "topology", seed, true));
+            EXPECT_FALSE(mat.streaming);
+            EXPECT_TRUE(str.streaming);
+            EXPECT_EQ(driver::scenario_digest(mat),
+                      driver::scenario_digest(str))
+                << scheduler << " seed " << seed;
+            // Integer aggregates agree exactly; the float sums agree
+            // bit-for-bit because both modes accumulate in record
+            // order.
+            EXPECT_EQ(mat.submitted, str.submitted);
+            EXPECT_EQ(mat.completed, str.completed);
+            EXPECT_EQ(mat.failed, str.failed);
+            EXPECT_EQ(mat.preemptions, str.preemptions);
+            EXPECT_EQ(mat.total_gpu_seconds, str.total_gpu_seconds);
+            EXPECT_EQ(mat.makespan_s, str.makespan_s);
+        }
+    }
+}
+
+TEST(StreamingScenario, DigestMatchesUnderFailureInjection)
+{
+    auto config = scenario("fairshare", "pack", 3, false);
+    config.stack.exec.failure.node_mtbf_hours = 40.0;
+    config.stack.exec.failure.persistent_prob = 0.05;
+    auto streaming_config = config;
+    streaming_config.streaming = true;
+
+    const auto mat = core::run_scenario(config);
+    const auto str = core::run_scenario(streaming_config);
+    EXPECT_GT(mat.segment_failures, 0u); // the axis is actually hot
+    EXPECT_EQ(mat.segment_failures, str.segment_failures);
+    EXPECT_EQ(driver::scenario_digest(mat),
+              driver::scenario_digest(str));
+}
+
+TEST(StreamingScenario, ArenaReuseKeepsDigestsIdentical)
+{
+    core::StackArena arena;
+    const auto fresh =
+        core::run_scenario(scenario("fairshare", "topology", 9, true));
+    // Prime the arena with a *different* scenario, then re-run the
+    // reference one on the recycled storage.
+    (void)core::run_scenario(scenario("fifo-skip", "pack", 4, true),
+                             &arena);
+    const auto recycled = core::run_scenario(
+        scenario("fairshare", "topology", 9, true), &arena);
+    EXPECT_EQ(driver::scenario_digest(fresh),
+              driver::scenario_digest(recycled));
+    EXPECT_EQ(fresh.completed, recycled.completed);
+
+    // Materialized runs accept an arena too.
+    const auto mat = core::run_scenario(
+        scenario("fairshare", "topology", 9, false), &arena);
+    EXPECT_EQ(driver::scenario_digest(mat),
+              driver::scenario_digest(fresh));
+}
+
+TEST(StreamingScenario, SketchStatsTrackExactOnes)
+{
+    const auto mat =
+        core::run_scenario(scenario("fairshare", "topology", 1, false));
+    const auto str =
+        core::run_scenario(scenario("fairshare", "topology", 1, true));
+    // Means are exact (RunningStats inside the sketch); percentiles are
+    // log-bucketed with ~6.3% worst-case relative error.
+    EXPECT_NEAR(str.mean_jct_s, mat.mean_jct_s, 1e-9);
+    EXPECT_NEAR(str.mean_wait_s, mat.mean_wait_s, 1e-9);
+    // Bucket quantization plus closest-rank discretization: allow the
+    // sketch ~one octave sub-bucket (2^(1/8) ~ 9%) plus rank slack.
+    if (mat.p99_jct_s > 0) {
+        EXPECT_NEAR(str.p99_jct_s, mat.p99_jct_s,
+                    0.15 * mat.p99_jct_s);
+    }
+    if (mat.p50_jct_s > 0) {
+        EXPECT_NEAR(str.p50_jct_s, mat.p50_jct_s,
+                    0.15 * mat.p50_jct_s);
+    }
+    EXPECT_NEAR(str.mean_utilization, mat.mean_utilization, 1e-6);
+    EXPECT_TRUE(str.records.empty());
+    EXPECT_FALSE(mat.records.empty());
+}
+
+TEST(StreamingStack, ReclaimsTerminalJobs)
+{
+    core::StackConfig config;
+    config.cluster.topology.racks = 2;
+    config.cluster.topology.nodes_per_rack = 4;
+    config.cluster.node.gpu_count = 8;
+    config.emit_monitor_logs = false;
+    config.streaming = true;
+    core::TaccStack stack(config);
+
+    workload::SyntheticWorkloadStream stream(small_trace(200, 21));
+    stack.submit_stream(stream, 32);
+    ASSERT_TRUE(stack.run_to_completion());
+
+    EXPECT_EQ(stack.total_submitted(), 200u);
+    const auto &metrics = stack.metrics();
+    EXPECT_EQ(metrics.completed_count() + metrics.failed_count(), 200u);
+    // Terminal jobs were erased as they finished; only live jobs (none,
+    // here) may remain, and no per-job records were retained.
+    for (const auto *job : stack.jobs())
+        EXPECT_FALSE(job->terminal());
+    EXPECT_TRUE(stack.jobs().empty());
+    EXPECT_TRUE(metrics.records().empty());
+}
+
+} // namespace
+} // namespace tacc

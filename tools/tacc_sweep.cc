@@ -20,6 +20,10 @@
  *     --update-goldens   rewrite the golden file from this run
  *     --list             dry run: print the expanded grid (a summary
  *                        line plus one scenario name per line) and exit
+ *     --streaming        force streaming (million-job) retention for
+ *                        every run, overriding the spec; digests are
+ *                        identical to materialized runs, so the same
+ *                        golden files apply
  *     --quiet            suppress the per-run table
  *
  * Golden workflow: after an intentional behaviour change, run
@@ -49,6 +53,7 @@ struct Options {
     bool check_goldens = false;
     bool update_goldens = false;
     bool list_only = false;
+    bool streaming = false;
     bool quiet = false;
 };
 
@@ -59,7 +64,7 @@ usage(const char *argv0)
                  "usage: %s [--spec FILE] [--jobs N] [--out FILE] "
                  "[--digests FILE]\n"
                  "       [--goldens FILE] [--check-goldens] "
-                 "[--update-goldens] [--list] [--quiet]\n",
+                 "[--update-goldens] [--list] [--streaming] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -138,6 +143,8 @@ main(int argc, char **argv)
             opt.update_goldens = true;
         } else if (arg == "--list") {
             opt.list_only = true;
+        } else if (arg == "--streaming") {
+            opt.streaming = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else {
@@ -151,6 +158,8 @@ main(int argc, char **argv)
                      spec.status().str().c_str());
         return 2;
     }
+    if (opt.streaming)
+        spec.value().base.streaming = true;
 
     if (opt.list_only) {
         const auto scenarios = driver::expand_sweep(spec.value());
