@@ -1,0 +1,197 @@
+/**
+ * @file
+ * T18 — Search-based policy auto-tuning.
+ *
+ * Runs the tacc_tune pipeline end to end on two opposed workload
+ * regimes — batch-training-heavy and serving-under-faults — and shows
+ * the tuned scheduler parameters beating the shipped defaults on the
+ * scalarized objective (weighted JCT + fairness + SLO misses) in both.
+ * Hard checks, each exiting non-zero on violation:
+ *
+ *  1. improvement: on every mix the winner's objective is strictly
+ *     below the default's (SA chain 0 anchors at the defaults, so the
+ *     winner can never be worse; strictly better means the search
+ *     actually found something);
+ *  2. reproducibility: the same (spec, seed, budget) run twice
+ *     produces byte-identical trajectory JSON and preset text;
+ *  3. worker independence: 1 worker vs 8 workers produce byte-identical
+ *     trajectory JSON — every eval digest, acceptance flag, and the
+ *     winner included.
+ *
+ * TACC_BENCH_JOBS caps the trace length (CI smoke). --json FILE writes
+ * the key metrics as a machine-readable artifact.
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "tune/tuner.h"
+
+using namespace tacc;
+
+namespace {
+
+struct MixOutcome {
+    std::string mix;
+    tune::TuneResult result;
+    bool improved = false;
+    bool reproducible = false;
+    bool worker_independent = false;
+};
+
+tune::TuneSpec
+make_spec(const std::string &mix, int jobs)
+{
+    tune::TuneSpec spec;
+    spec.base.stack = bench::default_stack();
+    spec.base.stack.emit_monitor_logs = false;
+    // A quarter of the reference deployment (64 GPUs): queue pressure
+    // is what gives the knobs leverage; on the idle 256-GPU campus
+    // every policy looks alike.
+    spec.base.stack.cluster.topology.racks = 2;
+    spec.base.stack.cluster.topology.nodes_per_rack = 4;
+    spec.base.trace = bench::default_trace(jobs, 42);
+    spec.base.trace.mean_interarrival_s = 90.0;
+    spec.base.trace.frac_deadline = 0.1;
+    // The priority weights + queue-policy knobs; DVFS dims stay out
+    // because this deployment runs uncapped.
+    auto space = tune::ParamSpace::subset(
+        {"w_age", "w_fairshare", "w_qos", "w_size", "backfill_depth",
+         "las_threshold_gpu_s", "preempt_cost_gpu_s"});
+    spec.space = std::move(space).value();
+    spec.optimizer = "sa";
+    spec.search.seed = 11;
+    spec.search.chains = 6;
+    spec.budget = 40;
+    spec.mixes = {mix};
+    // Eval seed 2 drives the congested replica of each mix — the regime
+    // with enough queue pressure for the knobs to matter.
+    spec.eval_seeds = {2};
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json_path = argv[i + 1];
+    }
+
+    const int jobs = bench::capped_jobs(80);
+    std::printf("T18: policy auto-tuning — %d jobs on 64 GPUs, "
+                "sa budget 40, 6 chains, seed 11\n",
+                jobs);
+
+    bool ok = true;
+    std::vector<MixOutcome> outcomes;
+    for (const std::string mix : {"train-heavy", "infer-fault"}) {
+        const tune::TuneSpec spec = make_spec(mix, jobs);
+
+        auto first = tune::run_tune(spec, 8);
+        if (!first.is_ok()) {
+            std::printf("VIOLATION: %s tune failed: %s\n", mix.c_str(),
+                        first.status().str().c_str());
+            return 1;
+        }
+        MixOutcome out;
+        out.mix = mix;
+        out.result = std::move(first).value();
+        out.improved =
+            out.result.best_objective < out.result.default_objective;
+
+        // Check 2: same spec, same seed, run again — byte-identical
+        // trajectory and preset.
+        auto again = tune::run_tune(spec, 8);
+        out.reproducible =
+            again.is_ok() &&
+            tune::trajectory_to_json(spec, again.value()) ==
+                tune::trajectory_to_json(spec, out.result) &&
+            tune::best_config_text(spec, again.value()) ==
+                tune::best_config_text(spec, out.result);
+
+        // Check 3: a single worker must retrace the identical search.
+        auto serial = tune::run_tune(spec, 1);
+        out.worker_independent =
+            serial.is_ok() &&
+            tune::trajectory_to_json(spec, serial.value()) ==
+                tune::trajectory_to_json(spec, out.result);
+
+        ok = ok && out.improved && out.reproducible &&
+             out.worker_independent;
+        outcomes.push_back(std::move(out));
+    }
+
+    TextTable table("T18: tuned vs default scheduler parameters");
+    table.set_header({"mix", "default-obj", "tuned-obj", "gain",
+                      "best-step", "sims", "cached", "repro",
+                      "jobs1==jobs8"});
+    for (const auto &out : outcomes) {
+        const auto &r = out.result;
+        const double gain =
+            r.default_objective > 0
+                ? (r.default_objective - r.best_objective) /
+                      r.default_objective * 100.0
+                : 0.0;
+        table.add_row({out.mix, TextTable::fixed(r.default_objective, 4),
+                       TextTable::fixed(r.best_objective, 4),
+                       TextTable::fixed(gain, 2) + "%",
+                       std::to_string(r.best_step),
+                       std::to_string(r.scenario_runs),
+                       std::to_string(r.cache_hits),
+                       out.reproducible ? "yes" : "DRIFT",
+                       out.worker_independent ? "yes" : "DRIFT"});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("expectation: strict objective improvement on both "
+                "mixes; identical trajectories across repeats and "
+                "worker counts\n");
+
+    for (const auto &out : outcomes) {
+        if (!out.improved) {
+            std::printf("VIOLATION: %s tuned objective %.6f did not "
+                        "beat default %.6f\n",
+                        out.mix.c_str(), out.result.best_objective,
+                        out.result.default_objective);
+        }
+        if (!out.reproducible)
+            std::printf("VIOLATION: %s re-run drifted\n",
+                        out.mix.c_str());
+        if (!out.worker_independent) {
+            std::printf("VIOLATION: %s trajectory differs at 1 vs 8 "
+                        "workers\n",
+                        out.mix.c_str());
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << "{\n";
+        for (const auto &o : outcomes) {
+            const auto &r = o.result;
+            const tune::TuneSpec spec = make_spec(o.mix, jobs);
+            out << "  \"" << o.mix << "\": {"
+                << "\"default_objective\": " << r.default_objective
+                << ", \"best_objective\": " << r.best_objective
+                << ", \"best_step\": " << r.best_step
+                << ", \"scenario_runs\": " << r.scenario_runs
+                << ", \"cache_hits\": " << r.cache_hits
+                << ", \"improved\": " << (o.improved ? "true" : "false")
+                << ", \"reproducible\": "
+                << (o.reproducible ? "true" : "false")
+                << ", \"worker_independent\": "
+                << (o.worker_independent ? "true" : "false")
+                << ", \"best\": \""
+                << spec.space.describe(r.best_values) << "\"},\n";
+        }
+        out << "  \"jobs\": " << jobs << ",\n";
+        out << "  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+    }
+    return ok ? 0 : 1;
+}

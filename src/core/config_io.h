@@ -17,6 +17,9 @@
  *   rack_override: 2,V100,125,32,4  rack,model,tflops,mem_gb,gpus
  *   oversubscription / nic_gbps / nvlink_gbps: numbers
  *   scheduler / placement: factory names
+ *   w_age / w_fairshare / w_qos / w_size: multifactor priority weights
+ *   backfill_depth: queued jobs examined per backfill pass (0 = all)
+ *   gang_quantum_s / las_threshold_gpu_s / preempt_cost_gpu_s: numbers
  *   usage_half_life_h: hours
  *   quota: group,max_gpus           (repeatable)
  *   default_quota: int              (<0 unlimited)
@@ -35,7 +38,13 @@
 
 namespace tacc::core {
 
-/** Parses the deployment dialect; unknown keys are errors. */
+/**
+ * Parses the deployment dialect. Unknown keys and out-of-range values
+ * are hard errors, and every diagnostic is prefixed with the offending
+ * line number ("line 7: unknown key: ...") — checked-in presets that
+ * rot fail loudly at load time instead of silently reverting knobs to
+ * defaults.
+ */
 StatusOr<StackConfig> parse_stack_config(const std::string &text);
 
 /** Renders a config back to the dialect (stable key order). */

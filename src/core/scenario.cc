@@ -71,6 +71,21 @@ extract_common(const ScenarioConfig &config, TaccStack &stack,
 
 } // namespace
 
+ObjectiveInputs
+ScenarioResult::objective_inputs() const
+{
+    ObjectiveInputs in;
+    in.mean_jct_s = mean_jct_s;
+    in.p99_jct_s = p99_jct_s;
+    in.mean_wait_s = mean_wait_s;
+    in.p99_wait_s = p99_wait_s;
+    in.fairness = group_fairness;
+    in.energy_kwh = energy_kwh;
+    in.slo_miss_rate = deadline_miss_rate;
+    in.utilization = arrival_window_utilization;
+    return in;
+}
+
 ScenarioResult
 run_scenario(const ScenarioConfig &config)
 {

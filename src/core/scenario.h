@@ -37,6 +37,28 @@ struct ScenarioConfig {
     size_t stream_window = 4096;
 };
 
+/**
+ * The per-scenario summary terms every scalarized comparison consumes:
+ * the tuner's objective, the sweep JSON, and the report tables all read
+ * this one fold instead of re-deriving the numbers from raw samples.
+ * All terms are "raw" (seconds, kWh, rates); weighting and
+ * normalization are the consumer's business.
+ */
+struct ObjectiveInputs {
+    double mean_jct_s = 0;
+    double p99_jct_s = 0;
+    double mean_wait_s = 0;
+    double p99_wait_s = 0;
+    /** Jain fairness index over group GPU-hour shares, in (0, 1]. */
+    double fairness = 1.0;
+    /** Integrated cluster energy (0 when power metering is off). */
+    double energy_kwh = 0;
+    /** Deadline-carrying jobs that missed, as a fraction (SLO misses). */
+    double slo_miss_rate = 0;
+    /** Arrival-window utilization (drain tails excluded). */
+    double utilization = 0;
+};
+
 /** Summary of one scenario run. */
 struct ScenarioResult {
     std::string scheduler;
@@ -110,6 +132,9 @@ struct ScenarioResult {
      * so the full record set rides along with the aggregates.
      */
     std::vector<JobRecord> records;
+
+    /** The objective-relevant summary terms (see ObjectiveInputs). */
+    ObjectiveInputs objective_inputs() const;
 
     /** Raw samples for CDF figures. */
     Samples jct_samples;

@@ -133,17 +133,22 @@ summary_to_json(const SweepSummary &summary)
         out << "      \"failed\": " << r.failed << ",\n";
         out << "      \"never_finished\": " << r.never_finished << ",\n";
         out << "      \"preemptions\": " << r.preemptions << ",\n";
-        out << strfmt("      \"mean_jct_s\": %.6f,\n", r.mean_jct_s);
-        out << strfmt("      \"p99_jct_s\": %.6f,\n", r.p99_jct_s);
-        out << strfmt("      \"mean_wait_s\": %.6f,\n", r.mean_wait_s);
-        out << strfmt("      \"p99_wait_s\": %.6f,\n", r.p99_wait_s);
+        // The objective-relevant block comes from the same fold the
+        // auto-tuner scalarizes, so the JSON and the tuner can never
+        // disagree on what "mean JCT" or "fairness" meant for a run.
+        const core::ObjectiveInputs obj = r.objective_inputs();
+        out << strfmt("      \"mean_jct_s\": %.6f,\n", obj.mean_jct_s);
+        out << strfmt("      \"p99_jct_s\": %.6f,\n", obj.p99_jct_s);
+        out << strfmt("      \"mean_wait_s\": %.6f,\n", obj.mean_wait_s);
+        out << strfmt("      \"p99_wait_s\": %.6f,\n", obj.p99_wait_s);
         out << strfmt("      \"mean_slowdown\": %.6f,\n",
                       r.mean_slowdown);
-        out << strfmt("      \"utilization\": %.6f,\n",
-                      r.arrival_window_utilization);
-        out << strfmt("      \"fairness\": %.6f,\n", r.group_fairness);
+        out << strfmt("      \"utilization\": %.6f,\n", obj.utilization);
+        out << strfmt("      \"fairness\": %.6f,\n", obj.fairness);
+        out << strfmt("      \"slo_miss_rate\": %.6f,\n",
+                      obj.slo_miss_rate);
         out << strfmt("      \"peak_draw_w\": %.3f,\n", r.peak_draw_w);
-        out << strfmt("      \"energy_kwh\": %.6f,\n", r.energy_kwh);
+        out << strfmt("      \"energy_kwh\": %.6f,\n", obj.energy_kwh);
         out << strfmt("      \"makespan_s\": %.3f\n", r.makespan_s);
         out << (i + 1 < summary.runs.size() ? "    },\n" : "    }\n");
     }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "core/config_io.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
 
@@ -203,7 +204,7 @@ expand_sweep(const SweepSpec &spec)
 }
 
 StatusOr<SweepSpec>
-parse_sweep_spec(const std::string &text)
+parse_sweep_spec(const std::string &text, const std::string &spec_dir)
 {
     SweepSpec spec;
     // Sweeps never want per-node monitor log lines.
@@ -238,7 +239,27 @@ parse_sweep_spec(const std::string &text)
             return Status::ok();
         };
 
-        if (key == "schedulers") {
+        if (key == "preset") {
+            // A deployment-dialect file (e.g. a tacc_tune winner)
+            // becomes the base stack; keys after this line and the
+            // axes still override it.
+            std::string path = value;
+            if (!spec_dir.empty() && !path.empty() && path[0] != '/')
+                path = spec_dir + "/" + path;
+            std::ifstream preset(path);
+            if (!preset) {
+                return Status::not_found("cannot read preset: " + path);
+            }
+            std::ostringstream preset_text;
+            preset_text << preset.rdbuf();
+            auto stack = core::parse_stack_config(preset_text.str());
+            if (!stack.is_ok()) {
+                return Status::invalid_argument(
+                    "preset " + path + ": " + stack.status().message());
+            }
+            spec.base.stack = std::move(stack).value();
+            spec.base.stack.emit_monitor_logs = false;
+        } else if (key == "schedulers") {
             auto list = parse_list(key, value);
             if (!list.is_ok())
                 return list.status();
@@ -424,7 +445,10 @@ load_sweep_spec(const std::string &path)
         return Status::not_found("cannot read sweep spec: " + path);
     std::ostringstream text;
     text << in.rdbuf();
-    return parse_sweep_spec(text.str());
+    const size_t slash = path.rfind('/');
+    return parse_sweep_spec(text.str(), slash == std::string::npos
+                                            ? ""
+                                            : path.substr(0, slash));
 }
 
 } // namespace tacc::driver

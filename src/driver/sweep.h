@@ -42,6 +42,11 @@
  *   max_events: 100000000
  *   streaming: false         million-job retention (see ScenarioConfig)
  *   stream_window: 4096      arrival lookahead in streaming mode
+ *   preset: FILE             start base.stack from a deployment-dialect
+ *                            preset (e.g. a tacc_tune winner); later
+ *                            keys and the axes still override it.
+ *                            Relative paths resolve against the spec
+ *                            file's directory.
  *
  * Unknown keys are errors (same contract as the deployment dialect).
  */
@@ -151,8 +156,11 @@ Status apply_power_mode(double cap_w, const std::string &policy,
 /** Expands the grid into runnable scenarios in canonical order. */
 std::vector<SweepScenario> expand_sweep(const SweepSpec &spec);
 
-/** Parses the spec dialect; axes and scheduler names are validated. */
-StatusOr<SweepSpec> parse_sweep_spec(const std::string &text);
+/** Parses the spec dialect; axes and scheduler names are validated.
+ *  @param spec_dir directory relative `preset:` paths resolve against
+ *         ("" = the working directory). */
+StatusOr<SweepSpec> parse_sweep_spec(const std::string &text,
+                                     const std::string &spec_dir = "");
 
 /** Reads and parses a spec file. */
 StatusOr<SweepSpec> load_sweep_spec(const std::string &path);

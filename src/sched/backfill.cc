@@ -33,7 +33,12 @@ BackfillScheduler::schedule(const SchedulerContext &ctx)
     }
 
     bool reserved_head = false;
+    int examined = 0;
     for (workload::Job *job : detail::pending_by_arrival(ctx)) {
+        // Bounded scan (Slurm bf_max_job_test): deep queues stop
+        // contributing backfill candidates past the configured depth.
+        if (depth_ > 0 && ++examined > depth_)
+            break;
         const int gpus = job->spec().gpus;
         const Duration bound =
             detail::runtime_bound(ctx, *job, use_estimates_);

@@ -16,20 +16,26 @@ make_scheduler(const std::string &name, const SchedulerOptions &opts)
     if (name == "fairshare")
         return std::make_unique<FairShareScheduler>(opts);
     if (name == "backfill-easy")
-        return std::make_unique<BackfillScheduler>(false);
+        return std::make_unique<BackfillScheduler>(false, false,
+                                                   opts.backfill_depth);
     if (name == "backfill-cons")
-        return std::make_unique<BackfillScheduler>(true);
+        return std::make_unique<BackfillScheduler>(true, false,
+                                                   opts.backfill_depth);
     if (name == "backfill-pred")
-        return std::make_unique<BackfillScheduler>(false, true);
+        return std::make_unique<BackfillScheduler>(false, true,
+                                                   opts.backfill_depth);
     if (name == "backfill-cons-pred")
-        return std::make_unique<BackfillScheduler>(true, true);
+        return std::make_unique<BackfillScheduler>(true, true,
+                                                   opts.backfill_depth);
     if (name == "qos-preempt")
-        return std::make_unique<QosPreemptScheduler>(true);
+        return std::make_unique<QosPreemptScheduler>(
+            true, opts.preempt_cost_threshold_gpu_s);
     if (name == "qos-nopreempt")
         return std::make_unique<QosPreemptScheduler>(false);
     if (name == "las")
         return std::make_unique<LasScheduler>(
-            opts.las_queue_threshold_gpu_s);
+            opts.las_queue_threshold_gpu_s,
+            opts.preempt_cost_threshold_gpu_s);
     if (name == "gang")
         return std::make_unique<GangScheduler>(opts.gang_quantum);
     if (name == "drf")

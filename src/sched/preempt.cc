@@ -25,6 +25,19 @@ qos_tier(const workload::Job &job)
 }
 
 /**
+ * Work destroyed by preempting `r` now: GPUs held times the age of the
+ * current segment. (Checkpointing bounds the real loss, but the
+ * threshold is a policy ceiling, so the conservative estimate is the
+ * right one to gate on.)
+ */
+double
+preemption_loss_gpu_s(const RunningInfo &r, TimePoint now)
+{
+    const double age_s = (now - r.job->segment_start()).to_seconds();
+    return double(r.job->running_gpus()) * (age_s > 0 ? age_s : 0.0);
+}
+
+/**
  * Tries to start `job` by preempting candidates (in the given order) until
  * a placement plan succeeds. On success the chosen victims and the start
  * are appended to `out` and the view/held bookkeeping reflects them; on
@@ -89,7 +102,10 @@ QosPreemptScheduler::schedule(const SchedulerContext &ctx)
         std::vector<const RunningInfo *> candidates;
         for (const auto &r : ctx.running) {
             if (qos_tier(*r.job) < qos_tier(*job) &&
-                r.job->spec().preemptible) {
+                r.job->spec().preemptible &&
+                (cost_threshold_gpu_s_ <= 0 ||
+                 preemption_loss_gpu_s(r, ctx.now) <=
+                     cost_threshold_gpu_s_)) {
                 candidates.push_back(&r);
             }
         }
@@ -137,7 +153,10 @@ LasScheduler::schedule(const SchedulerContext &ctx)
         // jobs, most-attained first (classic LAS).
         std::vector<const RunningInfo *> candidates;
         for (const auto &r : ctx.running) {
-            if (queue_of(*r.job) == 1 && r.job->spec().preemptible)
+            if (queue_of(*r.job) == 1 && r.job->spec().preemptible &&
+                (cost_threshold_gpu_s_ <= 0 ||
+                 preemption_loss_gpu_s(r, ctx.now) <=
+                     cost_threshold_gpu_s_))
                 candidates.push_back(&r);
         }
         std::stable_sort(candidates.begin(), candidates.end(),

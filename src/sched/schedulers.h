@@ -41,6 +41,21 @@ struct SchedulerOptions {
     bool strict_fifo = true;
     /** Backfill: true = conservative (reservations for every queued job). */
     bool conservative_backfill = false;
+    /**
+     * Backfill: queued jobs examined per pass (Slurm bf_max_job_test).
+     * 0 = unlimited (the historical behaviour); small depths trade
+     * backfill opportunities for cheaper passes and less reservation
+     * churn. A prime auto-tuning dimension.
+     */
+    int backfill_depth = 0;
+    /**
+     * Preemption-cost ceiling: a running victim whose sunk work in the
+     * current segment (GPUs x segment age) exceeds this many
+     * GPU-seconds is never preempted. 0 = no ceiling (the historical
+     * behaviour). Applies to the preempting policies (qos-preempt,
+     * las).
+     */
+    double preempt_cost_threshold_gpu_s = 0;
     /** Gang scheduler time-slice quantum. */
     Duration gang_quantum = Duration::minutes(10);
     /** Elastic scheduler re-allocation period. */
@@ -117,9 +132,11 @@ class FairShareScheduler : public Scheduler
 class BackfillScheduler : public Scheduler
 {
   public:
+    /** @param depth queued jobs examined per pass; 0 = unlimited. */
     explicit BackfillScheduler(bool conservative = false,
-                               bool use_estimates = false)
-        : conservative_(conservative), use_estimates_(use_estimates)
+                               bool use_estimates = false, int depth = 0)
+        : conservative_(conservative), use_estimates_(use_estimates),
+          depth_(depth)
     {
     }
     std::string name() const override
@@ -133,15 +150,22 @@ class BackfillScheduler : public Scheduler
   private:
     bool conservative_;
     bool use_estimates_;
+    int depth_;
 };
 
 /** Strict QoS tiers with demand-driven preemption of lower tiers. */
 class QosPreemptScheduler : public Scheduler
 {
   public:
-    /** @param preemption_enabled false gives the no-preemption baseline. */
-    explicit QosPreemptScheduler(bool preemption_enabled = true)
-        : preemption_enabled_(preemption_enabled)
+    /**
+     * @param preemption_enabled false gives the no-preemption baseline.
+     * @param cost_threshold_gpu_s victims with more sunk GPU-seconds in
+     *        the current segment are spared; 0 = no ceiling.
+     */
+    explicit QosPreemptScheduler(bool preemption_enabled = true,
+                                 double cost_threshold_gpu_s = 0)
+        : preemption_enabled_(preemption_enabled),
+          cost_threshold_gpu_s_(cost_threshold_gpu_s)
     {
     }
     std::string name() const override
@@ -152,14 +176,17 @@ class QosPreemptScheduler : public Scheduler
 
   private:
     bool preemption_enabled_;
+    double cost_threshold_gpu_s_;
 };
 
 /** Least-attained-service (Tiresias-like) two-queue scheduler. */
 class LasScheduler : public Scheduler
 {
   public:
-    explicit LasScheduler(double queue_threshold_gpu_s = 3600.0)
-        : threshold_(queue_threshold_gpu_s)
+    explicit LasScheduler(double queue_threshold_gpu_s = 3600.0,
+                          double cost_threshold_gpu_s = 0)
+        : threshold_(queue_threshold_gpu_s),
+          cost_threshold_gpu_s_(cost_threshold_gpu_s)
     {
     }
     std::string name() const override { return "las"; }
@@ -168,6 +195,7 @@ class LasScheduler : public Scheduler
 
   private:
     double threshold_;
+    double cost_threshold_gpu_s_;
 };
 
 /** Cluster-wide round-robin gang time-slicing. */

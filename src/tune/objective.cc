@@ -1,0 +1,49 @@
+#include "tune/objective.h"
+
+#include "common/strings.h"
+
+namespace tacc::tune {
+
+Status
+validate_weights(const ObjectiveWeights &weights)
+{
+    if (weights.w_mean_jct < 0 || weights.w_p99_jct < 0 ||
+        weights.w_fairness < 0 || weights.w_energy < 0 ||
+        weights.w_slo < 0) {
+        return Status::invalid_argument("objective weights must be >= 0");
+    }
+    if (weights.jct_ref_s <= 0)
+        return Status::invalid_argument("jct_ref_s must be > 0");
+    if (weights.energy_ref_kwh <= 0)
+        return Status::invalid_argument("energy_ref_kwh must be > 0");
+    return Status::ok();
+}
+
+double
+scalarize(const core::ObjectiveInputs &inputs,
+          const ObjectiveWeights &weights)
+{
+    double obj = 0;
+    obj += weights.w_mean_jct * (inputs.mean_jct_s / weights.jct_ref_s);
+    obj += weights.w_p99_jct * (inputs.p99_jct_s / weights.jct_ref_s);
+    // Jain index is 1 for perfect fairness; the term is the shortfall.
+    double unfairness = 1.0 - inputs.fairness;
+    if (unfairness < 0)
+        unfairness = 0;
+    obj += weights.w_fairness * unfairness;
+    obj += weights.w_energy * (inputs.energy_kwh / weights.energy_ref_kwh);
+    obj += weights.w_slo * inputs.slo_miss_rate;
+    return obj;
+}
+
+std::string
+weights_to_text(const ObjectiveWeights &weights)
+{
+    return strfmt("w_mean_jct=%g w_p99_jct=%g w_fairness=%g w_energy=%g "
+                  "w_slo=%g jct_ref_s=%g energy_ref_kwh=%g",
+                  weights.w_mean_jct, weights.w_p99_jct,
+                  weights.w_fairness, weights.w_energy, weights.w_slo,
+                  weights.jct_ref_s, weights.energy_ref_kwh);
+}
+
+} // namespace tacc::tune

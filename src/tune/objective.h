@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Scalarized tuning objective over ScenarioResult::objective_inputs().
+ *
+ * The tuner minimizes a weighted sum of normalized service-quality and
+ * cost terms: mean and p99 JCT (in units of jct_ref_s), unfairness
+ * (1 - Jain index), energy (in units of energy_ref_kwh), and the SLO
+ * miss rate. Weights come from the tune spec; every term is
+ * non-negative and monotone in its raw input, so a candidate can only
+ * score better by actually improving at least one raw metric (the
+ * property tests pin the monotonicity).
+ */
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/scenario.h"
+
+namespace tacc::tune {
+
+/** Scalarization weights + normalization references (all >= 0). */
+struct ObjectiveWeights {
+    double w_mean_jct = 1.0;
+    double w_p99_jct = 0.5;
+    double w_fairness = 1.0; ///< applied to (1 - Jain index)
+    double w_energy = 0.0;   ///< kWh term; enable with power caps
+    double w_slo = 1.0;      ///< deadline-miss-rate term
+    /** JCT normalizer: one "unit" of JCT badness, seconds. */
+    double jct_ref_s = 3600.0;
+    /** Energy normalizer: one "unit" of energy, kWh. */
+    double energy_ref_kwh = 100.0;
+};
+
+/** Validates weight signs and reference positivity. */
+Status validate_weights(const ObjectiveWeights &weights);
+
+/** The scalar objective (lower is better). */
+double scalarize(const core::ObjectiveInputs &inputs,
+                 const ObjectiveWeights &weights);
+
+/** "w_mean_jct=1 w_p99_jct=0.5 ..." — spec echoing / trajectory header. */
+std::string weights_to_text(const ObjectiveWeights &weights);
+
+} // namespace tacc::tune

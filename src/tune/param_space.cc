@@ -1,0 +1,190 @@
+#include "tune/param_space.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace tacc::tune {
+
+namespace {
+
+using core::StackConfig;
+
+/** Captureless accessor shorthands (convert to plain function pointers). */
+const std::vector<ParamDim> &
+build_registry()
+{
+    static const std::vector<ParamDim> dims = {
+        {"w_age", 0.0, 1.0, false,
+         "multifactor priority: queue-age weight",
+         [](const StackConfig &c) { return c.sched_opts.w_age; },
+         [](StackConfig *c, double v) { c->sched_opts.w_age = v; }},
+        {"w_fairshare", 0.0, 1.0, false,
+         "multifactor priority: fair-share weight",
+         [](const StackConfig &c) { return c.sched_opts.w_fairshare; },
+         [](StackConfig *c, double v) { c->sched_opts.w_fairshare = v; }},
+        {"w_qos", 0.0, 1.0, false,
+         "multifactor priority: QoS-class weight",
+         [](const StackConfig &c) { return c.sched_opts.w_qos; },
+         [](StackConfig *c, double v) { c->sched_opts.w_qos = v; }},
+        {"w_size", 0.0, 1.0, false,
+         "multifactor priority: small-job weight",
+         [](const StackConfig &c) { return c.sched_opts.w_size; },
+         [](StackConfig *c, double v) { c->sched_opts.w_size = v; }},
+        {"backfill_depth", 0.0, 48.0, true,
+         "queued jobs examined per backfill pass (0 = all)",
+         [](const StackConfig &c) {
+             return double(c.sched_opts.backfill_depth);
+         },
+         [](StackConfig *c, double v) {
+             c->sched_opts.backfill_depth = int(std::lround(v));
+         }},
+        {"gang_quantum_s", 120.0, 3600.0, false,
+         "gang scheduler time-slice quantum, seconds",
+         [](const StackConfig &c) {
+             return c.sched_opts.gang_quantum.to_seconds();
+         },
+         [](StackConfig *c, double v) {
+             c->sched_opts.gang_quantum = Duration::from_seconds(v);
+         }},
+        {"las_threshold_gpu_s", 300.0, 14400.0, false,
+         "LAS high/low queue split, attained GPU-seconds",
+         [](const StackConfig &c) {
+             return c.sched_opts.las_queue_threshold_gpu_s;
+         },
+         [](StackConfig *c, double v) {
+             c->sched_opts.las_queue_threshold_gpu_s = v;
+         }},
+        {"preempt_cost_gpu_s", 0.0, 86400.0, false,
+         "sunk-work ceiling above which victims are spared (0 = off)",
+         [](const StackConfig &c) {
+             return c.sched_opts.preempt_cost_threshold_gpu_s;
+         },
+         [](StackConfig *c, double v) {
+             c->sched_opts.preempt_cost_threshold_gpu_s = v;
+         }},
+        {"dvfs_alpha", 1.5, 3.5, false,
+         "DVFS dynamic-power exponent (delta ~ clock^alpha)",
+         [](const StackConfig &c) { return c.power.dvfs_exponent; },
+         [](StackConfig *c, double v) { c->power.dvfs_exponent = v; }},
+        {"min_clock", 0.3, 0.95, false,
+         "DVFS floor clock multiplier; slower starts are deferred",
+         [](const StackConfig &c) { return c.power.min_clock; },
+         [](StackConfig *c, double v) { c->power.min_clock = v; }},
+    };
+    return dims;
+}
+
+} // namespace
+
+const std::vector<ParamDim> &
+ParamSpace::registry()
+{
+    return build_registry();
+}
+
+ParamSpace
+ParamSpace::all()
+{
+    ParamSpace space;
+    space.dims_ = registry();
+    return space;
+}
+
+StatusOr<ParamSpace>
+ParamSpace::subset(const std::vector<std::string> &names)
+{
+    ParamSpace space;
+    for (const std::string &name : names) {
+        bool found = false;
+        for (const ParamDim &dim : registry()) {
+            if (dim.name == name) {
+                space.dims_.push_back(dim);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return Status::invalid_argument("unknown tunable parameter: " + name);
+    }
+    if (space.dims_.empty())
+        return Status::invalid_argument("empty parameter list");
+    return space;
+}
+
+std::string
+ParamSpace::names_csv() const
+{
+    std::string out;
+    for (const ParamDim &dim : dims_) {
+        if (!out.empty())
+            out += ",";
+        out += dim.name;
+    }
+    return out;
+}
+
+std::vector<double>
+ParamSpace::extract(const core::StackConfig &config) const
+{
+    std::vector<double> values;
+    values.reserve(dims_.size());
+    for (const ParamDim &dim : dims_)
+        values.push_back(dim.get(config));
+    return values;
+}
+
+void
+ParamSpace::apply(const std::vector<double> &values,
+                  core::StackConfig *config) const
+{
+    for (size_t i = 0; i < dims_.size() && i < values.size(); ++i)
+        dims_[i].set(config, clamp_dim(i, values[i]));
+}
+
+double
+ParamSpace::clamp_dim(size_t i, double v) const
+{
+    const ParamDim &dim = dims_[i];
+    if (dim.integer)
+        v = std::lround(v);
+    if (v < dim.lo)
+        v = dim.lo;
+    if (v > dim.hi)
+        v = dim.hi;
+    return v;
+}
+
+std::vector<double>
+ParamSpace::clamp(std::vector<double> values) const
+{
+    for (size_t i = 0; i < dims_.size() && i < values.size(); ++i)
+        values[i] = clamp_dim(i, values[i]);
+    return values;
+}
+
+bool
+ParamSpace::in_bounds(const std::vector<double> &values) const
+{
+    if (values.size() != dims_.size())
+        return false;
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (values[i] != clamp_dim(i, values[i]))
+            return false;
+    }
+    return true;
+}
+
+std::string
+ParamSpace::describe(const std::vector<double> &values) const
+{
+    std::string out;
+    for (size_t i = 0; i < dims_.size() && i < values.size(); ++i) {
+        if (!out.empty())
+            out += " ";
+        out += dims_[i].name + "=" + strfmt("%g", values[i]);
+    }
+    return out;
+}
+
+} // namespace tacc::tune

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ParamSpace: the scheduler's free parameters as typed, bounded search
+ * dimensions.
+ *
+ * The registry names every policy knob the auto-tuner may move — the
+ * multifactor priority weights, backfill scan depth, gang quantum, the
+ * LAS queue split, the preemption-cost ceiling, and the DVFS response
+ * (alpha / min_clock) — each with hard bounds, an integer flag, and
+ * get/set accessors into StackConfig. Every dimension round-trips
+ * through the config_io dialect: a tuned vector rendered as a preset
+ * and parsed back re-renders to the identical text, so checked-in
+ * winners are stable fixed points of the format (the property tests
+ * pin this).
+ *
+ * A ParamSpace is an ordered subset of the registry; candidate vectors
+ * are positional against that order. clamp() is the single bounds
+ * authority: optimizers call it after every move, so no candidate ever
+ * leaves the box (another pinned property).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stack.h"
+
+namespace tacc::tune {
+
+/** One tunable dimension: bounds, type, and config accessors. */
+struct ParamDim {
+    std::string name;
+    double lo = 0;
+    double hi = 1;
+    /** Integer-valued: clamp() snaps to the nearest in-bounds integer. */
+    bool integer = false;
+    /** One-line operator description (CLI --list-params). */
+    const char *doc = "";
+    double (*get)(const core::StackConfig &);
+    void (*set)(core::StackConfig *, double);
+};
+
+class ParamSpace
+{
+  public:
+    /** Every known dimension, in canonical (stable) order. */
+    static const std::vector<ParamDim> &registry();
+
+    /** The full registry as a space. */
+    static ParamSpace all();
+
+    /**
+     * The named subset, in the given order. Unknown names are errors
+     * (the same hard-fail contract as the config dialects).
+     */
+    static StatusOr<ParamSpace> subset(
+        const std::vector<std::string> &names);
+
+    const std::vector<ParamDim> &dims() const { return dims_; }
+    size_t size() const { return dims_.size(); }
+
+    /** Comma-joined dimension names, registry order. */
+    std::string names_csv() const;
+
+    /** Reads the current value of every dimension from a config. */
+    std::vector<double> extract(const core::StackConfig &config) const;
+
+    /** Writes a candidate vector into a config (values are clamped). */
+    void apply(const std::vector<double> &values,
+               core::StackConfig *config) const;
+
+    /** Bounds + integrality projection for one dimension. */
+    double clamp_dim(size_t i, double v) const;
+
+    /** clamp_dim over a whole vector. */
+    std::vector<double> clamp(std::vector<double> values) const;
+
+    /** True when every coordinate is in bounds (integers exact). */
+    bool in_bounds(const std::vector<double> &values) const;
+
+    /** "name=value" pairs, space-separated — trajectory/preset headers. */
+    std::string describe(const std::vector<double> &values) const;
+
+  private:
+    std::vector<ParamDim> dims_;
+};
+
+} // namespace tacc::tune

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Simulated annealing with parallel restart chains (optimizer "sa"),
+ * plus the shared neighbor move. See optimizer.h for the determinism
+ * contract.
+ */
+#include <cmath>
+
+#include "tune/optimizer.h"
+
+namespace tacc::tune {
+
+std::vector<double>
+neighbor_move(const ParamSpace &space, const std::vector<double> &values,
+              double step_frac, Rng &rng)
+{
+    std::vector<double> next = values;
+    const size_t d = size_t(rng.uniform_int(0, int64_t(space.size()) - 1));
+    const ParamDim &dim = space.dims()[d];
+    const double range = dim.hi - dim.lo;
+    const double draw = rng.uniform(-1.0, 1.0);
+    double moved = space.clamp_dim(d, values[d] + draw * step_frac * range);
+    if (dim.integer && moved == values[d]) {
+        // Small relative steps round back onto the current integer;
+        // take the minimal step in the drawn direction instead.
+        moved = space.clamp_dim(d, values[d] + (draw < 0 ? -1.0 : 1.0));
+    }
+    next[d] = moved;
+    return next;
+}
+
+namespace {
+
+class SaOptimizer final : public Optimizer
+{
+  public:
+    SaOptimizer(ParamSpace space, const OptimizerConfig &cfg)
+        : space_(std::move(space)), cfg_(cfg)
+    {
+        Rng root(cfg_.seed);
+        chains_.reserve(size_t(cfg_.chains));
+        for (int c = 0; c < cfg_.chains; ++c) {
+            Chain chain;
+            chain.rng = root.fork(uint64_t(c));
+            chain.temp = cfg_.init_temp;
+            if (c == 0) {
+                // Chain 0 anchors at the defaults (the factory
+                // normalized cfg.start to full length, in-bounds): the
+                // search can only ever return something at least as
+                // good as the shipping configuration.
+                chain.cur = cfg_.start;
+            } else {
+                for (const ParamDim &dim : space_.dims())
+                    chain.cur.push_back(chain.rng.uniform(dim.lo, dim.hi));
+                chain.cur = space_.clamp(std::move(chain.cur));
+            }
+            chains_.push_back(std::move(chain));
+        }
+    }
+
+    std::string name() const override { return "sa"; }
+
+    std::vector<Candidate>
+    propose(size_t max_batch) override
+    {
+        round_.clear();
+        round_chain_.clear();
+        for (size_t c = 0; c < chains_.size() && round_.size() < max_batch;
+             ++c) {
+            Chain &chain = chains_[c];
+            Candidate cand;
+            cand.chain = int(c);
+            // Each chain's first proposal evaluates its start point;
+            // moves begin once the start's objective is known.
+            cand.values = chain.started
+                              ? neighbor_move(space_, chain.cur,
+                                              cfg_.step_frac, chain.rng)
+                              : chain.cur;
+            round_chain_.push_back(c);
+            round_.push_back(std::move(cand));
+        }
+        return round_;
+    }
+
+    void
+    observe(const std::vector<double> &objectives,
+            std::vector<bool> *accepted) override
+    {
+        for (size_t i = 0; i < round_.size() && i < objectives.size();
+             ++i) {
+            Chain &chain = chains_[round_chain_[i]];
+            const double obj = objectives[i];
+            bool accept;
+            if (!chain.started) {
+                chain.started = true;
+                accept = true;
+            } else if (obj <= chain.cur_obj) {
+                accept = true;
+            } else {
+                // Metropolis; the draw happens only on this branch so
+                // downhill/plateau streaks consume no randomness.
+                const double temp = chain.temp > 1e-12 ? chain.temp : 1e-12;
+                accept = chain.rng.uniform() <
+                         std::exp((chain.cur_obj - obj) / temp);
+            }
+            if (accept) {
+                chain.cur = round_[i].values;
+                chain.cur_obj = obj;
+            }
+            chain.temp *= cfg_.cooling;
+            if (accepted)
+                accepted->push_back(accept);
+        }
+    }
+
+  private:
+    struct Chain {
+        std::vector<double> cur;
+        double cur_obj = 0;
+        double temp = 0;
+        Rng rng;
+        bool started = false;
+    };
+
+    ParamSpace space_;
+    OptimizerConfig cfg_;
+    std::vector<Chain> chains_;
+    std::vector<Candidate> round_;
+    std::vector<size_t> round_chain_;
+};
+
+} // namespace
+
+std::unique_ptr<Optimizer>
+make_sa_optimizer(ParamSpace space, const OptimizerConfig &cfg)
+{
+    return std::make_unique<SaOptimizer>(std::move(space), cfg);
+}
+
+} // namespace tacc::tune

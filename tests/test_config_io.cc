@@ -114,5 +114,26 @@ TEST(ConfigIo, RejectsBadInput)
     EXPECT_FALSE(parse_stack_config("usage_half_life_h: 0\n").is_ok());
 }
 
+TEST(ConfigIo, ErrorsCarryLineNumbers)
+{
+    auto unknown = parse_stack_config("racks: 2\n\nwarp_drive: 9\n");
+    ASSERT_FALSE(unknown.is_ok());
+    EXPECT_NE(unknown.status().message().find("line 3:"),
+              std::string::npos)
+        << unknown.status().str();
+
+    auto malformed = parse_stack_config("racks: 2\nno colon\n");
+    ASSERT_FALSE(malformed.is_ok());
+    EXPECT_NE(malformed.status().message().find("line 2:"),
+              std::string::npos)
+        << malformed.status().str();
+
+    auto range = parse_stack_config("oversubscription: 0.5\n");
+    ASSERT_FALSE(range.is_ok());
+    EXPECT_NE(range.status().message().find("line 1:"),
+              std::string::npos)
+        << range.status().str();
+}
+
 } // namespace
 } // namespace tacc::core

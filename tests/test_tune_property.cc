@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Auto-tuner property tests — the three invariants DESIGN.md promises:
+ *
+ *  1. neighbor moves never leave the search box (and integer
+ *     dimensions stay integral);
+ *  2. the scalarized objective is monotone in every raw input term, so
+ *     a candidate can only score better by improving a real metric;
+ *  3. a search trajectory is a pure function of (spec, seed): repeat
+ *     runs and any thread-pool worker count produce byte-identical
+ *     trajectory JSON, preset text, and digests.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config_io.h"
+#include "tune/objective.h"
+#include "tune/optimizer.h"
+#include "tune/param_space.h"
+#include "tune/tuner.h"
+
+namespace tacc::tune {
+namespace {
+
+/** A random in-bounds point (integer dims snapped by clamp). */
+std::vector<double>
+random_point(const ParamSpace &space, Rng &rng)
+{
+    std::vector<double> values;
+    values.reserve(space.size());
+    for (const auto &dim : space.dims())
+        values.push_back(rng.uniform(dim.lo, dim.hi));
+    return space.clamp(std::move(values));
+}
+
+TEST(TuneProperty, NeighborMovesStayInBounds)
+{
+    const ParamSpace space = ParamSpace::all();
+    Rng rng(7);
+    std::vector<double> values = random_point(space, rng);
+    for (int step = 0; step < 2000; ++step) {
+        values = neighbor_move(space, values, 0.25, rng);
+        ASSERT_TRUE(space.in_bounds(values)) << "step " << step;
+        if (step % 200 == 0) // occasionally restart from a fresh point
+            values = random_point(space, rng);
+    }
+}
+
+TEST(TuneProperty, ClampIsIdempotentAndInBounds)
+{
+    const ParamSpace space = ParamSpace::all();
+    Rng rng(11);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<double> wild;
+        for (size_t i = 0; i < space.size(); ++i)
+            wild.push_back(rng.uniform(-1e4, 1e4));
+        const std::vector<double> once = space.clamp(wild);
+        EXPECT_TRUE(space.in_bounds(once));
+        EXPECT_EQ(space.clamp(once), once);
+    }
+}
+
+TEST(TuneProperty, ObjectiveMonotoneInEveryTerm)
+{
+    ObjectiveWeights weights;
+    weights.w_energy = 1.0; // exercise every term
+    Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        core::ObjectiveInputs base;
+        base.mean_jct_s = rng.uniform(0, 1e5);
+        base.p99_jct_s = rng.uniform(0, 1e6);
+        base.fairness = rng.uniform(0.01, 1.0);
+        base.energy_kwh = rng.uniform(0, 1e3);
+        base.slo_miss_rate = rng.uniform(0, 1.0);
+        const double score = scalarize(base, weights);
+
+        core::ObjectiveInputs worse = base;
+        worse.mean_jct_s *= 1.5;
+        EXPECT_GE(scalarize(worse, weights), score);
+
+        worse = base;
+        worse.p99_jct_s *= 1.5;
+        EXPECT_GE(scalarize(worse, weights), score);
+
+        worse = base;
+        worse.fairness *= 0.5; // lower Jain index = less fair
+        EXPECT_GE(scalarize(worse, weights), score);
+
+        worse = base;
+        worse.energy_kwh += 10.0;
+        EXPECT_GE(scalarize(worse, weights), score);
+
+        worse = base;
+        worse.slo_miss_rate = std::min(1.0, base.slo_miss_rate + 0.1);
+        EXPECT_GE(scalarize(worse, weights), score);
+    }
+}
+
+TEST(TuneProperty, PresetRenderIsAFixedPoint)
+{
+    const ParamSpace space = ParamSpace::all();
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        core::StackConfig config;
+        space.apply(random_point(space, rng), &config);
+        const std::string text = core::stack_config_to_text(config);
+        auto parsed = core::parse_stack_config(text);
+        ASSERT_TRUE(parsed.is_ok()) << parsed.status().str();
+        EXPECT_EQ(core::stack_config_to_text(parsed.value()), text);
+    }
+}
+
+/** A scenario small enough to run dozens of times inside the test. */
+TuneSpec
+tiny_spec(const std::string &optimizer)
+{
+    TuneSpec spec;
+    spec.base.trace.num_jobs = 12;
+    spec.base.trace.mean_interarrival_s = 120.0;
+    spec.base.stack.cluster.topology.racks = 2;
+    spec.base.stack.cluster.topology.nodes_per_rack = 4;
+    spec.base.stack.emit_monitor_logs = false;
+    spec.space =
+        ParamSpace::subset({"w_age", "w_qos", "backfill_depth"}).value();
+    spec.optimizer = optimizer;
+    spec.search.seed = 5;
+    spec.search.chains = 3;
+    spec.search.population = 4;
+    spec.budget = 8;
+    return spec;
+}
+
+TEST(TuneProperty, SaTrajectoryIndependentOfWorkerCount)
+{
+    const TuneSpec spec = tiny_spec("sa");
+    auto serial = run_tune(spec, 1);
+    ASSERT_TRUE(serial.is_ok()) << serial.status().str();
+    const std::string want =
+        trajectory_to_json(spec, serial.value());
+    const std::string preset =
+        best_config_text(spec, serial.value());
+    for (int workers : {2, 4, 8}) {
+        auto parallel = run_tune(spec, workers);
+        ASSERT_TRUE(parallel.is_ok()) << parallel.status().str();
+        EXPECT_EQ(trajectory_to_json(spec, parallel.value()), want)
+            << workers << " workers";
+        EXPECT_EQ(best_config_text(spec, parallel.value()), preset)
+            << workers << " workers";
+    }
+}
+
+TEST(TuneProperty, GeneticTrajectoryIndependentOfWorkerCount)
+{
+    const TuneSpec spec = tiny_spec("genetic");
+    auto serial = run_tune(spec, 1);
+    ASSERT_TRUE(serial.is_ok()) << serial.status().str();
+    const std::string want =
+        trajectory_to_json(spec, serial.value());
+    for (int workers : {4, 8}) {
+        auto parallel = run_tune(spec, workers);
+        ASSERT_TRUE(parallel.is_ok()) << parallel.status().str();
+        EXPECT_EQ(trajectory_to_json(spec, parallel.value()), want)
+            << workers << " workers";
+    }
+}
+
+TEST(TuneProperty, RepeatRunsAreByteIdentical)
+{
+    const TuneSpec spec = tiny_spec("sa");
+    auto a = run_tune(spec, 4);
+    auto b = run_tune(spec, 4);
+    ASSERT_TRUE(a.is_ok() && b.is_ok());
+    EXPECT_EQ(trajectory_to_json(spec, a.value()),
+              trajectory_to_json(spec, b.value()));
+    EXPECT_EQ(a.value().best_digest, b.value().best_digest);
+    EXPECT_EQ(a.value().default_digest, b.value().default_digest);
+}
+
+} // namespace
+} // namespace tacc::tune
