@@ -1,0 +1,402 @@
+/**
+ * @file
+ * T19 — The work-stealing execution backbone (`common/thread_pool`).
+ *
+ * Two halves, mirroring the T14 methodology:
+ *
+ *  1. Raw task throughput across grain sizes: N tasks of a fixed spin
+ *     grain are pushed through (a) the retired mutex-FIFO pool (a
+ *     verbatim copy embedded below as the baseline), (b) the
+ *     work-stealing pool's submit()/future path, and (c) its
+ *     submit_bulk() task-group path. Engines alternate within each
+ *     round (interleaved, like T14) so machine drift cancels; the
+ *     reported ratio is the median across rounds. The headline number
+ *     is bulk-vs-mutex at the smallest grain — the regime the ROADMAP
+ *     called out as the old pool's contention point.
+ *
+ *  2. A serial-vs-parallel-vs-oversubscribed sweep over a 24-scenario
+ *     policy grid: wall-clock speedup, parallel efficiency, sweep
+ *     jobs/s, and byte-identical digests at every worker count
+ *     (including --jobs 32-style oversubscription).
+ *
+ * Exit code enforces the CI floors: digests identical everywhere,
+ * bulk ≥ mutex on the smallest grain, and parallel ≥ serial (with a
+ * noise guard; relaxed on single-core machines where speedup is
+ * physically impossible).
+ *
+ * TACC_BENCH_JOBS shrinks both halves for the CI smoke (it caps the
+ * sweep traces as usual, and its presence scales the task flood down
+ * 10x). TACC_BENCH_ROUNDS overrides the round count (default 3).
+ * --json FILE writes the machine-readable artifact bench-smoke asserts
+ * on.
+ */
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "driver/runner.h"
+
+using namespace tacc;
+
+namespace {
+
+/**
+ * The pre-T19 pool, embedded verbatim as the benchmark baseline: one
+ * mutex-guarded FIFO, N workers, packaged_task futures. Kept here (not
+ * in src/) so the comparison survives without shipping dead code.
+ */
+class LegacyMutexPool
+{
+  public:
+    explicit LegacyMutexPool(int threads)
+    {
+        workers_.reserve(size_t(threads));
+        for (int i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    ~LegacyMutexPool()
+    {
+        {
+            std::lock_guard lock(mu_);
+            stopping_ = true;
+        }
+        work_ready_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    template <class F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard lock(mu_);
+            queue_.push_back([task] { (*task)(); });
+        }
+        work_ready_.notify_one();
+        return result;
+    }
+
+  private:
+    void
+    worker_loop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock lock(mu_);
+                work_ready_.wait(
+                    lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable work_ready_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/** Fixed-grain busy work the optimizer cannot elide or hoist. */
+inline void
+spin_work(uint32_t iters)
+{
+    uint32_t acc = iters + 1;
+    for (uint32_t i = 0; i < iters; ++i)
+        acc = acc * 1664525u + 1013904223u;
+    asm volatile("" : "+r"(acc));
+}
+
+double
+elapsed_s(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    return values.empty() ? 0.0 : values[values.size() / 2];
+}
+
+int
+rounds_from_env()
+{
+    if (const char *env = std::getenv("TACC_BENCH_ROUNDS")) {
+        const int n = std::atoi(env);
+        if (n > 0 && n <= 100)
+            return n;
+    }
+    return 3;
+}
+
+struct GrainResult {
+    uint32_t spin = 0;
+    int tasks = 0;
+    double mutex_tasks_per_s = 0;
+    double steal_submit_tasks_per_s = 0;
+    double steal_bulk_tasks_per_s = 0;
+    double bulk_vs_mutex = 0;
+    double submit_vs_mutex = 0;
+};
+
+GrainResult
+run_grain(uint32_t spin, int tasks, int workers, int rounds)
+{
+    GrainResult result;
+    result.spin = spin;
+    result.tasks = tasks;
+    std::vector<double> mutex_s, submit_s, bulk_s;
+
+    for (int round = 0; round < rounds; ++round) {
+        {
+            LegacyMutexPool pool(workers);
+            std::vector<std::future<void>> done;
+            done.reserve(size_t(tasks));
+            const auto start = std::chrono::steady_clock::now();
+            for (int i = 0; i < tasks; ++i)
+                done.push_back(pool.submit([spin] { spin_work(spin); }));
+            for (auto &f : done)
+                f.get();
+            mutex_s.push_back(elapsed_s(start));
+        }
+        {
+            ThreadPool pool(workers);
+            std::vector<std::future<void>> done;
+            done.reserve(size_t(tasks));
+            const auto start = std::chrono::steady_clock::now();
+            for (int i = 0; i < tasks; ++i)
+                done.push_back(pool.submit([spin] { spin_work(spin); }));
+            for (auto &f : done)
+                f.get();
+            submit_s.push_back(elapsed_s(start));
+        }
+        {
+            ThreadPool pool(workers);
+            const auto start = std::chrono::steady_clock::now();
+            pool.submit_bulk(size_t(tasks),
+                             [spin](size_t) { spin_work(spin); })
+                .wait();
+            bulk_s.push_back(elapsed_s(start));
+        }
+    }
+
+    const double mutex_med = median(mutex_s);
+    const double submit_med = median(submit_s);
+    const double bulk_med = median(bulk_s);
+    result.mutex_tasks_per_s =
+        mutex_med > 0 ? double(tasks) / mutex_med : 0;
+    result.steal_submit_tasks_per_s =
+        submit_med > 0 ? double(tasks) / submit_med : 0;
+    result.steal_bulk_tasks_per_s =
+        bulk_med > 0 ? double(tasks) / bulk_med : 0;
+    result.bulk_vs_mutex = result.mutex_tasks_per_s > 0
+                               ? result.steal_bulk_tasks_per_s /
+                                     result.mutex_tasks_per_s
+                               : 0;
+    result.submit_vs_mutex = result.mutex_tasks_per_s > 0
+                                 ? result.steal_submit_tasks_per_s /
+                                       result.mutex_tasks_per_s
+                                 : 0;
+    return result;
+}
+
+/** The T14 grid: 24 scenarios over the reference campus deployment. */
+driver::SweepSpec
+scaling_spec()
+{
+    driver::SweepSpec spec;
+    spec.base.stack = bench::default_stack();
+    spec.base.trace = bench::default_trace(120, 42);
+    spec.schedulers = {"fairshare", "fifo-skip", "backfill-easy"};
+    spec.placements = {"topology", "pack"};
+    spec.preempt_modes = {"graceful"};
+    spec.loads = {1.0, 1.4};
+    spec.seeds = {1, 2};
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const int hardware = ThreadPool::hardware_threads();
+    const int workers = std::min(8, hardware);
+    const int rounds = rounds_from_env();
+    const bool smoke = std::getenv("TACC_BENCH_JOBS") != nullptr;
+    const int scale = smoke ? 10 : 1;
+
+    std::printf("T19: execution backbone — %d worker(s) "
+                "(hardware_threads %d), %d interleaved round(s)%s\n",
+                workers, hardware, rounds, smoke ? ", smoke scale" : "");
+
+    // ---- Half 1: raw task throughput across grain sizes ----
+    const std::vector<std::pair<uint32_t, int>> grains = {
+        {0, 200'000 / scale},
+        {64, 100'000 / scale},
+        {512, 50'000 / scale},
+        {4096, 20'000 / scale},
+    };
+    std::vector<GrainResult> grain_results;
+    TextTable grain_table("T19: task throughput by grain (median of "
+                          "interleaved rounds)");
+    grain_table.set_header({"spin", "tasks", "mutex/s", "submit/s",
+                            "bulk/s", "bulk/mutex", "submit/mutex"});
+    for (const auto &[spin, tasks] : grains) {
+        const GrainResult g = run_grain(spin, tasks, workers, rounds);
+        grain_table.add_row({
+            std::to_string(g.spin),
+            std::to_string(g.tasks),
+            TextTable::num(g.mutex_tasks_per_s, 6),
+            TextTable::num(g.steal_submit_tasks_per_s, 6),
+            TextTable::num(g.steal_bulk_tasks_per_s, 6),
+            TextTable::fixed(g.bulk_vs_mutex, 2),
+            TextTable::fixed(g.submit_vs_mutex, 2),
+        });
+        grain_results.push_back(g);
+    }
+    std::fputs(grain_table.str().c_str(), stdout);
+
+    const double small_grain_ratio = grain_results.front().bulk_vs_mutex;
+    const bool steal_beats_mutex = small_grain_ratio >= 1.0;
+    std::printf("small-grain bulk vs mutex-FIFO: %.2fx — %s\n",
+                small_grain_ratio,
+                steal_beats_mutex ? "work-stealing wins"
+                                  : "REGRESSION vs mutex pool");
+
+    // ---- Half 2: sweep scaling + digest identity (T14 style) ----
+    const driver::SweepSpec spec = scaling_spec();
+    const int oversub = 32;
+    std::vector<double> serial_wall, parallel_wall;
+    double parallel_jobs_per_s = 0;
+    bool digests_identical = true;
+    std::string reference;
+    for (int round = 0; round < rounds; ++round) {
+        const auto serial = driver::run_sweep(spec, 1);
+        const auto parallel = driver::run_sweep(spec, workers);
+        const auto oversubscribed = driver::run_sweep(spec, oversub);
+        serial_wall.push_back(serial.wall_ms);
+        parallel_wall.push_back(parallel.wall_ms);
+        if (parallel.wall_ms > 0) {
+            uint64_t jobs = 0;
+            for (const auto &run : parallel.runs)
+                jobs += run.result.submitted;
+            parallel_jobs_per_s = std::max(
+                parallel_jobs_per_s,
+                double(jobs) / (parallel.wall_ms / 1000.0));
+        }
+        const std::string serial_text = driver::digests_text(serial);
+        if (reference.empty())
+            reference = serial_text;
+        digests_identical =
+            digests_identical && serial_text == reference &&
+            driver::digests_text(parallel) == reference &&
+            driver::digests_text(oversubscribed) == reference;
+    }
+    const double serial_med = median(serial_wall);
+    const double parallel_med = median(parallel_wall);
+    const double speedup =
+        parallel_med > 0 ? serial_med / parallel_med : 0;
+    const double efficiency = workers > 0 ? speedup / workers : 0;
+    // Conservative floor: parallel must not lose to serial. On a
+    // single hardware thread a speedup is impossible, so only guard
+    // against pathological overhead there.
+    const double floor = hardware >= 2 ? 0.95 : 0.50;
+    const bool parallel_floor_ok = speedup >= floor;
+
+    std::printf("sweep: %zu scenarios, serial %.0f ms vs parallel "
+                "%.0f ms at %d workers — speedup %.2fx (efficiency "
+                "%.2f), %d-worker oversubscribed run included; "
+                "digests %s; floor %.2f %s\n",
+                spec.grid_size(), serial_med, parallel_med, workers,
+                speedup, efficiency, oversub,
+                digests_identical ? "identical everywhere" : "DRIFTED",
+                floor, parallel_floor_ok ? "met" : "VIOLATED");
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        out << "{\n";
+        out << "  \"workers\": " << workers << ",\n";
+        out << "  \"hardware_threads\": " << hardware << ",\n";
+        out << "  \"rounds\": " << rounds << ",\n";
+        out << "  \"grains\": [\n";
+        for (size_t i = 0; i < grain_results.size(); ++i) {
+            const GrainResult &g = grain_results[i];
+            out << strfmt("    {\"spin\": %u, \"tasks\": %d, "
+                          "\"mutex_tasks_per_s\": %.1f, "
+                          "\"steal_submit_tasks_per_s\": %.1f, "
+                          "\"steal_bulk_tasks_per_s\": %.1f, "
+                          "\"bulk_vs_mutex\": %.3f, "
+                          "\"submit_vs_mutex\": %.3f}%s\n",
+                          g.spin, g.tasks, g.mutex_tasks_per_s,
+                          g.steal_submit_tasks_per_s,
+                          g.steal_bulk_tasks_per_s, g.bulk_vs_mutex,
+                          g.submit_vs_mutex,
+                          i + 1 < grain_results.size() ? "," : "");
+        }
+        out << "  ],\n";
+        out << strfmt("  \"small_grain_bulk_vs_mutex\": %.3f,\n",
+                      small_grain_ratio);
+        out << "  \"steal_beats_mutex\": "
+            << (steal_beats_mutex ? "true" : "false") << ",\n";
+        out << "  \"sweep_scenarios\": " << spec.grid_size() << ",\n";
+        out << strfmt("  \"sweep_serial_wall_ms\": %.3f,\n", serial_med);
+        out << strfmt("  \"sweep_parallel_wall_ms\": %.3f,\n",
+                      parallel_med);
+        out << strfmt("  \"jobs_per_s\": %.1f,\n", parallel_jobs_per_s);
+        out << strfmt("  \"speedup\": %.3f,\n", speedup);
+        out << strfmt("  \"parallel_efficiency\": %.3f,\n", efficiency);
+        out << "  \"parallel_floor_ok\": "
+            << (parallel_floor_ok ? "true" : "false") << ",\n";
+        out << "  \"digests_identical\": "
+            << (digests_identical ? "true" : "false") << "\n";
+        out << "}\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 2;
+        }
+    }
+
+    return digests_identical && steal_beats_mutex && parallel_floor_ok
+               ? 0
+               : 1;
+}

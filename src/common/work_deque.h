@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Chase–Lev work-stealing deque: the per-worker queue of the execution
+ * backbone (see thread_pool.h and DESIGN.md "Execution backbone").
+ *
+ * One thread — the owner — pushes and pops at the *bottom* (LIFO), any
+ * other thread steals from the *top* (FIFO). The combination is what
+ * makes work stealing cheap: the owner's hot path never takes a lock,
+ * touches only the bottom index, and keeps its freshest (cache-warm)
+ * task; thieves drain the oldest (coldest) tasks and only contend with
+ * the owner on the final element.
+ *
+ * Implementation notes:
+ *  - This is the C11-formalized Chase–Lev algorithm (Lê/Pop/Cohen/
+ *    Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+ *    Models"), with every standalone memory fence replaced by the
+ *    equivalent (strictly stronger) ordering on the operation itself.
+ *    ThreadSanitizer models atomic operations but not standalone
+ *    fences, so the fence-free formulation is what lets the CI
+ *    `pool-stress` job prove the memory orders instead of drowning in
+ *    false positives.
+ *  - Slots are `std::atomic<T *>`: a thief may read a slot while the
+ *    owner rewrites it after index wrap-around. The read value is only
+ *    *used* if the subsequent CAS on `top` succeeds, which certifies
+ *    the slot had not been reclaimed; the racy read itself is atomic,
+ *    so it is defined behavior (and TSan-clean).
+ *  - The ring grows when full (owner-only). Retired rings are kept
+ *    alive until the deque is destroyed, so a thief holding a stale
+ *    ring pointer dereferences valid (frozen) memory; its CAS then
+ *    decides whether the value it read was current.
+ *
+ * The deque never owns the pointed-to items: callers hand over
+ * ownership to whichever thread's pop()/steal() returns the pointer.
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tacc {
+
+template <class T>
+class WorkStealingDeque
+{
+  public:
+    /** @param capacity initial ring size; rounded up to a power of 2. */
+    explicit WorkStealingDeque(size_t capacity = 256)
+    {
+        size_t cap = 8;
+        while (cap < capacity)
+            cap *= 2;
+        live_ = std::make_unique<Ring>(cap);
+        ring_.store(live_.get(), std::memory_order_relaxed);
+    }
+
+    WorkStealingDeque(const WorkStealingDeque &) = delete;
+    WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+    /**
+     * Owner only: publishes an item at the bottom. Grows the ring when
+     * full; the previous ring is retired, not freed, so concurrent
+     * thieves stay memory-safe.
+     */
+    void
+    push(T *item)
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed);
+        const int64_t t = top_.load(std::memory_order_acquire);
+        Ring *ring = ring_.load(std::memory_order_relaxed);
+        if (b - t >= int64_t(ring->cap))
+            ring = grow(ring, t, b);
+        ring->slot(b).store(item, std::memory_order_relaxed);
+        // seq_cst rather than plain release: participates in the total
+        // order the sleep protocol's sleeper-count handshake relies on
+        // (see ThreadPool::maybe_wake).
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+
+    /**
+     * Owner only: takes the most recently pushed item (LIFO), or
+     * nullptr when empty. On the final element the owner races thieves
+     * through a CAS on `top`; exactly one side wins.
+     */
+    T *
+    pop()
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Ring *ring = ring_.load(std::memory_order_relaxed);
+        // The store must be ordered before the top load (the classic
+        // seq_cst fence site): both seq_cst keeps the store-load pair
+        // in the single total order.
+        bottom_.store(b, std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t > b) {
+            // Already empty; restore the canonical empty state.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        T *item = ring->slot(b).load(std::memory_order_relaxed);
+        if (t == b) {
+            // Last element: win it against thieves or lose it to one.
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed))
+                item = nullptr;
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return item;
+    }
+
+    /**
+     * Any thread: claims the oldest item (FIFO), or nullptr when the
+     * deque is empty *or* the claim race was lost (spurious failure —
+     * callers treat it as "try elsewhere").
+     */
+    T *
+    steal()
+    {
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        const int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return nullptr;
+        // Ring load ordered after the index loads: if bottom's value
+        // came from a push that post-dates a grow, the acquire here is
+        // guaranteed to see the new ring (grow publishes before the
+        // owner ever advances bottom again). A stale ring is still
+        // safe: it is frozen and retains slot `t`.
+        Ring *ring = ring_.load(std::memory_order_acquire);
+        T *item = ring->slot(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return nullptr;
+        return item;
+    }
+
+    /** Racy size estimate; exact when no other thread is mutating. */
+    size_t
+    size_approx() const
+    {
+        const int64_t b = bottom_.load(std::memory_order_acquire);
+        const int64_t t = top_.load(std::memory_order_acquire);
+        return b > t ? size_t(b - t) : 0;
+    }
+
+    bool
+    empty_approx() const
+    {
+        return size_approx() == 0;
+    }
+
+    /** Ring growths so far (observability for tests/benches). */
+    size_t
+    growth_count() const
+    {
+        return retired_.size();
+    }
+
+  private:
+    struct Ring {
+        explicit Ring(size_t capacity)
+            : cap(capacity),
+              slots(std::make_unique<std::atomic<T *>[]>(capacity))
+        {
+            assert((cap & (cap - 1)) == 0 && "capacity not a power of 2");
+        }
+        std::atomic<T *> &
+        slot(int64_t index)
+        {
+            return slots[size_t(index) & (cap - 1)];
+        }
+        const size_t cap;
+        std::unique_ptr<std::atomic<T *>[]> slots;
+    };
+
+    /** Owner only: doubles the ring, copying the live range [t, b). */
+    Ring *
+    grow(Ring *old, int64_t t, int64_t b)
+    {
+        auto fresh = std::make_unique<Ring>(old->cap * 2);
+        for (int64_t i = t; i < b; ++i) {
+            fresh->slot(i).store(
+                old->slot(i).load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        Ring *raw = fresh.get();
+        retired_.push_back(std::move(live_));
+        live_ = std::move(fresh);
+        ring_.store(raw, std::memory_order_release);
+        return raw;
+    }
+
+    std::atomic<int64_t> top_{0};
+    std::atomic<int64_t> bottom_{0};
+    std::atomic<Ring *> ring_{nullptr};
+    /** Current ring (owner-managed); ring_ mirrors live_.get(). */
+    std::unique_ptr<Ring> live_;
+    /** Outgrown rings, kept until destruction for thief memory-safety. */
+    std::vector<std::unique_ptr<Ring>> retired_;
+};
+
+} // namespace tacc

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <future>
 #include <map>
 #include <sstream>
 
@@ -61,31 +60,30 @@ run_sweep(const SweepSpec &spec, int workers)
     const auto sweep_start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(workers);
-        std::vector<std::future<void>> done;
-        done.reserve(scenarios.size());
-        for (size_t i = 0; i < scenarios.size(); ++i) {
-            done.push_back(pool.submit([&, i] {
-                // One arena per pool worker: successive scenarios on
-                // this thread reuse the previous run's event slab and
-                // scheduler scratch instead of re-growing them.
-                thread_local core::StackArena arena;
-                RunResult &run = summary.runs[i];
-                run.scenario = scenarios[i];
-                const auto start = std::chrono::steady_clock::now();
-                run.result = core::run_scenario(scenarios[i].config,
-                                                &arena);
-                run.wall_ms = elapsed_ms(start);
-                run.digest = scenario_digest(run.result);
-                if (run.wall_ms > 0) {
-                    run.jobs_per_s = double(run.result.submitted) /
-                                     (run.wall_ms / 1000.0);
-                }
-            }));
-        }
-        // Rethrows the first failure (bad config, bad_alloc, ...) on the
-        // caller thread; remaining runs still finish in ~ThreadPool.
-        for (auto &f : done)
-            f.get();
+        // The bulk path enqueues the whole grid as one task group —
+        // O(workers) chunk nodes sharing an index dispenser instead of
+        // one packaged_task allocation per scenario. Each run writes
+        // only its own indexed slot (and folds its digest right on the
+        // worker, overlapping aggregation with simulation), so digests
+        // stay byte-identical at any worker count. wait() rethrows the
+        // first failure (bad config, bad_alloc, ...) on the caller
+        // thread; remaining runs still finish first.
+        pool.submit_bulk(scenarios.size(), [&](size_t i) {
+            // One arena per pool worker: successive scenarios on
+            // this thread reuse the previous run's event slab and
+            // scheduler scratch instead of re-growing them.
+            thread_local core::StackArena arena;
+            RunResult &run = summary.runs[i];
+            run.scenario = scenarios[i];
+            const auto start = std::chrono::steady_clock::now();
+            run.result = core::run_scenario(scenarios[i].config, &arena);
+            run.wall_ms = elapsed_ms(start);
+            run.digest = scenario_digest(run.result);
+            if (run.wall_ms > 0) {
+                run.jobs_per_s = double(run.result.submitted) /
+                                 (run.wall_ms / 1000.0);
+            }
+        }).wait();
     }
     summary.wall_ms = elapsed_ms(sweep_start);
     summary.peak_rss_bytes = peak_rss_bytes();

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <fstream>
-#include <future>
 #include <map>
 #include <sstream>
 
@@ -492,22 +491,19 @@ run_tune(const TuneSpec &spec, int workers)
         std::vector<core::ScenarioResult> runs(fresh.size() *
                                                evals.size());
         {
-            std::vector<std::future<void>> done;
-            done.reserve(runs.size());
-            for (size_t f = 0; f < fresh.size(); ++f) {
-                for (size_t e = 0; e < evals.size(); ++e) {
-                    done.push_back(pool.submit([&, f, e] {
-                        // One arena per pool worker (see run_sweep).
-                        thread_local core::StackArena arena;
-                        core::ScenarioConfig config = evals[e];
-                        spec.space.apply(*fresh[f], &config.stack);
-                        runs[f * evals.size() + e] =
-                            core::run_scenario(config, &arena);
-                    }));
-                }
-            }
-            for (auto &fut : done)
-                fut.get();
+            // Bulk task group over (candidate x eval point): results
+            // land in indexed slots, so pool scheduling order cannot
+            // leak into scores or digests (the determinism contract).
+            const size_t per_candidate = evals.size();
+            pool.submit_bulk(runs.size(), [&](size_t index) {
+                // One arena per pool worker (see run_sweep).
+                thread_local core::StackArena arena;
+                const size_t f = index / per_candidate;
+                const size_t e = index % per_candidate;
+                core::ScenarioConfig config = evals[e];
+                spec.space.apply(*fresh[f], &config.stack);
+                runs[index] = core::run_scenario(config, &arena);
+            }).wait();
         }
         result.scenario_runs += runs.size();
         for (size_t f = 0; f < fresh.size(); ++f) {

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Property and stress suites for the work-stealing execution backbone:
+ *
+ *  - WorkDeque.*     — the Chase–Lev deque in isolation (LIFO pop /
+ *                      FIFO steal, growth, owner-vs-thief conservation);
+ *  - PoolProperty.*  — the relaxed ThreadPool contract: drain-on-
+ *                      destruct, exceptions through futures from stolen
+ *                      tasks, bulk exactly-once, ordering guarantees,
+ *                      affinity-aware sizing;
+ *  - PoolStress.*    — races the TSan `pool-stress` CI job exists for:
+ *                      steal storms, shutdown-vs-steal churn, and an
+ *                      oversubscribed microtask flood.
+ *
+ * Everything here also runs under ThreadSanitizer, which is where the
+ * deque's memory orders are actually proven.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "common/thread_pool.h"
+#include "common/work_deque.h"
+
+namespace tacc {
+namespace {
+
+TEST(WorkDeque, OwnerPopsLifoThievesStealFifo)
+{
+    WorkStealingDeque<int> deque(8);
+    std::vector<int> items(6);
+    std::iota(items.begin(), items.end(), 0);
+    for (int &item : items)
+        deque.push(&item);
+
+    // Thief side sees the oldest first...
+    EXPECT_EQ(deque.steal(), &items[0]);
+    EXPECT_EQ(deque.steal(), &items[1]);
+    // ...the owner the newest.
+    EXPECT_EQ(deque.pop(), &items[5]);
+    EXPECT_EQ(deque.pop(), &items[4]);
+    EXPECT_EQ(deque.steal(), &items[2]);
+    EXPECT_EQ(deque.pop(), &items[3]);
+    EXPECT_EQ(deque.pop(), nullptr);
+    EXPECT_EQ(deque.steal(), nullptr);
+    EXPECT_TRUE(deque.empty_approx());
+}
+
+TEST(WorkDeque, GrowthPreservesEveryElement)
+{
+    constexpr int kItems = 1000;
+    WorkStealingDeque<int> deque(8); // forces several growths
+    std::vector<int> items(kItems);
+    for (int i = 0; i < kItems; ++i) {
+        items[size_t(i)] = i;
+        deque.push(&items[size_t(i)]);
+    }
+    EXPECT_GE(deque.growth_count(), 1u);
+    EXPECT_EQ(deque.size_approx(), size_t(kItems));
+
+    std::set<int *> seen;
+    for (int i = 0; i < kItems; ++i) {
+        // Alternate ends so the live range crosses old ring boundaries.
+        int *item = (i % 2 == 0) ? deque.pop() : deque.steal();
+        ASSERT_NE(item, nullptr);
+        EXPECT_TRUE(seen.insert(item).second) << "duplicate element";
+    }
+    EXPECT_EQ(seen.size(), size_t(kItems));
+    EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(WorkDeque, InterleavedPushPopAcrossWrapAround)
+{
+    WorkStealingDeque<int> deque(8);
+    int value = 7;
+    // Far more operations than capacity: indices wrap many times.
+    for (int round = 0; round < 1000; ++round) {
+        deque.push(&value);
+        deque.push(&value);
+        EXPECT_EQ(deque.pop(), &value);
+        EXPECT_EQ(deque.steal(), &value);
+    }
+    EXPECT_TRUE(deque.empty_approx());
+}
+
+TEST(WorkDeque, ConcurrentOwnerAndThievesConsumeExactlyOnce)
+{
+    constexpr int kItems = 50'000;
+    constexpr int kThieves = 3;
+    WorkStealingDeque<int> deque(16); // grows under contention
+    std::vector<std::atomic<int>> claimed(kItems);
+    std::vector<int> items(kItems);
+    for (int i = 0; i < kItems; ++i)
+        items[size_t(i)] = i;
+
+    std::atomic<bool> owner_done{false};
+    std::atomic<int> consumed{0};
+    auto claim = [&](int *item) {
+        ASSERT_EQ(claimed[size_t(*item)].fetch_add(1), 0)
+            << "element consumed twice";
+        consumed.fetch_add(1);
+    };
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(kThieves);
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&] {
+            while (!owner_done.load() || !deque.empty_approx()) {
+                if (int *item = deque.steal())
+                    claim(item);
+            }
+        });
+    }
+
+    // Owner: push everything, popping intermittently to exercise the
+    // bottom-end race on nearly-empty deques.
+    for (int i = 0; i < kItems; ++i) {
+        deque.push(&items[size_t(i)]);
+        if (i % 3 == 0) {
+            if (int *item = deque.pop())
+                claim(item);
+        }
+    }
+    while (int *item = deque.pop())
+        claim(item);
+    owner_done.store(true);
+    for (auto &thief : thieves)
+        thief.join();
+    // Stragglers a thief claimed between our last pop and its exit.
+    while (int *item = deque.steal())
+        claim(item);
+
+    EXPECT_EQ(consumed.load(), kItems);
+    for (int i = 0; i < kItems; ++i)
+        EXPECT_EQ(claimed[size_t(i)].load(), 1);
+}
+
+TEST(PoolProperty, NoTaskLostAcrossDestruction)
+{
+    // Destroy the pool while most tasks are still queued, repeatedly:
+    // the drain-on-destruct guarantee must hold through every shutdown
+    // interleaving (including shutdown-vs-steal).
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> ran{0};
+        {
+            ThreadPool pool(4);
+            for (int i = 0; i < 256; ++i)
+                pool.submit([&ran] { ran.fetch_add(1); });
+        }
+        EXPECT_EQ(ran.load(), 256) << "round " << round;
+    }
+}
+
+TEST(PoolProperty, NestedSpawnsSurviveDestruction)
+{
+    // Tasks that spawn children during the drain: children land in the
+    // spawning worker's own deque and must still run before join.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&pool, &ran] {
+                for (int c = 0; c < 8; ++c)
+                    pool.submit([&ran] { ran.fetch_add(1); });
+                ran.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 32 * 9);
+}
+
+TEST(PoolProperty, StolenTasksRethrowThroughTheirFutures)
+{
+    // The parent blocks one worker on its children's futures, so the
+    // children — sitting in the parent's own deque — can only run by
+    // being stolen. Their exceptions must still arrive through the
+    // futures, on whichever thread gets them.
+    ThreadPool pool(4);
+    auto parent = pool.submit([&pool] {
+        std::vector<std::future<int>> children;
+        children.reserve(24);
+        for (int i = 0; i < 24; ++i) {
+            children.push_back(pool.submit([i]() -> int {
+                if (i % 3 == 0)
+                    throw std::runtime_error("stolen child failed");
+                return i;
+            }));
+        }
+        int threw = 0, sum = 0;
+        for (auto &child : children) {
+            try {
+                sum += child.get();
+            } catch (const std::runtime_error &) {
+                ++threw;
+            }
+        }
+        return threw * 1000 + sum;
+    });
+    // 8 of 24 throw; the rest sum to (1+2+4+5+...+23) = 276 - 84 = 192.
+    EXPECT_EQ(parent.get(), 8 * 1000 + 192);
+
+    // Every worker survived the exceptions.
+    std::atomic<int> alive{0};
+    pool.submit_bulk(8, [&](size_t) { alive.fetch_add(1); }).wait();
+    EXPECT_EQ(alive.load(), 8);
+}
+
+TEST(PoolProperty, WorkConservationUnderMicrotaskFlood)
+{
+    constexpr int kTasks = 10'000;
+    std::atomic<int64_t> sum{0};
+    ThreadPool pool(8);
+    {
+        std::vector<std::future<void>> done;
+        done.reserve(kTasks);
+        for (int i = 1; i <= kTasks; ++i)
+            done.push_back(pool.submit([&sum, i] { sum += i; }));
+        for (auto &f : done)
+            f.get();
+    }
+    EXPECT_EQ(sum.load(), int64_t(kTasks) * (kTasks + 1) / 2);
+    const auto stats = pool.stats();
+    EXPECT_GE(stats.executed, uint64_t(kTasks));
+    EXPECT_GE(stats.injected, uint64_t(kTasks));
+}
+
+TEST(PoolProperty, BulkRunsEveryIndexExactlyOnce)
+{
+    constexpr size_t kIndices = 10'000;
+    std::vector<std::atomic<int>> counts(kIndices);
+    ThreadPool pool(6);
+    pool.submit_bulk(kIndices, [&](size_t i) {
+        counts[i].fetch_add(1);
+    }).wait();
+    for (size_t i = 0; i < kIndices; ++i)
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(PoolProperty, BulkRethrowsFirstExceptionAfterAllIndicesRan)
+{
+    constexpr size_t kIndices = 500;
+    std::atomic<int> ran{0};
+    ThreadPool pool(4);
+    auto group = pool.submit_bulk(kIndices, [&](size_t i) {
+        ran.fetch_add(1);
+        if (i % 100 == 37)
+            throw std::invalid_argument("index " + std::to_string(i));
+    });
+    EXPECT_THROW(group.wait(), std::invalid_argument);
+    // Work conservation: a throwing index never cancels the others.
+    EXPECT_EQ(ran.load(), int(kIndices));
+}
+
+TEST(PoolProperty, BulkEdgeSizes)
+{
+    ThreadPool pool(4);
+    // Empty group: wait returns immediately.
+    pool.submit_bulk(0, [](size_t) { FAIL(); }).wait();
+    // Single index; fewer indices than workers.
+    std::atomic<int> ran{0};
+    pool.submit_bulk(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ran.fetch_add(1);
+    }).wait();
+    pool.submit_bulk(2, [&](size_t) { ran.fetch_add(1); }).wait();
+    EXPECT_EQ(ran.load(), 3);
+    // Destructor-waits path: group dropped without wait() still runs.
+    std::atomic<int> dropped{0};
+    { pool.submit_bulk(64, [&](size_t) { dropped.fetch_add(1); }); }
+    EXPECT_EQ(dropped.load(), 64);
+}
+
+TEST(PoolProperty, SingleWorkerKeepsExternalFifoOrder)
+{
+    // The relaxed ordering contract's surviving half: with one worker
+    // there are no thieves, and the injection batch transfer replays
+    // submission order, so an external submitter still sees FIFO.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 64; ++i)
+        done.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : done)
+        f.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(PoolProperty, SingleWorkerRunsNestedSubmissionsLifo)
+{
+    // The other half of the relaxed contract: worker-local submissions
+    // go to the worker's own deque and pop LIFO, ahead of injected
+    // work — newest-first is the documented (and asserted) behavior.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.submit([&pool, &order] {
+          for (int i = 0; i < 4; ++i)
+              pool.submit([&order, i] { order.push_back(i); });
+      }).get();
+    pool.submit([] {}).get(); // fence: children ran before injected work
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(PoolProperty, HardwareThreadsRespectsAffinityMask)
+{
+    const int reported = ThreadPool::hardware_threads();
+    EXPECT_GE(reported, 1);
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    ASSERT_EQ(sched_getaffinity(0, sizeof(allowed), &allowed), 0);
+    const int usable = CPU_COUNT(&allowed);
+    ASSERT_GT(usable, 0);
+    // The whole point of the fix: never report more parallelism than
+    // the scheduler will actually grant this process.
+    EXPECT_LE(reported, usable);
+#endif
+    const int advertised = int(std::thread::hardware_concurrency());
+    if (advertised > 0) {
+        EXPECT_LE(reported, advertised);
+    }
+}
+
+TEST(PoolStress, ShutdownVsStealChurn)
+{
+    // Rapid create/flood/destroy cycles with nested spawns: the
+    // shutdown protocol races live steals every round.
+    for (int round = 0; round < 30; ++round) {
+        std::atomic<int> ran{0};
+        {
+            ThreadPool pool(4);
+            for (int i = 0; i < 64; ++i) {
+                pool.submit([&pool, &ran] {
+                    pool.submit([&ran] { ran.fetch_add(1); });
+                    ran.fetch_add(1);
+                });
+            }
+        }
+        EXPECT_EQ(ran.load(), 128) << "round " << round;
+    }
+}
+
+TEST(PoolStress, OversubscribedBulkFlood)
+{
+    // More workers than any CI container has cores: the digests gate
+    // runs --jobs 32 on purpose, so the pool must stay correct (and
+    // make progress) when heavily oversubscribed.
+    constexpr size_t kIndices = 20'000;
+    std::vector<std::atomic<int>> counts(kIndices);
+    ThreadPool pool(32);
+    EXPECT_EQ(pool.size(), 32);
+    pool.submit_bulk(kIndices, [&](size_t i) {
+        counts[i].fetch_add(1);
+    }).wait();
+    int64_t total = 0;
+    for (size_t i = 0; i < kIndices; ++i)
+        total += counts[i].load();
+    EXPECT_EQ(total, int64_t(kIndices));
+}
+
+TEST(PoolStress, ConcurrentExternalSubmittersAndBulkGroups)
+{
+    // Several external threads mixing submit() and submit_bulk()
+    // against one pool: injection, batch transfer, and steals all
+    // interleave.
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = 500;
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&pool, &total] {
+            std::vector<std::future<void>> done;
+            done.reserve(kPerSubmitter);
+            for (int i = 0; i < kPerSubmitter; ++i)
+                done.push_back(
+                    pool.submit([&total] { total.fetch_add(1); }));
+            pool.submit_bulk(kPerSubmitter, [&total](size_t) {
+                    total.fetch_add(1);
+                })
+                .wait();
+            for (auto &f : done)
+                f.get();
+        });
+    }
+    for (auto &submitter : submitters)
+        submitter.join();
+    EXPECT_EQ(total.load(), int64_t(kSubmitters) * kPerSubmitter * 2);
+}
+
+} // namespace
+} // namespace tacc

@@ -2,8 +2,11 @@
  * @file
  * ThreadPool contract tests: results and exceptions propagate through
  * futures, shutdown drains every queued task (no work lost), and the
- * pool survives heavy churn. These also run under the ThreadSanitizer
- * CI job, which is where the locking discipline is actually proven.
+ * pool survives heavy churn. The work-stealing internals (deque
+ * semantics, steal races, bulk groups, the relaxed ordering contract)
+ * are property-tested in test_pool_property.cc; both files run under
+ * the ThreadSanitizer `pool-stress` CI job, which is where the memory
+ * orders are actually proven.
  */
 #include <gtest/gtest.h>
 
@@ -86,7 +89,10 @@ TEST(ThreadPool, NoWorkLostUnderChurn)
 
 TEST(ThreadPool, TasksFromOneSubmitterStartInFifoOrder)
 {
-    // With a single worker, execution order == submission order.
+    // The relaxed ordering contract: per-submitter FIFO survives only
+    // on a single worker (no thieves; the injection batch transfer
+    // replays submission order). Multi-worker reordering is asserted
+    // in test_pool_property.cc.
     ThreadPool pool(1);
     std::vector<int> order;
     std::vector<std::future<void>> done;
