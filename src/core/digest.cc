@@ -50,4 +50,28 @@ finish_run_digest(uint64_t state, uint64_t record_count,
     return h.value();
 }
 
+uint64_t
+fold_serve_counts(uint64_t digest, const ServeDigestCounts &counts)
+{
+    Fnv1a h(digest);
+    h.str("serve-v1");
+    h.u64(counts.requests);
+    h.u64(counts.attempts);
+    h.u64(counts.admitted);
+    h.u64(counts.ok);
+    h.u64(counts.late);
+    h.u64(counts.degraded);
+    h.u64(counts.wasted);
+    h.u64(counts.shed);
+    h.u64(counts.breaker_shed);
+    h.u64(counts.timeouts);
+    h.u64(counts.retries);
+    h.u64(counts.retries_denied);
+    h.u64(counts.dropped);
+    h.u64(counts.breaker_trips);
+    h.u64(counts.replica_failures);
+    h.u64(counts.replicas_spawned);
+    return h.value();
+}
+
 } // namespace tacc::core

@@ -38,6 +38,32 @@ struct RunDigestCounts {
     uint64_t segment_failures = 0;
 };
 
+/**
+ * Request-serving plane counters folded *after* the v2 tail when a
+ * scenario runs with serving enabled. Serving-off runs fold nothing, so
+ * every pre-serving digest (and golden) stays byte-identical; the fold
+ * itself is mode-independent, so batch and streaming runs of the same
+ * serving scenario still agree.
+ */
+struct ServeDigestCounts {
+    uint64_t requests = 0;
+    uint64_t attempts = 0;
+    uint64_t admitted = 0;
+    uint64_t ok = 0;
+    uint64_t late = 0;
+    uint64_t degraded = 0;
+    uint64_t wasted = 0;
+    uint64_t shed = 0;
+    uint64_t breaker_shed = 0;
+    uint64_t timeouts = 0;
+    uint64_t retries = 0;
+    uint64_t retries_denied = 0;
+    uint64_t dropped = 0;
+    uint64_t breaker_trips = 0;
+    uint64_t replica_failures = 0;
+    uint64_t replicas_spawned = 0;
+};
+
 /** FNV state after folding the run-identity prefix. */
 uint64_t run_digest_prefix(const std::string &scheduler,
                            const std::string &placement);
@@ -48,5 +74,9 @@ uint64_t fold_job_record(uint64_t state, const JobRecord &r);
 /** Folds the tail (record count + aggregates); returns the digest. */
 uint64_t finish_run_digest(uint64_t state, uint64_t record_count,
                            const RunDigestCounts &counts);
+
+/** Folds the serving-plane counters onto a finished run digest. */
+uint64_t fold_serve_counts(uint64_t digest,
+                           const ServeDigestCounts &counts);
 
 } // namespace tacc::core

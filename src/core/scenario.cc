@@ -67,6 +67,16 @@ extract_common(const ScenarioConfig &config, TaccStack &stack,
     const auto &cstats = stack.task_compiler().stats();
     out.mean_provision_s = cstats.mean_provision_s();
     out.cache_transfer_savings = cstats.transfer_savings();
+
+    if (const auto *plane = stack.serve_plane()) {
+        out.serve_enabled = true;
+        out.serve_counters = plane->counters();
+        const auto &c = out.serve_counters;
+        const uint64_t done = c.ok + c.late + c.dropped;
+        out.serve_slo_attainment =
+            done > 0 ? double(c.ok) / double(done) : 1.0;
+        out.serve_slo_unattainable = plane->slo_unattainable();
+    }
 }
 
 } // namespace

@@ -121,6 +121,14 @@ struct ScenarioResult {
     std::vector<std::pair<std::string, double>> group_energy_kwh;
     ///@}
 
+    /** @name Request-serving summary (all zero when serving is off) */
+    ///@{
+    bool serve_enabled = false;
+    serve::PlaneCounters serve_counters;
+    double serve_slo_attainment = 0;  ///< ok / (ok + late + dropped)
+    bool serve_slo_unattainable = false; ///< demand > max-pool capacity
+    ///@}
+
     /** Aggregate GPU-seconds actually charged across all jobs. */
     double total_gpu_seconds = 0;
     /** Aggregate minimal GPU-seconds (ideal service at requested scale). */

@@ -73,6 +73,28 @@ TaccStack::TaccStack(StackConfig config, StackArena *arena)
             std::make_unique<power::PowerManager>(cluster_, config_.power);
     }
 
+    if (config_.serve.enabled) {
+        serve::PlaneHooks hooks;
+        hooks.spawn_replica = [this](int slot) {
+            return spawn_serve_replica(slot);
+        };
+        hooks.kill_replica = [this](uint64_t job) {
+            Job *victim = find_job(job);
+            if (victim && !victim->terminal()) {
+                Status s = kill(job);
+                assert(s.is_ok());
+            }
+        };
+        hooks.node_degraded = [this](uint32_t node) {
+            const auto state =
+                cluster_.health().state(cluster::NodeId(node));
+            return state == cluster::NodeHealth::kDegraded ||
+                   state == cluster::NodeHealth::kDown;
+        };
+        serve_plane_ = std::make_unique<serve::RequestPlane>(
+            sim_, config_.serve, config_.seed, std::move(hooks));
+    }
+
     const Duration period = scheduler_->tick_period();
     if (!period.is_zero()) {
         tick_ = std::make_unique<sim::PeriodicTask>(
@@ -81,6 +103,10 @@ TaccStack::TaccStack(StackConfig config, StackArena *arena)
     }
     if (config_.ops.enabled)
         wire_ops();
+    // Last: spawning the initial pool and arming arrivals submits jobs,
+    // which needs the fully wired stack above.
+    if (serve_plane_)
+        serve_plane_->start();
 }
 
 void
@@ -204,6 +230,89 @@ TaccStack::wire_ops()
                 "mean draw has run near the facility cap for 30 min";
             ops_->alerts().add_rule(std::move(sustained));
         }
+    }
+
+    // Request-serving plane: goodput/shed/breaker counters, pool
+    // gauges, and the SLO-burn / shed-storm / breaker alert rules. All
+    // sources read plane counters — observational, like everything here.
+    if (serve_plane_) {
+        ops_->add_counter_source(series::kServeRequests, [this] {
+            return double(serve_plane_->counters().requests);
+        });
+        ops_->add_counter_source(series::kServeGoodput, [this] {
+            return double(serve_plane_->counters().ok);
+        });
+        ops_->add_counter_source(series::kServeShed, [this] {
+            return double(serve_plane_->counters().shed);
+        });
+        ops_->add_counter_source(series::kServeDegraded, [this] {
+            return double(serve_plane_->counters().degraded);
+        });
+        ops_->add_counter_source(series::kServeRetries, [this] {
+            return double(serve_plane_->counters().retries);
+        });
+        ops_->add_counter_source(series::kServeBreakerTrips, [this] {
+            return double(serve_plane_->counters().breaker_trips);
+        });
+        ops_->add_gauge_source(series::kServeReplicasUp, [this] {
+            return double(serve_plane_->replicas_up());
+        });
+        ops_->add_gauge_source(series::kServeQueueDepth, [this] {
+            return double(serve_plane_->queue_depth());
+        });
+        // Windowed attainment: in-SLO completions over resolved
+        // requests since the previous sample (1.0 when idle).
+        ops_->add_gauge_source(
+            series::kSloAttainment,
+            [this, ok = uint64_t(0), done = uint64_t(0)]() mutable {
+                const auto &c = serve_plane_->counters();
+                const uint64_t now_ok = c.ok;
+                const uint64_t now_done = c.ok + c.late + c.dropped;
+                const uint64_t d_ok = now_ok - ok;
+                const uint64_t d_done = now_done - done;
+                ok = now_ok;
+                done = now_done;
+                return d_done > 0 ? double(d_ok) / double(d_done) : 1.0;
+            });
+
+        ops::AlertRule shed_storm;
+        shed_storm.name = "serve-shed-storm";
+        shed_storm.series = series::kServeShed;
+        shed_storm.agg = ops::AlertRule::Agg::kRate;
+        shed_storm.cmp = ops::AlertRule::Cmp::kAbove;
+        shed_storm.threshold = 0.5; // shed requests per second
+        shed_storm.window = Duration::minutes(5);
+        shed_storm.for_duration = Duration::minutes(5);
+        shed_storm.severity = ops::AlertSeverity::kWarning;
+        shed_storm.description =
+            "serving tier is shedding sustained load (over capacity)";
+        ops_->alerts().add_rule(std::move(shed_storm));
+
+        ops::AlertRule breaker_trips;
+        breaker_trips.name = "serve-breaker-trips";
+        breaker_trips.series = series::kServeBreakerTrips;
+        breaker_trips.agg = ops::AlertRule::Agg::kRate;
+        breaker_trips.cmp = ops::AlertRule::Cmp::kAbove;
+        breaker_trips.threshold = 1.0 / 60.0; // one trip per minute
+        breaker_trips.window = Duration::minutes(10);
+        breaker_trips.for_duration = Duration::minutes(5);
+        breaker_trips.severity = ops::AlertSeverity::kWarning;
+        breaker_trips.description =
+            "replica circuit breakers are tripping repeatedly";
+        ops_->alerts().add_rule(std::move(breaker_trips));
+
+        ops::AlertRule slo_burn;
+        slo_burn.name = "serve-slo-burn";
+        slo_burn.series = series::kSloAttainment;
+        slo_burn.agg = ops::AlertRule::Agg::kMean;
+        slo_burn.cmp = ops::AlertRule::Cmp::kBelow;
+        slo_burn.threshold = 0.9;
+        slo_burn.window = Duration::minutes(10);
+        slo_burn.for_duration = Duration::minutes(10);
+        slo_burn.severity = ops::AlertSeverity::kCritical;
+        slo_burn.description =
+            "SLO attainment is burning through the error budget";
+        ops_->alerts().add_rule(std::move(slo_burn));
     }
 
     // Per-tenant fair-share usage: one gauge per group, defined lazily
@@ -475,6 +584,10 @@ TaccStack::quiescent() const
         !backoff_.empty()) {
         return false;
     }
+    // The serving plane counts as pending work until its arrival stream
+    // ends and every request resolved (it then retires its replicas).
+    if (serve_plane_ && !serve_plane_->idle())
+        return false;
     return true;
 }
 
@@ -541,6 +654,79 @@ TaccStack::accounting_report(const std::string &group) const
     if (!ops_)
         return "ops layer disabled; no accounting available\n";
     return ops::render_group_accounting(ops_->accounting(), group);
+}
+
+cluster::JobId
+TaccStack::spawn_serve_replica(int slot)
+{
+    workload::TaskSpec spec;
+    spec.name = strfmt("serve-replica-%d", slot);
+    spec.user = "inference";
+    spec.group = config_.serve.group;
+    spec.model = config_.serve.model;
+    spec.gpus = 1;
+    spec.qos = workload::QosClass::kInteractive;
+    spec.preemptible = false;
+    // A replica runs until the plane retires it: give the job an
+    // effectively unbounded segment so it never completes on its own.
+    spec.iterations = 1'000'000'000'000LL;
+    spec.time_limit = Duration::days(365);
+    auto result = submit(spec);
+    if (!result.is_ok()) {
+        Log::warnf("serve replica %d refused: %s", slot,
+                   result.status().str().c_str());
+        return cluster::kInvalidJob;
+    }
+    serve_jobs_.insert(result.value());
+    return result.value();
+}
+
+void
+TaccStack::notify_serve_stop(JobId id)
+{
+    if (serve_plane_ && serve_jobs_.count(id))
+        serve_plane_->on_replica_down(id);
+}
+
+std::string
+TaccStack::serving_report()
+{
+    if (!serve_plane_)
+        return "serving plane disabled\n";
+    const serve::ServingReport r = serve_plane_->report();
+    const auto &c = r.counters;
+    std::string out = strfmt(
+        "== serving: cluster '%s' at %s ==\n",
+        config_.cluster.name.c_str(),
+        ops::format_day_time(sim_.now()).c_str());
+    out += strfmt("replicas: %d up / %d desired (max %d); %llu spawned, "
+                  "%llu failure(s)\n",
+                  r.replicas_up, serve_plane_->replicas_desired(),
+                  config_.serve.max_replicas,
+                  (unsigned long long)c.replicas_spawned,
+                  (unsigned long long)c.replica_failures);
+    out += strfmt("requests: %llu (%llu attempts), goodput %llu, late "
+                  "%llu, dropped %llu — SLO attainment %.4f%s\n",
+                  (unsigned long long)c.requests,
+                  (unsigned long long)c.attempts,
+                  (unsigned long long)c.ok, (unsigned long long)c.late,
+                  (unsigned long long)c.dropped, r.slo_attainment,
+                  r.slo_unattainable ? " [SLO UNATTAINABLE at max pool]"
+                                     : "");
+    out += strfmt("robustness: shed %llu (breaker %llu), degraded %llu, "
+                  "wasted %llu, timeouts %llu\n",
+                  (unsigned long long)c.shed,
+                  (unsigned long long)c.breaker_shed,
+                  (unsigned long long)c.degraded,
+                  (unsigned long long)c.wasted,
+                  (unsigned long long)c.timeouts);
+    out += strfmt("retries: %llu spent, %llu denied by budget; breaker "
+                  "trips %llu\n",
+                  (unsigned long long)c.retries,
+                  (unsigned long long)c.retries_denied,
+                  (unsigned long long)c.breaker_trips);
+    out += strfmt("queue depth now: %d\n", serve_plane_->queue_depth());
+    return out;
 }
 
 void
@@ -613,6 +799,10 @@ TaccStack::finalize(Job &job)
     requeue_killed_at_.erase(job.id());
     const JobId id = job.id();
     resolve_dependents(id, job.state() == JobState::kCompleted);
+    // A replica job reaching a terminal state hands its slot back to
+    // the plane (which respawns a replacement unless shutting down).
+    if (serve_plane_ && serve_jobs_.erase(id) > 0)
+        serve_plane_->on_replica_gone(id);
     if (metrics_.streaming()) {
         // Streaming reclamation: the terminal record is folded, so the
         // job's state is dead weight — drop it everywhere. Memory now
@@ -647,6 +837,7 @@ TaccStack::stop_segment(Job &job, bool count_as_preemption)
         log_job(job, placement, "preempted");
     }
     metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+    notify_serve_stop(job.id());
 }
 
 void
@@ -720,6 +911,7 @@ TaccStack::handle_segment_failure(JobId id, exec::FailureKind kind)
     charge_usage(*job);
     metrics_.on_segment_failure();
     metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
+    notify_serve_stop(id);
 
     const bool out_of_attempts = engine_.failures().on_failure(*job);
     if (out_of_attempts) {
@@ -735,8 +927,8 @@ TaccStack::handle_segment_failure(JobId id, exec::FailureKind kind)
                 ? "node fault; requeueing"
                 : "segment failed; requeueing");
     requeue_killed_at_[id] = sim_.now();
-    const Duration backoff = engine_.failures().requeue_backoff(
-        engine_.failures().attempts_of(id));
+    const Duration backoff = engine_.failures().requeue_delay(
+        id, engine_.failures().attempts_of(id));
     if (backoff.is_zero()) {
         enqueue_pending(id);
     } else {
@@ -878,6 +1070,10 @@ TaccStack::apply_decision(const sched::ScheduleDecision &decision)
                        granted.slices.size(), granted.total_gpus(),
                        compiler::runtime_kind_name(plan.runtime),
                        exec::transport_name(plan.transport)));
+        if (serve_plane_ && serve_jobs_.count(id) &&
+            !granted.slices.empty()) {
+            serve_plane_->on_replica_up(id, granted.slices.front().node);
+        }
     }
     metrics_.on_gpus_in_use(sim_.now(), cluster_.used_gpus());
 }

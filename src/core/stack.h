@@ -37,6 +37,7 @@
 #include "sched/placement.h"
 #include "sched/schedulers.h"
 #include "sched/usage.h"
+#include "serve/request_plane.h"
 #include "sim/simulator.h"
 #include "workload/job.h"
 #include "workload/stream.h"
@@ -83,6 +84,14 @@ struct StackConfig {
      * without the subsystem.
      */
     power::PowerConfig power;
+    /**
+     * Request-level serving plane: inference replicas occupying cluster
+     * GPUs next to training jobs, with an open-loop request stream and
+     * the overload-robustness stack (admission control, retry budgets,
+     * circuit breakers, graceful degradation). Disabled (the default)
+     * keeps every run byte-identical to a stack without the subsystem.
+     */
+    serve::ServePlaneConfig serve;
     /**
      * Streaming (million-job) retention: terminal jobs are folded into
      * the run digest and percentile sketches and then reclaimed, so
@@ -136,6 +145,12 @@ class TaccStack
     const ops::OpsCenter *ops() const { return ops_.get(); }
     /** The power manager; nullptr when config.power.enabled is off. */
     const power::PowerManager *power() const { return power_.get(); }
+    /** The serving plane; nullptr when config.serve.enabled is off. */
+    serve::RequestPlane *serve_plane() { return serve_plane_.get(); }
+    const serve::RequestPlane *serve_plane() const
+    {
+        return serve_plane_.get();
+    }
     const sched::UsageTracker &usage() const { return usage_; }
     const sched::RuntimeEstimator &estimator() const { return estimator_; }
     sched::Scheduler &scheduler() { return *scheduler_; }
@@ -243,6 +258,10 @@ class TaccStack
     /** One group's accounting statements (`tcloud accounting <group>`). */
     std::string accounting_report(const std::string &group) const;
 
+    /** `tcloud serve status`: replica pool, goodput, shed/retry/breaker
+     *  totals. Non-const: settles the plane's capacity accrual. */
+    std::string serving_report();
+
     /** Runs simulated time forward to t. */
     void run_until(TimePoint t);
 
@@ -284,6 +303,10 @@ class TaccStack
     void evacuate_node(cluster::NodeId node);
     void charge_usage(workload::Job &job);
     void finalize(workload::Job &job);
+    /** Submits the 1-GPU inference job backing a replica slot. */
+    cluster::JobId spawn_serve_replica(int slot);
+    /** Tells the plane a replica's segment stopped (crash/preempt). */
+    void notify_serve_stop(cluster::JobId id);
     /** Releases a stopped segment's draw and refreshes node clocks. */
     void release_power(cluster::JobId id,
                        const cluster::Placement &placement);
@@ -305,6 +328,9 @@ class TaccStack
     MetricsCollector metrics_;
     std::unique_ptr<ops::OpsCenter> ops_;
     std::unique_ptr<power::PowerManager> power_;
+    std::unique_ptr<serve::RequestPlane> serve_plane_;
+    /** Live replica-backing jobs (lifecycle routed to the plane). */
+    std::set<cluster::JobId> serve_jobs_;
     /** Scratch the scheduler context's power gate points into. */
     sched::PowerGate power_gate_;
 

@@ -7,6 +7,39 @@
 
 namespace tacc::driver {
 
+namespace {
+
+/** Serving-plane counters ride on top of the finished v2 digest, the
+ *  same fold for both retention modes; serving-off runs skip it so
+ *  every pre-serving golden stays byte-identical. */
+uint64_t
+fold_serve(const core::ScenarioResult &result, uint64_t digest)
+{
+    if (!result.serve_enabled)
+        return digest;
+    const auto &c = result.serve_counters;
+    core::ServeDigestCounts counts;
+    counts.requests = c.requests;
+    counts.attempts = c.attempts;
+    counts.admitted = c.admitted;
+    counts.ok = c.ok;
+    counts.late = c.late;
+    counts.degraded = c.degraded;
+    counts.wasted = c.wasted;
+    counts.shed = c.shed;
+    counts.breaker_shed = c.breaker_shed;
+    counts.timeouts = c.timeouts;
+    counts.retries = c.retries;
+    counts.retries_denied = c.retries_denied;
+    counts.dropped = c.dropped;
+    counts.breaker_trips = c.breaker_trips;
+    counts.replica_failures = c.replica_failures;
+    counts.replicas_spawned = c.replicas_spawned;
+    return core::fold_serve_counts(digest, counts);
+}
+
+} // namespace
+
 uint64_t
 scenario_digest(const core::ScenarioResult &result)
 {
@@ -14,7 +47,7 @@ scenario_digest(const core::ScenarioResult &result)
     // (identical v2 layout, folded as job-id prefixes became
     // contiguous); just hand it through.
     if (result.streaming)
-        return result.digest;
+        return fold_serve(result, result.digest);
 
     // Sort an index by job id so the digest is independent of the
     // collector's append (terminal-event) order — and matches the
@@ -42,7 +75,8 @@ scenario_digest(const core::ScenarioResult &result)
     counts.never_finished = result.never_finished;
     counts.preemptions = result.preemptions;
     counts.segment_failures = result.segment_failures;
-    return core::finish_run_digest(state, uint64_t(order.size()), counts);
+    return fold_serve(result, core::finish_run_digest(
+                                  state, uint64_t(order.size()), counts));
 }
 
 } // namespace tacc::driver

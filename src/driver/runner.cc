@@ -147,6 +147,22 @@ summary_to_json(const SweepSummary &summary)
                       obj.slo_miss_rate);
         out << strfmt("      \"peak_draw_w\": %.3f,\n", r.peak_draw_w);
         out << strfmt("      \"energy_kwh\": %.6f,\n", obj.energy_kwh);
+        if (r.serve_enabled) {
+            const auto &c = r.serve_counters;
+            out << "      \"serve_requests\": " << c.requests << ",\n";
+            out << "      \"serve_ok\": " << c.ok << ",\n";
+            out << "      \"serve_late\": " << c.late << ",\n";
+            out << "      \"serve_dropped\": " << c.dropped << ",\n";
+            out << "      \"serve_shed\": " << c.shed << ",\n";
+            out << "      \"serve_retries\": " << c.retries << ",\n";
+            out << "      \"serve_breaker_trips\": " << c.breaker_trips
+                << ",\n";
+            out << strfmt("      \"serve_slo_attainment\": %.6f,\n",
+                          r.serve_slo_attainment);
+            out << "      \"serve_slo_unattainable\": "
+                << (r.serve_slo_unattainable ? "true" : "false")
+                << ",\n";
+        }
         out << strfmt("      \"makespan_s\": %.3f\n", r.makespan_s);
         out << (i + 1 < summary.runs.size() ? "    },\n" : "    }\n");
     }

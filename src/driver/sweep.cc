@@ -118,7 +118,7 @@ apply_fault_mode(const std::string &mode, core::StackConfig *stack)
         stack->exec.failure.requeue_backoff_base_s = 5.0;
         return Status::ok();
     }
-    if (mode == "storm") {
+    if (mode == "storm" || mode == "storm-jitter") {
         stack->exec.failure.node_mtbf_hours = 500.0;
         stack->exec.failure.requeue_backoff_base_s = 5.0;
         stack->faults.enabled = true;
@@ -126,14 +126,72 @@ apply_fault_mode(const std::string &mode, core::StackConfig *stack)
         stack->faults.node_degrade_mtbf_hours = 360.0;
         stack->faults.rack_outage_mtbf_hours = 1440.0;
         stack->faults.pdu_outage_mtbf_hours = 2880.0;
+        // "-jitter": the same storm with decorrelated requeue backoff
+        // (a separate mode so plain "storm" goldens stay byte-identical
+        // while the jittered grid exercises the per-job streams).
+        stack->exec.failure.requeue_jitter = (mode == "storm-jitter");
         return Status::ok();
     }
     return Status::invalid_argument("unknown fault mode: " + mode);
 }
 
+Status
+apply_serve_mode(const std::string &mode, double burst,
+                 core::StackConfig *stack)
+{
+    if (mode == "off")
+        return Status::ok(); // serving off: the byte-identical baseline
+    if (mode != "robust" && mode != "baseline")
+        return Status::invalid_argument("unknown serve mode: " + mode);
+    auto &serve = stack->serve;
+    serve.enabled = true;
+    serve.burst_factor = burst;
+    // A burst with no configured window defaults to the middle of the
+    // horizon: [h/3, h/3 + h/4).
+    if (burst > 1.0 && serve.burst_duration_s <= 0) {
+        serve.burst_start_s = serve.horizon_s / 3.0;
+        serve.burst_duration_s = serve.horizon_s / 4.0;
+    }
+    if (mode == "robust") {
+        serve.admission = true;
+        serve.retry_budget = true;
+        serve.breakers = true;
+        serve.degrade = true;
+        serve.retry_jitter = true;
+    } else {
+        // The metastable-collapse foil: every protection off, hungry
+        // deterministic retries, deep queues.
+        serve.admission = false;
+        serve.retry_budget = false;
+        serve.breakers = false;
+        serve.degrade = false;
+        serve.retry_jitter = false;
+        serve.max_retries = 6;
+        serve.hard_queue_cap = 4096;
+    }
+    return Status::ok();
+}
+
 std::vector<SweepScenario>
 expand_sweep(const SweepSpec &spec)
 {
+    // Serve points in listed order; every "off" collapses to the one
+    // unsuffixed serving-off point (and bursts only apply when the
+    // plane is on), so the pre-serving grid survives verbatim.
+    std::vector<std::pair<std::string, double>> serve_points;
+    bool have_serve_off = false;
+    for (const auto &mode : spec.serve_modes) {
+        if (mode == "off") {
+            if (!have_serve_off) {
+                serve_points.emplace_back("", 1.0);
+                have_serve_off = true;
+            }
+        } else {
+            for (double burst : spec.bursts)
+                serve_points.emplace_back(mode, burst);
+        }
+    }
+
     // Power points in listed order; every cap <= 0 collapses to the one
     // unsuffixed power-off point so the pre-power grid survives verbatim
     // (and the off point cannot collide with itself per policy).
@@ -153,9 +211,10 @@ expand_sweep(const SweepSpec &spec)
 
     std::vector<SweepScenario> out;
     out.reserve(spec.grid_size());
-    // Power is the outermost axis, then fault_modes, so "0,<caps>" and
-    // "none,<more>" specs keep the plain grid as an unchanged prefix of
-    // the expansion.
+    // Serve is the outermost axis, then power, then fault_modes, so
+    // "off,<modes>", "0,<caps>" and "none,<more>" specs keep the plain
+    // grid as an unchanged prefix of the expansion.
+    for (const auto &[serve_mode, burst] : serve_points) {
     for (const auto &[cap_w, policy] : power_points) {
         for (const auto &fault_mode : spec.fault_modes) {
             for (const auto &scheduler : spec.schedulers) {
@@ -176,6 +235,11 @@ expand_sweep(const SweepSpec &spec)
                                     fault_mode, &sc.config.stack);
                                 (void)apply_power_mode(
                                     cap_w, policy, &sc.config.stack);
+                                if (!serve_mode.empty()) {
+                                    (void)apply_serve_mode(
+                                        serve_mode, burst,
+                                        &sc.config.stack);
+                                }
                                 sc.config.trace.mean_interarrival_s =
                                     spec.base.trace.mean_interarrival_s /
                                     load;
@@ -192,6 +256,14 @@ expand_sweep(const SweepSpec &spec)
                                                       cap_w / 1000.0,
                                                       policy.c_str());
                                 }
+                                if (!serve_mode.empty()) {
+                                    sc.name +=
+                                        "+serve-" + serve_mode;
+                                    if (burst != 1.0) {
+                                        sc.name +=
+                                            strfmt("-b%g", burst);
+                                    }
+                                }
                                 out.push_back(std::move(sc));
                             }
                         }
@@ -199,6 +271,7 @@ expand_sweep(const SweepSpec &spec)
                 }
             }
         }
+    }
     }
     return out;
 }
@@ -324,6 +397,44 @@ parse_sweep_spec(const std::string &text, const std::string &spec_dir)
                     return s;
             }
             spec.power_policies = std::move(list).value();
+        } else if (key == "serve_modes") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            core::StackConfig scratch;
+            for (const auto &mode : list.value()) {
+                if (auto s = apply_serve_mode(mode, 1.0, &scratch);
+                    !s.is_ok())
+                    return s;
+            }
+            spec.serve_modes = std::move(list).value();
+        } else if (key == "bursts") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            spec.bursts.clear();
+            for (const auto &item : list.value()) {
+                auto v = parse_double(key, item);
+                if (!v.is_ok())
+                    return v.status();
+                if (v.value() < 1.0 || v.value() > 100.0)
+                    return bad(key, item);
+                spec.bursts.push_back(v.value());
+            }
+        } else if (key == "serve_rate_hz") {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() <= 0.0 || v.value() > 1e6)
+                return bad(key, value);
+            spec.base.stack.serve.request_rate_hz = v.value();
+        } else if (key == "serve_horizon_s") {
+            auto v = parse_double(key, value);
+            if (!v.is_ok())
+                return v.status();
+            if (v.value() <= 0.0)
+                return bad(key, value);
+            spec.base.stack.serve.horizon_s = v.value();
         } else if (key == "loads") {
             auto list = parse_list(key, value);
             if (!list.is_ok())

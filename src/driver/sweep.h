@@ -4,16 +4,19 @@
  * table.
  *
  * A SweepSpec is a base scenario (cluster shape + workload shape) plus
- * seven axes — power cap x policy, fault mode, scheduler, placement
- * policy, preemption-cost mode, load multiplier, seed — whose cross
- * product expands into independent named scenario runs. Expansion order
- * is canonical (axes iterate in the order above, values in listed
- * order), so run indices, digest files, and JSON summaries are stable
- * for a fixed spec. The power axis is outermost and every cap <= 0
- * collapses into one unsuffixed power-off point (regardless of the
- * policy list), then the fault-mode axis with "none" unsuffixed — so
- * adding power caps or fault modes to a spec appends scenarios without
- * renaming (or reordering) the existing grid.
+ * eight axes — serve mode x burst, power cap x policy, fault mode,
+ * scheduler, placement policy, preemption-cost mode, load multiplier,
+ * seed — whose cross product expands into independent named scenario
+ * runs. Expansion order is canonical (axes iterate in the order above,
+ * values in listed order), so run indices, digest files, and JSON
+ * summaries are stable for a fixed spec. The serve axis is outermost
+ * and every "off" entry collapses into one unsuffixed serving-off
+ * point (regardless of the burst list); next the power axis, where
+ * every cap <= 0 collapses into one unsuffixed power-off point
+ * (regardless of the policy list); then the fault-mode axis with
+ * "none" unsuffixed — so adding serve modes, power caps, or fault
+ * modes to a spec appends scenarios without renaming (or reordering)
+ * the existing grid.
  *
  * Specs are written in the repo's `key: value` dialect:
  *
@@ -26,6 +29,10 @@
  *   fault_modes: none,storm
  *   power_caps: 0,80000      cluster cap in watts; 0 = power off
  *   power_policies: admission,dvfs
+ *   serve_modes: off,robust,baseline   request-serving plane axis
+ *   bursts: 1,3              arrival burst multipliers (serve on only)
+ *   serve_rate_hz: 10        base request rate of the serving plane
+ *   serve_horizon_s: 1200    open-loop arrival horizon (sim seconds)
  *   # base scenario knobs (all optional)
  *   jobs: 40                 trace length
  *   interarrival_s: 90       mean interarrival at load 1.0
@@ -65,9 +72,15 @@ struct SweepSpec {
     /** Template every grid point starts from. */
     core::ScenarioConfig base;
 
-    /** @name Axes (cross product; power outermost, then fault_modes,
-     *  then in this nesting order) */
+    /** @name Axes (cross product; serve outermost, then power, then
+     *  fault_modes, then in this nesting order) */
     ///@{
+    /** Request-serving modes ("off"/"robust"/"baseline"; see
+     *  apply_serve_mode). All off entries collapse to one unsuffixed
+     *  serving-off point. */
+    std::vector<std::string> serve_modes = {"off"};
+    /** Burst multipliers crossed with every serve mode != "off". */
+    std::vector<double> bursts = {1.0};
     /** Cluster power caps in watts; <= 0 = power management off. All
      *  off entries collapse to one unsuffixed power-off point. */
     std::vector<double> power_caps = {0.0};
@@ -100,20 +113,37 @@ struct SweepSpec {
         return points + (any_off ? 1 : 0);
     }
 
+    /** Expanded (mode, burst) points after the serving-off collapse. */
+    size_t
+    serve_point_count() const
+    {
+        size_t points = 0;
+        bool any_off = false;
+        for (const auto &mode : serve_modes) {
+            if (mode == "off")
+                any_off = true;
+            else
+                points += bursts.size();
+        }
+        return points + (any_off ? 1 : 0);
+    }
+
     size_t
     grid_size() const
     {
-        return power_point_count() * fault_modes.size() *
-               schedulers.size() * placements.size() *
-               preempt_modes.size() * loads.size() * seeds.size();
+        return serve_point_count() * power_point_count() *
+               fault_modes.size() * schedulers.size() *
+               placements.size() * preempt_modes.size() * loads.size() *
+               seeds.size();
     }
 };
 
 /** One grid point: a canonical name plus the concrete scenario. */
 struct SweepScenario {
     /** "<sched>/<placement>/<mode>/x<load>/s<seed>[+<fault-mode>]
-     *  [+<cap>kW-<policy>]" (no suffix for fault mode "none" or for
-     *  the power-off point). */
+     *  [+<cap>kW-<policy>][+serve-<mode>[-b<burst>]]" (no suffix for
+     *  fault mode "none", the power-off point, the serving-off point,
+     *  or burst 1). */
     std::string name;
     core::ScenarioConfig config;
 };
@@ -143,6 +173,23 @@ Status apply_preempt_mode(const std::string &mode,
  *                outages with the self-healing repair pipeline.
  */
 Status apply_fault_mode(const std::string &mode, core::StackConfig *stack);
+
+/**
+ * Applies one serve grid point to a stack config (the T20 axis: is a
+ * request-serving plane sharing the cluster, and how hardened is it?).
+ *  - "off":      no serving plane (the default; scenario names stay
+ *                unsuffixed so existing grids are byte-identical);
+ *  - "robust":   the full overload-control suite — SLO-aware admission,
+ *                per-tenant retry budgets, circuit breakers, tiered
+ *                degradation, decorrelated retry jitter;
+ *  - "baseline": the plane with every protection off (unbounded-ish
+ *                queues, aggressive deterministic retries, no
+ *                admission/budgets/breakers) — the metastable-collapse
+ *                foil.
+ * burst > 1 turns on a mid-horizon arrival burst at that multiplier.
+ */
+Status apply_serve_mode(const std::string &mode, double burst,
+                        core::StackConfig *stack);
 
 /**
  * Applies one power grid point to a stack config (the T16 axis: how

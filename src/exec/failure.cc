@@ -141,4 +141,24 @@ FailureModel::requeue_backoff(int attempts) const
         std::min(delay_s, config_.requeue_backoff_cap_s));
 }
 
+Duration
+FailureModel::requeue_delay(cluster::JobId job, int attempts)
+{
+    const Duration exponential = requeue_backoff(attempts);
+    if (!config_.requeue_jitter || exponential.is_zero())
+        return exponential;
+    // Decorrelated jitter: min(cap, uniform(base, 3 * prev)), drawn
+    // from the job's own stream so the schedule depends only on
+    // (seed, job, attempt) — not on cross-job event interleaving.
+    const double base = config_.requeue_backoff_base_s;
+    const double cap = config_.requeue_backoff_cap_s;
+    double prev = base;
+    if (auto it = last_backoff_.find(job); it != last_backoff_.end())
+        prev = std::max(prev, it->second);
+    const double delay_s =
+        std::min(cap, stream_of(job).uniform(base, prev * 3.0));
+    last_backoff_[job] = delay_s;
+    return Duration::from_seconds(delay_s);
+}
+
 } // namespace tacc::exec

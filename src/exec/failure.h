@@ -48,6 +48,15 @@ struct FailureConfig {
      */
     double requeue_backoff_base_s = 0.0;
     double requeue_backoff_cap_s = 600.0;
+    /**
+     * Decorrelated jitter on the requeue backoff: each retry waits
+     * min(cap, uniform(base, 3 * previous_wait)) instead of the pure
+     * exponential schedule, which re-releases every gang a rack outage
+     * killed in lockstep (a synchronized retry herd). Per-job stream,
+     * so the delay depends only on (seed, job, attempt). Default off:
+     * existing goldens stay byte-identical.
+     */
+    bool requeue_jitter = false;
 };
 
 /** Why a segment died — drives the requeue policy. */
@@ -107,6 +116,15 @@ class FailureModel
      */
     Duration requeue_backoff(int attempts) const;
 
+    /**
+     * Requeue delay for a specific job: the exponential schedule, or —
+     * with requeue_jitter on — decorrelated jitter drawn from the
+     * job's own stream (remembers the previous delay per job; the
+     * memory is dropped by forget()). Identical to requeue_backoff()
+     * when jitter is off.
+     */
+    Duration requeue_delay(cluster::JobId job, int attempts);
+
     /** True if the job is runtime-incompatible with `runtime` (test
      *  introspection). */
     bool is_incompatible(const workload::Job &job,
@@ -119,6 +137,7 @@ class FailureModel
     {
         streams_.erase(job);
         failures_.erase(job);
+        last_backoff_.erase(job);
     }
 
   private:
@@ -138,6 +157,8 @@ class FailureModel
     const cluster::NodeHealthTracker *health_ = nullptr;
     std::unordered_map<cluster::JobId, Rng> streams_;
     std::unordered_map<cluster::JobId, int> failures_;
+    /** Previous jittered requeue delay per job (decorrelated state). */
+    std::unordered_map<cluster::JobId, double> last_backoff_;
 };
 
 } // namespace tacc::exec

@@ -43,6 +43,17 @@ inline constexpr const char kSegmentFailures[] = "exec.segment_failures";
 inline constexpr const char kCrossRackJobs[] = "net.cross_rack_jobs";
 inline constexpr const char kMonitorLines[] = "monitor.lines";
 inline constexpr const char kSloAttainment[] = "serve.slo_attainment";
+/** @name Request-serving plane (published when serving is on) */
+///@{
+inline constexpr const char kServeRequests[] = "serve.requests";
+inline constexpr const char kServeGoodput[] = "serve.goodput";
+inline constexpr const char kServeShed[] = "serve.shed";
+inline constexpr const char kServeDegraded[] = "serve.degraded";
+inline constexpr const char kServeRetries[] = "serve.retries";
+inline constexpr const char kServeBreakerTrips[] = "serve.breaker_trips";
+inline constexpr const char kServeReplicasUp[] = "serve.replicas_up";
+inline constexpr const char kServeQueueDepth[] = "serve.queue_depth";
+///@}
 inline constexpr const char kNodesHealthy[] = "health.nodes_healthy";
 inline constexpr const char kNodesDegraded[] = "health.nodes_degraded";
 inline constexpr const char kNodesDown[] = "health.nodes_down";

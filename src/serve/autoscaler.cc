@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/log.h"
+
 namespace tacc::serve {
 
 int
@@ -23,9 +25,21 @@ SloAwareAutoscaler::decide(const ScaleContext &ctx)
     if (ctx.arrival_rate_hz <= 0)
         return 0;
     const double planned_rate = ctx.arrival_rate_hz * headroom_;
-    return min_replicas_for_slo(planned_rate, ctx.service_rate_hz,
-                                ctx.slo_s, ctx.slo_target,
-                                ctx.max_replicas);
+    const ReplicaPlan plan =
+        plan_replicas_for_slo(planned_rate, ctx.service_rate_hz,
+                              ctx.slo_s, ctx.slo_target,
+                              ctx.max_replicas);
+    if (!plan.attainable && !unattainable_) {
+        // Warn once per unattainable stretch, not once per epoch: a
+        // pinned pool with no signal is how overload hides.
+        Log::warnf("slo-aware autoscaler: target %.3f unattainable at "
+                   "max pool %d (predicted attainment %.3f at "
+                   "%.1f req/s) — pinning max replicas",
+                   ctx.slo_target, ctx.max_replicas, plan.attainment,
+                   planned_rate);
+    }
+    unattainable_ = !plan.attainable;
+    return plan.replicas;
 }
 
 } // namespace tacc::serve

@@ -90,8 +90,15 @@ class SloAwareAutoscaler : public Autoscaler
     std::string name() const override { return "slo-aware"; }
     int decide(const ScaleContext &ctx) override;
 
+    /** True once a decide() found the SLO unattainable even at the
+     *  pool bound (pins max_replicas AND warns once instead of
+     *  silently pinning). Latched until the SLO becomes attainable
+     *  again, when the next unattainable stretch warns anew. */
+    bool slo_unattainable() const { return unattainable_; }
+
   private:
     double headroom_;
+    bool unattainable_ = false;
 };
 
 } // namespace tacc::serve

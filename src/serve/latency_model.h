@@ -44,10 +44,31 @@ double wait_tail(int servers, double arrival_rate_hz,
 double slo_attainment(int servers, double arrival_rate_hz,
                       double service_rate_hz, double slo_s);
 
+/** Result of planning a replica count against an SLO target. */
+struct ReplicaPlan {
+    /** Replicas to provision (== max_servers when unattainable). */
+    int replicas = 0;
+    /** False when even max_servers cannot meet the target — e.g. the
+     *  mean service time alone exceeds the SLO. Callers must not treat
+     *  `replicas` as sufficient in that case. */
+    bool attainable = false;
+    /** Predicted attainment at `replicas`. */
+    double attainment = 0;
+};
+
 /**
  * Smallest replica count whose attainment meets `target` (e.g. 0.99)
- * for the given rates and SLO, capped at max_servers. Returns
- * max_servers when even that does not suffice.
+ * for the given rates and SLO, capped at max_servers — with an explicit
+ * attainability verdict instead of silently pinning the pool.
+ */
+ReplicaPlan plan_replicas_for_slo(double arrival_rate_hz,
+                                  double service_rate_hz, double slo_s,
+                                  double target, int max_servers);
+
+/**
+ * Legacy scalar form of plan_replicas_for_slo. Returns max_servers
+ * when even that does not suffice — prefer the plan form, which says
+ * so explicitly.
  */
 int min_replicas_for_slo(double arrival_rate_hz, double service_rate_hz,
                          double slo_s, double target, int max_servers);

@@ -1,0 +1,162 @@
+#include "serve/robustness.h"
+
+#include <algorithm>
+
+namespace tacc::serve {
+
+RetryBudget::RetryBudget(RetryBudgetConfig config)
+    : config_(config), balance_(config.initial), earned_(config.initial)
+{}
+
+void
+RetryBudget::on_request()
+{
+    const double grant =
+        std::min(config_.ratio, std::max(0.0, config_.cap - balance_));
+    balance_ += grant;
+    earned_ += grant;
+}
+
+bool
+RetryBudget::try_spend()
+{
+    if (balance_ < 1.0) {
+        ++denied_;
+        return false;
+    }
+    balance_ -= 1.0;
+    ++spent_;
+    return true;
+}
+
+const char *
+breaker_state_name(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::kClosed: return "closed";
+      case BreakerState::kOpen: return "open";
+      case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+bool
+CircuitBreaker::can_allow(TimePoint now) const
+{
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kOpen:
+        return (now - opened_at_).to_seconds() >= config_.cooldown_s;
+      case BreakerState::kHalfOpen:
+        return probes_in_flight_ < config_.probe_quota;
+    }
+    return false;
+}
+
+bool
+CircuitBreaker::allow(TimePoint now)
+{
+    if (!can_allow(now))
+        return false;
+    if (state_ == BreakerState::kOpen) {
+        state_ = BreakerState::kHalfOpen;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+    }
+    if (state_ == BreakerState::kHalfOpen)
+        ++probes_in_flight_;
+    return true;
+}
+
+void
+CircuitBreaker::on_success(TimePoint now)
+{
+    (void)now;
+    switch (state_) {
+      case BreakerState::kClosed:
+        consecutive_failures_ = 0;
+        break;
+      case BreakerState::kOpen:
+        // A success from before the trip; the breaker stays open.
+        break;
+      case BreakerState::kHalfOpen:
+        probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
+        if (++probe_successes_ >= config_.probe_successes) {
+            state_ = BreakerState::kClosed;
+            consecutive_failures_ = 0;
+            probes_in_flight_ = 0;
+            probe_successes_ = 0;
+        }
+        break;
+    }
+}
+
+void
+CircuitBreaker::on_failure(TimePoint now)
+{
+    switch (state_) {
+      case BreakerState::kClosed:
+        if (++consecutive_failures_ >= config_.failure_threshold)
+            open(now);
+        break;
+      case BreakerState::kOpen:
+        break;
+      case BreakerState::kHalfOpen:
+        // One failed probe is enough evidence the replica is still
+        // sick: back to open, restart the cooldown.
+        open(now);
+        break;
+    }
+}
+
+void
+CircuitBreaker::trip(TimePoint now)
+{
+    if (state_ == BreakerState::kOpen) {
+        opened_at_ = now; // refresh the cooldown, don't double-count
+        return;
+    }
+    open(now);
+}
+
+void
+CircuitBreaker::open(TimePoint now)
+{
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+    ++trips_;
+}
+
+AdmissionDecision
+admit_request(const AdmissionConfig &config, int queue_depth,
+              double backlog_s, double service_s, double now_s,
+              double deadline_s)
+{
+    AdmissionDecision decision;
+    decision.predicted_completion_s = now_s + backlog_s + service_s;
+    if (queue_depth >= config.queue_cap) {
+        decision.reason = "queue-full";
+        return decision;
+    }
+    if (decision.predicted_completion_s > deadline_s) {
+        decision.reason = "deadline";
+        return decision;
+    }
+    decision.admit = true;
+    return decision;
+}
+
+double
+decorrelated_jitter(Rng &rng, double base_s, double cap_s, double prev_s)
+{
+    const double prev = std::max(prev_s, base_s);
+    return std::min(cap_s, rng.uniform(base_s, prev * 3.0));
+}
+
+} // namespace tacc::serve

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Overload-robustness primitives of the request-serving plane.
+ *
+ * Three mechanisms keep a serving tier from collapsing when offered
+ * load exceeds surviving capacity (the metastable-failure literature's
+ * standard toolkit):
+ *
+ *  - RetryBudget: an SRE-style token bucket per tenant. First-attempt
+ *    requests *earn* a fraction of a token; every retry *spends* one.
+ *    A burst can therefore amplify itself by at most (1 + ratio) —
+ *    never into an unbounded retry storm.
+ *  - CircuitBreaker: the closed -> open -> half-open state machine per
+ *    replica. Consecutive failures (or an explicit trip when the
+ *    backing node crashes or degrades) open the breaker; after a
+ *    cooldown a bounded number of half-open probes test the replica,
+ *    and enough probe successes close it again.
+ *  - admit_request: SLO-aware admission control — a pure predicate
+ *    that rejects a request whose *predicted* completion (backlog plus
+ *    its own service) would already miss its deadline, and bounds the
+ *    per-replica queue. Rejecting early is what makes shed load cheap.
+ *
+ * All three are deterministic, allocation-free, and independent of the
+ * simulator — the property tests drive them directly.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace tacc::serve {
+
+/** @name Retry budgets */
+///@{
+
+/** Token-bucket parameters of one tenant's retry budget. */
+struct RetryBudgetConfig {
+    /** Tokens earned per first-attempt request (retry amplification
+     *  bound: long-run retries <= ratio * requests + initial). */
+    double ratio = 0.1;
+    /** Starting balance (lets a cold tenant retry at all). */
+    double initial = 10.0;
+    /** Balance cap (a long quiet period cannot bank a storm). */
+    double cap = 100.0;
+};
+
+/** Deterministic token bucket; one per tenant. */
+class RetryBudget
+{
+  public:
+    explicit RetryBudget(RetryBudgetConfig config = {});
+
+    /** A first-attempt request arrived: earn `ratio` (up to cap). */
+    void on_request();
+
+    /** A retry wants to run: spends one token, or is denied.
+     *  @return true if the retry may proceed. */
+    bool try_spend();
+
+    double balance() const { return balance_; }
+    /** Total earned, including the initial grant (conservation bound:
+     *  spent() <= earned() at every point of any interleaving). */
+    double earned() const { return earned_; }
+    uint64_t spent() const { return spent_; }
+    uint64_t denied() const { return denied_; }
+
+  private:
+    RetryBudgetConfig config_;
+    double balance_;
+    double earned_;
+    uint64_t spent_ = 0;
+    uint64_t denied_ = 0;
+};
+
+///@}
+
+/** @name Circuit breakers */
+///@{
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char *breaker_state_name(BreakerState state);
+
+/** Parameters of one replica's breaker. */
+struct BreakerConfig {
+    /** Consecutive failures that trip Closed -> Open. */
+    int failure_threshold = 3;
+    /** Open -> HalfOpen once this much time has passed. */
+    double cooldown_s = 30.0;
+    /** Max half-open probes in flight at once. */
+    int probe_quota = 2;
+    /** Probe successes required to close again. */
+    int probe_successes = 2;
+};
+
+/**
+ * Per-replica breaker state machine. Time flows in via the `now`
+ * arguments (the plane passes simulator time), so the class itself has
+ * no clock and property tests can drive arbitrary schedules.
+ */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(BreakerConfig config = {});
+
+    /** Would allow() admit a request at `now`? Pure (no transition). */
+    bool can_allow(TimePoint now) const;
+
+    /**
+     * Routes a request through the breaker. Open transitions to
+     * HalfOpen when the cooldown has elapsed; HalfOpen admits at most
+     * probe_quota concurrent probes (each on_success/on_failure for a
+     * half-open admission settles one probe).
+     * @return true if the request may be sent to the replica.
+     */
+    bool allow(TimePoint now);
+
+    /** The replica answered a routed request successfully. */
+    void on_success(TimePoint now);
+
+    /** A routed request failed (replica death, batch destroyed). */
+    void on_failure(TimePoint now);
+
+    /**
+     * Force-opens the breaker (backing node went Down or Degraded).
+     * Tripping an already-open breaker only refreshes the cooldown.
+     */
+    void trip(TimePoint now);
+
+    BreakerState state() const { return state_; }
+    /** Closed/HalfOpen -> Open transitions (incl. explicit trips). */
+    uint64_t trips() const { return trips_; }
+    int probes_in_flight() const { return probes_in_flight_; }
+    int probe_successes() const { return probe_successes_; }
+
+  private:
+    void open(TimePoint now);
+
+    BreakerConfig config_;
+    BreakerState state_ = BreakerState::kClosed;
+    TimePoint opened_at_;
+    int consecutive_failures_ = 0;
+    int probes_in_flight_ = 0;
+    int probe_successes_ = 0;
+    uint64_t trips_ = 0;
+};
+
+///@}
+
+/** @name SLO-aware admission */
+///@{
+
+/** Admission-control parameters of one replica queue. */
+struct AdmissionConfig {
+    /** Max requests queued (admitted but not yet in service). */
+    int queue_cap = 64;
+};
+
+/** Why a request was (not) admitted. */
+struct AdmissionDecision {
+    bool admit = false;
+    /** Predicted completion instant used for the deadline check. */
+    double predicted_completion_s = 0;
+    /** Static reason string ("ok", "queue-full", "deadline"). */
+    const char *reason = "ok";
+};
+
+/**
+ * SLO-aware admission predicate. Admits iff the queue has room AND the
+ * predicted completion — now, plus the backlog of admitted work ahead,
+ * plus this request's own service time — meets the deadline. Pure:
+ * admitted requests NEVER have predicted_completion_s > deadline_s.
+ */
+AdmissionDecision admit_request(const AdmissionConfig &config,
+                                int queue_depth, double backlog_s,
+                                double service_s, double now_s,
+                                double deadline_s);
+
+///@}
+
+/**
+ * Decorrelated-jitter backoff (the AWS Architecture Blog variant):
+ * sleep = min(cap, uniform(base, prev * 3)). Desynchronizes retry
+ * herds that pure exponential backoff re-releases in lockstep.
+ * @param prev_s the previous sleep (pass <= 0 on the first retry).
+ */
+double decorrelated_jitter(Rng &rng, double base_s, double cap_s,
+                           double prev_s);
+
+} // namespace tacc::serve

@@ -24,6 +24,9 @@
  *   health                per-state node counts + fault totals
  *   power                 draw vs caps, throttling, deferrals
  *   energy                cluster/baseline/per-group kWh ledger
+ *   serve demo [mode] [hz]  open a serve-enabled clone of the default
+ *                         cluster ("robust" or "baseline" protections)
+ *   serve status          replica pool, goodput, shed/retry/breakers
  *   help | quit
  *
  * Example:  printf 'demo 20\ndrain\nps\nreport\n' | ./build/tools/tcloud
@@ -40,6 +43,7 @@
 #include "core/config_io.h"
 #include "common/table.h"
 #include "core/stack.h"
+#include "driver/sweep.h"
 #include "tcloud/client.h"
 #include "workload/trace.h"
 #include "workload/trace_io.h"
@@ -221,6 +225,10 @@ class Shell
             std::fputs(text.is_ok() ? text.value().c_str()
                                     : (text.status().str() + "\n").c_str(),
                        stdout);
+        } else if (cmd == "serve") {
+            std::string verb;
+            is >> verb;
+            serve(verb, is);
         } else if (cmd == "accounting") {
             std::string group;
             is >> group;
@@ -242,8 +250,54 @@ class Shell
             "| replay <csv> |\ndemo [n] | run <s> | drain [node] | ps | "
             "status <id> | logs <id> | kill <id> |\nreport | "
             "accounting <group> | cordon <node> | uncordon <node> | "
-            "health | power | energy | quit\n",
+            "health | power | energy |\nserve demo [robust|baseline] "
+            "[rate_hz] | serve status | quit\n",
             stdout);
+    }
+
+    /**
+     * `serve demo [mode] [rate_hz]` clones the default cluster's config
+     * with the request-serving plane enabled (the plane is wired at
+     * stack construction, so it needs a fresh profile), registers it as
+     * "<cluster>-serve" and makes it default; `serve status` prints the
+     * default cluster's serving report.
+     */
+    void
+    serve(const std::string &verb, std::istream &is)
+    {
+        if (verb == "status") {
+            std::fputs(stack().serving_report().c_str(), stdout);
+            return;
+        }
+        if (verb != "demo") {
+            std::printf(
+                "usage: serve demo [robust|baseline] [rate_hz] | "
+                "serve status\n");
+            return;
+        }
+        std::string mode = "robust";
+        double rate_hz = 40.0;
+        is >> mode >> rate_hz;
+        core::StackConfig config = stack().config();
+        config.serve.request_rate_hz = rate_hz;
+        auto s = driver::apply_serve_mode(mode, 1.0, &config);
+        if (!s.is_ok()) {
+            std::printf("%s\n", s.str().c_str());
+            return;
+        }
+        const std::string name = client_.default_cluster() + "-serve";
+        if (stacks_.contains(name)) {
+            std::printf("profile '%s' already open\n", name.c_str());
+            return;
+        }
+        config.cluster.name = name;
+        add(name, config);
+        client_.set_default_cluster(name);
+        std::printf("opened serving cluster '%s' (%s, %.0f req/s over "
+                    "%.0f s); try: run %.0f ; serve status\n",
+                    name.c_str(), mode.c_str(),
+                    config.serve.request_rate_hz,
+                    config.serve.horizon_s, config.serve.horizon_s);
     }
 
     void
