@@ -36,4 +36,18 @@ StringInterner::groups()
     return table;
 }
 
+StringInterner &
+StringInterner::users()
+{
+    static StringInterner table;
+    return table;
+}
+
+StringInterner &
+StringInterner::models()
+{
+    static StringInterner table;
+    return table;
+}
+
 } // namespace tacc

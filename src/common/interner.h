@@ -37,6 +37,10 @@ class StringInterner
 
     /** Process-wide table for accounting-group names. */
     static StringInterner &groups();
+    /** Process-wide table for user names (runtime-estimator keys). */
+    static StringInterner &users();
+    /** Process-wide table for model/template names. */
+    static StringInterner &models();
 
   private:
     mutable std::mutex mu_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "predict/config.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
 
@@ -312,6 +313,58 @@ apply_stack_key(const std::string &key, const std::string &value,
         if (dv <= 0 || dv > 1)
             return bad(key, value);
         config.power.min_clock = dv;
+    } else if (key == "predict") {
+        auto b = parse_bool(key, value);
+        if (!b.is_ok())
+            return b.status();
+        config.predict.enabled = b.value();
+    } else if (key == "predict_mode") {
+        auto mode = predict::parse_estimator_mode(value);
+        if (!mode.is_ok())
+            return mode.status();
+        config.predict.mode = mode.value();
+    } else if (key == "predict_decay") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv < 0 || dv >= 1)
+            return bad(key, value);
+        config.predict.decay = dv;
+    } else if (key == "predict_sample_floor") {
+        if (auto s = to_int(iv); !s.is_ok())
+            return s;
+        if (iv < 1)
+            return bad(key, value);
+        config.predict.sample_floor = iv;
+    } else if (key == "predict_safety_min") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv < 1)
+            return bad(key, value);
+        config.predict.safety_min = dv;
+    } else if (key == "predict_safety_max") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv < 1)
+            return bad(key, value);
+        config.predict.safety_max = dv;
+    } else if (key == "predict_bias") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv <= 0)
+            return bad(key, value);
+        config.predict.bias = dv;
+    } else if (key == "predict_forecast_alpha") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv <= 0 || dv > 1)
+            return bad(key, value);
+        config.predict.forecast_alpha = dv;
+    } else if (key == "predict_forecast_beta") {
+        if (auto s = to_double(dv); !s.is_ok())
+            return s;
+        if (dv < 0 || dv > 1)
+            return bad(key, value);
+        config.predict.forecast_beta = dv;
     } else if (key == "seed") {
         if (auto s = to_int(iv); !s.is_ok())
             return s;
@@ -437,6 +490,26 @@ stack_config_to_text(const StackConfig &config)
         os << strfmt("power_dvfs_exponent: %g\n",
                      config.power.dvfs_exponent);
         os << strfmt("power_min_clock: %g\n", config.power.min_clock);
+    }
+    // Prediction keys follow the power precedent: emitted only when the
+    // subsystem is on, so prediction-free rendered configs stay
+    // byte-identical to the pre-prediction form.
+    if (config.predict.enabled) {
+        os << "predict: true\n";
+        os << "predict_mode: "
+           << predict::estimator_mode_name(config.predict.mode) << '\n';
+        os << strfmt("predict_decay: %g\n", config.predict.decay);
+        os << "predict_sample_floor: " << config.predict.sample_floor
+           << '\n';
+        os << strfmt("predict_safety_min: %g\n",
+                     config.predict.safety_min);
+        os << strfmt("predict_safety_max: %g\n",
+                     config.predict.safety_max);
+        os << strfmt("predict_bias: %g\n", config.predict.bias);
+        os << strfmt("predict_forecast_alpha: %g\n",
+                     config.predict.forecast_alpha);
+        os << strfmt("predict_forecast_beta: %g\n",
+                     config.predict.forecast_beta);
     }
     os << "seed: " << config.seed << '\n';
     return os.str();

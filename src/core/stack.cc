@@ -73,6 +73,11 @@ TaccStack::TaccStack(StackConfig config, StackArena *arena)
             std::make_unique<power::PowerManager>(cluster_, config_.power);
     }
 
+    if (config_.predict.enabled) {
+        predict_hub_ =
+            std::make_unique<predict::PredictionHub>(config_.predict);
+    }
+
     if (config_.serve.enabled) {
         serve::PlaneHooks hooks;
         hooks.spawn_replica = [this](int slot) {
@@ -91,6 +96,11 @@ TaccStack::TaccStack(StackConfig config, StackArena *arena)
             return state == cluster::NodeHealth::kDegraded ||
                    state == cluster::NodeHealth::kDown;
         };
+        if (predict_hub_) {
+            hooks.forecast_rate = [this](double measured_hz) {
+                return predict_hub_->forecast_serve_rate(measured_hz);
+            };
+        }
         serve_plane_ = std::make_unique<serve::RequestPlane>(
             sim_, config_.serve, config_.seed, std::move(hooks));
     }
@@ -769,6 +779,8 @@ void
 TaccStack::finalize(Job &job)
 {
     estimator_.observe(job); // no-op unless the job completed
+    if (predict_hub_)
+        predict_hub_->observe_completion(job);
     // Drain the job's energy meter even when accounting is off, so the
     // ledger does not grow with terminal jobs.
     const double energy_kwh =
@@ -1087,7 +1099,10 @@ TaccStack::schedule_now()
     ctx.placement = placement_.get();
     ctx.usage = &usage_;
     ctx.quota = &quota_;
-    ctx.estimator = &estimator_;
+    ctx.estimator = &active_estimator();
+    ctx.predictions_authoritative =
+        predict_hub_ &&
+        config_.predict.mode != predict::EstimatorMode::kLimit;
     ctx.avoid_gpu_mixing = config_.avoid_gpu_mixing;
     // Flaky-node scoreboard: veto nodes with recent fault strikes.
     if (faults_->build_node_filter(sim_.now(), node_filter_scratch_))
@@ -1135,6 +1150,16 @@ TaccStack::schedule_now()
     }
     ctx.pending = pending_jobs_;
     ctx.pending_sorted = true; // enqueue_pending keeps (submit, id) order
+    if (predict_hub_) {
+        // Backlog series: pending GPU demand sampled per scheduling
+        // pass, in event order — deterministic at any worker count.
+        double pending_gpus = 0;
+        for (const Job *job : pending_jobs_)
+            pending_gpus += double(job->spec().gpus);
+        predict_hub_->observe_backlog(pending_gpus);
+        ctx.forecast_backlog_gpus =
+            predict_hub_->forecast_backlog(pending_gpus);
+    }
     if (running_cache_dirty_) {
         running_cache_.clear();
         running_cache_.reserve(running_.size());
@@ -1188,7 +1213,7 @@ TaccStack::estimated_start(cluster::JobId id) const
                          return a->id() < b->id();
                      });
     for (const Job *ahead : queue) {
-        const Duration bound = estimator_.predict(*ahead);
+        const Duration bound = active_estimator().predict(*ahead);
         const TimePoint fit =
             profile.earliest_fit(ahead->spec().gpus, bound);
         if (ahead->id() == id)
@@ -1197,7 +1222,7 @@ TaccStack::estimated_start(cluster::JobId id) const
     }
     // Provisioning jobs enter the queue after everything pending now.
     if (provisioning_.contains(id)) {
-        const Duration bound = estimator_.predict(*job);
+        const Duration bound = active_estimator().predict(*job);
         return profile.earliest_fit(job->spec().gpus, bound);
     }
     return Status::internal("job in no queue");

@@ -33,6 +33,7 @@
 #include "exec/monitor.h"
 #include "ops/ops_center.h"
 #include "power/power_manager.h"
+#include "predict/hub.h"
 #include "sched/estimator.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
@@ -92,6 +93,15 @@ struct StackConfig {
      * keeps every run byte-identical to a stack without the subsystem.
      */
     serve::ServePlaneConfig serve;
+    /**
+     * Prediction subsystem: the online runtime model (decayed
+     * regression over completions) and short-horizon load forecaster
+     * that become the stack's single prediction authority — backfill
+     * reservations, elastic shrink victims, and serve autoscaling all
+     * consume it. Disabled (the default) keeps every run byte-identical
+     * to a stack without the subsystem.
+     */
+    predict::PredictConfig predict;
     /**
      * Streaming (million-job) retention: terminal jobs are folded into
      * the run digest and percentile sketches and then reclaimed, so
@@ -153,6 +163,21 @@ class TaccStack
     }
     const sched::UsageTracker &usage() const { return usage_; }
     const sched::RuntimeEstimator &estimator() const { return estimator_; }
+    /** The prediction hub; nullptr when config.predict.enabled is off. */
+    const predict::PredictionHub *prediction_hub() const
+    {
+        return predict_hub_.get();
+    }
+    /**
+     * The estimator scheduling actually conditions on: the hub's online
+     * model when prediction is enabled, the built-in EMA table
+     * otherwise. Every prediction consumer routes through this.
+     */
+    const sched::RuntimeEstimator &
+    active_estimator() const
+    {
+        return predict_hub_ ? predict_hub_->model() : estimator_;
+    }
     sched::Scheduler &scheduler() { return *scheduler_; }
     const StackConfig &config() const { return config_; }
     ///@}
@@ -325,6 +350,7 @@ class TaccStack
     sched::UsageTracker usage_;
     sched::QuotaManager quota_;
     sched::RuntimeEstimator estimator_;
+    std::unique_ptr<predict::PredictionHub> predict_hub_;
     MetricsCollector metrics_;
     std::unique_ptr<ops::OpsCenter> ops_;
     std::unique_ptr<power::PowerManager> power_;

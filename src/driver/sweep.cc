@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "core/config_io.h"
+#include "predict/config.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
 
@@ -172,9 +173,41 @@ apply_serve_mode(const std::string &mode, double burst,
     return Status::ok();
 }
 
+Status
+apply_estimator_mode(const std::string &mode, double bias,
+                     core::StackConfig *stack)
+{
+    if (mode == "limit")
+        return Status::ok(); // prediction off: the byte-identical baseline
+    auto parsed = predict::parse_estimator_mode(mode);
+    if (!parsed.is_ok())
+        return parsed.status();
+    stack->predict.enabled = true;
+    stack->predict.mode = parsed.value();
+    stack->predict.bias = bias;
+    return Status::ok();
+}
+
 std::vector<SweepScenario>
 expand_sweep(const SweepSpec &spec)
 {
+    // Estimator points in listed order; every "limit" collapses to the
+    // one unsuffixed prediction-off point (and bias only applies when
+    // prediction is on), so the pre-prediction grid survives verbatim.
+    std::vector<std::pair<std::string, double>> predict_points;
+    bool have_limit = false;
+    for (const auto &mode : spec.estimator_modes) {
+        if (mode == "limit") {
+            if (!have_limit) {
+                predict_points.emplace_back("", 1.0);
+                have_limit = true;
+            }
+        } else {
+            for (double bias : spec.mispredict_bias)
+                predict_points.emplace_back(mode, bias);
+        }
+    }
+
     // Serve points in listed order; every "off" collapses to the one
     // unsuffixed serving-off point (and bursts only apply when the
     // plane is on), so the pre-serving grid survives verbatim.
@@ -211,9 +244,11 @@ expand_sweep(const SweepSpec &spec)
 
     std::vector<SweepScenario> out;
     out.reserve(spec.grid_size());
-    // Serve is the outermost axis, then power, then fault_modes, so
-    // "off,<modes>", "0,<caps>" and "none,<more>" specs keep the plain
-    // grid as an unchanged prefix of the expansion.
+    // Estimator is the outermost axis, then serve, then power, then
+    // fault_modes, so "limit,<modes>", "off,<modes>", "0,<caps>" and
+    // "none,<more>" specs keep the plain grid as an unchanged prefix of
+    // the expansion.
+    for (const auto &[est_mode, est_bias] : predict_points) {
     for (const auto &[serve_mode, burst] : serve_points) {
     for (const auto &[cap_w, policy] : power_points) {
         for (const auto &fault_mode : spec.fault_modes) {
@@ -240,6 +275,11 @@ expand_sweep(const SweepSpec &spec)
                                         serve_mode, burst,
                                         &sc.config.stack);
                                 }
+                                if (!est_mode.empty()) {
+                                    (void)apply_estimator_mode(
+                                        est_mode, est_bias,
+                                        &sc.config.stack);
+                                }
                                 sc.config.trace.mean_interarrival_s =
                                     spec.base.trace.mean_interarrival_s /
                                     load;
@@ -264,6 +304,13 @@ expand_sweep(const SweepSpec &spec)
                                             strfmt("-b%g", burst);
                                     }
                                 }
+                                if (!est_mode.empty()) {
+                                    sc.name += "+est-" + est_mode;
+                                    if (est_bias != 1.0) {
+                                        sc.name +=
+                                            strfmt("-x%g", est_bias);
+                                    }
+                                }
                                 out.push_back(std::move(sc));
                             }
                         }
@@ -271,6 +318,7 @@ expand_sweep(const SweepSpec &spec)
                 }
             }
         }
+    }
     }
     }
     return out;
@@ -397,6 +445,30 @@ parse_sweep_spec(const std::string &text, const std::string &spec_dir)
                     return s;
             }
             spec.power_policies = std::move(list).value();
+        } else if (key == "estimator_modes") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            core::StackConfig scratch;
+            for (const auto &mode : list.value()) {
+                if (auto s = apply_estimator_mode(mode, 1.0, &scratch);
+                    !s.is_ok())
+                    return s;
+            }
+            spec.estimator_modes = std::move(list).value();
+        } else if (key == "mispredict_bias") {
+            auto list = parse_list(key, value);
+            if (!list.is_ok())
+                return list.status();
+            spec.mispredict_bias.clear();
+            for (const auto &item : list.value()) {
+                auto v = parse_double(key, item);
+                if (!v.is_ok())
+                    return v.status();
+                if (v.value() <= 0.0 || v.value() > 100.0)
+                    return bad(key, item);
+                spec.mispredict_bias.push_back(v.value());
+            }
         } else if (key == "serve_modes") {
             auto list = parse_list(key, value);
             if (!list.is_ok())

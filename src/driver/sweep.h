@@ -4,23 +4,28 @@
  * table.
  *
  * A SweepSpec is a base scenario (cluster shape + workload shape) plus
- * eight axes — serve mode x burst, power cap x policy, fault mode,
- * scheduler, placement policy, preemption-cost mode, load multiplier,
- * seed — whose cross product expands into independent named scenario
- * runs. Expansion order is canonical (axes iterate in the order above,
- * values in listed order), so run indices, digest files, and JSON
- * summaries are stable for a fixed spec. The serve axis is outermost
- * and every "off" entry collapses into one unsuffixed serving-off
- * point (regardless of the burst list); next the power axis, where
- * every cap <= 0 collapses into one unsuffixed power-off point
- * (regardless of the policy list); then the fault-mode axis with
- * "none" unsuffixed — so adding serve modes, power caps, or fault
- * modes to a spec appends scenarios without renaming (or reordering)
- * the existing grid.
+ * nine axes — estimator mode x mispredict bias, serve mode x burst,
+ * power cap x policy, fault mode, scheduler, placement policy,
+ * preemption-cost mode, load multiplier, seed — whose cross product
+ * expands into independent named scenario runs. Expansion order is
+ * canonical (axes iterate in the order above, values in listed order),
+ * so run indices, digest files, and JSON summaries are stable for a
+ * fixed spec. The estimator axis is outermost and every "limit" entry
+ * collapses into one unsuffixed prediction-off point (regardless of
+ * the bias list); next the serve axis, where every "off" entry
+ * collapses into one unsuffixed serving-off point (regardless of the
+ * burst list); next the power axis, where every cap <= 0 collapses
+ * into one unsuffixed power-off point (regardless of the policy list);
+ * then the fault-mode axis with "none" unsuffixed — so adding
+ * estimator modes, serve modes, power caps, or fault modes to a spec
+ * appends scenarios without renaming (or reordering) the existing
+ * grid.
  *
  * Specs are written in the repo's `key: value` dialect:
  *
  *   # axes (comma-separated lists)
+ *   estimator_modes: limit,ema,regress   prediction authority axis
+ *   mispredict_bias: 0.5,1,2 prediction multipliers (mode != limit only)
  *   schedulers: fairshare,fifo-skip,backfill-easy
  *   placements: topology,pack
  *   preempt_modes: graceful
@@ -72,9 +77,16 @@ struct SweepSpec {
     /** Template every grid point starts from. */
     core::ScenarioConfig base;
 
-    /** @name Axes (cross product; serve outermost, then power, then
-     *  fault_modes, then in this nesting order) */
+    /** @name Axes (cross product; estimator outermost, then serve,
+     *  then power, then fault_modes, then in this nesting order) */
     ///@{
+    /** Prediction-authority modes ("limit"/"ema"/"regress"; see
+     *  apply_estimator_mode). All "limit" entries collapse to one
+     *  unsuffixed prediction-off point. */
+    std::vector<std::string> estimator_modes = {"limit"};
+    /** Mispredict-bias multipliers crossed with every estimator mode
+     *  != "limit" (applied to predictions only; 1 = honest model). */
+    std::vector<double> mispredict_bias = {1.0};
     /** Request-serving modes ("off"/"robust"/"baseline"; see
      *  apply_serve_mode). All off entries collapse to one unsuffixed
      *  serving-off point. */
@@ -128,22 +140,38 @@ struct SweepSpec {
         return points + (any_off ? 1 : 0);
     }
 
+    /** Expanded (mode, bias) points after the prediction-off collapse. */
+    size_t
+    predict_point_count() const
+    {
+        size_t points = 0;
+        bool any_off = false;
+        for (const auto &mode : estimator_modes) {
+            if (mode == "limit")
+                any_off = true;
+            else
+                points += mispredict_bias.size();
+        }
+        return points + (any_off ? 1 : 0);
+    }
+
     size_t
     grid_size() const
     {
-        return serve_point_count() * power_point_count() *
-               fault_modes.size() * schedulers.size() *
-               placements.size() * preempt_modes.size() * loads.size() *
-               seeds.size();
+        return predict_point_count() * serve_point_count() *
+               power_point_count() * fault_modes.size() *
+               schedulers.size() * placements.size() *
+               preempt_modes.size() * loads.size() * seeds.size();
     }
 };
 
 /** One grid point: a canonical name plus the concrete scenario. */
 struct SweepScenario {
     /** "<sched>/<placement>/<mode>/x<load>/s<seed>[+<fault-mode>]
-     *  [+<cap>kW-<policy>][+serve-<mode>[-b<burst>]]" (no suffix for
-     *  fault mode "none", the power-off point, the serving-off point,
-     *  or burst 1). */
+     *  [+<cap>kW-<policy>][+serve-<mode>[-b<burst>]]
+     *  [+est-<mode>[-x<bias>]]" (no suffix for fault mode "none", the
+     *  power-off point, the serving-off point, burst 1, the
+     *  prediction-off point, or bias 1). */
     std::string name;
     core::ScenarioConfig config;
 };
@@ -199,6 +227,21 @@ Status apply_serve_mode(const std::string &mode, double burst,
  */
 Status apply_power_mode(double cap_w, const std::string &policy,
                         core::StackConfig *stack);
+
+/**
+ * Applies one estimator grid point to a stack config (the T21 axis:
+ * which prediction authority does scheduling condition on, and how
+ * wrong is it allowed to be?).
+ *  - "limit":   no prediction subsystem (the default; scenario names
+ *               stay unsuffixed so existing grids are byte-identical);
+ *  - "ema":     the online hub in EMA-table mode (T8-style);
+ *  - "regress": the decayed-regression model with EMA + limit fallback
+ *               and error-quantile-driven safety.
+ * bias != 1 applies a systematic multiplier to predictions only (the
+ * mispredict-robustness ablation); observations stay truthful.
+ */
+Status apply_estimator_mode(const std::string &mode, double bias,
+                            core::StackConfig *stack);
 
 /** Expands the grid into runnable scenarios in canonical order. */
 std::vector<SweepScenario> expand_sweep(const SweepSpec &spec);

@@ -1,0 +1,54 @@
+#include "predict/config.h"
+
+namespace tacc::predict {
+
+const char *
+estimator_mode_name(EstimatorMode mode)
+{
+    switch (mode) {
+      case EstimatorMode::kLimit: return "limit";
+      case EstimatorMode::kEma: return "ema";
+      case EstimatorMode::kRegress: return "regress";
+    }
+    return "unknown";
+}
+
+StatusOr<EstimatorMode>
+parse_estimator_mode(const std::string &name)
+{
+    if (name == "limit")
+        return EstimatorMode::kLimit;
+    if (name == "ema")
+        return EstimatorMode::kEma;
+    if (name == "regress")
+        return EstimatorMode::kRegress;
+    return Status::invalid_argument("unknown estimator mode: " + name);
+}
+
+Status
+PredictConfig::validate() const
+{
+    if (!(decay >= 0.0 && decay < 1.0))
+        return Status::invalid_argument(
+            "predict.decay must be in [0, 1)");
+    if (sample_floor < 1)
+        return Status::invalid_argument(
+            "predict.sample_floor must be >= 1");
+    if (!(safety_min >= 1.0))
+        return Status::invalid_argument(
+            "predict.safety_min must be >= 1");
+    if (!(safety_max >= safety_min))
+        return Status::invalid_argument(
+            "predict.safety_max must be >= predict.safety_min");
+    if (!(bias > 0.0))
+        return Status::invalid_argument("predict.bias must be > 0");
+    if (!(forecast_alpha > 0.0 && forecast_alpha <= 1.0))
+        return Status::invalid_argument(
+            "predict.forecast_alpha must be in (0, 1]");
+    if (!(forecast_beta >= 0.0 && forecast_beta <= 1.0))
+        return Status::invalid_argument(
+            "predict.forecast_beta must be in [0, 1]");
+    return Status::ok();
+}
+
+} // namespace tacc::predict

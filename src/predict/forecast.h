@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Short-horizon load forecasting (double-exponential smoothing).
+ *
+ * Both serving autoscaling and elastic re-allocation react to load;
+ * reacting to the *instantaneous* signal means every decision lags a
+ * trend by one period (scale-up arrives after the spike). A Holt
+ * series keeps a smoothed level plus a smoothed trend, so a steadily
+ * climbing arrival rate forecasts *above* the last measurement and
+ * capacity lands when the load does.
+ *
+ * Determinism: a HoltSeries is a pure fold over its observation
+ * sequence — no clock reads, no RNG — so forecasts are identical at
+ * any worker count and in batch vs streaming runs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace tacc::predict {
+
+/** Holt double-exponential smoothing over a scalar series. */
+class HoltSeries
+{
+  public:
+    /**
+     * @param alpha level gain in (0, 1]
+     * @param beta trend gain in [0, 1]
+     */
+    HoltSeries(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+    /** Folds the next observation into level and trend. */
+    void
+    observe(double value)
+    {
+        if (count_ == 0) {
+            level_ = value;
+            trend_ = 0;
+        } else {
+            const double prev = level_;
+            level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+            trend_ = beta_ * (level_ - prev) + (1.0 - beta_) * trend_;
+        }
+        ++count_;
+    }
+
+    /**
+     * k-step-ahead forecast; never negative (rates and queue depths
+     * cannot be). Returns `fallback` until two observations exist —
+     * a trend needs two points before extrapolating is honest.
+     */
+    double
+    forecast(int k, double fallback) const
+    {
+        if (count_ < 2)
+            return fallback;
+        const double f = level_ + double(k) * trend_;
+        return f > 0 ? f : 0.0;
+    }
+
+    double level() const { return level_; }
+    double trend() const { return trend_; }
+    uint64_t observations() const { return count_; }
+
+  private:
+    double alpha_;
+    double beta_;
+    double level_ = 0;
+    double trend_ = 0;
+    uint64_t count_ = 0;
+};
+
+} // namespace tacc::predict

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "sched/estimator.h"
 #include "sched/greedy.h"
 #include "sched/placement.h"
 #include "sched/schedulers.h"
@@ -115,7 +116,38 @@ ElasticScheduler::schedule(const SchedulerContext &ctx)
     if (candidates.empty())
         return out;
 
-    // Phase 1: everyone gets min_gpus if the pool allows (arrival order).
+    // With an authoritative prediction model, rank candidates by
+    // predicted remaining work (SRPT-style): when the pool cannot cover
+    // every minimum, the jobs with the *most* predicted work left are
+    // the ones denied — i.e. the shrink victims — which minimizes the
+    // service lost to checkpoint-restore churn. Without predictions the
+    // arrival order stands (pre-prediction decisions byte-identical).
+    if (ctx.predictions_authoritative && ctx.estimator) {
+        struct Ranked {
+            Candidate c;
+            Duration remaining;
+        };
+        std::vector<Ranked> ranked;
+        ranked.reserve(candidates.size());
+        for (auto &c : candidates)
+            ranked.push_back(
+                Ranked{c, ctx.estimator->predict_remaining(*c.job)});
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const Ranked &a, const Ranked &b) {
+                             if (a.remaining != b.remaining)
+                                 return a.remaining < b.remaining;
+                             if (a.c.job->submit_time() !=
+                                 b.c.job->submit_time())
+                                 return a.c.job->submit_time() <
+                                        b.c.job->submit_time();
+                             return a.c.job->id() < b.c.job->id();
+                         });
+        for (size_t i = 0; i < candidates.size(); ++i)
+            candidates[i] = ranked[i].c;
+    }
+
+    // Phase 1: everyone gets min_gpus if the pool allows (arrival order,
+    // or predicted-remaining order when predictions are authoritative).
     int pool = view.total_free();
     for (auto &c : candidates) {
         const int want = c.job->spec().min_gpus;
@@ -129,6 +161,19 @@ ElasticScheduler::schedule(const SchedulerContext &ctx)
     // squeezes toward its minima and the freed GPUs serve the fixed
     // queue at the next scheduling event.
     pool = std::max(0, pool - unmet_fixed);
+
+    // Forecast headroom: when the load forecaster projects more pending
+    // GPU demand than is queued now, hold that margin back from the
+    // expansion phase — growing the fleet right before an arrival wave
+    // just buys a resize (checkpoint-restore) when the wave lands.
+    if (ctx.forecast_backlog_gpus >= 0) {
+        double queued = 0;
+        for (const workload::Job *job : ctx.pending)
+            queued += double(job->spec().gpus);
+        const int margin =
+            int(std::max(0.0, ctx.forecast_backlog_gpus - queued));
+        pool = std::max(0, pool - margin);
+    }
 
     // Phase 2: marginal-goodput hill climbing. Besides +1 steps, each
     // candidate may jump to the next node-multiple: +1 across a node

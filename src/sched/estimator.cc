@@ -12,25 +12,26 @@ RuntimeEstimator::RuntimeEstimator(double safety_factor, double ema_alpha)
     assert(alpha_ > 0.0 && alpha_ <= 1.0);
 }
 
-std::string
-RuntimeEstimator::key_of(const workload::Job &job)
+double
+RuntimeEstimator::sample_of(const workload::Job &job)
 {
-    return job.spec().user + "|" + job.spec().model;
+    if (job.state() != workload::JobState::kCompleted)
+        return -1.0;
+    if (job.iterations_done() <= 0 || job.spec().gpus <= 0)
+        return -1.0;
+    // Realized wall service per iteration at the job's requested scale:
+    // GPU-seconds normalizes away elastic resizes and retries.
+    return job.gpu_seconds() / double(job.spec().gpus) /
+           double(job.iterations_done());
 }
 
 void
 RuntimeEstimator::observe(const workload::Job &job)
 {
-    if (job.state() != workload::JobState::kCompleted)
+    const double sample = sample_of(job);
+    if (sample < 0)
         return;
-    if (job.iterations_done() <= 0 || job.spec().gpus <= 0)
-        return;
-    // Realized wall service per iteration at the job's requested scale:
-    // GPU-seconds normalizes away elastic resizes and retries.
-    const double sample = job.gpu_seconds() /
-                          double(job.spec().gpus) /
-                          double(job.iterations_done());
-    auto &entry = entries_[key_of(job)];
+    auto &entry = entries_[EstimatorKey::of(job)];
     if (entry.count == 0)
         entry.per_iter_s = sample;
     else
@@ -42,20 +43,32 @@ RuntimeEstimator::observe(const workload::Job &job)
 bool
 RuntimeEstimator::has_history(const workload::Job &job) const
 {
-    auto it = entries_.find(key_of(job));
+    auto it = entries_.find(EstimatorKey::of(job));
     return it != entries_.end() && it->second.count > 0;
 }
 
 Duration
 RuntimeEstimator::predict(const workload::Job &job) const
 {
-    auto it = entries_.find(key_of(job));
+    auto it = entries_.find(EstimatorKey::of(job));
     if (it == entries_.end() || it->second.count == 0)
         return job.spec().time_limit;
     const double predicted_s = it->second.per_iter_s *
                                double(job.spec().iterations) * safety_;
     return std::min(Duration::from_seconds(predicted_s),
                     job.spec().time_limit);
+}
+
+Duration
+RuntimeEstimator::predict_remaining(const workload::Job &job) const
+{
+    const double frac =
+        job.spec().iterations > 0
+            ? double(job.iterations_remaining()) /
+                  double(job.spec().iterations)
+            : 0.0;
+    return Duration::from_seconds(predict(job).to_seconds() *
+                                  std::clamp(frac, 0.0, 1.0));
 }
 
 } // namespace tacc::sched

@@ -105,7 +105,10 @@ Duration
 runtime_bound(const SchedulerContext &ctx, const workload::Job &job,
               bool use_estimates)
 {
-    if (use_estimates && ctx.estimator)
+    // A policy asks for estimates itself (use_estimates), or the stack
+    // declares its prediction authority binding for everyone
+    // (predictions_authoritative): either way the estimator answers.
+    if ((use_estimates || ctx.predictions_authoritative) && ctx.estimator)
         return ctx.estimator->predict(job);
     return job.spec().time_limit;
 }

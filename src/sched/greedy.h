@@ -57,7 +57,9 @@ int per_node_limit(const SchedulerContext &ctx, const workload::Job &job);
 
 /**
  * Runtime bound for reservations/ordering: the learned prediction when
- * requested and available, otherwise the user's time limit.
+ * requested (by the policy's use_estimates knob or the stack's
+ * predictions_authoritative flag) and available, otherwise the user's
+ * time limit.
  */
 Duration runtime_bound(const SchedulerContext &ctx,
                        const workload::Job &job, bool use_estimates);

@@ -149,6 +149,21 @@ struct SchedulerContext {
     /** Learned runtime predictions; null if unavailable. */
     const RuntimeEstimator *estimator = nullptr;
     /**
+     * True when `estimator` is the stack's online prediction authority
+     * (src/predict in ema/regress mode): policies may condition
+     * reservations and victim choice on it even when their own
+     * use_estimates knob is off. False leaves every pre-prediction
+     * decision byte-identical.
+     */
+    bool predictions_authoritative = false;
+    /**
+     * Short-horizon forecast of pending GPU demand (the load
+     * forecaster's one-pass-ahead backlog estimate); < 0 when no
+     * forecast is available. Elastic allocation leaves headroom for
+     * forecast demand beyond what is pending now.
+     */
+    double forecast_backlog_gpus = -1;
+    /**
      * Heterogeneous clusters: plan gangs within one GPU generation
      * (a mixed gang runs at its slowest worker's speed).
      */

@@ -468,10 +468,17 @@ RequestPlane::autoscale_tick()
     const double rate =
         double(arrivals_this_period_) / config_.scale_period_s;
     arrivals_this_period_ = 0;
+    // Plan against the forecast when a forecaster is wired: a climbing
+    // rate provisions ahead of the trend instead of one period behind
+    // it. The SLO-unattainable latch stays on the *measured* rate — it
+    // reports what was offered, not what was predicted.
+    const double planning_rate =
+        hooks_.forecast_rate ? hooks_.forecast_rate(rate) : rate;
     const double capacity = config_.per_replica_capacity_hz();
     int want = desired_;
     if (capacity > 0) {
-        want = int(std::ceil(rate * config_.scale_headroom / capacity));
+        want = int(
+            std::ceil(planning_rate * config_.scale_headroom / capacity));
         // Queue pressure overrides a stale rate estimate: a backlog of
         // more than two full batches per replica asks for one more.
         if (queue_depth() >

@@ -143,6 +143,13 @@ struct PlaneHooks {
     std::function<void(uint64_t job)> kill_replica;
     /** Is the node backing a replica degraded or worse? */
     std::function<bool(uint32_t node)> node_degraded;
+    /**
+     * Load forecaster (the stack's PredictionHub): folds the arrival
+     * rate measured over the last scale period and returns the rate to
+     * provision for the next one. Null = autoscale on the measured
+     * (instantaneous) signal, byte-identical to pre-prediction runs.
+     */
+    std::function<double(double measured_rate_hz)> forecast_rate;
 };
 
 /** Monotonic counters; folded into the run digest when the plane ran. */

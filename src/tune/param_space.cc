@@ -63,6 +63,24 @@ build_registry()
          [](StackConfig *c, double v) {
              c->sched_opts.preempt_cost_threshold_gpu_s = v;
          }},
+        {"predict.decay", 0.01, 0.9, false,
+         "runtime-model recency decay per observation",
+         [](const StackConfig &c) { return c.predict.decay; },
+         [](StackConfig *c, double v) { c->predict.decay = v; }},
+        {"predict.sample_floor", 1.0, 64.0, true,
+         "per-key samples before the regression outranks the EMA",
+         [](const StackConfig &c) { return double(c.predict.sample_floor); },
+         [](StackConfig *c, double v) {
+             c->predict.sample_floor = int(std::lround(v));
+         }},
+        {"predict.safety_min", 1.0, 1.5, false,
+         "floor of the error-quantile safety multiplier",
+         [](const StackConfig &c) { return c.predict.safety_min; },
+         [](StackConfig *c, double v) { c->predict.safety_min = v; }},
+        {"predict.safety_max", 1.0, 4.0, false,
+         "ceiling of the error-quantile safety multiplier",
+         [](const StackConfig &c) { return c.predict.safety_max; },
+         [](StackConfig *c, double v) { c->predict.safety_max = v; }},
         {"dvfs_alpha", 1.5, 3.5, false,
          "DVFS dynamic-power exponent (delta ~ clock^alpha)",
          [](const StackConfig &c) { return c.power.dvfs_exponent; },

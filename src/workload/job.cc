@@ -36,6 +36,8 @@ Job::Job(cluster::JobId id, TaskSpec spec, ModelProfile model,
     : id_(id),
       spec_(std::move(spec)),
       group_id_(StringInterner::groups().intern(spec_.group)),
+      user_id_(StringInterner::users().intern(spec_.user)),
+      model_id_(StringInterner::models().intern(spec_.model)),
       model_(std::move(model)),
       submit_time_(submit_time)
 {

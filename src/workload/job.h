@@ -53,6 +53,10 @@ class Job
     /** Interned id of spec().group (StringInterner::groups()); scheduler
      *  hot paths tally per-group state in vectors indexed by this. */
     int group_id() const { return group_id_; }
+    /** Interned id of spec().user (StringInterner::users()). */
+    int user_id() const { return user_id_; }
+    /** Interned id of spec().model (StringInterner::models()). */
+    int model_id() const { return model_id_; }
     const ModelProfile &model() const { return model_; }
     JobState state() const { return state_; }
     bool terminal() const { return job_state_terminal(state_); }
@@ -156,6 +160,8 @@ class Job
     cluster::JobId id_;
     TaskSpec spec_;
     int group_id_;
+    int user_id_;
+    int model_id_;
     ModelProfile model_;
     TimePoint submit_time_;
     TimePoint provision_start_;
